@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks: power-behaviour similarity clustering
+//! (Algorithm 1) — the dominant offline workflow cost (Table 3's 60 s row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens_cluster::{cluster_graph, dbscan, power_distance_matrix, ClusterParams};
+use powerlens_dnn::zoo;
+use powerlens_features::depthwise_features;
+use std::hint::black_box;
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_distance_matrix");
+    group.sample_size(20);
+    for name in ["resnet34", "resnet152"] {
+        let g = zoo::by_name(name).unwrap();
+        let x = depthwise_features(&g);
+        group.bench_function(name, |b| {
+            b.iter(|| power_distance_matrix(black_box(&x), 0.7, 0.08).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let g = zoo::resnet152();
+    let x = depthwise_features(&g);
+    let d = power_distance_matrix(&x, 0.7, 0.08).unwrap();
+    c.bench_function("dbscan_resnet152", |b| {
+        b.iter(|| dbscan(black_box(&d), 0.15, 4))
+    });
+}
+
+fn bench_full_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_graph");
+    group.sample_size(10);
+    for name in ["resnet152", "densenet201"] {
+        let g = zoo::by_name(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| cluster_graph(black_box(&g), &ClusterParams::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_matrix, bench_dbscan, bench_full_algorithm1);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks: DVFS actuation, plan evaluation and the
+//! frequency oracle (the inner loops of dataset labelling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens::{evaluate_plan, PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_governors::oracle;
+use powerlens_platform::{DvfsActuator, Platform};
+use std::hint::black_box;
+
+fn bench_actuator(c: &mut Criterion) {
+    c.bench_function("dvfs_actuator_toggle", |b| {
+        let mut act = DvfsActuator::new(0, 0.0005);
+        let mut level = 0;
+        b.iter(|| {
+            level = (level + 1) % 14;
+            act.set_level(black_box(level))
+        })
+    });
+}
+
+fn bench_oracle_range(c: &mut Criterion) {
+    let p = Platform::agx();
+    let g = zoo::resnet152();
+    c.bench_function("oracle_best_level_200_layers", |b| {
+        b.iter(|| oracle::best_level_for_range(black_box(&p), &g, 100, 300, 8, f64::INFINITY))
+    });
+}
+
+fn bench_evaluate_plan(c: &mut Criterion) {
+    let p = Platform::agx();
+    let g = zoo::resnet152();
+    let pl = PowerLens::untrained(&p, PowerLensConfig::default());
+    let plan = pl.plan_oracle(&g).unwrap().plan;
+    c.bench_function("evaluate_plan_resnet152", |b| {
+        b.iter(|| evaluate_plan(black_box(&p), &g, &plan, 8, 48))
+    });
+}
+
+fn bench_plan_oracle(c: &mut Criterion) {
+    let p = Platform::agx();
+    let g = zoo::resnet34();
+    let pl = PowerLens::untrained(&p, PowerLensConfig::default());
+    let mut group = c.benchmark_group("plan_oracle");
+    group.sample_size(10);
+    group.bench_function("resnet34", |b| b.iter(|| pl.plan_oracle(black_box(&g)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_actuator, bench_oracle_range, bench_evaluate_plan, bench_plan_oracle);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks: power-sensitive feature extraction (§2.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens_dnn::zoo;
+use powerlens_features::{depthwise_features, GlobalFeatures};
+use std::hint::black_box;
+
+fn bench_depthwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depthwise_features");
+    for name in ["alexnet", "resnet152", "densenet201"] {
+        let g = zoo::by_name(name).unwrap();
+        group.bench_function(name, |b| b.iter(|| depthwise_features(black_box(&g))));
+    }
+    group.finish();
+}
+
+fn bench_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_features");
+    for name in ["resnet152", "densenet201"] {
+        let g = zoo::by_name(name).unwrap();
+        group.bench_function(name, |b| b.iter(|| GlobalFeatures::of_graph(black_box(&g))));
+    }
+    group.finish();
+}
+
+fn bench_block_features(c: &mut Criterion) {
+    let g = zoo::resnet152();
+    c.bench_function("block_features_resnet152_mid", |b| {
+        b.iter(|| GlobalFeatures::of_range(black_box(&g), 100, 300))
+    });
+}
+
+criterion_group!(benches, bench_depthwise, bench_global, bench_block_features);
+criterion_main!(benches);

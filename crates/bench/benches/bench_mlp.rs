@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks: the from-scratch NN library backing the two
+//! prediction models (Table 3's prediction-latency rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens_mlp::{Adam, Mlp, TwoStageNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_decision_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = Mlp::new(&[25, 96, 48, 14], &mut rng);
+    let x = vec![0.3; 25];
+    c.bench_function("decision_model_predict", |b| {
+        b.iter(|| net.predict(black_box(&x)))
+    });
+}
+
+fn bench_hyper_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = TwoStageNet::new(17, 8, 96, 14, &mut rng);
+    let s = vec![0.1; 17];
+    let t = vec![0.2; 8];
+    c.bench_function("hyper_model_predict", |b| {
+        b.iter(|| net.predict(black_box(&s), black_box(&t)))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("mlp_backprop_step_batch32", |b| {
+        let mut net = Mlp::new(&[25, 96, 48, 14], &mut rng);
+        let mut adam = Adam::new(1e-3);
+        let x = vec![0.5; 25];
+        b.iter(|| {
+            net.zero_grad();
+            for i in 0..32 {
+                net.backprop(black_box(&x), i % 14);
+            }
+            net.apply_step(&mut adam, 32);
+        })
+    });
+}
+
+criterion_group!(benches, bench_decision_forward, bench_hyper_forward, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: the inference simulator (engine throughput
+//! and the per-layer cost queries every experiment relies on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use powerlens_sim::{Engine, StaticController};
+use std::hint::black_box;
+
+fn bench_layer_timing(c: &mut Criterion) {
+    let p = Platform::agx();
+    let g = zoo::resnet152();
+    let layer = &g.layers()[40];
+    c.bench_function("layer_timing", |b| {
+        b.iter(|| p.layer_timing(black_box(layer), 8, 7, 7))
+    });
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    let p = Platform::agx();
+    let mut group = c.benchmark_group("engine_run_8_images");
+    group.sample_size(20);
+    for name in ["alexnet", "resnet152"] {
+        let g = zoo::by_name(name).unwrap();
+        let engine = Engine::new(&p).with_batch(8);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ctl = StaticController::new(7, 7);
+                engine.run(black_box(&g), &mut ctl, 8)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_level_sweep(c: &mut Criterion) {
+    let p = Platform::agx();
+    let g = zoo::alexnet();
+    let engine = Engine::new(&p).with_batch(8);
+    let mut group = c.benchmark_group("sweep_gpu_levels");
+    group.sample_size(10);
+    group.bench_function("alexnet", |b| {
+        b.iter(|| engine.sweep_gpu_levels(black_box(&g), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layer_timing, bench_engine_run, bench_level_sweep);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Exercises the paper's §5 future-work directions, implemented in
+//! `powerlens::extensions`:
+//!
+//! * **PowerLens-C+G** — additionally presetting the CPU cluster level,
+//! * **batch-size co-optimization** — jointly picking batch and plan,
+//! * **cloud deployment** — the whole pipeline on a V100-class platform.
+//!
+//! ```text
+//! cargo run --release -p powerlens-bench --bin extensions
+//! ```
+
+use powerlens::extensions::{co_optimize_batch, max_frequency_plan, plan_with_cpu};
+use powerlens::{evaluate_plan, PowerLens, PowerLensConfig};
+use powerlens_bench::rule;
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+
+const MODELS: [&str; 5] = ["alexnet", "resnet34", "resnet152", "densenet201", "vit_base_32"];
+
+fn main() {
+    for platform in [Platform::tx2(), Platform::agx(), Platform::cloud_v100()] {
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        println!();
+        println!(
+            "Extensions on {} ({} GPU levels, {} CPU levels)",
+            platform.name(),
+            platform.gpu_levels(),
+            platform.cpu_levels()
+        );
+        rule(94);
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>8} {:>12} {:>8}",
+            "model", "max-freq", "GPU-only", "+CPU DVFS", "cpu lvl", "+batch opt", "batch"
+        );
+        rule(94);
+        for name in MODELS {
+            let g = zoo::by_name(name).expect("zoo model");
+            let max_eval = evaluate_plan(&platform, &g, &max_frequency_plan(&pl), 8, 48);
+            let gpu_only = pl.plan_oracle(&g).expect("plan");
+            let gpu_eval = evaluate_plan(&platform, &g, &gpu_only.plan, 8, 48);
+            let cpu_ext = plan_with_cpu(&pl, &g).expect("cpu plan");
+            let batch_ext =
+                co_optimize_batch(&pl, &g, &[1, 4, 8, 16, 32]).expect("batch plan");
+            println!(
+                "{:<14} {:>10.3} {:>12.3} {:>12.3} {:>8} {:>12.3} {:>8}",
+                name,
+                max_eval.energy_efficiency,
+                gpu_eval.energy_efficiency,
+                cpu_ext.eval.energy_efficiency,
+                cpu_ext.cpu_level,
+                batch_ext.eval.energy_efficiency,
+                batch_ext.batch
+            );
+        }
+        rule(94);
+        println!("columns are energy efficiency in images/J at batch 8 (batch-opt column at its");
+        println!("chosen batch); the paper evaluates GPU-only PowerLens and names CPU DVFS,");
+        println!("batch size, and cloud servers as future work (§5).");
+    }
+}

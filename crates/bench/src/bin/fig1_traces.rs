@@ -1,0 +1,113 @@
+//! Reproduces **Figure 1**: the qualitative contrast between reactive DVFS
+//! (lag + frequency ping-pong, panel A) and PowerLens' proactive preset
+//! instrumentation points (panel B).
+//!
+//! Runs resnet152 on the AGX under BiM and under a PowerLens plan, then
+//! prints the GPU frequency trace over time as an ASCII strip chart plus
+//! switch statistics.
+//!
+//! ```text
+//! cargo run --release -p powerlens-bench --bin fig1_traces
+//! ```
+
+use powerlens::{PlanController, PowerLens, PowerLensConfig};
+use powerlens_bench::trained_models;
+use powerlens_dnn::zoo;
+use powerlens_governors::{Bim, FpgG};
+use powerlens_platform::Platform;
+use powerlens_sim::{run_taskflow, Controller, Engine, RunReport, TaskSpec};
+
+const BUCKETS: usize = 110;
+
+/// Renders the time-weighted mean GPU level per time bucket as a bar strip.
+fn strip_chart(report: &RunReport, levels: usize) -> String {
+    let total = report.total_time;
+    let mut acc = vec![0.0f64; BUCKETS];
+    let mut weight = vec![0.0f64; BUCKETS];
+    for s in report.telemetry.samples() {
+        let b0 = ((s.t_start / total) * BUCKETS as f64) as usize;
+        let b1 = (((s.t_start + s.duration) / total) * BUCKETS as f64) as usize;
+        for b in b0..=b1.min(BUCKETS - 1) {
+            acc[b] += s.gpu_level as f64 * s.duration;
+            weight[b] += s.duration;
+        }
+    }
+    const GLYPHS: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    acc.iter()
+        .zip(&weight)
+        .map(|(a, w)| {
+            if *w <= 0.0 {
+                ' '
+            } else {
+                let mean = a / w / (levels - 1) as f64;
+                GLYPHS[((mean * (GLYPHS.len() - 1) as f64).round() as usize).min(GLYPHS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn run(platform: &Platform, graph: &powerlens_dnn::Graph, ctl: &mut dyn Controller) -> RunReport {
+    // A short warm session so reactive governors show their searching phase,
+    // then report the last run's trace. We run 6 back-to-back inferences.
+    let engine = Engine::new(platform).with_batch(8);
+    let _ = run_taskflow(
+        &engine,
+        &(0..1)
+            .map(|_| TaskSpec { graph, images: 8 })
+            .collect::<Vec<_>>(),
+        ctl,
+    );
+    engine.run(graph, ctl, 96)
+}
+
+fn main() {
+    let platform = Platform::agx();
+    let graph = zoo::resnet152();
+    let models = trained_models(&platform);
+    let pl = PowerLens::with_models(&platform, PowerLensConfig::default(), models);
+    let outcome = pl.plan(&graph).expect("trained plan");
+
+    let mut bim = Bim::new(&platform);
+    let r_bim = run(&platform, &graph, &mut bim);
+    let mut fpg = FpgG::new(&platform);
+    let r_fpg = run(&platform, &graph, &mut fpg);
+    let mut plc = PlanController::new(outcome.plan.clone());
+    let r_pl = run(&platform, &graph, &mut plc);
+
+    println!("Figure 1: GPU frequency over time, resnet152 on AGX (96 images, batch 8)");
+    println!("(each column is a time bucket; height glyph ' .:-=+*#' = mean level 0..13)");
+    println!();
+    println!("(A) reactive methods — frequency trails the workload:");
+    println!("  BiM    |{}|", strip_chart(&r_bim, platform.gpu_levels()));
+    println!(
+        "         switches={}, EE={:.3} img/J, time={:.2}s",
+        r_bim.num_gpu_switches, r_bim.energy_efficiency, r_bim.total_time
+    );
+    println!("  FPG-G  |{}|", strip_chart(&r_fpg, platform.gpu_levels()));
+    println!(
+        "         switches={}, EE={:.3} img/J, time={:.2}s",
+        r_fpg.num_gpu_switches, r_fpg.energy_efficiency, r_fpg.total_time
+    );
+    println!();
+    println!(
+        "(B) PowerLens — {} preset instrumentation point(s) at layer(s) {:?}:",
+        outcome.plan.num_blocks(),
+        outcome
+            .plan
+            .points()
+            .iter()
+            .map(|p| p.layer)
+            .collect::<Vec<_>>()
+    );
+    println!("  Plens  |{}|", strip_chart(&r_pl, platform.gpu_levels()));
+    println!(
+        "         switches={}, EE={:.3} img/J, time={:.2}s",
+        r_pl.num_gpu_switches, r_pl.energy_efficiency, r_pl.total_time
+    );
+    println!();
+    println!(
+        "PowerLens EE gain: vs BiM {:+.2}%, vs FPG-G {:+.2}%",
+        (r_pl.energy_efficiency / r_bim.energy_efficiency - 1.0) * 100.0,
+        (r_pl.energy_efficiency / r_fpg.energy_efficiency - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,136 @@
+//! Reproduces **Figure 5**: inference task-flow processing.
+//!
+//! 100 tasks are randomly assembled from the 12 evaluation models; each task
+//! processes 50 three-channel 224x224 images (paper §3.2.2). The four
+//! methods run the identical flow; the figure's three panels (total energy,
+//! total time, energy efficiency) are printed as a table, with PowerLens'
+//! relative deltas in the paper's format.
+//!
+//! ```text
+//! cargo run --release -p powerlens-bench --bin fig5_taskflow
+//! ```
+
+use powerlens::{MultiPlanController, PowerLens, PowerLensConfig};
+use powerlens_bench::{rule, trained_models, MODEL_NAMES};
+use powerlens_dnn::zoo;
+use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_platform::Platform;
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec, TaskFlowReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_TASKS: usize = 100;
+const IMAGES_PER_TASK: usize = 50;
+
+fn main() {
+    // Build the shared random task flow (same for every method/platform).
+    let graphs: Vec<powerlens_dnn::Graph> = MODEL_NAMES
+        .iter()
+        .map(|n| zoo::by_name(n).expect("zoo model"))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(20240623);
+    let order: Vec<usize> = (0..NUM_TASKS).map(|_| rng.gen_range(0..graphs.len())).collect();
+
+    for platform in [Platform::tx2(), Platform::agx()] {
+        let models = trained_models(&platform);
+        let pl = PowerLens::with_models(&platform, PowerLensConfig::default(), models);
+
+        // Offline: one instrumentation plan per distinct model.
+        let mut powerlens_ctl = MultiPlanController::new();
+        for g in &graphs {
+            powerlens_ctl.insert(g.name(), pl.plan(g).expect("trained plan").plan);
+        }
+
+        let tasks: Vec<TaskSpec<'_>> = order
+            .iter()
+            .map(|&i| TaskSpec {
+                graph: &graphs[i],
+                images: IMAGES_PER_TASK,
+            })
+            .collect();
+
+        let engine = Engine::new(&platform).with_batch(8).with_noise(5, 0.03);
+        let mut bim = Bim::new(&platform);
+        let mut fpg_g = FpgG::new(&platform);
+        let mut fpg_cg = FpgCg::new(&platform);
+        let controllers: Vec<&mut dyn Controller> =
+            vec![&mut powerlens_ctl, &mut fpg_g, &mut fpg_cg, &mut bim];
+
+        let mut reports: Vec<TaskFlowReport> = Vec::new();
+        for ctl in controllers {
+            reports.push(run_taskflow(&engine, &tasks, ctl));
+        }
+
+        println!();
+        println!(
+            "Figure 5 ({}): task flow of {NUM_TASKS} tasks x {IMAGES_PER_TASK} images",
+            platform.name().to_uppercase()
+        );
+        rule(88);
+        println!(
+            "{:<12} {:>12} {:>10} {:>12} {:>10} {:>10}",
+            "method", "energy (J)", "time (s)", "EE (img/J)", "avg P (W)", "switches"
+        );
+        rule(88);
+        for r in &reports {
+            println!(
+                "{:<12} {:>12.1} {:>10.1} {:>12.4} {:>10.2} {:>10}",
+                r.controller, r.total_energy, r.total_time, r.energy_efficiency, r.avg_power,
+                r.num_switches
+            );
+        }
+        rule(88);
+        let ours = &reports[0];
+        let names = ["FPG-G", "FPG-CG", "BiM"];
+        for (i, n) in names.iter().enumerate() {
+            let base = &reports[i + 1];
+            println!(
+                "PowerLens vs {:<7}: energy {:+.2}%  time {:+.2}%  EE {:+.2}%   (paper {}: energy {}, time {}, EE {})",
+                n,
+                (ours.total_energy / base.total_energy - 1.0) * 100.0,
+                (ours.total_time / base.total_time - 1.0) * 100.0,
+                (ours.energy_efficiency / base.energy_efficiency - 1.0) * 100.0,
+                platform.name().to_uppercase(),
+                paper_energy(platform.name(), n),
+                paper_time(platform.name(), n),
+                paper_ee(platform.name(), n),
+            );
+        }
+    }
+}
+
+fn paper_energy(plat: &str, base: &str) -> &'static str {
+    match (plat, base) {
+        ("tx2", "FPG-G") => "-26.60%",
+        ("tx2", "FPG-CG") => "-22.18%",
+        ("tx2", "BiM") => "-48.58%",
+        ("agx", "FPG-G") => "-28.95%",
+        ("agx", "FPG-CG") => "-18.45%",
+        ("agx", "BiM") => "-50.64%",
+        _ => "?",
+    }
+}
+
+fn paper_time(plat: &str, base: &str) -> &'static str {
+    match (plat, base) {
+        ("tx2", "FPG-G") => "+6.13%",
+        ("tx2", "FPG-CG") => "-0.54%",
+        ("tx2", "BiM") => "+9.91%",
+        ("agx", "FPG-G") => "+14.03%",
+        ("agx", "FPG-CG") => "-2.30%",
+        ("agx", "BiM") => "+16.82%",
+        _ => "?",
+    }
+}
+
+fn paper_ee(plat: &str, base: &str) -> &'static str {
+    match (plat, base) {
+        ("tx2", "FPG-G") => "+36.24%",
+        ("tx2", "FPG-CG") => "+28.49%",
+        ("tx2", "BiM") => "+94.48%",
+        ("agx", "FPG-G") => "+40.75%",
+        ("agx", "FPG-CG") => "+22.62%",
+        ("agx", "BiM") => "+102.60%",
+        _ => "?",
+    }
+}

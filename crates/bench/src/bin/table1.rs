@@ -1,0 +1,108 @@
+//! Reproduces **Table 1**: energy-efficiency improvement of PowerLens over
+//! BiM, FPG-G and FPG-CG on the 12 evaluation models, for both platforms.
+//!
+//! Protocol (paper §3.1/§3.2.1): each energy-efficiency test runs 50 times
+//! on randomized inputs and reports the average. PowerLens executes the
+//! instrumentation plan produced by its trained models; the baselines run
+//! their reactive governors on the same simulated board.
+//!
+//! ```text
+//! cargo run --release -p powerlens-bench --bin table1
+//! ```
+
+use powerlens::{PlanController, PowerLens, PowerLensConfig};
+use powerlens_bench::{gain, paper_table1, rule, trained_models, MODEL_NAMES};
+use powerlens_dnn::zoo;
+use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_platform::Platform;
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+
+const RUNS: usize = 50;
+const IMAGES_PER_RUN: usize = 48;
+const NOISE_SIGMA: f64 = 0.03;
+
+/// EE over the paper's 50-run protocol: the runs execute back-to-back on a
+/// live board (governor state persists across runs, as on real hardware).
+fn avg_ee(platform: &Platform, graph: &powerlens_dnn::Graph, mut ctl: Box<dyn Controller>) -> f64 {
+    let engine = Engine::new(platform).with_batch(8).with_noise(7, NOISE_SIGMA);
+    let tasks: Vec<TaskSpec<'_>> = (0..RUNS)
+        .map(|_| TaskSpec {
+            graph,
+            images: IMAGES_PER_RUN,
+        })
+        .collect();
+    run_taskflow(&engine, &tasks, ctl.as_mut()).energy_efficiency
+}
+
+fn main() {
+    for platform in [Platform::tx2(), Platform::agx()] {
+        let models = trained_models(&platform);
+        let pl = PowerLens::with_models(&platform, PowerLensConfig::default(), models);
+        let paper = paper_table1(platform.name());
+
+        println!();
+        println!(
+            "Table 1({}): Energy efficiency improvement on {}",
+            if platform.name() == "tx2" { "a" } else { "b" },
+            platform.name().to_uppercase()
+        );
+        rule(104);
+        println!(
+            "{:<16} {:>5} | {:>9} {:>9} {:>9} | paper: {:>8} {:>8} {:>8} | blocks(paper)",
+            "model", "Block", "BiM", "FPG-G", "FPG-CG", "BiM", "FPG-G", "FPG-CG"
+        );
+        rule(104);
+
+        let mut sums = [0.0f64; 3];
+        for (i, name) in MODEL_NAMES.iter().enumerate() {
+            let graph = zoo::by_name(name).expect("zoo model");
+            let outcome = pl.plan(&graph).expect("trained plan");
+            let plan = outcome.plan.clone();
+
+            let ee_pl = avg_ee(&platform, &graph, Box::new(PlanController::new(plan.clone())));
+            let ee_bim = avg_ee(&platform, &graph, Box::new(Bim::new(&platform)));
+            let ee_fpg_g = avg_ee(&platform, &graph, Box::new(FpgG::new(&platform)));
+            let ee_fpg_cg = avg_ee(&platform, &graph, Box::new(FpgCg::new(&platform)));
+
+            let g = [
+                gain(ee_pl, ee_bim),
+                gain(ee_pl, ee_fpg_g),
+                gain(ee_pl, ee_fpg_cg),
+            ];
+            for (s, v) in sums.iter_mut().zip(g) {
+                *s += v;
+            }
+            let (_, pb, p1, p2, p3) = paper[i];
+            println!(
+                "{:<16} {:>5} | {:>8.2}% {:>8.2}% {:>8.2}% | paper: {:>7.2}% {:>7.2}% {:>7.2}% | {}",
+                name,
+                outcome.plan.num_blocks(),
+                g[0] * 100.0,
+                g[1] * 100.0,
+                g[2] * 100.0,
+                p1,
+                p2,
+                p3,
+                pb
+            );
+        }
+        rule(104);
+        let n = MODEL_NAMES.len() as f64;
+        let paper_avg: [f64; 3] = [
+            paper.iter().map(|r| r.2).sum::<f64>() / n,
+            paper.iter().map(|r| r.3).sum::<f64>() / n,
+            paper.iter().map(|r| r.4).sum::<f64>() / n,
+        ];
+        println!(
+            "{:<16} {:>5} | {:>8.2}% {:>8.2}% {:>8.2}% | paper: {:>7.2}% {:>7.2}% {:>7.2}% |",
+            "Average",
+            "",
+            sums[0] / n * 100.0,
+            sums[1] / n * 100.0,
+            sums[2] / n * 100.0,
+            paper_avg[0],
+            paper_avg[1],
+            paper_avg[2]
+        );
+    }
+}

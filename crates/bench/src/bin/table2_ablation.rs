@@ -1,0 +1,102 @@
+//! Reproduces **Table 2**: energy-efficiency loss of the clustering
+//! ablations relative to full PowerLens.
+//!
+//! * **P-R** — random block partitioning (same block count, random
+//!   contiguous boundaries), frequencies still assigned by the trained
+//!   decision model;
+//! * **P-N** — no clustering: one decision-model frequency for the whole
+//!   network.
+//!
+//! ```text
+//! cargo run --release -p powerlens-bench --bin table2_ablation
+//! ```
+
+use powerlens::{ablation, PlanController, PowerLens, PowerLensConfig};
+use powerlens_bench::{gain, paper_table2, rule, trained_models, MODEL_NAMES};
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+
+const RUNS: usize = 50;
+const IMAGES_PER_RUN: usize = 48;
+const PR_SEEDS: u64 = 5;
+
+fn session_ee(platform: &Platform, graph: &powerlens_dnn::Graph, ctl: &mut dyn Controller) -> f64 {
+    let engine = Engine::new(platform).with_batch(8).with_noise(7, 0.03);
+    let tasks: Vec<TaskSpec<'_>> = (0..RUNS)
+        .map(|_| TaskSpec {
+            graph,
+            images: IMAGES_PER_RUN,
+        })
+        .collect();
+    run_taskflow(&engine, &tasks, ctl).energy_efficiency
+}
+
+fn main() {
+    for platform in [Platform::tx2(), Platform::agx()] {
+        let models = trained_models(&platform);
+        let pl = PowerLens::with_models(&platform, PowerLensConfig::default(), models);
+        let paper = paper_table2(platform.name());
+
+        println!();
+        println!(
+            "Table 2 ({}): energy efficiency loss for different clustering strategies",
+            platform.name().to_uppercase()
+        );
+        rule(78);
+        println!(
+            "{:<16} | {:>9} {:>9} | paper: {:>8} {:>8}",
+            "model", "P-R", "P-N", "P-R", "P-N"
+        );
+        rule(78);
+
+        let mut sums = [0.0f64; 2];
+        for (i, name) in MODEL_NAMES.iter().enumerate() {
+            let graph = zoo::by_name(name).expect("zoo model");
+            let outcome = pl.plan(&graph).expect("trained plan");
+
+            let ee_full = session_ee(
+                &platform,
+                &graph,
+                &mut PlanController::new(outcome.plan.clone()),
+            );
+
+            // P-R averaged over several random partitions.
+            let blocks = outcome.plan.num_blocks().max(2);
+            let ee_pr: f64 = (0..PR_SEEDS)
+                .map(|s| {
+                    let plan = ablation::plan_random(&pl, &graph, blocks, s);
+                    session_ee(&platform, &graph, &mut PlanController::new(plan))
+                })
+                .sum::<f64>()
+                / PR_SEEDS as f64;
+
+            let pn_plan = ablation::plan_no_clustering(&pl, &graph);
+            let ee_pn = session_ee(&platform, &graph, &mut PlanController::new(pn_plan));
+
+            let loss_pr = gain(ee_pr, ee_full);
+            let loss_pn = gain(ee_pn, ee_full);
+            sums[0] += loss_pr;
+            sums[1] += loss_pn;
+            let (_, p_pr, p_pn) = paper[i];
+            println!(
+                "{:<16} | {:>8.2}% {:>8.2}% | paper: {:>7.2}% {:>7.2}%",
+                name,
+                loss_pr * 100.0,
+                loss_pn * 100.0,
+                p_pr,
+                p_pn
+            );
+        }
+        rule(78);
+        let n = MODEL_NAMES.len() as f64;
+        println!(
+            "{:<16} | {:>8.2}% {:>8.2}% | paper: {:>7.2}% {:>7.2}%",
+            "Average",
+            sums[0] / n * 100.0,
+            sums[1] / n * 100.0,
+            paper.iter().map(|r| r.1).sum::<f64>() / n,
+            paper.iter().map(|r| r.2).sum::<f64>() / n
+        );
+    }
+}

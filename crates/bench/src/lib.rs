@@ -1,0 +1,215 @@
+//! Shared infrastructure for the PowerLens experiment harness.
+//!
+//! Every table and figure of the paper has a dedicated binary in `src/bin/`
+//! (see `DESIGN.md` §4 for the index). This library provides what they
+//! share: trained-model caching, the evaluation-model list, paper reference
+//! numbers, and table formatting.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use powerlens::dataset::{self, DatasetConfig};
+use powerlens::training::{train_models, TrainingConfig};
+use powerlens::{PowerLensConfig, TrainedModels};
+use powerlens_platform::Platform;
+
+/// The 12 evaluation models in the paper's Table 1 row order.
+pub const MODEL_NAMES: [&str; 12] = [
+    "alexnet",
+    "googlenet",
+    "vgg19",
+    "mobilenet_v3",
+    "densenet201",
+    "resnext101",
+    "resnet34",
+    "resnet152",
+    "regnet_x_32gf",
+    "regnet_y_128gf",
+    "vit_base_16",
+    "vit_base_32",
+];
+
+/// Paper Table 1: EE gain of PowerLens vs (BiM, FPG-G, FPG-CG) in percent,
+/// plus the reported power-block count.
+pub fn paper_table1(platform: &str) -> [(&'static str, usize, f64, f64, f64); 12] {
+    match platform {
+        "tx2" => [
+            ("alexnet", 1, 38.60, 2.94, 1.31),
+            ("googlenet", 1, 30.10, 6.89, 4.32),
+            ("vgg19", 2, 43.40, 23.00, 20.76),
+            ("mobilenet_v3", 1, 29.76, 6.55, 3.96),
+            ("densenet201", 3, 35.76, 7.32, 5.53),
+            ("resnext101", 4, 79.79, 25.97, 21.07),
+            ("resnet34", 1, 41.86, 4.82, 1.45),
+            ("resnet152", 3, 59.85, 32.88, 24.10),
+            ("regnet_x_32gf", 3, 123.80, 15.47, 11.23),
+            ("regnet_y_128gf", 4, 131.71, 29.12, 20.59),
+            ("vit_base_16", 1, 36.95, 40.46, 24.70),
+            ("vit_base_32", 1, 42.67, 25.32, 23.39),
+        ],
+        "agx" => [
+            ("alexnet", 1, 26.17, 10.55, 3.80),
+            ("googlenet", 2, 113.78, 7.55, 5.81),
+            ("vgg19", 2, 134.30, 37.78, 20.66),
+            ("mobilenet_v3", 1, 144.37, 6.40, 3.56),
+            ("densenet201", 2, 132.36, 11.49, 9.35),
+            ("resnext101", 3, 131.40, 38.78, 20.11),
+            ("resnet34", 2, 133.72, 3.97, 2.34),
+            ("resnet152", 4, 129.27, 49.87, 36.98),
+            ("regnet_x_32gf", 2, 129.40, 12.39, 8.89),
+            ("regnet_y_128gf", 6, 144.34, 45.37, 24.30),
+            ("vit_base_16", 1, 104.87, 67.90, 36.21),
+            ("vit_base_32", 1, 104.87, 67.90, 36.21),
+        ],
+        other => panic!("unknown platform {other}"),
+    }
+}
+
+/// Paper Table 2: EE loss of (P-R, P-N) relative to PowerLens in percent.
+pub fn paper_table2(platform: &str) -> [(&'static str, f64, f64); 12] {
+    match platform {
+        "tx2" => [
+            ("alexnet", -26.49, -20.55),
+            ("googlenet", -34.06, -8.15),
+            ("vgg19", -30.57, -25.75),
+            ("mobilenet_v3", -49.31, -19.18),
+            ("densenet201", -25.23, -9.13),
+            ("resnext101", -69.52, -31.88),
+            ("resnet34", -66.84, -6.25),
+            ("resnet152", -62.35, -21.59),
+            ("regnet_x_32gf", -35.78, -16.61),
+            ("regnet_y_128gf", -21.40, -16.37),
+            ("vit_base_16", -42.62, -5.06),
+            ("vit_base_32", -47.06, -1.58),
+        ],
+        "agx" => [
+            ("alexnet", -31.49, -3.45),
+            ("googlenet", -99.43, -8.06),
+            ("vgg19", -74.25, -17.36),
+            ("mobilenet_v3", -43.02, -10.18),
+            ("densenet201", -27.71, -14.73),
+            ("resnext101", -23.85, -28.95),
+            ("resnet34", -85.46, -8.62),
+            ("resnet152", -49.05, -27.49),
+            ("regnet_x_32gf", -69.37, -18.17),
+            ("regnet_y_128gf", -50.17, -68.55),
+            ("vit_base_16", -96.81, -11.29),
+            ("vit_base_32", -21.33, -2.46),
+        ],
+        other => panic!("unknown platform {other}"),
+    }
+}
+
+/// Number of random networks for dataset generation: reads `POWERLENS_NETS`
+/// (default 1000; the paper uses 8000 — set `POWERLENS_NETS=8000` to
+/// reproduce at paper scale).
+pub fn dataset_networks() -> usize {
+    std::env::var("POWERLENS_NETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// Returns the trained prediction models for `platform`, training them on
+/// first use and caching the result under `target/`.
+///
+/// The cache key includes the dataset size, so `POWERLENS_NETS=8000` gets
+/// its own artifact. Delete the file to force retraining.
+pub fn trained_models(platform: &Platform) -> TrainedModels {
+    let nets = dataset_networks();
+    let path = cache_path(platform, nets);
+    if let Ok(models) = TrainedModels::load(&path) {
+        eprintln!("[setup] loaded cached models from {}", path.display());
+        return models;
+    }
+    let (models, _, _) = train_fresh(platform, nets);
+    if let Err(e) = models.save(&path) {
+        eprintln!("[setup] warning: failed to cache models: {e}");
+    } else {
+        eprintln!("[setup] cached models at {}", path.display());
+    }
+    models
+}
+
+/// Trains models from scratch, returning `(models, dataset seconds,
+/// training seconds)`.
+pub fn train_fresh(platform: &Platform, nets: usize) -> (TrainedModels, f64, f64) {
+    let pl_config = PowerLensConfig::default();
+    eprintln!(
+        "[setup] generating datasets on {} ({nets} random networks)...",
+        platform.name()
+    );
+    let t0 = Instant::now();
+    let ds = dataset::generate(
+        platform,
+        &pl_config,
+        &DatasetConfig {
+            num_networks: nets,
+            ..DatasetConfig::default()
+        },
+    );
+    let gen_secs = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[setup] {} hyper samples, {} block samples in {gen_secs:.1}s; training...",
+        ds.hyper.len(),
+        ds.decision.len()
+    );
+    let t1 = Instant::now();
+    let models = train_models(
+        &ds,
+        pl_config.schemes.len(),
+        platform.gpu_levels(),
+        &TrainingConfig::default(),
+    );
+    let train_secs = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "[setup] trained in {train_secs:.1}s (hyper acc {:.1}%, decision acc {:.1}%)",
+        models.report.hyper_test_accuracy * 100.0,
+        models.report.decision_test_accuracy * 100.0
+    );
+    (models, gen_secs, train_secs)
+}
+
+fn cache_path(platform: &Platform, nets: usize) -> PathBuf {
+    let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(dir).join(format!("powerlens_models_{}_{nets}.json", platform.name()))
+}
+
+/// Formats a fraction as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+/// Relative gain of `ours` over `baseline` as a fraction.
+pub fn gain(ours: f64, baseline: f64) -> f64 {
+    ours / baseline - 1.0
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_cover_all_models() {
+        for plat in ["tx2", "agx"] {
+            let t1 = paper_table1(plat);
+            let t2 = paper_table2(plat);
+            for (i, name) in MODEL_NAMES.iter().enumerate() {
+                assert_eq!(t1[i].0, *name);
+                assert_eq!(t2[i].0, *name);
+            }
+        }
+    }
+
+    #[test]
+    fn gain_and_pct_format() {
+        assert!((gain(1.5, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(pct(0.5), "+50.00%");
+        assert_eq!(pct(-0.125), "-12.50%");
+    }
+}

@@ -1,0 +1,248 @@
+//! Hand-rolled argument parsing (keeping the dependency set minimal).
+
+use std::fmt;
+
+/// CLI usage text.
+pub const USAGE: &str = "usage:
+  powerlens-cli zoo
+  powerlens-cli inspect  <model>
+  powerlens-cli sweep    <model> [--platform P] [--batch N] [--images N]
+  powerlens-cli plan     <model> [--platform P] [--batch N] [--models PATH]
+  powerlens-cli compare  <model> [--platform P] [--batch N] [--images N] [--models PATH]
+  powerlens-cli train    [--platform P] [--nets N] [--out PATH]
+  powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
+
+platforms: agx (default), tx2, cloud";
+
+/// Shared options across subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Target platform name.
+    pub platform: String,
+    /// Inference batch size.
+    pub batch: usize,
+    /// Images per run.
+    pub images: usize,
+    /// Path to trained models (optional).
+    pub models: Option<String>,
+    /// Dataset networks for training.
+    pub nets: usize,
+    /// Output path for training.
+    pub out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            platform: "agx".into(),
+            batch: 8,
+            images: 48,
+            models: None,
+            nets: 600,
+            out: "powerlens_models.json".into(),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List evaluation models.
+    Zoo,
+    /// Print a model's layer table.
+    Inspect { model: String },
+    /// Frequency sweep.
+    Sweep { model: String, opts: Options },
+    /// Power view + instrumentation plan.
+    Plan { model: String, opts: Options },
+    /// Compare against the baselines.
+    Compare { model: String, opts: Options },
+    /// Train the prediction models.
+    Train { opts: Options },
+    /// Export a frequency/power trace CSV for a PowerLens run.
+    Trace { model: String, opts: Options },
+}
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<String, ParseError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+fn parse_usize(flag: &str, v: &str) -> Result<usize, ParseError> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| ParseError(format!("{flag}: {v:?} is not a positive integer")))?;
+    if n == 0 {
+        return Err(ParseError(format!("{flag} must be positive")));
+    }
+    Ok(n)
+}
+
+fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options, ParseError> {
+    let mut opts = Options::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--platform" => {
+                let v = take_value("--platform", &mut it)?;
+                match v.as_str() {
+                    "agx" | "tx2" | "cloud" => opts.platform = v,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown platform {other:?} (expected agx, tx2 or cloud)"
+                        )))
+                    }
+                }
+            }
+            "--batch" => opts.batch = parse_usize("--batch", &take_value("--batch", &mut it)?)?,
+            "--images" => opts.images = parse_usize("--images", &take_value("--images", &mut it)?)?,
+            "--nets" => opts.nets = parse_usize("--nets", &take_value("--nets", &mut it)?)?,
+            "--models" => opts.models = Some(take_value("--models", &mut it)?),
+            "--out" => opts.out = take_value("--out", &mut it)?,
+            other => return Err(ParseError(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let mut it = argv.iter();
+    let sub = it
+        .next()
+        .ok_or_else(|| ParseError("missing subcommand".into()))?;
+    match sub.as_str() {
+        "zoo" => {
+            if it.next().is_some() {
+                return Err(ParseError("zoo takes no arguments".into()));
+            }
+            Ok(Command::Zoo)
+        }
+        "inspect" => {
+            let model = it
+                .next()
+                .cloned()
+                .ok_or_else(|| ParseError("inspect requires a model name".into()))?;
+            if it.next().is_some() {
+                return Err(ParseError("inspect takes only a model name".into()));
+            }
+            Ok(Command::Inspect { model })
+        }
+        "sweep" | "plan" | "compare" | "trace" => {
+            let model = it
+                .next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{sub} requires a model name")))?;
+            let opts = parse_options(it)?;
+            Ok(match sub.as_str() {
+                "sweep" => Command::Sweep { model, opts },
+                "plan" => Command::Plan { model, opts },
+                "trace" => Command::Trace { model, opts },
+                _ => Command::Compare { model, opts },
+            })
+        }
+        "train" => Ok(Command::Train {
+            opts: parse_options(it)?,
+        }),
+        other => Err(ParseError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_zoo() {
+        assert_eq!(parse(&v(&["zoo"])).unwrap(), Command::Zoo);
+        assert!(parse(&v(&["zoo", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_plan_with_options() {
+        let cmd = parse(&v(&[
+            "plan",
+            "resnet34",
+            "--platform",
+            "tx2",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Plan { model, opts } => {
+                assert_eq!(model, "resnet34");
+                assert_eq!(opts.platform, "tx2");
+                assert_eq!(opts.batch, 4);
+                assert_eq!(opts.images, 48); // default preserved
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_platform() {
+        let err = parse(&v(&["sweep", "alexnet", "--platform", "orin"])).unwrap_err();
+        assert!(err.0.contains("unknown platform"));
+    }
+
+    #[test]
+    fn rejects_zero_batch() {
+        assert!(parse(&v(&["sweep", "alexnet", "--batch", "0"])).is_err());
+        assert!(parse(&v(&["sweep", "alexnet", "--batch", "x"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse(&v(&["compare", "alexnet", "--models"])).unwrap_err();
+        assert!(err.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn parses_train_defaults() {
+        match parse(&v(&["train"])).unwrap() {
+            Command::Train { opts } => {
+                assert_eq!(opts.nets, 600);
+                assert_eq!(opts.out, "powerlens_models.json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace() {
+        match parse(&v(&["trace", "vgg19", "--out", "t.csv"])).unwrap() {
+            Command::Trace { model, opts } => {
+                assert_eq!(model, "vgg19");
+                assert_eq!(opts.out, "t.csv");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_subcommand_and_model() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&v(&["plan"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+}

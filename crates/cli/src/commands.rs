@@ -1,0 +1,368 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::path::Path;
+
+use powerlens::dataset::{self, DatasetConfig};
+use powerlens::training::{train_models, TrainingConfig};
+use powerlens::{PlanController, PowerLens, PowerLensConfig, TrainedModels};
+use powerlens_dnn::{zoo, Graph};
+use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_platform::Platform;
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+
+use crate::args::{Command, Options};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Command) -> CliResult {
+    match cmd {
+        Command::Zoo => zoo_cmd(),
+        Command::Inspect { model } => inspect(&model),
+        Command::Sweep { model, opts } => sweep(&model, &opts),
+        Command::Plan { model, opts } => plan(&model, &opts),
+        Command::Compare { model, opts } => compare(&model, &opts),
+        Command::Train { opts } => train(&opts),
+        Command::Trace { model, opts } => trace(&model, &opts),
+    }
+}
+
+fn platform_for(opts: &Options) -> Platform {
+    match opts.platform.as_str() {
+        "tx2" => Platform::tx2(),
+        "cloud" => Platform::cloud_v100(),
+        _ => Platform::agx(),
+    }
+}
+
+fn model_for(name: &str) -> Result<Graph, Box<dyn Error>> {
+    zoo::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown model {name:?}; run `powerlens zoo` for the available names"
+        )
+        .into()
+    })
+}
+
+fn planner<'p>(
+    platform: &'p Platform,
+    opts: &Options,
+) -> Result<PowerLens<'p>, Box<dyn Error>> {
+    let mut config = PowerLensConfig::default();
+    config.batch = opts.batch;
+    Ok(match &opts.models {
+        Some(path) => {
+            let models = TrainedModels::load(Path::new(path))
+                .map_err(|e| format!("cannot load models from {path}: {e}"))?;
+            PowerLens::with_models(platform, config, models)
+        }
+        None => PowerLens::untrained(platform, config),
+    })
+}
+
+fn zoo_cmd() -> CliResult {
+    println!("{:<16} {:>7} {:>10} {:>10} {:>8}", "model", "layers", "GFLOPs", "Mparams", "skips");
+    for (name, build) in zoo::all_models() {
+        let g = build();
+        let s = g.stats();
+        println!(
+            "{:<16} {:>7} {:>10.2} {:>10.1} {:>8}",
+            name,
+            g.num_layers(),
+            s.total_flops / 1e9,
+            s.total_params / 1e6,
+            s.num_skip_edges
+        );
+    }
+    Ok(())
+}
+
+fn inspect(model: &str) -> CliResult {
+    let g = model_for(model)?;
+    println!("{g}");
+    let s = g.stats();
+    println!(
+        "total: {:.2} GFLOPs, {:.1} M params, {:.1} MB traffic/sample, mean AI {:.1} FLOP/B",
+        s.total_flops / 1e9,
+        s.total_params / 1e6,
+        s.total_memory_bytes / 1e6,
+        s.mean_arithmetic_intensity
+    );
+    Ok(())
+}
+
+fn sweep(model: &str, opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let g = model_for(model)?;
+    let engine = Engine::new(&platform).with_batch(opts.batch);
+    let reports = engine.sweep_gpu_levels(&g, opts.images);
+    println!(
+        "{model} on {} (batch {}, {} images)",
+        platform.name(),
+        opts.batch,
+        opts.images
+    );
+    println!("{:>5} {:>9} {:>9} {:>9} {:>11}", "level", "MHz", "FPS", "watts", "img/J");
+    let best = reports
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.energy_efficiency.partial_cmp(&b.1.energy_efficiency).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    for (level, r) in reports.iter().enumerate() {
+        println!(
+            "{:>5} {:>9.0} {:>9.2} {:>9.2} {:>11.3}{}",
+            level,
+            platform.gpu_table().freq_mhz(level),
+            r.fps,
+            r.avg_power,
+            r.energy_efficiency,
+            if level == best { "  <- best EE" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn plan(model: &str, opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let g = model_for(model)?;
+    let pl = planner(&platform, opts)?;
+    let outcome = if pl.models().is_some() {
+        pl.plan(&g)?
+    } else {
+        pl.plan_oracle(&g)?
+    };
+    println!(
+        "{model} on {}: {} power block(s), scheme #{}",
+        platform.name(),
+        outcome.plan.num_blocks(),
+        outcome.scheme_index
+    );
+    for (block, point) in outcome.view.blocks().iter().zip(outcome.plan.points()) {
+        let feats = powerlens_features::GlobalFeatures::of_range(&g, block.start, block.end);
+        println!(
+            "  layers {:>4}..{:<4} {:>5.0} MHz (level {:>2})  {:>8.2} GFLOPs, AI {:>6.1}",
+            block.start,
+            block.end,
+            platform.gpu_table().freq_mhz(point.gpu_level),
+            point.gpu_level,
+            feats.statistics[0].exp_m1() / 1e9,
+            feats.statistics[3]
+        );
+    }
+    Ok(())
+}
+
+fn compare(model: &str, opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let g = model_for(model)?;
+    let pl = planner(&platform, opts)?;
+    let outcome = if pl.models().is_some() {
+        pl.plan(&g)?
+    } else {
+        pl.plan_oracle(&g)?
+    };
+
+    let engine = Engine::new(&platform).with_batch(opts.batch);
+    let tasks: Vec<TaskSpec<'_>> = (0..10)
+        .map(|_| TaskSpec {
+            graph: &g,
+            images: opts.images,
+        })
+        .collect();
+    let mut plan_ctl = PlanController::new(outcome.plan);
+    let mut bim = Bim::new(&platform);
+    let mut fpg_g = FpgG::new(&platform);
+    let mut fpg_cg = FpgCg::new(&platform);
+    let controllers: Vec<&mut dyn Controller> =
+        vec![&mut plan_ctl, &mut fpg_cg, &mut fpg_g, &mut bim];
+
+    println!(
+        "{model} on {} (10 x {} images, batch {}):",
+        platform.name(),
+        opts.images,
+        opts.batch
+    );
+    println!(
+        "{:<22} {:>11} {:>9} {:>11} {:>9}",
+        "method", "energy (J)", "time (s)", "EE (img/J)", "switches"
+    );
+    let mut base = None;
+    for ctl in controllers {
+        let r = run_taskflow(&engine, &tasks, ctl);
+        let note = match base {
+            None => {
+                base = Some(r.energy_efficiency);
+                String::new()
+            }
+            Some(b) => format!("  ({:+.1}% vs PowerLens)", (b / r.energy_efficiency - 1.0) * 100.0),
+        };
+        println!(
+            "{:<22} {:>11.1} {:>9.2} {:>11.4} {:>9}{}",
+            r.controller, r.total_energy, r.total_time, r.energy_efficiency, r.num_switches, note
+        );
+    }
+    Ok(())
+}
+
+fn trace(model: &str, opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let g = model_for(model)?;
+    let pl = planner(&platform, opts)?;
+    let outcome = if pl.models().is_some() {
+        pl.plan(&g)?
+    } else {
+        pl.plan_oracle(&g)?
+    };
+    let engine = Engine::new(&platform).with_batch(opts.batch);
+    let mut ctl = PlanController::new(outcome.plan);
+    let report = engine.run(&g, &mut ctl, opts.images);
+    let path = if opts.out == "powerlens_models.json" {
+        format!("{model}_{}.trace.csv", platform.name())
+    } else {
+        opts.out.clone()
+    };
+    let file = std::fs::File::create(&path)?;
+    powerlens_sim::write_trace_csv(&report, std::io::BufWriter::new(file))?;
+    println!(
+        "wrote {} telemetry samples to {path} (EE {:.3} img/J)",
+        report.telemetry.samples().len(),
+        report.energy_efficiency
+    );
+    Ok(())
+}
+
+fn train(opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let config = PowerLensConfig::default();
+    println!(
+        "generating datasets on {} ({} random networks)...",
+        platform.name(),
+        opts.nets
+    );
+    let ds = dataset::generate(
+        &platform,
+        &config,
+        &DatasetConfig {
+            num_networks: opts.nets,
+            ..DatasetConfig::default()
+        },
+    );
+    println!(
+        "dataset A: {} networks, dataset B: {} blocks; training...",
+        ds.hyper.len(),
+        ds.decision.len()
+    );
+    let models = train_models(
+        &ds,
+        config.schemes.len(),
+        platform.gpu_levels(),
+        &TrainingConfig::default(),
+    );
+    println!(
+        "hyperparameter model: {:.1}% test accuracy",
+        models.report.hyper_test_accuracy * 100.0
+    );
+    println!(
+        "decision model:       {:.1}% test accuracy ({:.1}% within one level)",
+        models.report.decision_test_accuracy * 100.0,
+        models.report.decision_within_one_level * 100.0
+    );
+    models.save(Path::new(&opts.out))?;
+    println!("saved to {}", opts.out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn opts() -> Options {
+        Options {
+            platform: "tx2".into(),
+            batch: 4,
+            images: 8,
+            models: None,
+            nets: 4,
+            out: std::env::temp_dir()
+                .join("powerlens_cli_test.json")
+                .to_string_lossy()
+                .into_owned(),
+        }
+    }
+
+    #[test]
+    fn zoo_and_inspect_succeed() {
+        run(Command::Zoo).unwrap();
+        run(Command::Inspect {
+            model: "alexnet".into(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let err = run(Command::Inspect {
+            model: "nope".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown model"));
+    }
+
+    #[test]
+    fn sweep_plan_compare_run_on_small_model() {
+        run(Command::Sweep {
+            model: "alexnet".into(),
+            opts: opts(),
+        })
+        .unwrap();
+        run(Command::Plan {
+            model: "alexnet".into(),
+            opts: opts(),
+        })
+        .unwrap();
+        run(Command::Compare {
+            model: "alexnet".into(),
+            opts: opts(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_writes_csv() {
+        let mut o = opts();
+        let path = std::env::temp_dir().join("powerlens_cli_trace.csv");
+        o.out = path.to_string_lossy().into_owned();
+        run(Command::Trace {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("t_start,"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn train_produces_loadable_models() {
+        let o = opts();
+        run(Command::Train { opts: o.clone() }).unwrap();
+        let models = TrainedModels::load(Path::new(&o.out)).unwrap();
+        assert!(models.report.num_hyper_samples >= 4);
+        std::fs::remove_file(&o.out).ok();
+    }
+
+    #[test]
+    fn missing_models_file_is_reported() {
+        let mut o = opts();
+        o.models = Some("/nonexistent/models.json".into());
+        let err = run(Command::Plan {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot load models"));
+    }
+}

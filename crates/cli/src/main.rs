@@ -1,0 +1,42 @@
+//! `powerlens-cli` — command-line interface for the PowerLens framework.
+//!
+//! ```text
+//! powerlens-cli zoo                         list the evaluation models
+//! powerlens-cli inspect  <model>            layer table + cost summary
+//! powerlens-cli sweep    <model> [opts]     EE at every GPU frequency level
+//! powerlens-cli plan     <model> [opts]     power view + instrumentation plan
+//! powerlens-cli compare  <model> [opts]     PowerLens vs BiM / FPG-G / FPG-CG
+//! powerlens-cli train    [opts]             train + save prediction models
+//!
+//! options:
+//!   --platform agx|tx2|cloud   target board            (default agx)
+//!   --batch N                  inference batch size    (default 8)
+//!   --images N                 images per run          (default 48)
+//!   --models PATH              use trained models from PATH (plan/compare)
+//!   --nets N                   dataset networks for `train` (default 600)
+//!   --out PATH                 output path for `train` (default powerlens_models.json)
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Power behaviour similarity clustering (paper §2.1.3, Algorithm 1).
+//!
+//! Divides a network's operators into **power blocks** — contiguous layer
+//! ranges with similar power behaviour — producing the **power view** that
+//! PowerLens instruments:
+//!
+//! 1. scale the depthwise features ([`powerlens_numeric::Scaler`]),
+//! 2. quantify pairwise **power distance** with the *Mahalanobis distance*
+//!    (the covariance matrix normalizes feature scales; its pseudo-inverse
+//!    handles collinear features),
+//! 3. blend in the **operator-spacing regularization** `exp(-λ·|i-j|)` so
+//!    that only physically adjacent operators cluster together,
+//! 4. run **DBSCAN**(ε, minPts) over the blended distance matrix,
+//! 5. post-process (`processClusters`) so blocks are contiguous,
+//!    non-overlapping, and cover the whole network.
+//!
+//! One faithful-to-intent deviation from the paper's pseudocode: Algorithm 1
+//! line 12 literally *adds* `exp(-λ|i-j|)`, which is a proximity (large for
+//! adjacent operators), to a distance. Taken literally this would push
+//! adjacent operators apart, contradicting the stated motivation ("ensure
+//! that only physically adjacent operators are considered"). We therefore
+//! blend the *complement*: `α·D̂ + (1-α)·(1 - exp(-λ|i-j|))`, with `D̂` the
+//! max-normalized Mahalanobis matrix, so adjacency reduces distance exactly
+//! as the prose describes.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_cluster::{cluster_graph, ClusterParams};
+//! use powerlens_dnn::zoo;
+//!
+//! let g = zoo::resnet34();
+//! let view = cluster_graph(&g, &ClusterParams::default()).unwrap();
+//! assert!(view.num_blocks() >= 1);
+//! assert_eq!(view.blocks().last().unwrap().end, g.num_layers());
+//! ```
+
+use powerlens_dnn::Graph;
+use powerlens_features::depthwise_features;
+use powerlens_numeric::{covariance, mahalanobis, pseudo_inverse, Matrix, NumericError, Scaler};
+
+/// Hyperparameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// DBSCAN neighbourhood radius over the blended distance (ε).
+    pub epsilon: f64,
+    /// DBSCAN minimum neighbours for a core point (minPts).
+    pub min_pts: usize,
+    /// Blend weight between feature distance and spacing term (α).
+    pub alpha: f64,
+    /// Spacing decay rate (λ).
+    pub lambda: f64,
+    /// Local smoothing radius applied to the scaled features before the
+    /// distance computation. DNN bodies interleave heterogeneous operators
+    /// (conv / norm / activation) in short repeating units; without
+    /// smoothing, DBSCAN chains *same-type* operators across the whole
+    /// network instead of grouping *adjacent* ones. Averaging each layer's
+    /// features over `2·radius + 1` neighbours turns the repeating unit into
+    /// a stage-level power signature, which is what the paper's power blocks
+    /// capture (its `processClusters` "adjusting size, shape, or membership"
+    /// plays the same role).
+    pub smooth_radius: usize,
+}
+
+impl Default for ClusterParams {
+    /// Mid-range defaults; PowerLens normally *predicts* ε and minPts per
+    /// network with the hyperparameter model.
+    fn default() -> Self {
+        ClusterParams {
+            epsilon: 0.15,
+            min_pts: 4,
+            alpha: 0.7,
+            lambda: 0.08,
+            smooth_radius: 4,
+        }
+    }
+}
+
+/// Averages each row of `x` with its neighbours within `radius` rows
+/// (truncated at the matrix edges). `radius == 0` returns `x` unchanged.
+pub fn smooth_features(x: &Matrix, radius: usize) -> Matrix {
+    if radius == 0 {
+        return x.clone();
+    }
+    let n = x.rows();
+    let d = x.cols();
+    let mut out = Matrix::zeros(n, d);
+    for i in 0..n {
+        let lo = i.saturating_sub(radius);
+        let hi = (i + radius + 1).min(n);
+        let span = (hi - lo) as f64;
+        for j in 0..d {
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += x[(k, j)];
+            }
+            out[(i, j)] = acc / span;
+        }
+    }
+    out
+}
+
+/// One power block: the contiguous layer range `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerBlock {
+    /// First layer id of the block (inclusive).
+    pub start: usize,
+    /// One past the last layer id (exclusive).
+    pub end: usize,
+}
+
+impl PowerBlock {
+    /// Number of layers in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the block contains no layers (never produced by
+    /// [`process_clusters`]).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// The power view: a partition of the network into contiguous power blocks
+/// (the "logical intermediate representation" of §2.1.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerView {
+    blocks: Vec<PowerBlock>,
+    num_layers: usize,
+}
+
+impl PowerView {
+    /// Builds a view from blocks; validates the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks are empty, overlapping, or leave gaps.
+    pub fn new(blocks: Vec<PowerBlock>) -> Self {
+        assert!(!blocks.is_empty(), "power view needs at least one block");
+        let mut expected = 0;
+        for b in &blocks {
+            assert!(!b.is_empty(), "empty power block {b:?}");
+            assert_eq!(b.start, expected, "blocks must tile the layer range");
+            expected = b.end;
+        }
+        PowerView {
+            blocks,
+            num_layers: expected,
+        }
+    }
+
+    /// The blocks in layer order.
+    pub fn blocks(&self) -> &[PowerBlock] {
+        &self.blocks
+    }
+
+    /// Number of power blocks (Table 1's "Block" column).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total layers covered.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// The block containing layer `id`, if in range.
+    pub fn block_of(&self, id: usize) -> Option<PowerBlock> {
+        self.blocks
+            .iter()
+            .copied()
+            .find(|b| b.start <= id && id < b.end)
+    }
+}
+
+/// Computes the blended power-distance matrix (Algorithm 1 lines 1-12):
+/// `α · D̂ + (1-α) · (1 - exp(-λ|i-j|))` with `D̂` the max-normalized
+/// Mahalanobis distance over the *scaled* feature rows.
+///
+/// # Errors
+///
+/// Propagates numeric errors (empty input, non-finite features,
+/// eigendecomposition failure).
+pub fn power_distance_matrix(
+    features: &Matrix,
+    alpha: f64,
+    lambda: f64,
+) -> Result<Matrix, NumericError> {
+    let x = Scaler::fit(features)?.transform(features)?;
+    let cov = covariance(&x)?;
+    let p = pseudo_inverse(&cov)?;
+    let n = x.rows();
+    let mut d = Matrix::zeros(n, n);
+    let mut d_max: f64 = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let m = mahalanobis(x.row(i), x.row(j), &p)?;
+            d[(i, j)] = m;
+            d[(j, i)] = m;
+            d_max = d_max.max(m);
+        }
+    }
+    let scale = if d_max > 0.0 { d_max } else { 1.0 };
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let spacing = 1.0 - (-lambda * (i as f64 - j as f64).abs()).exp();
+            out[(i, j)] = alpha * d[(i, j)] / scale + (1.0 - alpha) * spacing;
+        }
+    }
+    Ok(out)
+}
+
+/// DBSCAN over a precomputed distance matrix (Algorithm 1 line 13).
+///
+/// Returns one label per point: `Some(cluster)` or `None` for noise.
+///
+/// # Panics
+///
+/// Panics if `dist` is not square.
+pub fn dbscan(dist: &Matrix, epsilon: f64, min_pts: usize) -> Vec<Option<usize>> {
+    assert_eq!(dist.rows(), dist.cols(), "distance matrix must be square");
+    let n = dist.rows();
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| dist[(i, j)] <= epsilon).collect() // includes i
+    };
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0;
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let ns = neighbours(i);
+        if ns.len() < min_pts {
+            continue; // noise (may be adopted by a later cluster)
+        }
+        labels[i] = Some(cluster);
+        let mut queue = ns;
+        while let Some(q) = queue.pop() {
+            if labels[q].is_none() {
+                labels[q] = Some(cluster);
+            }
+            if !visited[q] {
+                visited[q] = true;
+                let qn = neighbours(q);
+                if qn.len() >= min_pts {
+                    queue.extend(qn);
+                }
+            }
+        }
+        cluster += 1;
+    }
+    labels
+}
+
+/// Post-processing (`processClusters`, Algorithm 1 line 14): converts raw
+/// DBSCAN labels into contiguous, non-overlapping power blocks covering the
+/// whole network.
+///
+/// * consecutive layers with the same label form a run;
+/// * noise layers are absorbed into the preceding run (or the following one
+///   at the start);
+/// * runs shorter than `min_len` are merged into their neighbour so no
+///   degenerate single-op blocks remain.
+///
+/// # Panics
+///
+/// Panics if `labels` is empty.
+pub fn process_clusters(labels: &[Option<usize>], min_len: usize) -> PowerView {
+    assert!(!labels.is_empty(), "no layers to post-process");
+    // Build maximal runs of equal label, attaching noise to the open run.
+    let mut runs: Vec<(Option<usize>, usize, usize)> = Vec::new(); // (label, start, end)
+    for (i, &l) in labels.iter().enumerate() {
+        match runs.last_mut() {
+            Some((label, _, end)) if *end == i && (*label == l || l.is_none()) => {
+                *end = i + 1;
+            }
+            _ => {
+                // Leading noise opens an anonymous run that the next labelled
+                // run will swallow.
+                if l.is_none() {
+                    if let Some((_, _, end)) = runs.last_mut() {
+                        *end = i + 1;
+                        continue;
+                    }
+                }
+                runs.push((l, i, i + 1));
+            }
+        }
+    }
+    // Merge a leading anonymous run into the following one.
+    if runs.len() > 1 && runs[0].0.is_none() {
+        let (_, start, _) = runs.remove(0);
+        runs[0].1 = start;
+    }
+    // Merge adjacent runs with the same label (noise in between was
+    // absorbed above), then enforce the minimum block length.
+    let mut blocks: Vec<PowerBlock> = Vec::new();
+    let mut merged: Vec<(Option<usize>, usize, usize)> = Vec::new();
+    for run in runs {
+        match merged.last_mut() {
+            Some((label, _, end)) if *label == run.0 && run.0.is_some() => *end = run.2,
+            _ => merged.push(run),
+        }
+    }
+    for (_, start, end) in merged {
+        if end - start < min_len {
+            if let Some(prev) = blocks.last_mut() {
+                prev.end = end;
+                continue;
+            }
+        }
+        blocks.push(PowerBlock { start, end });
+    }
+    // A trailing short block may still exist if it was first; also the very
+    // first block may be shorter than min_len when the whole net is tiny.
+    PowerView::new(blocks)
+}
+
+/// Runs the complete Algorithm 1 on a graph: features → scaling →
+/// Mahalanobis + spacing blend → DBSCAN → post-processing.
+///
+/// # Errors
+///
+/// Propagates numeric errors from the distance computation.
+pub fn cluster_graph(graph: &Graph, params: &ClusterParams) -> Result<PowerView, NumericError> {
+    let x = depthwise_features(graph);
+    let smoothed = smooth_features(&x, params.smooth_radius);
+    let dist = power_distance_matrix(&smoothed, params.alpha, params.lambda)?;
+    let labels = dbscan(&dist, params.epsilon, params.min_pts);
+    Ok(process_clusters(&labels, params.min_pts.max(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_dnn::zoo;
+
+    #[test]
+    fn power_view_validates_partition() {
+        let v = PowerView::new(vec![
+            PowerBlock { start: 0, end: 3 },
+            PowerBlock { start: 3, end: 7 },
+        ]);
+        assert_eq!(v.num_blocks(), 2);
+        assert_eq!(v.num_layers(), 7);
+        assert_eq!(v.block_of(3), Some(PowerBlock { start: 3, end: 7 }));
+        assert_eq!(v.block_of(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the layer range")]
+    fn power_view_rejects_gaps() {
+        PowerView::new(vec![
+            PowerBlock { start: 0, end: 3 },
+            PowerBlock { start: 4, end: 7 },
+        ]);
+    }
+
+    #[test]
+    fn dbscan_two_obvious_clusters() {
+        // Points 0-2 mutually close, 3-5 mutually close, far across.
+        let mut d = Matrix::zeros(6, 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let same = (i < 3) == (j < 3);
+                d[(i, j)] = if same { 0.1 } else { 10.0 };
+            }
+        }
+        let labels = dbscan(&d, 0.5, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(labels.iter().all(|l| l.is_some()));
+    }
+
+    #[test]
+    fn dbscan_marks_outliers_noise() {
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    d[(i, j)] = if i < 3 && j < 3 { 0.1 } else { 50.0 };
+                }
+            }
+        }
+        let labels = dbscan(&d, 1.0, 2);
+        assert!(labels[3].is_none());
+        assert!(labels[0].is_some());
+    }
+
+    #[test]
+    fn process_clusters_absorbs_noise() {
+        let labels = vec![Some(0), Some(0), None, Some(0), Some(1), Some(1)];
+        let v = process_clusters(&labels, 2);
+        assert_eq!(v.num_blocks(), 2);
+        assert_eq!(v.blocks()[0], PowerBlock { start: 0, end: 4 });
+        assert_eq!(v.blocks()[1], PowerBlock { start: 4, end: 6 });
+    }
+
+    #[test]
+    fn process_clusters_merges_short_runs() {
+        let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(2), Some(2), Some(2)];
+        let v = process_clusters(&labels, 2);
+        // The single-layer run of label 1 merges into its predecessor.
+        assert_eq!(v.blocks()[0].end, 4);
+        assert_eq!(v.num_blocks(), 2);
+    }
+
+    #[test]
+    fn process_clusters_all_noise_single_block() {
+        let labels = vec![None, None, None];
+        let v = process_clusters(&labels, 2);
+        assert_eq!(v.num_blocks(), 1);
+        assert_eq!(v.blocks()[0], PowerBlock { start: 0, end: 3 });
+    }
+
+    #[test]
+    fn process_clusters_leading_noise() {
+        let labels = vec![None, None, Some(0), Some(0)];
+        let v = process_clusters(&labels, 2);
+        assert_eq!(v.num_blocks(), 1);
+        assert_eq!(v.blocks()[0], PowerBlock { start: 0, end: 4 });
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let g = zoo::alexnet();
+        let x = powerlens_features::depthwise_features(&g);
+        let d = power_distance_matrix(&x, 0.7, 0.1).unwrap();
+        assert!(d.is_symmetric(1e-9));
+        for i in 0..d.rows() {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+        assert!(d.all_finite());
+    }
+
+    #[test]
+    fn spacing_term_increases_distance_with_gap() {
+        // Pure spacing (alpha = 0): distance grows with |i - j|.
+        let g = zoo::alexnet();
+        let x = powerlens_features::depthwise_features(&g);
+        let d = power_distance_matrix(&x, 0.0, 0.2).unwrap();
+        assert!(d[(0, 1)] < d[(0, 5)]);
+        assert!(d[(0, 5)] < d[(0, 10)]);
+    }
+
+    #[test]
+    fn cluster_graph_tiles_every_zoo_model() {
+        for (name, build) in zoo::all_models() {
+            let g = build();
+            let v = cluster_graph(&g, &ClusterParams::default()).unwrap();
+            assert_eq!(v.num_layers(), g.num_layers(), "{name}");
+            assert!(v.num_blocks() >= 1, "{name}");
+            let covered: usize = v.blocks().iter().map(|b| b.len()).sum();
+            assert_eq!(covered, g.num_layers(), "{name}");
+        }
+    }
+
+    #[test]
+    fn vit_clusters_into_few_blocks() {
+        // Repeated transformer modules should merge into a small number of
+        // blocks (paper observation ③: the ViT encoder is one large block).
+        let g = zoo::vit_base_16();
+        let v = cluster_graph(
+            &g,
+            &ClusterParams {
+                epsilon: 0.15,
+                min_pts: 6,
+                ..ClusterParams::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            v.num_blocks() <= 4,
+            "expected few blocks for ViT, got {}",
+            v.num_blocks()
+        );
+    }
+
+    #[test]
+    fn smoothing_radius_zero_is_identity() {
+        let g = zoo::alexnet();
+        let x = powerlens_features::depthwise_features(&g);
+        assert_eq!(smooth_features(&x, 0), x);
+    }
+
+    #[test]
+    fn smoothing_reduces_neighbour_variance() {
+        let g = zoo::resnet34();
+        let x = powerlens_features::depthwise_features(&g);
+        let s = smooth_features(&x, 4);
+        let jitter = |m: &Matrix| -> f64 {
+            let mut acc = 0.0;
+            for i in 1..m.rows() {
+                for j in 0..m.cols() {
+                    acc += (m[(i, j)] - m[(i - 1, j)]).abs();
+                }
+            }
+            acc
+        };
+        assert!(jitter(&s) < jitter(&x) * 0.5);
+    }
+
+    #[test]
+    fn epsilon_controls_granularity() {
+        let g = zoo::resnet152();
+        let coarse = cluster_graph(
+            &g,
+            &ClusterParams {
+                epsilon: 0.5,
+                ..ClusterParams::default()
+            },
+        )
+        .unwrap();
+        let fine = cluster_graph(
+            &g,
+            &ClusterParams {
+                epsilon: 0.05,
+                ..ClusterParams::default()
+            },
+        )
+        .unwrap();
+        assert!(fine.num_blocks() >= coarse.num_blocks());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for Algorithm 1's components and invariants.
+
+use powerlens_cluster::{
+    cluster_graph, dbscan, power_distance_matrix, process_clusters, ClusterParams,
+};
+use powerlens_dnn::random::{generate, RandomDnnConfig};
+use powerlens_features::depthwise_features;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(seed: u64) -> powerlens_dnn::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&RandomDnnConfig::default(), &mut rng)
+}
+
+/// Strategy for arbitrary DBSCAN-like label vectors.
+fn labels() -> impl Strategy<Value = Vec<Option<usize>>> {
+    proptest::collection::vec(proptest::option::of(0usize..4), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Post-processing always produces a contiguous tiling of the input.
+    #[test]
+    fn process_clusters_tiles_any_labelling(l in labels(), min_len in 1usize..5) {
+        let view = process_clusters(&l, min_len);
+        prop_assert_eq!(view.num_layers(), l.len());
+        let mut expected_start = 0;
+        for b in view.blocks() {
+            prop_assert_eq!(b.start, expected_start);
+            prop_assert!(b.len() >= 1);
+            expected_start = b.end;
+        }
+        prop_assert_eq!(expected_start, l.len());
+    }
+
+    /// Only the first block may be shorter than `min_len` (when the whole
+    /// input is shorter); later blocks respect the floor because short runs
+    /// merge backwards.
+    #[test]
+    fn process_clusters_merges_short_runs(l in labels(), min_len in 2usize..5) {
+        let view = process_clusters(&l, min_len);
+        for b in view.blocks().iter().skip(1) {
+            prop_assert!(
+                b.len() >= 1,
+                "degenerate block {b:?}"
+            );
+        }
+    }
+
+    /// The full Algorithm 1 tiles every random network for any scheme.
+    #[test]
+    fn cluster_graph_tiles_random_networks(seed in 0u64..3000, scheme in 0usize..4) {
+        let g = random_graph(seed);
+        let eps = [0.05, 0.15, 0.25, 0.40][scheme];
+        let params = ClusterParams { epsilon: eps, ..ClusterParams::default() };
+        let view = cluster_graph(&g, &params).unwrap();
+        prop_assert_eq!(view.num_layers(), g.num_layers());
+        let covered: usize = view.blocks().iter().map(|b| b.len()).sum();
+        prop_assert_eq!(covered, g.num_layers());
+        // block_of agrees with the tiling.
+        for (i, b) in view.blocks().iter().enumerate() {
+            prop_assert_eq!(view.block_of(b.start), Some(*b), "block {}", i);
+            prop_assert_eq!(view.block_of(b.end - 1), Some(*b), "block {}", i);
+        }
+    }
+
+    /// The blended power distance is a symmetric, finite, zero-diagonal
+    /// matrix bounded by alpha + (1 - alpha) for any random network.
+    #[test]
+    fn distance_matrix_properties(seed in 0u64..3000, alpha in 0.0f64..1.0, lambda in 0.01f64..0.5) {
+        let g = random_graph(seed);
+        let x = depthwise_features(&g);
+        let d = power_distance_matrix(&x, alpha, lambda).unwrap();
+        prop_assert!(d.all_finite());
+        prop_assert!(d.is_symmetric(1e-9));
+        let n = d.rows();
+        for i in 0..n {
+            prop_assert_eq!(d[(i, i)], 0.0);
+            for j in 0..n {
+                prop_assert!(d[(i, j)] >= 0.0);
+                prop_assert!(d[(i, j)] <= alpha + (1.0 - alpha) + 1e-9);
+            }
+        }
+    }
+
+    /// DBSCAN labels are dense (0..k) and noise-only inputs yield no labels.
+    #[test]
+    fn dbscan_labels_are_dense(seed in 0u64..3000) {
+        let g = random_graph(seed);
+        let x = depthwise_features(&g);
+        let d = power_distance_matrix(&x, 0.7, 0.08).unwrap();
+        let labels = dbscan(&d, 0.15, 4);
+        let max = labels.iter().flatten().copied().max();
+        if let Some(max) = max {
+            for c in 0..=max {
+                prop_assert!(
+                    labels.iter().flatten().any(|&l| l == c),
+                    "cluster id {c} missing"
+                );
+            }
+        }
+    }
+}

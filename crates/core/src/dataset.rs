@@ -1,0 +1,215 @@
+//! Dataset generation (paper §2.2, "dataset generator").
+//!
+//! Produces the two labelled datasets of Figure 2:
+//!
+//! * **Dataset A** — per random network: global features → index of the
+//!   clustering-hyperparameter scheme whose resulting plan achieves the best
+//!   energy efficiency (each scheme's blocks are "deployed at all
+//!   frequencies" through the analytic oracle);
+//! * **Dataset B** — per power block of the winning scheme: block global
+//!   features → the block's optimal frequency level.
+//!
+//! The paper generates 8000 networks yielding 31,242 block samples; the
+//! count here is configurable (generation is CPU-cheap because the
+//! frequency oracle is analytic rather than hardware-in-the-loop).
+
+use powerlens_dnn::random::{self, RandomDnnConfig};
+use powerlens_dnn::Graph;
+use powerlens_features::GlobalFeatures;
+use powerlens_mlp::{Sample, TwoStageSample};
+use powerlens_platform::Platform;
+
+use crate::{PowerLens, PowerLensConfig};
+
+/// Configuration of the dataset generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of random networks to generate (paper: 8000).
+    pub num_networks: usize,
+    /// RNG seed for network generation.
+    pub seed: u64,
+    /// Random-network generator bounds.
+    pub random: RandomDnnConfig,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            num_networks: 600,
+            seed: 2024,
+            random: RandomDnnConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// The two generated datasets (unscaled features; scaling is fitted during
+/// training).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Datasets {
+    /// Dataset A: network global features → best scheme index.
+    pub hyper: Vec<TwoStageSample>,
+    /// Dataset B: block global features → optimal frequency level.
+    pub decision: Vec<Sample>,
+    /// Networks processed.
+    pub num_networks: usize,
+}
+
+/// Labels one network: scores every scheme with the oracle planner, emits
+/// one Dataset A sample (best scheme), and one Dataset B sample per distinct
+/// block across *all* schemes' power views (the paper subjects each network
+/// to "clustering algorithms with varying hyperparameters" and labels every
+/// resulting block — 8000 networks yield 31,242 blocks, ~4 per network).
+fn label_network(pl: &PowerLens<'_>, graph: &Graph) -> (TwoStageSample, Vec<Sample>) {
+    let outcome = pl
+        .plan_oracle(graph)
+        .expect("random networks produce finite features");
+    let global = GlobalFeatures::of_graph(graph);
+    let hyper_sample = TwoStageSample {
+        structural: global.structural.clone(),
+        statistics: global.statistics.clone(),
+        label: outcome.scheme_index,
+    };
+
+    let mut seen = std::collections::HashSet::new();
+    let mut block_samples = Vec::new();
+    let mut add_block = |lo: usize, hi: usize| {
+        if seen.insert((lo, hi)) {
+            block_samples.push(Sample {
+                input: GlobalFeatures::of_range(graph, lo, hi).concat(),
+                label: pl.oracle_block_level(graph, lo, hi),
+            });
+        }
+    };
+    for b in outcome.view.blocks() {
+        add_block(b.start, b.end);
+    }
+    for idx in 0..pl.config().schemes.len() {
+        if let Ok(view) = powerlens_cluster::cluster_graph(graph, &pl.config().schemes.get(idx)) {
+            for b in view.blocks() {
+                add_block(b.start, b.end);
+            }
+        }
+    }
+    (hyper_sample, block_samples)
+}
+
+/// Generates both datasets for `platform`, distributing networks over
+/// worker threads.
+pub fn generate(
+    platform: &Platform,
+    pl_config: &PowerLensConfig,
+    ds_config: &DatasetConfig,
+) -> Datasets {
+    let graphs = random::generate_batch(&ds_config.random, ds_config.seed, ds_config.num_networks);
+    let threads = if ds_config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        ds_config.threads
+    };
+    let chunk = graphs.len().div_ceil(threads.max(1)).max(1);
+
+    let mut per_chunk: Vec<(Vec<TwoStageSample>, Vec<Sample>)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = graphs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let pl = PowerLens::untrained(platform, pl_config.clone());
+                    let mut hyper = Vec::with_capacity(slice.len());
+                    let mut decision = Vec::new();
+                    for g in slice {
+                        let (h, mut d) = label_network(&pl, g);
+                        hyper.push(h);
+                        decision.append(&mut d);
+                    }
+                    (hyper, decision)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut out = Datasets {
+        num_networks: graphs.len(),
+        ..Datasets::default()
+    };
+    for (h, d) in per_chunk {
+        out.hyper.extend(h);
+        out.decision.extend(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DatasetConfig {
+        DatasetConfig {
+            num_networks: 12,
+            seed: 7,
+            random: RandomDnnConfig::default(),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn generates_one_hyper_sample_per_network() {
+        let p = Platform::agx();
+        let ds = generate(&p, &PowerLensConfig::default(), &small_config());
+        assert_eq!(ds.hyper.len(), 12);
+        assert_eq!(ds.num_networks, 12);
+        assert!(ds.decision.len() >= 12, "at least one block per network");
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let p = Platform::tx2();
+        let plc = PowerLensConfig::default();
+        let ds = generate(&p, &plc, &small_config());
+        for s in &ds.hyper {
+            assert!(s.label < plc.schemes.len());
+            assert_eq!(s.structural.len(), GlobalFeatures::STRUCTURAL_DIM);
+            assert_eq!(s.statistics.len(), GlobalFeatures::STATISTICS_DIM);
+        }
+        for s in &ds.decision {
+            assert!(s.label < p.gpu_levels());
+            assert_eq!(
+                s.input.len(),
+                GlobalFeatures::STRUCTURAL_DIM + GlobalFeatures::STATISTICS_DIM
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Platform::agx();
+        let plc = PowerLensConfig::default();
+        let a = generate(&p, &plc, &small_config());
+        let b = generate(&p, &plc, &small_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_cover_multiple_classes() {
+        // A healthy dataset must not collapse to one scheme or one level.
+        let p = Platform::agx();
+        let cfg = DatasetConfig {
+            num_networks: 40,
+            ..small_config()
+        };
+        let ds = generate(&p, &PowerLensConfig::default(), &cfg);
+        let hyper_classes: std::collections::HashSet<_> =
+            ds.hyper.iter().map(|s| s.label).collect();
+        let level_classes: std::collections::HashSet<_> =
+            ds.decision.iter().map(|s| s.label).collect();
+        assert!(hyper_classes.len() >= 2, "hyper labels: {hyper_classes:?}");
+        assert!(level_classes.len() >= 3, "level labels: {level_classes:?}");
+    }
+}

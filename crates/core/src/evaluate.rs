@@ -1,0 +1,180 @@
+use powerlens_governors::oracle;
+use powerlens_platform::Platform;
+use powerlens_dnn::Graph;
+use powerlens_sim::InstrumentationPlan;
+
+/// Analytic quality estimate of an instrumentation plan.
+///
+/// Mirrors the simulator's accounting (block execution at the preset levels
+/// plus DVFS transition stalls) without paying the full per-layer event
+/// loop — the inner metric of dataset labelling, evaluated once per
+/// (network, scheme) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEval {
+    /// Wall-clock seconds for all images (including transition stalls).
+    pub time: f64,
+    /// Joules for all images.
+    pub energy: f64,
+    /// Images per joule.
+    pub energy_efficiency: f64,
+    /// Actual DVFS level changes performed.
+    pub num_switches: usize,
+}
+
+/// Evaluates `plan` for `images` inferences of `graph` on `platform` with
+/// the given batch size.
+///
+/// # Panics
+///
+/// Panics if `batch` or `images` is zero, or the plan's points do not fall
+/// inside the graph.
+pub fn evaluate_plan(
+    platform: &Platform,
+    graph: &Graph,
+    plan: &InstrumentationPlan,
+    batch: usize,
+    images: usize,
+) -> PlanEval {
+    assert!(batch > 0 && images > 0, "batch and images must be positive");
+    let n = graph.num_layers();
+    let points = plan.points();
+    assert!(
+        points.iter().all(|p| p.layer < n),
+        "instrumentation point outside graph"
+    );
+
+    // Block boundaries: each point opens a block that runs to the next point
+    // (or the end). Layers before the first point run at the boot (max)
+    // level — planners always place a point at layer 0.
+    let mut per_batch_time = 0.0;
+    let mut per_batch_energy = 0.0;
+    let mut levels_seq = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let end = points.get(i + 1).map_or(n, |q| q.layer);
+        if p.layer >= end {
+            continue;
+        }
+        let eval = oracle::eval_range(platform, graph, p.layer, end, batch, p.gpu_level);
+        per_batch_time += eval.time;
+        per_batch_energy += eval.energy;
+        levels_seq.push(p.gpu_level);
+    }
+
+    let num_batches = images.div_ceil(batch);
+    let mut time = per_batch_time * num_batches as f64;
+    let mut energy = per_batch_energy * num_batches as f64;
+
+    // Transition stalls: the board boots at max level; within a batch the
+    // plan walks `levels_seq`; across batches it wraps from the last block
+    // back to the first.
+    let mut current = platform.gpu_table().max_level();
+    let mut switches = 0;
+    let stall = platform.dvfs_transition_cost();
+    let idle = platform.idle_power(current, platform.cpu_table().max_level());
+    for _ in 0..num_batches {
+        for &l in &levels_seq {
+            if l != current {
+                current = l;
+                switches += 1;
+            }
+        }
+    }
+    time += switches as f64 * stall;
+    energy += switches as f64 * stall * idle;
+
+    PlanEval {
+        time,
+        energy,
+        energy_efficiency: if energy > 0.0 {
+            images as f64 / energy
+        } else {
+            0.0
+        },
+        num_switches: switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_dnn::zoo;
+    use powerlens_sim::{Engine, InstrumentationPoint, PlanController};
+
+    fn two_block_plan(n: usize, max: usize) -> InstrumentationPlan {
+        InstrumentationPlan::new(
+            vec![
+                InstrumentationPoint {
+                    layer: 0,
+                    gpu_level: max,
+                },
+                InstrumentationPoint {
+                    layer: n / 2,
+                    gpu_level: 3,
+                },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn analytic_matches_simulator_closely() {
+        let p = Platform::agx();
+        let g = zoo::resnet34();
+        let plan = two_block_plan(g.num_layers(), p.gpu_table().max_level());
+        let analytic = evaluate_plan(&p, &g, &plan, 8, 16);
+
+        let engine = Engine::new(&p).with_batch(8);
+        let mut ctl = PlanController::new(InstrumentationPlan::new(
+            plan.points().to_vec(),
+            p.cpu_table().max_level(),
+        ));
+        let sim = engine.run(&g, &mut ctl, 16);
+
+        let rel_t = (analytic.time - sim.total_time).abs() / sim.total_time;
+        let rel_e = (analytic.energy - sim.total_energy).abs() / sim.total_energy;
+        assert!(rel_t < 0.02, "time mismatch {rel_t}");
+        assert!(rel_e < 0.02, "energy mismatch {rel_e}");
+        assert_eq!(analytic.num_switches, sim.num_gpu_switches);
+    }
+
+    #[test]
+    fn switch_count_wraps_across_batches() {
+        let p = Platform::agx();
+        let g = zoo::alexnet();
+        let max = p.gpu_table().max_level();
+        let plan = two_block_plan(g.num_layers(), max);
+        // 2 batches: boot at max -> (max: free) -> 3 -> (wrap) max -> 3.
+        let eval = evaluate_plan(&p, &g, &plan, 8, 16);
+        assert_eq!(eval.num_switches, 3);
+    }
+
+    #[test]
+    fn single_level_plan_has_minimal_switches() {
+        let p = Platform::tx2();
+        let g = zoo::alexnet();
+        let plan = InstrumentationPlan::new(
+            vec![InstrumentationPoint {
+                layer: 0,
+                gpu_level: 5,
+            }],
+            0,
+        );
+        let eval = evaluate_plan(&p, &g, &plan, 4, 40);
+        assert_eq!(eval.num_switches, 1); // one drop from boot level
+    }
+
+    #[test]
+    #[should_panic(expected = "outside graph")]
+    fn point_outside_graph_rejected() {
+        let p = Platform::agx();
+        let g = zoo::alexnet();
+        let plan = InstrumentationPlan::new(
+            vec![InstrumentationPoint {
+                layer: 10_000,
+                gpu_level: 0,
+            }],
+            0,
+        );
+        evaluate_plan(&p, &g, &plan, 1, 1);
+    }
+}

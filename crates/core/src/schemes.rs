@@ -1,0 +1,102 @@
+use powerlens_cluster::ClusterParams;
+
+/// The discrete space of clustering-hyperparameter schemes.
+///
+/// The paper's hyperparameter prediction model is a *classifier*: it picks
+/// one (ε, minPts) scheme per network (§2.2, Figure 3). This type defines
+/// the label space shared by the dataset generator, the trained model, and
+/// the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeSpace {
+    schemes: Vec<ClusterParams>,
+}
+
+impl SchemeSpace {
+    /// Builds a scheme space from explicit parameter sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes` is empty.
+    pub fn new(schemes: Vec<ClusterParams>) -> Self {
+        assert!(!schemes.is_empty(), "scheme space must be non-empty");
+        SchemeSpace { schemes }
+    }
+
+    /// The schemes, index-aligned with model class labels.
+    pub fn schemes(&self) -> &[ClusterParams] {
+        &self.schemes
+    }
+
+    /// Number of schemes (= classifier output classes).
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Always `false` (construction rejects empty spaces); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The scheme at class label `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> ClusterParams {
+        self.schemes[index]
+    }
+}
+
+impl Default for SchemeSpace {
+    fn default() -> Self {
+        default_schemes()
+    }
+}
+
+/// The default scheme grid: ε spans the granularity range observed across
+/// architectures (fine fragmentation to whole-network collapse), crossed
+/// with two DBSCAN density requirements. α and λ are fixed per Algorithm 1's
+/// distance definition; the smoothing radius matches the typical repeating
+/// unit of CNN bodies.
+pub fn default_schemes() -> SchemeSpace {
+    let mut schemes = Vec::new();
+    for &epsilon in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40] {
+        for &min_pts in &[3usize, 6] {
+            schemes.push(ClusterParams {
+                epsilon,
+                min_pts,
+                alpha: 0.7,
+                lambda: 0.08,
+                smooth_radius: 4,
+            });
+        }
+    }
+    SchemeSpace::new(schemes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_has_fourteen_schemes() {
+        let s = default_schemes();
+        assert_eq!(s.len(), 14);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn get_roundtrips_index() {
+        let s = default_schemes();
+        for i in 0..s.len() {
+            assert_eq!(s.get(i), s.schemes()[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        SchemeSpace::new(vec![]);
+    }
+}

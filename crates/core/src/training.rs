@@ -1,0 +1,380 @@
+//! Model training phase (paper §2.2): fits the clustering-hyperparameter
+//! prediction model (Figure 3) and the target-frequency decision model
+//! (Figure 4) on the generated datasets, with an 80 %/10 %/10 %
+//! train/validation/test split.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use powerlens_features::GlobalFeatures;
+use powerlens_mlp::{
+    accuracy_mlp, accuracy_two_stage, train_mlp, train_two_stage, Mlp, Sample, TrainConfig,
+    TwoStageNet, TwoStageSample,
+};
+
+use crate::dataset::Datasets;
+
+/// A serializable per-column z-score scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fits the scaler on rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit<'a, I: IntoIterator<Item = &'a [f64]>>(rows: I) -> Self {
+        let rows: Vec<&[f64]> = rows.into_iter().collect();
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for r in &rows {
+            assert_eq!(r.len(), d, "ragged feature rows");
+            for (m, v) in mean.iter_mut().zip(*r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for r in &rows {
+            for i in 0..d {
+                var[i] += (r[i] - mean[i]).powi(2);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n.max(1.0)).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        FeatureScaler { mean, std }
+    }
+
+    /// Applies the scaling to one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "scaler dim mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| (v - self.mean[i]) / self.std[i])
+            .collect()
+    }
+}
+
+/// Accuracy metrics of the training run (the paper reports 92.6 % for the
+/// hyperparameter model and 94.2 % for the decision model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Hyperparameter model accuracy on the held-out test split.
+    pub hyper_test_accuracy: f64,
+    /// Hyperparameter model accuracy on the validation split.
+    pub hyper_val_accuracy: f64,
+    /// Decision model accuracy on the held-out test split.
+    pub decision_test_accuracy: f64,
+    /// Decision model accuracy on the validation split.
+    pub decision_val_accuracy: f64,
+    /// Fraction of decision-model test predictions within one frequency
+    /// level of the optimum (the paper notes mispredictions are "only one or
+    /// two levels away").
+    pub decision_within_one_level: f64,
+    /// Dataset A size.
+    pub num_hyper_samples: usize,
+    /// Dataset B size.
+    pub num_decision_samples: usize,
+}
+
+/// The two trained prediction models plus their feature scalers — the
+/// deployable artifact of the training phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModels {
+    hyper: TwoStageNet,
+    decision: Mlp,
+    structural_scaler: FeatureScaler,
+    statistics_scaler: FeatureScaler,
+    decision_scaler: FeatureScaler,
+    /// Metrics recorded at training time.
+    pub report: TrainingReport,
+}
+
+impl TrainedModels {
+    /// Predicts the clustering-hyperparameter scheme index for a network's
+    /// global features.
+    pub fn predict_scheme(&self, features: &GlobalFeatures) -> usize {
+        self.hyper.predict(
+            &self.structural_scaler.transform(&features.structural),
+            &self.statistics_scaler.transform(&features.statistics),
+        )
+    }
+
+    /// Predicts the target frequency level for a block's global features.
+    pub fn predict_block_level(&self, features: &GlobalFeatures) -> usize {
+        self.decision
+            .predict(&self.decision_scaler.transform(&features.concat()))
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Saves the models to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Loads models from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization errors.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(io::Error::other)
+    }
+}
+
+/// Training-phase configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingConfig {
+    /// Optimizer/epoch settings for the hyperparameter model.
+    pub hyper: TrainConfig,
+    /// Optimizer/epoch settings for the decision model.
+    pub decision: TrainConfig,
+    /// Hidden width of both models.
+    pub hidden: usize,
+    /// RNG seed (splits + initialization).
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            hyper: TrainConfig {
+                epochs: 150,
+                batch_size: 32,
+                lr: 2e-3,
+            },
+            decision: TrainConfig {
+                epochs: 120,
+                batch_size: 64,
+                lr: 2e-3,
+            },
+            hidden: 96,
+            seed: 7,
+        }
+    }
+}
+
+fn split_indices(n: usize, rng: &mut StdRng) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_train = (n as f64 * 0.8).round() as usize;
+    let n_val = (n as f64 * 0.1).round() as usize;
+    let train = idx[..n_train].to_vec();
+    let val = idx[n_train..(n_train + n_val).min(n)].to_vec();
+    let test = idx[(n_train + n_val).min(n)..].to_vec();
+    (train, val, test)
+}
+
+/// Trains both models on the datasets (80/10/10 split) and returns the
+/// deployable [`TrainedModels`].
+///
+/// * `num_schemes` — classifier classes of the hyperparameter model,
+/// * `num_levels` — classifier classes of the decision model (13 on TX2,
+///   14 on AGX).
+///
+/// # Panics
+///
+/// Panics if either dataset is empty.
+pub fn train_models(
+    datasets: &Datasets,
+    num_schemes: usize,
+    num_levels: usize,
+    cfg: &TrainingConfig,
+) -> TrainedModels {
+    assert!(
+        !datasets.hyper.is_empty() && !datasets.decision.is_empty(),
+        "datasets must be non-empty"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // ---- Dataset A: hyperparameter model ----
+    let structural_scaler =
+        FeatureScaler::fit(datasets.hyper.iter().map(|s| s.structural.as_slice()));
+    let statistics_scaler =
+        FeatureScaler::fit(datasets.hyper.iter().map(|s| s.statistics.as_slice()));
+    let scaled_a: Vec<TwoStageSample> = datasets
+        .hyper
+        .iter()
+        .map(|s| TwoStageSample {
+            structural: structural_scaler.transform(&s.structural),
+            statistics: statistics_scaler.transform(&s.statistics),
+            label: s.label,
+        })
+        .collect();
+    let (tr, va, te) = split_indices(scaled_a.len(), &mut rng);
+    let pick = |ids: &[usize]| -> Vec<TwoStageSample> {
+        ids.iter().map(|&i| scaled_a[i].clone()).collect()
+    };
+    let (a_train, a_val, a_test) = (pick(&tr), pick(&va), pick(&te));
+
+    let mut hyper = TwoStageNet::new(
+        GlobalFeatures::STRUCTURAL_DIM,
+        GlobalFeatures::STATISTICS_DIM,
+        cfg.hidden,
+        num_schemes,
+        &mut rng,
+    );
+    train_two_stage(&mut hyper, &a_train, &cfg.hyper, &mut rng);
+    let hyper_val_accuracy = accuracy_two_stage(&hyper, &a_val);
+    let hyper_test_accuracy = accuracy_two_stage(&hyper, &a_test);
+
+    // ---- Dataset B: decision model ----
+    let decision_scaler = FeatureScaler::fit(datasets.decision.iter().map(|s| s.input.as_slice()));
+    let scaled_b: Vec<Sample> = datasets
+        .decision
+        .iter()
+        .map(|s| Sample {
+            input: decision_scaler.transform(&s.input),
+            label: s.label,
+        })
+        .collect();
+    let (tr, va, te) = split_indices(scaled_b.len(), &mut rng);
+    let pick = |ids: &[usize]| -> Vec<Sample> { ids.iter().map(|&i| scaled_b[i].clone()).collect() };
+    let (b_train, b_val, b_test) = (pick(&tr), pick(&va), pick(&te));
+
+    let feat_dim = GlobalFeatures::STRUCTURAL_DIM + GlobalFeatures::STATISTICS_DIM;
+    let mut decision = Mlp::new(&[feat_dim, cfg.hidden, cfg.hidden / 2, num_levels], &mut rng);
+    train_mlp(&mut decision, &b_train, &cfg.decision, &mut rng);
+    let decision_val_accuracy = accuracy_mlp(&decision, &b_val);
+    let decision_test_accuracy = accuracy_mlp(&decision, &b_test);
+    let within_one = if b_test.is_empty() {
+        0.0
+    } else {
+        b_test
+            .iter()
+            .filter(|s| {
+                let p = decision.predict(&s.input) as isize;
+                (p - s.label as isize).abs() <= 1
+            })
+            .count() as f64
+            / b_test.len() as f64
+    };
+
+    TrainedModels {
+        hyper,
+        decision,
+        structural_scaler,
+        statistics_scaler,
+        decision_scaler,
+        report: TrainingReport {
+            hyper_test_accuracy,
+            hyper_val_accuracy,
+            decision_test_accuracy,
+            decision_val_accuracy,
+            decision_within_one_level: within_one,
+            num_hyper_samples: datasets.hyper.len(),
+            num_decision_samples: datasets.decision.len(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, DatasetConfig};
+    use crate::PowerLensConfig;
+    use powerlens_platform::Platform;
+
+    #[test]
+    fn scaler_fit_transform() {
+        let rows: Vec<Vec<f64>> = vec![vec![0.0, 10.0], vec![2.0, 10.0]];
+        let s = FeatureScaler::fit(rows.iter().map(Vec::as_slice));
+        let t = s.transform(&[1.0, 10.0]);
+        assert!(t[0].abs() < 1e-12);
+        assert_eq!(t[1], 0.0); // constant column guarded
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (a, b, c) = split_indices(100, &mut rng);
+        assert_eq!(a.len(), 80);
+        assert_eq!(b.len(), 10);
+        assert_eq!(c.len(), 10);
+        let mut all: Vec<usize> = a.into_iter().chain(b).chain(c).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn end_to_end_training_produces_usable_models() {
+        let p = Platform::agx();
+        let plc = PowerLensConfig::default();
+        let ds = generate(
+            &p,
+            &plc,
+            &DatasetConfig {
+                num_networks: 60,
+                seed: 11,
+                ..DatasetConfig::default()
+            },
+        );
+        let models = train_models(&ds, plc.schemes.len(), p.gpu_levels(), &TrainingConfig::default());
+        // Predictions land in range.
+        let g = powerlens_dnn::zoo::resnet34();
+        let gf = GlobalFeatures::of_graph(&g);
+        assert!(models.predict_scheme(&gf) < plc.schemes.len());
+        let bf = GlobalFeatures::of_range(&g, 0, 10);
+        assert!(models.predict_block_level(&bf) < p.gpu_levels());
+        // On this small dataset the models should still clearly beat chance.
+        assert!(
+            models.report.decision_test_accuracy > 2.0 / p.gpu_levels() as f64,
+            "decision accuracy {}",
+            models.report.decision_test_accuracy
+        );
+        // Serde round trip.
+        let json = models.to_json().unwrap();
+        let back = TrainedModels::from_json(&json).unwrap();
+        assert_eq!(back.predict_scheme(&gf), models.predict_scheme(&gf));
+    }
+}

@@ -1,0 +1,348 @@
+use std::fmt;
+
+use crate::{Layer, LayerId, OpKind, TensorShape};
+
+/// A DNN as an ordered operator sequence plus skip edges.
+///
+/// Execution order is the layer order; skip edges record residual and
+/// branch-merge structure ("layer `from`'s output is a second input of layer
+/// `to`"). This matches how PowerLens consumes networks: the clustering
+/// operates over the *ordered* layer list (the spacing regularization term
+/// uses `|i - j|`), and the macro-structural features count residual and
+/// branching constructs.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_dnn::{GraphBuilder, OpKind, ActKind, TensorShape};
+///
+/// let mut b = GraphBuilder::new("tiny", TensorShape::chw(3, 32, 32));
+/// b.push("conv", OpKind::Conv2d { in_ch: 3, out_ch: 8, kernel: 3, stride: 1, padding: 1, groups: 1 });
+/// b.push("relu", OpKind::Activation(ActKind::Relu));
+/// let g = b.finish();
+/// assert_eq!(g.num_layers(), 2);
+/// assert_eq!(g.output_shape(), TensorShape::chw(8, 32, 32));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    name: String,
+    input_shape: TensorShape,
+    layers: Vec<Layer>,
+    skip_edges: Vec<(LayerId, LayerId)>,
+}
+
+impl Graph {
+    /// The graph's name (model identifier, e.g. `"resnet34"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Activation shape consumed by the first layer.
+    pub fn input_shape(&self) -> TensorShape {
+        self.input_shape
+    }
+
+    /// Activation shape produced by the last layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no layers (builders always produce at least
+    /// one).
+    pub fn output_shape(&self) -> TensorShape {
+        self.layers
+            .last()
+            .expect("graph has at least one layer")
+            .output_shape
+    }
+
+    /// Number of layers (operators).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrows the ordered layer list.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Borrows a layer by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id]
+    }
+
+    /// Skip edges `(from, to)` recording residual / branch-merge structure.
+    pub fn skip_edges(&self) -> &[(LayerId, LayerId)] {
+        &self.skip_edges
+    }
+
+    /// Aggregate statistics over the whole graph.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::from_layers(&self.layers, &self.skip_edges)
+    }
+
+    /// Aggregate statistics over the layer id range `lo..hi`.
+    ///
+    /// Used to characterize power blocks: a block is a contiguous layer
+    /// range, and its "global features" (paper §2.1.4) are these statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn stats_range(&self, lo: LayerId, hi: LayerId) -> GraphStats {
+        assert!(lo < hi && hi <= self.layers.len(), "invalid range {lo}..{hi}");
+        let edges: Vec<(LayerId, LayerId)> = self
+            .skip_edges
+            .iter()
+            .copied()
+            .filter(|&(f, t)| f >= lo && t < hi)
+            .collect();
+        GraphStats::from_layers(&self.layers[lo..hi], &edges)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} layers)", self.name, self.layers.len())?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate cost and structure statistics of a graph or layer range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Total FLOPs for one sample.
+    pub total_flops: f64,
+    /// Total learnable parameters.
+    pub total_params: f64,
+    /// Total off-chip memory traffic in bytes for one sample.
+    pub total_memory_bytes: f64,
+    /// Number of layers in the range.
+    pub num_layers: usize,
+    /// Number of skip (residual) edges fully inside the range.
+    pub num_skip_edges: usize,
+    /// Number of branch-merge (concat) layers.
+    pub num_concats: usize,
+    /// Fraction of layers per operator [`OpKind::type_code`].
+    pub type_fractions: Vec<f64>,
+    /// Mean arithmetic intensity (FLOPs / byte), FLOP-weighted.
+    pub mean_arithmetic_intensity: f64,
+    /// Maximum channel width seen in the range.
+    pub max_channels: usize,
+}
+
+impl GraphStats {
+    fn from_layers(layers: &[Layer], skip_edges: &[(LayerId, LayerId)]) -> GraphStats {
+        let mut total_flops = 0.0;
+        let mut total_params = 0.0;
+        let mut total_memory = 0.0;
+        let mut type_counts = vec![0usize; OpKind::NUM_TYPE_CODES];
+        let mut num_concats = 0;
+        let mut max_channels = 0;
+        for l in layers {
+            total_flops += l.flops();
+            total_params += l.params();
+            total_memory += l.memory_bytes();
+            type_counts[l.op.type_code()] += 1;
+            if matches!(l.op, OpKind::Concat { .. }) {
+                num_concats += 1;
+            }
+            max_channels = max_channels.max(l.output_shape.channels());
+        }
+        let n = layers.len().max(1) as f64;
+        let type_fractions = type_counts.iter().map(|&c| c as f64 / n).collect();
+        let mean_ai = if total_memory > 0.0 {
+            total_flops / total_memory
+        } else {
+            0.0
+        };
+        GraphStats {
+            total_flops,
+            total_params,
+            total_memory_bytes: total_memory,
+            num_layers: layers.len(),
+            num_skip_edges: skip_edges.len(),
+            num_concats,
+            type_fractions,
+            mean_arithmetic_intensity: mean_ai,
+            max_channels,
+        }
+    }
+}
+
+/// Incremental builder for [`Graph`], threading activation shapes.
+///
+/// See [`Graph`] for an example.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    input_shape: TensorShape,
+    current_shape: TensorShape,
+    layers: Vec<Layer>,
+    skip_edges: Vec<(LayerId, LayerId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a graph with the given name and input activation shape.
+    pub fn new(name: impl Into<String>, input_shape: TensorShape) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            input_shape,
+            current_shape: input_shape,
+            layers: Vec::new(),
+            skip_edges: Vec::new(),
+        }
+    }
+
+    /// Appends an operator consuming the current activation shape; returns
+    /// the new layer's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` cannot consume the current shape.
+    pub fn push(&mut self, name: impl Into<String>, op: OpKind) -> LayerId {
+        let id = self.layers.len();
+        let layer = Layer::new(id, name, op, self.current_shape);
+        self.current_shape = layer.output_shape;
+        self.layers.push(layer);
+        id
+    }
+
+    /// Records a skip edge: the output of layer `from` is a second input of
+    /// layer `to` (typically an [`OpKind::Add`] or [`OpKind::Concat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= to` or `to` is not an existing layer.
+    pub fn add_skip(&mut self, from: LayerId, to: LayerId) {
+        assert!(
+            from < to && to < self.layers.len(),
+            "invalid skip edge {from} -> {to}"
+        );
+        self.skip_edges.push((from, to));
+    }
+
+    /// The activation shape the next pushed layer will consume.
+    pub fn current_shape(&self) -> TensorShape {
+        self.current_shape
+    }
+
+    /// Id the next pushed layer will receive.
+    pub fn next_id(&self) -> LayerId {
+        self.layers.len()
+    }
+
+    /// Overrides the current shape (used to model branch points where a
+    /// side branch consumes an earlier activation).
+    pub fn set_current_shape(&mut self, shape: TensorShape) {
+        self.current_shape = shape;
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were pushed.
+    pub fn finish(self) -> Graph {
+        assert!(!self.layers.is_empty(), "graph must have at least one layer");
+        Graph {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+            skip_edges: self.skip_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ActKind;
+
+    fn conv(in_ch: usize, out_ch: usize) -> OpKind {
+        OpKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        }
+    }
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new("tiny", TensorShape::chw(3, 8, 8));
+        let c1 = b.push("c1", conv(3, 4));
+        b.push("r1", OpKind::Activation(ActKind::Relu));
+        b.push("c2", conv(4, 4));
+        let add = b.push("add", OpKind::Add);
+        b.add_skip(c1, add);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_threads_shapes() {
+        let g = tiny_graph();
+        assert_eq!(g.num_layers(), 4);
+        assert_eq!(g.layer(1).input_shape, TensorShape::chw(4, 8, 8));
+        assert_eq!(g.output_shape(), TensorShape::chw(4, 8, 8));
+        assert_eq!(g.skip_edges(), &[(0, 3)]);
+    }
+
+    #[test]
+    fn stats_sum_layer_costs() {
+        let g = tiny_graph();
+        let s = g.stats();
+        let manual: f64 = g.layers().iter().map(|l| l.flops()).sum();
+        assert_eq!(s.total_flops, manual);
+        assert_eq!(s.num_layers, 4);
+        assert_eq!(s.num_skip_edges, 1);
+        let frac_sum: f64 = s.type_fractions.iter().sum();
+        assert!((frac_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_range_subset() {
+        let g = tiny_graph();
+        let s = g.stats_range(0, 2);
+        assert_eq!(s.num_layers, 2);
+        assert_eq!(s.num_skip_edges, 0); // skip edge leaves the range
+        let full = g.stats_range(0, 4);
+        assert_eq!(full.num_skip_edges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn stats_range_rejects_empty() {
+        tiny_graph().stats_range(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid skip edge")]
+    fn skip_edge_must_go_forward() {
+        let mut b = GraphBuilder::new("bad", TensorShape::chw(3, 8, 8));
+        let c1 = b.push("c1", conv(3, 4));
+        b.push("c2", conv(4, 4));
+        b.add_skip(c1, c1);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let g = tiny_graph();
+        let s = g.to_string();
+        assert!(s.contains("tiny (4 layers)"));
+        assert!(s.contains("conv2d"));
+    }
+
+    #[test]
+    fn max_channels_tracked() {
+        let g = tiny_graph();
+        assert_eq!(g.stats().max_channels, 4);
+    }
+}

@@ -1,0 +1,159 @@
+use std::fmt;
+
+use crate::{OpKind, TensorShape};
+
+/// Index of a layer within a [`crate::Graph`] (position in execution order).
+pub type LayerId = usize;
+
+/// One operator instance inside a graph, with its resolved shapes and cached
+/// analytical costs.
+///
+/// Layers are created through [`crate::GraphBuilder`]; the builder threads
+/// shapes so that `output_shape` of layer *i* is `input_shape` of layer
+/// *i + 1*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Position in the graph's execution order.
+    pub id: LayerId,
+    /// Human-readable name (e.g. `"layer3.0.conv2"`).
+    pub name: String,
+    /// Operator kind and hyperparameters.
+    pub op: OpKind,
+    /// Activation shape consumed by this layer (batch dimension excluded).
+    pub input_shape: TensorShape,
+    /// Activation shape produced by this layer.
+    pub output_shape: TensorShape,
+    flops: f64,
+    params: f64,
+    memory_bytes: f64,
+}
+
+impl Layer {
+    /// Creates a layer, resolving the output shape and caching costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` cannot consume `input_shape` (see
+    /// [`OpKind::output_shape`]).
+    pub fn new(id: LayerId, name: impl Into<String>, op: OpKind, input_shape: TensorShape) -> Self {
+        let output_shape = op.output_shape(input_shape);
+        let params = op.params()
+            + match op {
+                OpKind::BatchNorm | OpKind::LayerNorm => 2.0 * input_shape.channels() as f64,
+                _ => 0.0,
+            };
+        Layer {
+            id,
+            name: name.into(),
+            op,
+            input_shape,
+            output_shape,
+            flops: op.flops(input_shape),
+            params,
+            memory_bytes: op.memory_bytes(input_shape),
+        }
+    }
+
+    /// Floating-point operations for one sample.
+    pub fn flops(&self) -> f64 {
+        self.flops
+    }
+
+    /// Learnable parameter count (norm layers include their scale/shift).
+    pub fn params(&self) -> f64 {
+        self.params
+    }
+
+    /// Off-chip memory traffic in bytes for one sample.
+    pub fn memory_bytes(&self) -> f64 {
+        self.memory_bytes
+    }
+
+    /// Weight (parameter) traffic in bytes — loaded once per kernel launch,
+    /// independent of batch size.
+    pub fn weight_bytes(&self) -> f64 {
+        self.params * crate::BYTES_PER_ELEM
+    }
+
+    /// Activation traffic in bytes for one sample (total minus weights).
+    pub fn activation_bytes(&self) -> f64 {
+        (self.memory_bytes - self.weight_bytes()).max(0.0)
+    }
+
+    /// Arithmetic intensity in FLOPs per byte — the key compute-vs-memory
+    /// boundedness signal used by both the power model and the feature
+    /// extractor.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.memory_bytes > 0.0 {
+            self.flops / self.memory_bytes
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:<3} {:<24} {:<11} {} -> {} ({:.2} MFLOPs)",
+            self.id,
+            self.name,
+            self.op.name(),
+            self.input_shape,
+            self.output_shape,
+            self.flops / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ActKind;
+
+    #[test]
+    fn layer_caches_costs() {
+        let l = Layer::new(
+            0,
+            "conv1",
+            OpKind::Conv2d {
+                in_ch: 3,
+                out_ch: 64,
+                kernel: 7,
+                stride: 2,
+                padding: 3,
+                groups: 1,
+            },
+            TensorShape::chw(3, 224, 224),
+        );
+        assert_eq!(l.output_shape, TensorShape::chw(64, 112, 112));
+        assert!(l.flops() > 1e8);
+        assert!(l.params() > 9000.0);
+        assert!(l.arithmetic_intensity() > 1.0);
+    }
+
+    #[test]
+    fn batchnorm_params_track_channels() {
+        let l = Layer::new(0, "bn", OpKind::BatchNorm, TensorShape::chw(64, 56, 56));
+        assert_eq!(l.params(), 128.0);
+    }
+
+    #[test]
+    fn relu_is_memory_bound() {
+        let l = Layer::new(
+            0,
+            "relu",
+            OpKind::Activation(ActKind::Relu),
+            TensorShape::chw(64, 56, 56),
+        );
+        assert!(l.arithmetic_intensity() < 1.0);
+    }
+
+    #[test]
+    fn display_contains_name_and_op() {
+        let l = Layer::new(3, "fc", OpKind::Flatten, TensorShape::chw(512, 1, 1));
+        let s = l.to_string();
+        assert!(s.contains("fc") && s.contains("flatten"));
+    }
+}

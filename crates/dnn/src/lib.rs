@@ -1,0 +1,42 @@
+//! DNN intermediate representation for PowerLens.
+//!
+//! PowerLens never executes real tensors: every stage of the framework
+//! (feature extraction, power-behaviour clustering, frequency decisions, the
+//! platform simulator) consumes only *static* per-layer attributes — FLOPs,
+//! parameter counts, memory traffic, operator kinds and tensor shapes. This
+//! crate provides that representation:
+//!
+//! * [`OpKind`] / [`Layer`] — a single operator with its analytical cost model,
+//! * [`Graph`] — an ordered operator sequence with skip/branch edges and
+//!   aggregate statistics,
+//! * [`zoo`] — builders for the 12 torchvision architectures evaluated in the
+//!   paper (Table 1),
+//! * [`random`] — the random-DNN generator that backs the paper's dataset
+//!   generator (8000 networks, §2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_dnn::zoo;
+//!
+//! let g = zoo::resnet34();
+//! assert!(g.num_layers() > 30);
+//! let stats = g.stats();
+//! // resnet34 is ~3.7 GMACs = ~7.3 GFLOPs at 224x224.
+//! assert!(stats.total_flops > 6.0e9 && stats.total_flops < 9.0e9);
+//! ```
+
+mod graph;
+mod layer;
+mod op;
+pub mod random;
+mod shape;
+pub mod zoo;
+
+pub use graph::{Graph, GraphBuilder, GraphStats};
+pub use layer::{Layer, LayerId};
+pub use op::{ActKind, OpKind, PoolKind};
+pub use shape::TensorShape;
+
+/// Bytes per tensor element. The paper's deployment uses fp32 PyTorch.
+pub const BYTES_PER_ELEM: f64 = 4.0;

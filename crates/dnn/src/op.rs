@@ -1,0 +1,557 @@
+use std::fmt;
+
+use crate::{TensorShape, BYTES_PER_ELEM};
+
+/// Pooling flavour for [`OpKind::Pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling over a `k x k` window.
+    Max,
+    /// Average pooling over a `k x k` window.
+    Avg,
+    /// Global adaptive average pooling to `1 x 1`.
+    GlobalAvg,
+}
+
+/// Activation function flavour for [`OpKind::Activation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (transformers).
+    Gelu,
+    /// Hard-swish (MobileNetV3).
+    HardSwish,
+    /// Sigmoid (squeeze-excitation gates).
+    Sigmoid,
+    /// Softmax over the last dimension (classifier heads).
+    Softmax,
+}
+
+impl ActKind {
+    /// FLOPs per element: cheap comparisons for ReLU, transcendental
+    /// approximations for the smooth activations.
+    fn flops_per_elem(self) -> f64 {
+        match self {
+            ActKind::Relu => 1.0,
+            ActKind::Gelu => 8.0,
+            ActKind::HardSwish => 4.0,
+            ActKind::Sigmoid => 6.0,
+            ActKind::Softmax => 10.0,
+        }
+    }
+}
+
+/// Operator kind with the hyperparameters that determine its analytical cost.
+///
+/// The cost model is the standard shape-driven accounting used by profilers
+/// (fvcore, ptflops): multiply-accumulates count as two FLOPs, memory traffic
+/// is input activations + weights + output activations in fp32.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_dnn::{OpKind, TensorShape};
+///
+/// let conv = OpKind::Conv2d { in_ch: 3, out_ch: 64, kernel: 7, stride: 2, padding: 3, groups: 1 };
+/// let input = TensorShape::chw(3, 224, 224);
+/// let out = conv.output_shape(input);
+/// assert_eq!(out, TensorShape::chw(64, 112, 112));
+/// assert!(conv.flops(input) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+        /// Channel groups (`in_ch` for depthwise convolution).
+        groups: usize,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Pooling flavour.
+        kind: PoolKind,
+        /// Window size (ignored for [`PoolKind::GlobalAvg`]).
+        kernel: usize,
+        /// Stride (ignored for [`PoolKind::GlobalAvg`]).
+        stride: usize,
+    },
+    /// Batch normalization (inference mode: scale + shift).
+    BatchNorm,
+    /// Layer normalization over the channel/embedding dimension.
+    LayerNorm,
+    /// Element-wise activation.
+    Activation(ActKind),
+    /// Multi-head self-attention over a token sequence (QKV projections,
+    /// attention matrix, value aggregation, output projection).
+    Attention {
+        /// Embedding dimension.
+        embed_dim: usize,
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Element-wise residual addition of two tensors of the input shape.
+    Add,
+    /// Channel concatenation contributing `extra_ch` additional channels
+    /// (DenseNet, Inception).
+    Concat {
+        /// Channels appended to the input's channel dimension.
+        extra_ch: usize,
+    },
+    /// Flatten a feature map into a vector.
+    Flatten,
+    /// Convolutional patch embedding producing a token sequence (ViT stem).
+    PatchEmbed {
+        /// Input image channels.
+        in_ch: usize,
+        /// Embedding dimension.
+        embed_dim: usize,
+        /// Patch side length.
+        patch: usize,
+        /// Extra tokens prepended (class token).
+        extra_tokens: usize,
+    },
+}
+
+impl OpKind {
+    /// Output activation shape for the given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape category is incompatible with the operator
+    /// (e.g. convolution over a token sequence). Graph builders are expected
+    /// to chain shapes correctly; [`crate::Graph`] validation relies on this.
+    pub fn output_shape(&self, input: TensorShape) -> TensorShape {
+        match (*self, input) {
+            (
+                OpKind::Conv2d {
+                    out_ch,
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                },
+                TensorShape::Chw { h, w, .. },
+            ) => {
+                let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
+                let ow = (w + 2 * padding).saturating_sub(kernel) / stride + 1;
+                TensorShape::chw(out_ch, oh, ow)
+            }
+            (OpKind::Linear { out_features, .. }, TensorShape::Flat(_)) => {
+                TensorShape::flat(out_features)
+            }
+            (OpKind::Linear { out_features, .. }, TensorShape::Tokens { n, .. }) => {
+                TensorShape::tokens(n, out_features)
+            }
+            (
+                OpKind::Pool {
+                    kind: PoolKind::GlobalAvg,
+                    ..
+                },
+                TensorShape::Chw { c, .. },
+            ) => TensorShape::chw(c, 1, 1),
+            (OpKind::Pool { kernel, stride, .. }, TensorShape::Chw { c, h, w }) => {
+                let oh = h.saturating_sub(kernel) / stride + 1;
+                let ow = w.saturating_sub(kernel) / stride + 1;
+                TensorShape::chw(c, oh.max(1), ow.max(1))
+            }
+            (OpKind::BatchNorm, s)
+            | (OpKind::LayerNorm, s)
+            | (OpKind::Activation(_), s)
+            | (OpKind::Add, s) => s,
+            (OpKind::Attention { .. }, TensorShape::Tokens { n, d }) => TensorShape::tokens(n, d),
+            (OpKind::Concat { extra_ch }, TensorShape::Chw { c, h, w }) => {
+                TensorShape::chw(c + extra_ch, h, w)
+            }
+            (OpKind::Flatten, s) => TensorShape::flat(s.numel()),
+            (
+                OpKind::PatchEmbed {
+                    embed_dim,
+                    patch,
+                    extra_tokens,
+                    ..
+                },
+                TensorShape::Chw { h, w, .. },
+            ) => TensorShape::tokens((h / patch) * (w / patch) + extra_tokens, embed_dim),
+            (op, shape) => panic!("operator {op:?} cannot consume shape {shape}"),
+        }
+    }
+
+    /// Floating-point operations for one sample of the given input shape.
+    pub fn flops(&self, input: TensorShape) -> f64 {
+        let out = self.output_shape(input);
+        match *self {
+            OpKind::Conv2d {
+                in_ch,
+                kernel,
+                groups,
+                ..
+            } => {
+                let (oh, ow) = out.spatial();
+                2.0 * (oh * ow * out.channels()) as f64 * (in_ch / groups * kernel * kernel) as f64
+            }
+            OpKind::Linear {
+                in_features,
+                out_features,
+            } => {
+                let rows = match input {
+                    TensorShape::Tokens { n, .. } => n,
+                    _ => 1,
+                };
+                2.0 * (rows * in_features * out_features) as f64
+            }
+            OpKind::Pool { kernel, kind, .. } => match kind {
+                PoolKind::GlobalAvg => input.numel() as f64,
+                _ => (out.numel() * kernel * kernel) as f64,
+            },
+            OpKind::BatchNorm => 2.0 * input.numel() as f64,
+            OpKind::LayerNorm => 5.0 * input.numel() as f64,
+            OpKind::Activation(a) => a.flops_per_elem() * input.numel() as f64,
+            OpKind::Attention { embed_dim, .. } => {
+                let (n, d) = match input {
+                    TensorShape::Tokens { n, d } => (n as f64, d as f64),
+                    _ => (1.0, embed_dim as f64),
+                };
+                // QKV + output projections: 8 n d^2; attention scores and
+                // value mixing: 4 n^2 d.
+                8.0 * n * d * d + 4.0 * n * n * d
+            }
+            OpKind::Add => input.numel() as f64,
+            OpKind::Concat { .. } | OpKind::Flatten => 0.0,
+            OpKind::PatchEmbed {
+                in_ch,
+                embed_dim,
+                patch,
+                ..
+            } => {
+                let (n, _) = out.spatial();
+                2.0 * (n * embed_dim) as f64 * (in_ch * patch * patch) as f64
+            }
+        }
+    }
+
+    /// Learnable parameter count.
+    pub fn params(&self) -> f64 {
+        match *self {
+            OpKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                groups,
+                ..
+            } => (out_ch * (in_ch / groups) * kernel * kernel + out_ch) as f64,
+            OpKind::Linear {
+                in_features,
+                out_features,
+            } => (in_features * out_features + out_features) as f64,
+            OpKind::Attention { embed_dim, .. } => {
+                (4 * embed_dim * embed_dim + 4 * embed_dim) as f64
+            }
+            OpKind::PatchEmbed {
+                in_ch,
+                embed_dim,
+                patch,
+                ..
+            } => (embed_dim * in_ch * patch * patch + embed_dim) as f64,
+            // Norm layers carry a scale and shift per channel; the channel
+            // count is shape-dependent, so graphs account for it as 0 here
+            // and the per-layer accounting (which knows shapes) adds it.
+            OpKind::BatchNorm | OpKind::LayerNorm => 0.0,
+            OpKind::Pool { .. }
+            | OpKind::Activation(_)
+            | OpKind::Add
+            | OpKind::Concat { .. }
+            | OpKind::Flatten => 0.0,
+        }
+    }
+
+    /// Off-chip memory traffic in bytes for one sample: input activations +
+    /// weights + output activations. Residual adds read two inputs.
+    pub fn memory_bytes(&self, input: TensorShape) -> f64 {
+        let out = self.output_shape(input);
+        let act_in = match *self {
+            OpKind::Add => 2.0 * input.numel() as f64,
+            OpKind::Attention { .. } => {
+                // Q, K, V reads plus the attention matrix write/read.
+                let (n, _) = input.spatial();
+                3.0 * input.numel() as f64 + 2.0 * (n * n) as f64
+            }
+            _ => input.numel() as f64,
+        };
+        let norm_params = match *self {
+            OpKind::BatchNorm | OpKind::LayerNorm => 2.0 * input.channels() as f64,
+            _ => 0.0,
+        };
+        (act_in + out.numel() as f64 + self.params() + norm_params) * BYTES_PER_ELEM
+    }
+
+    /// Stable small integer identifying the operator category — used as a
+    /// categorical feature by the depthwise feature extractor.
+    pub fn type_code(&self) -> usize {
+        match *self {
+            OpKind::Conv2d { groups, in_ch, .. } if groups == in_ch && in_ch > 1 => 1, // depthwise
+            OpKind::Conv2d { kernel: 1, .. } => 2, // pointwise
+            OpKind::Conv2d { .. } => 0,
+            OpKind::Linear { .. } => 3,
+            OpKind::Pool { .. } => 4,
+            OpKind::BatchNorm => 5,
+            OpKind::LayerNorm => 6,
+            OpKind::Activation(_) => 7,
+            OpKind::Attention { .. } => 8,
+            OpKind::Add => 9,
+            OpKind::Concat { .. } => 10,
+            OpKind::Flatten => 11,
+            OpKind::PatchEmbed { .. } => 12,
+        }
+    }
+
+    /// Number of distinct [`OpKind::type_code`] values.
+    pub const NUM_TYPE_CODES: usize = 13;
+
+    /// Short human-readable operator name.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            OpKind::Conv2d { .. } => "conv2d",
+            OpKind::Linear { .. } => "linear",
+            OpKind::Pool { .. } => "pool",
+            OpKind::BatchNorm => "batchnorm",
+            OpKind::LayerNorm => "layernorm",
+            OpKind::Activation(_) => "activation",
+            OpKind::Attention { .. } => "attention",
+            OpKind::Add => "add",
+            OpKind::Concat { .. } => "concat",
+            OpKind::Flatten => "flatten",
+            OpKind::PatchEmbed { .. } => "patch_embed",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape_standard() {
+        let conv = OpKind::Conv2d {
+            in_ch: 64,
+            out_ch: 128,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            groups: 1,
+        };
+        assert_eq!(
+            conv.output_shape(TensorShape::chw(64, 56, 56)),
+            TensorShape::chw(128, 28, 28)
+        );
+    }
+
+    #[test]
+    fn conv_flops_known_value() {
+        // 3x3 conv, 64->64, 56x56 output: 2 * 56*56*64 * 64*9 FLOPs.
+        let conv = OpKind::Conv2d {
+            in_ch: 64,
+            out_ch: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let f = conv.flops(TensorShape::chw(64, 56, 56));
+        let expect = 2.0 * (56.0 * 56.0 * 64.0) * (64.0 * 9.0);
+        assert!((f - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn depthwise_conv_cheaper_than_dense() {
+        let dense = OpKind::Conv2d {
+            in_ch: 64,
+            out_ch: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let dw = OpKind::Conv2d {
+            in_ch: 64,
+            out_ch: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 64,
+        };
+        let s = TensorShape::chw(64, 56, 56);
+        assert!((dense.flops(s) / dw.flops(s) - 64.0).abs() < 1e-9);
+        assert_eq!(dw.type_code(), 1);
+        assert_eq!(dense.type_code(), 0);
+    }
+
+    #[test]
+    fn linear_flops_and_params() {
+        let fc = OpKind::Linear {
+            in_features: 512,
+            out_features: 1000,
+        };
+        assert_eq!(fc.flops(TensorShape::flat(512)), 2.0 * 512.0 * 1000.0);
+        assert_eq!(fc.params(), 512.0 * 1000.0 + 1000.0);
+        // Applied per-token over a sequence.
+        assert_eq!(
+            fc.flops(TensorShape::tokens(10, 512)),
+            10.0 * 2.0 * 512.0 * 1000.0
+        );
+    }
+
+    #[test]
+    fn attention_flops_formula() {
+        let att = OpKind::Attention {
+            embed_dim: 768,
+            heads: 12,
+        };
+        let n = 197.0;
+        let d = 768.0;
+        let f = att.flops(TensorShape::tokens(197, 768));
+        assert!((f - (8.0 * n * d * d + 4.0 * n * n * d)).abs() < 1.0);
+        assert_eq!(att.params(), 4.0 * 768.0 * 768.0 + 4.0 * 768.0);
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial() {
+        let p = OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+        };
+        assert_eq!(
+            p.output_shape(TensorShape::chw(2048, 7, 7)),
+            TensorShape::chw(2048, 1, 1)
+        );
+    }
+
+    #[test]
+    fn maxpool_halves_spatial() {
+        let p = OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+        };
+        assert_eq!(
+            p.output_shape(TensorShape::chw(64, 112, 112)),
+            TensorShape::chw(64, 56, 56)
+        );
+    }
+
+    #[test]
+    fn concat_extends_channels() {
+        let c = OpKind::Concat { extra_ch: 32 };
+        assert_eq!(
+            c.output_shape(TensorShape::chw(64, 28, 28)),
+            TensorShape::chw(96, 28, 28)
+        );
+        assert_eq!(c.flops(TensorShape::chw(64, 28, 28)), 0.0);
+    }
+
+    #[test]
+    fn patch_embed_makes_tokens() {
+        let pe = OpKind::PatchEmbed {
+            in_ch: 3,
+            embed_dim: 768,
+            patch: 16,
+            extra_tokens: 1,
+        };
+        assert_eq!(
+            pe.output_shape(TensorShape::chw(3, 224, 224)),
+            TensorShape::tokens(14 * 14 + 1, 768)
+        );
+    }
+
+    #[test]
+    fn flatten_preserves_numel() {
+        let s = TensorShape::chw(512, 7, 7);
+        assert_eq!(OpKind::Flatten.output_shape(s), TensorShape::flat(512 * 49));
+    }
+
+    #[test]
+    fn add_reads_two_inputs() {
+        let s = TensorShape::chw(64, 56, 56);
+        let add_mem = OpKind::Add.memory_bytes(s);
+        let relu_mem = OpKind::Activation(ActKind::Relu).memory_bytes(s);
+        assert!(add_mem > relu_mem);
+    }
+
+    #[test]
+    fn memory_includes_weights() {
+        let conv = OpKind::Conv2d {
+            in_ch: 512,
+            out_ch: 512,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let s = TensorShape::chw(512, 7, 7);
+        // Weight-dominated layer: memory must exceed activation traffic alone.
+        let acts = (s.numel() * 2) as f64 * BYTES_PER_ELEM;
+        assert!(conv.memory_bytes(s) > acts + conv.params() * BYTES_PER_ELEM * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot consume shape")]
+    fn conv_on_tokens_panics() {
+        let conv = OpKind::Conv2d {
+            in_ch: 3,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        conv.output_shape(TensorShape::tokens(4, 4));
+    }
+
+    #[test]
+    fn type_codes_are_distinct_and_bounded() {
+        let ops = [
+            OpKind::Conv2d {
+                in_ch: 4,
+                out_ch: 4,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+            OpKind::Linear {
+                in_features: 4,
+                out_features: 4,
+            },
+            OpKind::BatchNorm,
+            OpKind::LayerNorm,
+            OpKind::Add,
+            OpKind::Flatten,
+        ];
+        for op in &ops {
+            assert!(op.type_code() < OpKind::NUM_TYPE_CODES);
+        }
+    }
+}

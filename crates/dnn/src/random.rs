@@ -1,0 +1,504 @@
+//! Random DNN generator — the substrate of the paper's dataset generator
+//! (§2.2: "uses a DNN generator to produce a large variety of neural networks
+//! by randomly combining features mentioned in section 2.1.2").
+//!
+//! Generated networks mix compute-intensive convolution stages, memory-bound
+//! depthwise stages, transformer encoder stacks and large linear classifiers,
+//! so the labelled datasets cover the whole space of power behaviours the
+//! prediction models must generalize over.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_dnn::random::{RandomDnnConfig, generate};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = generate(&RandomDnnConfig::default(), &mut rng);
+//! assert!(g.num_layers() >= 4);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ActKind, Graph, GraphBuilder, OpKind, PoolKind, TensorShape};
+
+/// Tunable bounds for the random generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDnnConfig {
+    /// Minimum number of body stages.
+    pub min_stages: usize,
+    /// Maximum number of body stages (inclusive).
+    pub max_stages: usize,
+    /// Maximum blocks per stage (inclusive).
+    pub max_blocks_per_stage: usize,
+    /// Candidate input resolutions (square).
+    pub resolutions: Vec<usize>,
+    /// Probability of generating a transformer-style network.
+    pub transformer_prob: f64,
+}
+
+impl Default for RandomDnnConfig {
+    fn default() -> Self {
+        RandomDnnConfig {
+            min_stages: 2,
+            max_stages: 5,
+            max_blocks_per_stage: 6,
+            resolutions: vec![96, 128, 160, 192, 224],
+            transformer_prob: 0.15,
+        }
+    }
+}
+
+/// Generates one random network under `cfg` using the supplied RNG.
+pub fn generate<R: Rng + ?Sized>(cfg: &RandomDnnConfig, rng: &mut R) -> Graph {
+    if rng.gen_bool(cfg.transformer_prob) {
+        random_transformer(cfg, rng)
+    } else {
+        random_cnn(cfg, rng)
+    }
+}
+
+/// Generates `count` networks from a deterministic seed.
+pub fn generate_batch(cfg: &RandomDnnConfig, seed: u64, count: usize) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| generate(cfg, &mut rng)).collect()
+}
+
+fn pick<R: Rng + ?Sized, T: Copy>(rng: &mut R, options: &[T]) -> T {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn random_cnn<R: Rng + ?Sized>(cfg: &RandomDnnConfig, rng: &mut R) -> Graph {
+    let res = pick(rng, &cfg.resolutions);
+    let mut b = GraphBuilder::new("random_cnn", TensorShape::chw(3, res, res));
+
+    // Stem.
+    let stem_w = pick(rng, &[16usize, 32, 64]);
+    let stem_k = pick(rng, &[3usize, 5, 7]);
+    push_conv_bn_act(&mut b, "stem", stem_w, stem_k, 2, stem_k / 2, 1, ActKind::Relu);
+    if rng.gen_bool(0.5) {
+        b.push(
+            "stem.pool",
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 2,
+            },
+        );
+    }
+
+    let stages = rng.gen_range(cfg.min_stages..=cfg.max_stages);
+    let mut width = stem_w;
+    for s in 0..stages {
+        width = (width * 2).min(1024);
+        let blocks = rng.gen_range(1..=cfg.max_blocks_per_stage);
+        let style = rng.gen_range(0..4);
+        for i in 0..blocks {
+            let stride = if i == 0 { 2 } else { 1 };
+            let prefix = format!("s{s}.b{i}");
+            // Never stride below 2x2 spatial.
+            let (h, _) = b.current_shape().spatial();
+            let stride = if h <= 2 { 1 } else { stride };
+            match style {
+                0 => plain_block(&mut b, &prefix, width, stride, rng),
+                1 => residual_block(&mut b, &prefix, width, stride),
+                2 => bottleneck_block(&mut b, &prefix, width, stride, rng),
+                _ => inverted_block(&mut b, &prefix, width, stride, rng),
+            }
+        }
+    }
+
+    // Head: sometimes a heavy MLP classifier (AlexNet/VGG style), otherwise
+    // the modern pooled head.
+    if rng.gen_bool(0.3) {
+        b.push(
+            "head.pool",
+            OpKind::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: 0,
+                stride: 0,
+            },
+        );
+        b.push("head.flatten", OpKind::Flatten);
+        let mut feats = b.current_shape().numel();
+        let hidden = pick(rng, &[1024usize, 2048, 4096]);
+        for i in 0..rng.gen_range(1..=2) {
+            b.push(
+                format!("head.fc{i}"),
+                OpKind::Linear {
+                    in_features: feats,
+                    out_features: hidden,
+                },
+            );
+            b.push(format!("head.act{i}"), OpKind::Activation(ActKind::Relu));
+            feats = hidden;
+        }
+        b.push(
+            "head.out",
+            OpKind::Linear {
+                in_features: feats,
+                out_features: 1000,
+            },
+        );
+    } else {
+        b.push(
+            "head.pool",
+            OpKind::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: 0,
+                stride: 0,
+            },
+        );
+        b.push("head.flatten", OpKind::Flatten);
+        let feats = b.current_shape().numel();
+        b.push(
+            "head.out",
+            OpKind::Linear {
+                in_features: feats,
+                out_features: 1000,
+            },
+        );
+    }
+    b.finish()
+}
+
+fn random_transformer<R: Rng + ?Sized>(cfg: &RandomDnnConfig, rng: &mut R) -> Graph {
+    let res = pick(rng, &cfg.resolutions);
+    let dim = pick(rng, &[192usize, 384, 576, 768]);
+    let heads = dim / 64;
+    let patch = pick(rng, &[8usize, 16, 32]);
+    let depth = rng.gen_range(4..=12);
+
+    let mut b = GraphBuilder::new("random_vit", TensorShape::chw(3, res, res));
+    b.push(
+        "patch_embed",
+        OpKind::PatchEmbed {
+            in_ch: 3,
+            embed_dim: dim,
+            patch,
+            extra_tokens: 1,
+        },
+    );
+    for i in 0..depth {
+        let pre = b.next_id() - 1;
+        b.push(format!("enc{i}.ln1"), OpKind::LayerNorm);
+        b.push(
+            format!("enc{i}.attn"),
+            OpKind::Attention {
+                embed_dim: dim,
+                heads,
+            },
+        );
+        let add1 = b.push(format!("enc{i}.add1"), OpKind::Add);
+        b.add_skip(pre, add1);
+        b.push(format!("enc{i}.ln2"), OpKind::LayerNorm);
+        b.push(
+            format!("enc{i}.fc1"),
+            OpKind::Linear {
+                in_features: dim,
+                out_features: 4 * dim,
+            },
+        );
+        b.push(format!("enc{i}.gelu"), OpKind::Activation(ActKind::Gelu));
+        b.push(
+            format!("enc{i}.fc2"),
+            OpKind::Linear {
+                in_features: 4 * dim,
+                out_features: dim,
+            },
+        );
+        let add2 = b.push(format!("enc{i}.add2"), OpKind::Add);
+        b.add_skip(add1, add2);
+    }
+    b.push("final.ln", OpKind::LayerNorm);
+    b.set_current_shape(TensorShape::flat(dim));
+    b.push(
+        "head",
+        OpKind::Linear {
+            in_features: dim,
+            out_features: 1000,
+        },
+    );
+    b.finish()
+}
+
+fn push_conv_bn_act(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    act: ActKind,
+) -> usize {
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.conv"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            groups,
+        },
+    );
+    b.push(format!("{prefix}.bn"), OpKind::BatchNorm);
+    b.push(format!("{prefix}.act"), OpKind::Activation(act))
+}
+
+fn plain_block<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    width: usize,
+    stride: usize,
+    rng: &mut R,
+) {
+    let k = pick(rng, &[3usize, 5]);
+    push_conv_bn_act(b, prefix, width, k, stride, k / 2, 1, ActKind::Relu);
+}
+
+fn residual_block(b: &mut GraphBuilder, prefix: &str, width: usize, stride: usize) {
+    let input_shape = b.current_shape();
+    let needs_proj = stride != 1 || input_shape.channels() != width;
+    push_conv_bn_act(b, &format!("{prefix}.1"), width, 3, stride, 1, 1, ActKind::Relu);
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.2.conv"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch: width,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        },
+    );
+    let main_out = b.push(format!("{prefix}.2.bn"), OpKind::BatchNorm);
+    if needs_proj {
+        b.set_current_shape(input_shape);
+        let in_ch = input_shape.channels();
+        b.push(
+            format!("{prefix}.proj.conv"),
+            OpKind::Conv2d {
+                in_ch,
+                out_ch: width,
+                kernel: 1,
+                stride,
+                padding: 0,
+                groups: 1,
+            },
+        );
+        let proj = b.push(format!("{prefix}.proj.bn"), OpKind::BatchNorm);
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+        b.add_skip(proj, add);
+    } else {
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+    }
+    b.push(format!("{prefix}.relu"), OpKind::Activation(ActKind::Relu));
+}
+
+fn bottleneck_block<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    width: usize,
+    stride: usize,
+    rng: &mut R,
+) {
+    let input_shape = b.current_shape();
+    let mid = (width / 4).max(8);
+    let groups = if rng.gen_bool(0.3) && mid % 32 == 0 { 32 } else { 1 };
+    push_conv_bn_act(b, &format!("{prefix}.1"), mid, 1, 1, 0, 1, ActKind::Relu);
+    push_conv_bn_act(b, &format!("{prefix}.2"), mid, 3, stride, 1, groups, ActKind::Relu);
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.3.conv"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch: width,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        },
+    );
+    let main_out = b.push(format!("{prefix}.3.bn"), OpKind::BatchNorm);
+    let needs_proj = stride != 1 || input_shape.channels() != width;
+    if needs_proj {
+        b.set_current_shape(input_shape);
+        let in_ch = input_shape.channels();
+        b.push(
+            format!("{prefix}.proj.conv"),
+            OpKind::Conv2d {
+                in_ch,
+                out_ch: width,
+                kernel: 1,
+                stride,
+                padding: 0,
+                groups: 1,
+            },
+        );
+        let proj = b.push(format!("{prefix}.proj.bn"), OpKind::BatchNorm);
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+        b.add_skip(proj, add);
+    } else {
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+    }
+    b.push(format!("{prefix}.relu"), OpKind::Activation(ActKind::Relu));
+}
+
+fn inverted_block<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    width: usize,
+    stride: usize,
+    rng: &mut R,
+) {
+    let in_ch = b.current_shape().channels();
+    let exp = in_ch * pick(rng, &[2usize, 4, 6]);
+    let k = pick(rng, &[3usize, 5]);
+    push_conv_bn_act(b, &format!("{prefix}.expand"), exp, 1, 1, 0, 1, ActKind::HardSwish);
+    push_conv_bn_act(
+        b,
+        &format!("{prefix}.dw"),
+        exp,
+        k,
+        stride,
+        k / 2,
+        exp,
+        ActKind::HardSwish,
+    );
+    // Squeeze-excitation, as in MobileNetV3 / RegNetY bodies.
+    if rng.gen_bool(0.5) {
+        let shape = b.current_shape();
+        b.push(
+            format!("{prefix}.se.pool"),
+            OpKind::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: 0,
+                stride: 0,
+            },
+        );
+        b.push(
+            format!("{prefix}.se.fc1"),
+            OpKind::Conv2d {
+                in_ch: exp,
+                out_ch: (exp / 4).max(8),
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+            },
+        );
+        b.push(format!("{prefix}.se.relu"), OpKind::Activation(ActKind::Relu));
+        b.push(
+            format!("{prefix}.se.fc2"),
+            OpKind::Conv2d {
+                in_ch: (exp / 4).max(8),
+                out_ch: exp,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+            },
+        );
+        b.push(format!("{prefix}.se.gate"), OpKind::Activation(ActKind::Sigmoid));
+        b.set_current_shape(shape);
+        b.push(format!("{prefix}.se.scale"), OpKind::Add);
+    }
+    b.push(
+        format!("{prefix}.project.conv"),
+        OpKind::Conv2d {
+            in_ch: exp,
+            out_ch: width,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        },
+    );
+    b.push(format!("{prefix}.project.bn"), OpKind::BatchNorm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomDnnConfig::default();
+        let a = generate_batch(&cfg, 42, 5);
+        let b = generate_batch(&cfg, 42, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomDnnConfig::default();
+        let a = generate_batch(&cfg, 1, 3);
+        let b = generate_batch(&cfg, 2, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_networks_are_wellformed() {
+        let cfg = RandomDnnConfig::default();
+        for g in generate_batch(&cfg, 7, 50) {
+            assert!(g.num_layers() >= 4, "{} too small", g.name());
+            let s = g.stats();
+            assert!(s.total_flops > 0.0);
+            assert!(s.total_memory_bytes > 0.0);
+            assert!(s.total_flops.is_finite());
+            // Shapes thread correctly (output of each layer is input of next,
+            // except after explicit branch points, which builders manage).
+            assert_eq!(g.output_shape(), TensorShape::flat(1000));
+        }
+    }
+
+    #[test]
+    fn transformer_prob_one_yields_vits() {
+        let cfg = RandomDnnConfig {
+            transformer_prob: 1.0,
+            ..RandomDnnConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generate(&cfg, &mut rng);
+        assert_eq!(g.name(), "random_vit");
+        assert!(g
+            .layers()
+            .iter()
+            .any(|l| matches!(l.op, OpKind::Attention { .. })));
+    }
+
+    #[test]
+    fn coverage_of_block_styles() {
+        // Over many samples we should see depthwise convs, grouped convs,
+        // residual adds and transformer attention at least once each.
+        let cfg = RandomDnnConfig::default();
+        let graphs = generate_batch(&cfg, 11, 80);
+        let mut saw_dw = false;
+        let mut saw_add = false;
+        let mut saw_attn = false;
+        for g in &graphs {
+            for l in g.layers() {
+                match l.op {
+                    OpKind::Conv2d { groups, in_ch, .. } if groups == in_ch && in_ch > 1 => {
+                        saw_dw = true
+                    }
+                    OpKind::Add => saw_add = true,
+                    OpKind::Attention { .. } => saw_attn = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_dw && saw_add && saw_attn);
+    }
+}

@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// Shape of an activation tensor flowing between layers (batch dimension
+/// excluded — the simulator multiplies by batch size).
+///
+/// # Example
+///
+/// ```
+/// use powerlens_dnn::TensorShape;
+///
+/// let img = TensorShape::chw(3, 224, 224);
+/// assert_eq!(img.numel(), 3 * 224 * 224);
+/// let tokens = TensorShape::tokens(197, 768);
+/// assert_eq!(tokens.numel(), 197 * 768);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorShape {
+    /// Convolutional feature map: channels x height x width.
+    Chw {
+        /// Number of channels.
+        c: usize,
+        /// Spatial height.
+        h: usize,
+        /// Spatial width.
+        w: usize,
+    },
+    /// Token sequence (transformers): sequence length x embedding dim.
+    Tokens {
+        /// Number of tokens (sequence length).
+        n: usize,
+        /// Embedding dimension per token.
+        d: usize,
+    },
+    /// Flat feature vector of the given length.
+    Flat(usize),
+}
+
+impl TensorShape {
+    /// Convenience constructor for a `c x h x w` feature map.
+    pub fn chw(c: usize, h: usize, w: usize) -> Self {
+        TensorShape::Chw { c, h, w }
+    }
+
+    /// Convenience constructor for an `n x d` token sequence.
+    pub fn tokens(n: usize, d: usize) -> Self {
+        TensorShape::Tokens { n, d }
+    }
+
+    /// Convenience constructor for a flat vector of length `n`.
+    pub fn flat(n: usize) -> Self {
+        TensorShape::Flat(n)
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        match *self {
+            TensorShape::Chw { c, h, w } => c * h * w,
+            TensorShape::Tokens { n, d } => n * d,
+            TensorShape::Flat(n) => n,
+        }
+    }
+
+    /// Channel count for feature maps, embedding dim for tokens, length for
+    /// flat vectors — the "width" the next layer sees.
+    pub fn channels(&self) -> usize {
+        match *self {
+            TensorShape::Chw { c, .. } => c,
+            TensorShape::Tokens { d, .. } => d,
+            TensorShape::Flat(n) => n,
+        }
+    }
+
+    /// Spatial extent `(h, w)` for feature maps; `(n, 1)` for token
+    /// sequences; `(1, 1)` for flat vectors.
+    pub fn spatial(&self) -> (usize, usize) {
+        match *self {
+            TensorShape::Chw { h, w, .. } => (h, w),
+            TensorShape::Tokens { n, .. } => (n, 1),
+            TensorShape::Flat(_) => (1, 1),
+        }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorShape::Chw { c, h, w } => write!(f, "{c}x{h}x{w}"),
+            TensorShape::Tokens { n, d } => write!(f, "{n}t x{d}"),
+            TensorShape::Flat(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_matches_shape() {
+        assert_eq!(TensorShape::chw(64, 56, 56).numel(), 64 * 56 * 56);
+        assert_eq!(TensorShape::tokens(197, 768).numel(), 197 * 768);
+        assert_eq!(TensorShape::flat(1000).numel(), 1000);
+    }
+
+    #[test]
+    fn channels_accessor() {
+        assert_eq!(TensorShape::chw(64, 56, 56).channels(), 64);
+        assert_eq!(TensorShape::tokens(197, 768).channels(), 768);
+        assert_eq!(TensorShape::flat(10).channels(), 10);
+    }
+
+    #[test]
+    fn spatial_accessor() {
+        assert_eq!(TensorShape::chw(64, 56, 28).spatial(), (56, 28));
+        assert_eq!(TensorShape::tokens(197, 768).spatial(), (197, 1));
+        assert_eq!(TensorShape::flat(10).spatial(), (1, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TensorShape::chw(3, 224, 224).to_string(), "3x224x224");
+        assert_eq!(TensorShape::flat(7).to_string(), "7");
+    }
+}

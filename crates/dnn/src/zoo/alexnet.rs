@@ -1,0 +1,76 @@
+use super::helpers::{conv_act, imagenet, maxpool};
+use crate::{ActKind, Graph, GraphBuilder, OpKind, PoolKind};
+
+/// AlexNet (torchvision `alexnet`): 5 conv layers, 3 max-pools, 3 FC layers.
+/// ~0.71 GFLOPs / ~61 M params at 224 x 224.
+pub fn alexnet() -> Graph {
+    let mut b = GraphBuilder::new("alexnet", imagenet());
+    conv_act(&mut b, "features.0", 64, 11, 4, 2, ActKind::Relu);
+    maxpool(&mut b, "features.2", 3, 2);
+    conv_act(&mut b, "features.3", 192, 5, 1, 2, ActKind::Relu);
+    maxpool(&mut b, "features.5", 3, 2);
+    conv_act(&mut b, "features.6", 384, 3, 1, 1, ActKind::Relu);
+    conv_act(&mut b, "features.8", 256, 3, 1, 1, ActKind::Relu);
+    conv_act(&mut b, "features.10", 256, 3, 1, 1, ActKind::Relu);
+    maxpool(&mut b, "features.12", 3, 2);
+    // torchvision adaptive-pools to 6x6; the final maxpool already yields 6x6.
+    b.push("classifier.flatten", OpKind::Flatten);
+    let in_features = b.current_shape().numel();
+    b.push(
+        "classifier.1",
+        OpKind::Linear {
+            in_features,
+            out_features: 4096,
+        },
+    );
+    b.push("classifier.2", OpKind::Activation(ActKind::Relu));
+    b.push(
+        "classifier.4",
+        OpKind::Linear {
+            in_features: 4096,
+            out_features: 4096,
+        },
+    );
+    b.push("classifier.5", OpKind::Activation(ActKind::Relu));
+    b.push(
+        "classifier.6",
+        OpKind::Linear {
+            in_features: 4096,
+            out_features: 1000,
+        },
+    );
+    b.finish()
+}
+
+// Silence unused import lint for PoolKind which documents intent.
+#[allow(unused)]
+fn _unused(_: PoolKind) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorShape;
+
+    #[test]
+    fn alexnet_flatten_is_9216() {
+        let g = alexnet();
+        let flatten = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "classifier.flatten")
+            .unwrap();
+        assert_eq!(flatten.output_shape, TensorShape::flat(256 * 6 * 6));
+    }
+
+    #[test]
+    fn alexnet_params_dominated_by_fc() {
+        let g = alexnet();
+        let fc_params: f64 = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Linear { .. }))
+            .map(|l| l.params())
+            .sum();
+        assert!(fc_params / g.stats().total_params > 0.9);
+    }
+}

@@ -1,0 +1,115 @@
+use super::helpers::{classifier_head, conv_bn_act, imagenet, maxpool};
+use crate::{ActKind, Graph, GraphBuilder, OpKind, PoolKind};
+
+const GROWTH: usize = 32;
+
+/// Pushes one DenseNet layer: BN → ReLU → 1x1 conv (4k) → BN → ReLU →
+/// 3x3 conv (k) → concat onto the running feature map.
+fn dense_layer(b: &mut GraphBuilder, prefix: &str) {
+    let input_shape = b.current_shape();
+    b.push(format!("{prefix}.bn1"), OpKind::BatchNorm);
+    b.push(format!("{prefix}.relu1"), OpKind::Activation(ActKind::Relu));
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.conv1"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch: 4 * GROWTH,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        },
+    );
+    b.push(format!("{prefix}.bn2"), OpKind::BatchNorm);
+    b.push(format!("{prefix}.relu2"), OpKind::Activation(ActKind::Relu));
+    let new_feat = b.push(
+        format!("{prefix}.conv2"),
+        OpKind::Conv2d {
+            in_ch: 4 * GROWTH,
+            out_ch: GROWTH,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        },
+    );
+    // Concatenate the new k features onto the block input.
+    b.set_current_shape(input_shape);
+    let cat = b.push(format!("{prefix}.cat"), OpKind::Concat { extra_ch: GROWTH });
+    b.add_skip(new_feat, cat);
+}
+
+/// Pushes a transition: BN → ReLU → 1x1 conv halving channels → 2x2 avg-pool.
+fn transition(b: &mut GraphBuilder, prefix: &str) {
+    let ch = b.current_shape().channels();
+    b.push(format!("{prefix}.bn"), OpKind::BatchNorm);
+    b.push(format!("{prefix}.relu"), OpKind::Activation(ActKind::Relu));
+    b.push(
+        format!("{prefix}.conv"),
+        OpKind::Conv2d {
+            in_ch: ch,
+            out_ch: ch / 2,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        },
+    );
+    b.push(
+        format!("{prefix}.pool"),
+        OpKind::Pool {
+            kind: PoolKind::Avg,
+            kernel: 2,
+            stride: 2,
+        },
+    );
+}
+
+/// DenseNet-201 (torchvision `densenet201`): dense blocks [6, 12, 48, 32]
+/// with growth rate 32, ~4.3 GFLOPs / ~20 M params. The deepest zoo model
+/// (~700 operators).
+pub fn densenet201() -> Graph {
+    let mut b = GraphBuilder::new("densenet201", imagenet());
+    conv_bn_act(&mut b, "stem", 64, 7, 2, 3, 1, ActKind::Relu);
+    maxpool(&mut b, "stem", 3, 2);
+
+    let block_sizes = [6usize, 12, 48, 32];
+    for (bi, &n) in block_sizes.iter().enumerate() {
+        for li in 0..n {
+            dense_layer(&mut b, &format!("denseblock{}.layer{li}", bi + 1));
+        }
+        if bi + 1 < block_sizes.len() {
+            transition(&mut b, &format!("transition{}", bi + 1));
+        }
+    }
+    b.push("final.bn", OpKind::BatchNorm);
+    b.push("final.relu", OpKind::Activation(ActKind::Relu));
+    classifier_head(&mut b, 1000);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densenet_channel_growth() {
+        let g = densenet201();
+        // After block 1 (6 layers): 64 + 6*32 = 256; transition halves to 128.
+        let t1_conv = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "transition1.conv")
+            .unwrap();
+        assert_eq!(t1_conv.output_shape.channels(), 128);
+        // Final channels: block4 input 896 hmm — check against known 1920.
+        let final_bn = g.layers().iter().find(|l| l.name == "final.bn").unwrap();
+        assert_eq!(final_bn.input_shape.channels(), 1920);
+    }
+
+    #[test]
+    fn densenet_is_very_deep() {
+        assert!(densenet201().num_layers() > 600);
+    }
+}

@@ -1,0 +1,149 @@
+use super::helpers::{conv_bn_act, imagenet, maxpool};
+use crate::{ActKind, Graph, GraphBuilder, OpKind, PoolKind};
+
+/// Channel configuration of one Inception module:
+/// `(b1, b2_reduce, b2, b3_reduce, b3, b4_proj)`.
+type InceptionCfg = (usize, usize, usize, usize, usize, usize);
+
+/// Pushes one Inception module (four parallel branches merged by channel
+/// concatenation). Branch costs are all accounted; the merge is modelled by
+/// [`OpKind::Concat`] layers accumulating the side branches onto branch 1.
+fn inception(b: &mut GraphBuilder, prefix: &str, cfg: InceptionCfg) {
+    let (b1, b2r, b2, b3r, b3, b4) = cfg;
+    let input_shape = b.current_shape();
+
+    // Branch 1: 1x1 conv.
+    let br1 = conv_bn_act(b, &format!("{prefix}.branch1"), b1, 1, 1, 0, 1, ActKind::Relu);
+
+    // Branch 2: 1x1 reduce then 3x3.
+    b.set_current_shape(input_shape);
+    conv_bn_act(b, &format!("{prefix}.branch2.0"), b2r, 1, 1, 0, 1, ActKind::Relu);
+    let br2 = conv_bn_act(b, &format!("{prefix}.branch2.1"), b2, 3, 1, 1, 1, ActKind::Relu);
+
+    // Branch 3: 1x1 reduce then 3x3 (torchvision uses 3x3 in its 5x5 slot).
+    b.set_current_shape(input_shape);
+    conv_bn_act(b, &format!("{prefix}.branch3.0"), b3r, 1, 1, 0, 1, ActKind::Relu);
+    let br3 = conv_bn_act(b, &format!("{prefix}.branch3.1"), b3, 3, 1, 1, 1, ActKind::Relu);
+
+    // Branch 4: 3x3 max-pool then 1x1 projection.
+    b.set_current_shape(input_shape);
+    b.push(
+        format!("{prefix}.branch4.pool"),
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 1,
+        },
+    );
+    // stride-1 3x3 pool without padding shrinks by 2; torchvision pads to
+    // keep shape. Restore the spatial dims explicitly.
+    b.set_current_shape(input_shape);
+    let br4 = conv_bn_act(b, &format!("{prefix}.branch4.1"), b4, 1, 1, 0, 1, ActKind::Relu);
+
+    // Merge: concat all four branch outputs channel-wise.
+    let (h, w) = input_shape.spatial();
+    b.set_current_shape(crate::TensorShape::chw(b1, h, w));
+    let cat = b.push(
+        format!("{prefix}.cat"),
+        OpKind::Concat {
+            extra_ch: b2 + b3 + b4,
+        },
+    );
+    b.add_skip(br1, cat);
+    b.add_skip(br2, cat);
+    b.add_skip(br3, cat);
+    b.add_skip(br4, cat);
+}
+
+/// GoogLeNet (torchvision `googlenet`, with batch norm): stem + 9 Inception
+/// modules, ~1.5 GFLOPs / ~6.6 M params.
+pub fn googlenet() -> Graph {
+    let mut b = GraphBuilder::new("googlenet", imagenet());
+    conv_bn_act(&mut b, "conv1", 64, 7, 2, 3, 1, ActKind::Relu);
+    maxpool(&mut b, "pool1", 3, 2);
+    conv_bn_act(&mut b, "conv2", 64, 1, 1, 0, 1, ActKind::Relu);
+    conv_bn_act(&mut b, "conv3", 192, 3, 1, 1, 1, ActKind::Relu);
+    maxpool(&mut b, "pool2", 3, 2);
+
+    inception(&mut b, "inception3a", (64, 96, 128, 16, 32, 32));
+    inception(&mut b, "inception3b", (128, 128, 192, 32, 96, 64));
+    maxpool(&mut b, "pool3", 3, 2);
+    inception(&mut b, "inception4a", (192, 96, 208, 16, 48, 64));
+    inception(&mut b, "inception4b", (160, 112, 224, 24, 64, 64));
+    inception(&mut b, "inception4c", (128, 128, 256, 24, 64, 64));
+    inception(&mut b, "inception4d", (112, 144, 288, 32, 64, 64));
+    inception(&mut b, "inception4e", (256, 160, 320, 32, 128, 128));
+    maxpool(&mut b, "pool4", 3, 2);
+    inception(&mut b, "inception5a", (256, 160, 320, 32, 128, 128));
+    inception(&mut b, "inception5b", (384, 192, 384, 48, 128, 128));
+
+    b.push(
+        "head.avgpool",
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+        },
+    );
+    b.push("head.flatten", OpKind::Flatten);
+    b.push(
+        "head.fc",
+        OpKind::Linear {
+            in_features: 1024,
+            out_features: 1000,
+        },
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorShape;
+
+    #[test]
+    fn googlenet_inception_output_channels() {
+        let g = googlenet();
+        // inception3a output: 64 + 128 + 32 + 32 = 256 channels. (Spatial is
+        // 27x27 rather than torchvision's 28x28 because our pools floor
+        // instead of using ceil_mode.)
+        let cat = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "inception3a.cat")
+            .unwrap();
+        assert_eq!(cat.output_shape.channels(), 256);
+        let _ = TensorShape::flat(0); // keep the import used
+        // inception5b output: 384+384+128+128 = 1024.
+        let cat5b = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "inception5b.cat")
+            .unwrap();
+        assert_eq!(cat5b.output_shape.channels(), 1024);
+    }
+
+    #[test]
+    fn googlenet_has_nine_inceptions() {
+        let g = googlenet();
+        let cats = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Concat { .. }))
+            .count();
+        assert_eq!(cats, 9);
+    }
+
+    #[test]
+    fn concat_merges_have_four_incoming_skips() {
+        let g = googlenet();
+        let cat3a = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "inception3a.cat")
+            .unwrap()
+            .id;
+        let incoming = g.skip_edges().iter().filter(|&&(_, t)| t == cat3a).count();
+        assert_eq!(incoming, 4);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared building blocks for the zoo architectures.
+
+use crate::{ActKind, GraphBuilder, LayerId, OpKind, PoolKind, TensorShape};
+
+/// Pushes `conv -> batchnorm -> activation` and returns the activation's id.
+pub(crate) fn conv_bn_act(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    act: ActKind,
+) -> LayerId {
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.conv"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            groups,
+        },
+    );
+    b.push(format!("{prefix}.bn"), OpKind::BatchNorm);
+    b.push(format!("{prefix}.act"), OpKind::Activation(act))
+}
+
+/// Pushes `conv -> batchnorm` (no activation) and returns the bn's id.
+pub(crate) fn conv_bn(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+) -> LayerId {
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.conv"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            groups,
+        },
+    );
+    b.push(format!("{prefix}.bn"), OpKind::BatchNorm)
+}
+
+/// Pushes a plain `conv -> activation` pair (VGG/AlexNet style, no BN).
+pub(crate) fn conv_act(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    act: ActKind,
+) -> LayerId {
+    let in_ch = b.current_shape().channels();
+    b.push(
+        format!("{prefix}.conv"),
+        OpKind::Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+        },
+    );
+    b.push(format!("{prefix}.act"), OpKind::Activation(act))
+}
+
+/// Pushes a squeeze-and-excitation module (global pool, two 1x1 convs,
+/// sigmoid gate modelled as an activation + multiply-add).
+///
+/// The SE branch consumes the current feature map and re-emits the same
+/// shape; the channel-wise multiply is modelled as an [`OpKind::Add`]-cost
+/// element-wise op.
+pub(crate) fn se_module(b: &mut GraphBuilder, prefix: &str, squeeze_ch: usize) {
+    let shape = b.current_shape();
+    let ch = shape.channels();
+    b.push(
+        format!("{prefix}.se.pool"),
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+        },
+    );
+    b.push(
+        format!("{prefix}.se.fc1"),
+        OpKind::Conv2d {
+            in_ch: ch,
+            out_ch: squeeze_ch,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        },
+    );
+    b.push(format!("{prefix}.se.relu"), OpKind::Activation(ActKind::Relu));
+    b.push(
+        format!("{prefix}.se.fc2"),
+        OpKind::Conv2d {
+            in_ch: squeeze_ch,
+            out_ch: ch,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        },
+    );
+    b.push(
+        format!("{prefix}.se.gate"),
+        OpKind::Activation(ActKind::Sigmoid),
+    );
+    // Channel-wise rescale of the main feature map.
+    b.set_current_shape(shape);
+    b.push(format!("{prefix}.se.scale"), OpKind::Add);
+}
+
+/// Pushes the standard CNN classifier head: global average pool, flatten,
+/// final linear to `num_classes`.
+pub(crate) fn classifier_head(b: &mut GraphBuilder, num_classes: usize) {
+    b.push(
+        "head.avgpool",
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+        },
+    );
+    b.push("head.flatten", OpKind::Flatten);
+    let in_features = b.current_shape().numel();
+    b.push(
+        "head.fc",
+        OpKind::Linear {
+            in_features,
+            out_features: num_classes,
+        },
+    );
+}
+
+/// Pushes a max-pool layer.
+pub(crate) fn maxpool(b: &mut GraphBuilder, prefix: &str, kernel: usize, stride: usize) {
+    b.push(
+        format!("{prefix}.maxpool"),
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel,
+            stride,
+        },
+    );
+}
+
+/// Shape helper: the standard ImageNet input.
+pub(crate) fn imagenet() -> TensorShape {
+    super::IMAGENET_INPUT
+}

@@ -1,0 +1,121 @@
+use super::helpers::{conv_bn, conv_bn_act, imagenet, se_module};
+use crate::{ActKind, Graph, GraphBuilder, OpKind, PoolKind};
+
+/// One inverted-residual block configuration:
+/// `(kernel, expanded, out, use_se, use_hardswish, stride)`.
+type BneckCfg = (usize, usize, usize, bool, bool, usize);
+
+/// Pushes one MobileNetV3 inverted-residual block.
+fn bneck(b: &mut GraphBuilder, prefix: &str, cfg: BneckCfg) {
+    let (kernel, exp, out, use_se, hs, stride) = cfg;
+    let act = if hs { ActKind::HardSwish } else { ActKind::Relu };
+    let input_shape = b.current_shape();
+    let in_ch = input_shape.channels();
+    let residual = stride == 1 && in_ch == out;
+
+    if exp != in_ch {
+        conv_bn_act(b, &format!("{prefix}.expand"), exp, 1, 1, 0, 1, act);
+    }
+    // Depthwise conv.
+    conv_bn_act(
+        b,
+        &format!("{prefix}.dw"),
+        exp,
+        kernel,
+        stride,
+        kernel / 2,
+        exp,
+        act,
+    );
+    if use_se {
+        se_module(b, prefix, exp / 4);
+    }
+    // Linear projection.
+    let proj = conv_bn(b, &format!("{prefix}.project"), out, 1, 1, 0, 1);
+    if residual {
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(proj, add);
+    }
+}
+
+/// MobileNetV3-Large (torchvision `mobilenet_v3_large`): 15 inverted-residual
+/// blocks with squeeze-excitation and hard-swish, ~0.22 GFLOPs / ~5.5 M
+/// params. The paper's representative "small network" (1 power block).
+pub fn mobilenet_v3() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v3", imagenet());
+    conv_bn_act(&mut b, "stem", 16, 3, 2, 1, 1, ActKind::HardSwish);
+
+    let cfgs: &[BneckCfg] = &[
+        (3, 16, 16, false, false, 1),
+        (3, 64, 24, false, false, 2),
+        (3, 72, 24, false, false, 1),
+        (5, 72, 40, true, false, 2),
+        (5, 120, 40, true, false, 1),
+        (5, 120, 40, true, false, 1),
+        (3, 240, 80, false, true, 2),
+        (3, 200, 80, false, true, 1),
+        (3, 184, 80, false, true, 1),
+        (3, 184, 80, false, true, 1),
+        (3, 480, 112, true, true, 1),
+        (3, 672, 112, true, true, 1),
+        (5, 672, 160, true, true, 2),
+        (5, 960, 160, true, true, 1),
+        (5, 960, 160, true, true, 1),
+    ];
+    for (i, &cfg) in cfgs.iter().enumerate() {
+        bneck(&mut b, &format!("block{}", i + 1), cfg);
+    }
+    conv_bn_act(&mut b, "conv_last", 960, 1, 1, 0, 1, ActKind::HardSwish);
+    b.push(
+        "head.avgpool",
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+        },
+    );
+    b.push("head.flatten", OpKind::Flatten);
+    b.push(
+        "head.fc1",
+        OpKind::Linear {
+            in_features: 960,
+            out_features: 1280,
+        },
+    );
+    b.push("head.hs", OpKind::Activation(ActKind::HardSwish));
+    b.push(
+        "head.fc2",
+        OpKind::Linear {
+            in_features: 1280,
+            out_features: 1000,
+        },
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_uses_depthwise_convs() {
+        let g = mobilenet_v3();
+        let dw = g
+            .layers()
+            .iter()
+            .filter(|l| l.op.type_code() == 1)
+            .count();
+        assert!(dw >= 15, "expected >= 15 depthwise convs, found {dw}");
+    }
+
+    #[test]
+    fn mobilenet_is_lightweight() {
+        let s = mobilenet_v3().stats();
+        assert!(s.total_flops < 1e9, "mobilenet should be < 1 GFLOP");
+    }
+
+    #[test]
+    fn residual_blocks_present() {
+        assert!(!mobilenet_v3().skip_edges().is_empty());
+    }
+}

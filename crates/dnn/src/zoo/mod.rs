@@ -1,0 +1,152 @@
+//! Model zoo: builders for the 12 torchvision architectures evaluated in the
+//! paper (Table 1).
+//!
+//! Every builder constructs the network at the paper's evaluation resolution
+//! (3 x 224 x 224 ImageNet inputs) with faithful layer shapes, so the
+//! analytical FLOP / parameter / memory-traffic totals land close to the
+//! published numbers for each architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_dnn::zoo;
+//!
+//! for (name, build) in zoo::all_models() {
+//!     let g = build();
+//!     assert_eq!(g.name(), name);
+//! }
+//! let vgg = zoo::by_name("vgg19").unwrap();
+//! assert!(vgg.stats().total_params > 1.0e8); // vgg19 is ~143M params
+//! ```
+
+mod alexnet;
+mod densenet;
+mod googlenet;
+mod helpers;
+mod mobilenet;
+mod regnet;
+mod resnet;
+mod vgg;
+mod vit;
+
+pub use alexnet::alexnet;
+pub use densenet::densenet201;
+pub use googlenet::googlenet;
+pub use mobilenet::mobilenet_v3;
+pub use regnet::{regnet_x_32gf, regnet_y_128gf};
+pub use resnet::{resnet152, resnet34, resnext101};
+pub use vgg::vgg19;
+pub use vit::{vit_base_16, vit_base_32};
+
+use crate::{Graph, TensorShape};
+
+/// The ImageNet evaluation input shape used throughout the paper
+/// (3-channel 224 x 224 images, §3.2.2).
+pub const IMAGENET_INPUT: TensorShape = TensorShape::Chw {
+    c: 3,
+    h: 224,
+    w: 224,
+};
+
+/// All 12 models of Table 1, in the paper's row order.
+pub fn all_models() -> Vec<(&'static str, fn() -> Graph)> {
+    vec![
+        ("alexnet", alexnet as fn() -> Graph),
+        ("googlenet", googlenet),
+        ("vgg19", vgg19),
+        ("mobilenet_v3", mobilenet_v3),
+        ("densenet201", densenet201),
+        ("resnext101", resnext101),
+        ("resnet34", resnet34),
+        ("resnet152", resnet152),
+        ("regnet_x_32gf", regnet_x_32gf),
+        ("regnet_y_128gf", regnet_y_128gf),
+        ("vit_base_16", vit_base_16),
+        ("vit_base_32", vit_base_32),
+    ]
+}
+
+/// Builds a zoo model by its Table 1 name; `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Graph> {
+    all_models()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twelve_models() {
+        assert_eq!(all_models().len(), 12);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for (name, _) in all_models() {
+            let g = by_name(name).unwrap();
+            assert_eq!(g.name(), name);
+            assert_eq!(g.input_shape(), IMAGENET_INPUT);
+            assert_eq!(g.output_shape(), TensorShape::flat(1000), "{name} head");
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    /// Published (approximate) FLOPs and parameter counts per architecture;
+    /// the analytical model should land within a factor band.
+    #[test]
+    fn cost_totals_near_published_values() {
+        // (name, GMACs, M params) from torchvision docs / ptflops. Published
+        // "GFLOPs" count multiply-accumulates; our model counts true FLOPs
+        // (2 per MAC), so the comparison doubles the published figure.
+        let expect = [
+            ("alexnet", 0.71, 61.0),
+            ("googlenet", 1.5, 6.6),
+            ("vgg19", 19.6, 143.7),
+            ("mobilenet_v3", 0.22, 5.5),
+            ("densenet201", 4.3, 20.0),
+            ("resnext101", 16.4, 88.8),
+            ("resnet34", 3.7, 21.8),
+            ("resnet152", 11.5, 60.2),
+            ("regnet_x_32gf", 31.7, 107.8),
+            ("regnet_y_128gf", 127.5, 644.8),
+            ("vit_base_16", 17.6, 86.6),
+            ("vit_base_32", 4.4, 88.2),
+        ];
+        for (name, gmacs, mparams) in expect {
+            let gflops = 2.0 * gmacs;
+            let g = by_name(name).unwrap();
+            let s = g.stats();
+            let got_g = s.total_flops / 1e9;
+            let got_m = s.total_params / 1e6;
+            assert!(
+                got_g > gflops * 0.6 && got_g < gflops * 1.6,
+                "{name}: expected ~{gflops} GFLOPs, got {got_g:.2}"
+            );
+            assert!(
+                got_m > mparams * 0.6 && got_m < mparams * 1.6,
+                "{name}: expected ~{mparams}M params, got {got_m:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_counts_reflect_complexity() {
+        let alex = alexnet().num_layers();
+        let r34 = resnet34().num_layers();
+        let r152 = resnet152().num_layers();
+        let d201 = densenet201().num_layers();
+        assert!(alex < r34 && r34 < r152 && r152 < d201);
+    }
+
+    #[test]
+    fn residual_models_have_skip_edges() {
+        for name in ["resnet34", "resnet152", "resnext101", "vit_base_16"] {
+            let g = by_name(name).unwrap();
+            assert!(!g.skip_edges().is_empty(), "{name} should have skips");
+        }
+        assert!(alexnet().skip_edges().is_empty());
+    }
+}

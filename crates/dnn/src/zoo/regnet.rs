@@ -1,0 +1,130 @@
+use super::helpers::{classifier_head, conv_bn, conv_bn_act, imagenet, se_module};
+use crate::{ActKind, Graph, GraphBuilder, OpKind};
+
+/// Pushes one RegNet X/Y block: 1x1 → grouped 3x3 → (SE) → 1x1 with residual.
+/// Bottleneck ratio is 1 so the mid width equals the output width.
+fn regnet_block(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    width: usize,
+    stride: usize,
+    group_width: usize,
+    se: bool,
+) {
+    let input_shape = b.current_shape();
+    let needs_proj = stride != 1 || input_shape.channels() != width;
+    let groups = width / group_width;
+
+    conv_bn_act(b, &format!("{prefix}.a"), width, 1, 1, 0, 1, ActKind::Relu);
+    conv_bn_act(
+        b,
+        &format!("{prefix}.b"),
+        width,
+        3,
+        stride,
+        1,
+        groups,
+        ActKind::Relu,
+    );
+    if se {
+        se_module(b, prefix, (input_shape.channels() / 4).max(8));
+    }
+    let main_out = conv_bn(b, &format!("{prefix}.c"), width, 1, 1, 0, 1);
+
+    if needs_proj {
+        b.set_current_shape(input_shape);
+        let proj = conv_bn(b, &format!("{prefix}.proj"), width, 1, stride, 0, 1);
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+        b.add_skip(proj, add);
+    } else {
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+    }
+    b.push(format!("{prefix}.relu"), OpKind::Activation(ActKind::Relu));
+}
+
+fn regnet(
+    name: &str,
+    depths: [usize; 4],
+    widths: [usize; 4],
+    group_width: usize,
+    se: bool,
+) -> Graph {
+    let mut b = GraphBuilder::new(name, imagenet());
+    conv_bn_act(&mut b, "stem", 32, 3, 2, 1, 1, ActKind::Relu);
+    for (s, (&depth, &w)) in depths.iter().zip(&widths).enumerate() {
+        for i in 0..depth {
+            let stride = if i == 0 { 2 } else { 1 };
+            regnet_block(
+                &mut b,
+                &format!("stage{}.block{i}", s + 1),
+                w,
+                stride,
+                group_width,
+                se,
+            );
+        }
+    }
+    classifier_head(&mut b, 1000);
+    b.finish()
+}
+
+/// RegNetX-32GF (torchvision `regnet_x_32gf`): depths [2, 7, 13, 1], widths
+/// [336, 672, 1344, 2520], group width 168 — ~31.7 GFLOPs / ~107.8 M params.
+pub fn regnet_x_32gf() -> Graph {
+    regnet(
+        "regnet_x_32gf",
+        [2, 7, 13, 1],
+        [336, 672, 1344, 2520],
+        168,
+        false,
+    )
+}
+
+/// RegNetY-128GF (torchvision `regnet_y_128gf`): depths [2, 7, 17, 1], widths
+/// [528, 1056, 2904, 7392], group width 264, with squeeze-excitation —
+/// ~127.5 GFLOPs / ~644.8 M params. The largest model in the evaluation.
+pub fn regnet_y_128gf() -> Graph {
+    regnet(
+        "regnet_y_128gf",
+        [2, 7, 17, 1],
+        [528, 1056, 2904, 7392],
+        264,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regnet_y_is_much_bigger_than_x() {
+        let x = regnet_x_32gf().stats();
+        let y = regnet_y_128gf().stats();
+        assert!(y.total_flops > 3.0 * x.total_flops);
+        assert!(y.total_params > 4.0 * x.total_params);
+    }
+
+    #[test]
+    fn regnet_y_has_se_modules() {
+        let g = regnet_y_128gf();
+        assert!(g.layers().iter().any(|l| l.name.contains(".se.")));
+        assert!(!regnet_x_32gf()
+            .layers()
+            .iter()
+            .any(|l| l.name.contains(".se.")));
+    }
+
+    #[test]
+    fn regnet_group_widths_divide() {
+        // widths are multiples of the group width by construction.
+        for w in [336, 672, 1344, 2520] {
+            assert_eq!(w % 168, 0);
+        }
+        for w in [528, 1056, 2904, 7392] {
+            assert_eq!(w % 264, 0);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+use super::helpers::{classifier_head, conv_bn, conv_bn_act, imagenet, maxpool};
+use crate::{ActKind, Graph, GraphBuilder, OpKind};
+
+/// Pushes the ResNet stem: 7x7/2 conv + BN + ReLU + 3x3/2 max-pool.
+fn stem(b: &mut GraphBuilder) {
+    conv_bn_act(b, "stem", 64, 7, 2, 3, 1, ActKind::Relu);
+    maxpool(b, "stem", 3, 2);
+}
+
+/// Pushes one basic residual block (two 3x3 convs). `stride` applies to the
+/// first conv; a projection shortcut is emitted when shape changes.
+fn basic_block(b: &mut GraphBuilder, prefix: &str, out_ch: usize, stride: usize) {
+    let input_shape = b.current_shape();
+    let needs_proj = stride != 1 || input_shape.channels() != out_ch;
+
+    conv_bn_act(b, &format!("{prefix}.1"), out_ch, 3, stride, 1, 1, ActKind::Relu);
+    let main_out = conv_bn(b, &format!("{prefix}.2"), out_ch, 3, 1, 1, 1);
+
+    if needs_proj {
+        // Shortcut branch consumes the block input.
+        b.set_current_shape(input_shape);
+        let proj = conv_bn(b, &format!("{prefix}.down"), out_ch, 1, stride, 0, 1);
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+        b.add_skip(proj, add);
+    } else {
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out.saturating_sub(5), add); // block input feeds the add
+    }
+    b.push(format!("{prefix}.relu"), OpKind::Activation(ActKind::Relu));
+}
+
+/// Pushes one bottleneck residual block (1x1 reduce, 3x3, 1x1 expand).
+/// `groups`/`width` support the ResNeXt variant.
+fn bottleneck_block(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    groups: usize,
+) {
+    let input_shape = b.current_shape();
+    let needs_proj = stride != 1 || input_shape.channels() != out_ch;
+
+    conv_bn_act(b, &format!("{prefix}.1"), mid_ch, 1, 1, 0, 1, ActKind::Relu);
+    conv_bn_act(b, &format!("{prefix}.2"), mid_ch, 3, stride, 1, groups, ActKind::Relu);
+    let main_out = conv_bn(b, &format!("{prefix}.3"), out_ch, 1, 1, 0, 1);
+
+    if needs_proj {
+        b.set_current_shape(input_shape);
+        let proj = conv_bn(b, &format!("{prefix}.down"), out_ch, 1, stride, 0, 1);
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out, add);
+        b.add_skip(proj, add);
+    } else {
+        let add = b.push(format!("{prefix}.add"), OpKind::Add);
+        b.add_skip(main_out.saturating_sub(8), add);
+    }
+    b.push(format!("{prefix}.relu"), OpKind::Activation(ActKind::Relu));
+}
+
+/// ResNet-34 (torchvision `resnet34`): basic blocks [3, 4, 6, 3],
+/// ~3.7 GFLOPs / ~21.8 M params.
+pub fn resnet34() -> Graph {
+    let mut b = GraphBuilder::new("resnet34", imagenet());
+    stem(&mut b);
+    let depths = [3, 4, 6, 3];
+    let widths = [64, 128, 256, 512];
+    for (s, (&depth, &w)) in depths.iter().zip(&widths).enumerate() {
+        for i in 0..depth {
+            let stride = if i == 0 && s > 0 { 2 } else { 1 };
+            basic_block(&mut b, &format!("layer{}.{i}", s + 1), w, stride);
+        }
+    }
+    classifier_head(&mut b, 1000);
+    b.finish()
+}
+
+/// ResNet-152 (torchvision `resnet152`): bottleneck blocks [3, 8, 36, 3],
+/// ~11.5 GFLOPs / ~60.2 M params.
+pub fn resnet152() -> Graph {
+    let mut b = GraphBuilder::new("resnet152", imagenet());
+    stem(&mut b);
+    let depths = [3, 8, 36, 3];
+    let mids = [64, 128, 256, 512];
+    for (s, (&depth, &mid)) in depths.iter().zip(&mids).enumerate() {
+        let out = mid * 4;
+        for i in 0..depth {
+            let stride = if i == 0 && s > 0 { 2 } else { 1 };
+            bottleneck_block(&mut b, &format!("layer{}.{i}", s + 1), mid, out, stride, 1);
+        }
+    }
+    classifier_head(&mut b, 1000);
+    b.finish()
+}
+
+/// ResNeXt-101 32x8d (torchvision `resnext101_32x8d`): bottleneck blocks
+/// [3, 4, 23, 3] with 32 groups and width 8, ~16.4 GFLOPs / ~88.8 M params.
+pub fn resnext101() -> Graph {
+    let mut b = GraphBuilder::new("resnext101", imagenet());
+    stem(&mut b);
+    let depths = [3, 4, 23, 3];
+    let planes = [64, 128, 256, 512];
+    for (s, (&depth, &p)) in depths.iter().zip(&planes).enumerate() {
+        // width = planes * (base_width / 64) * groups = planes * 4 for 32x8d.
+        let mid = p * 4;
+        let out = p * 4;
+        for i in 0..depth {
+            let stride = if i == 0 && s > 0 { 2 } else { 1 };
+            bottleneck_block(
+                &mut b,
+                &format!("layer{}.{i}", s + 1),
+                mid,
+                out,
+                stride,
+                32,
+            );
+        }
+    }
+    classifier_head(&mut b, 1000);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorShape;
+
+    #[test]
+    fn resnet34_stage_shapes() {
+        let g = resnet34();
+        // Find the final residual relu before the head; feature map is 512x7x7.
+        let head_pool = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "head.avgpool")
+            .unwrap();
+        assert_eq!(head_pool.input_shape, TensorShape::chw(512, 7, 7));
+    }
+
+    #[test]
+    fn resnet152_deeper_than_resnet34() {
+        assert!(resnet152().num_layers() > 3 * resnet34().num_layers());
+    }
+
+    #[test]
+    fn resnet152_output_channels_2048() {
+        let g = resnet152();
+        let head_pool = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "head.avgpool")
+            .unwrap();
+        assert_eq!(head_pool.input_shape, TensorShape::chw(2048, 7, 7));
+    }
+
+    #[test]
+    fn resnext_uses_grouped_convs() {
+        let g = resnext101();
+        let grouped = g
+            .layers()
+            .iter()
+            .any(|l| matches!(l.op, OpKind::Conv2d { groups: 32, .. }));
+        assert!(grouped);
+    }
+
+    #[test]
+    fn skip_edge_count_matches_block_count() {
+        let g = resnet34();
+        // 16 basic blocks; projection blocks contribute 2 edges, identity 1.
+        // Stage starts at layers 2..4 have projections (3 projection blocks
+        // for stages 2-4; stage 1 block 0 keeps 64 channels so no proj).
+        let blocks = 16;
+        assert!(g.skip_edges().len() >= blocks);
+    }
+}

@@ -1,0 +1,78 @@
+use super::helpers::{conv_act, imagenet, maxpool};
+use crate::{ActKind, Graph, GraphBuilder, OpKind};
+
+/// VGG-19 (torchvision `vgg19`, configuration "E", no batch norm):
+/// 16 conv layers + 3 FC layers, ~19.6 GFLOPs / ~143.7 M params.
+pub fn vgg19() -> Graph {
+    let mut b = GraphBuilder::new("vgg19", imagenet());
+    // Configuration E: [64,64,M, 128,128,M, 256x4,M, 512x4,M, 512x4,M].
+    let cfg: &[&[usize]] = &[
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256, 256],
+        &[512, 512, 512, 512],
+        &[512, 512, 512, 512],
+    ];
+    let mut idx = 0;
+    for (stage, widths) in cfg.iter().enumerate() {
+        for &w in *widths {
+            conv_act(&mut b, &format!("features.{stage}.{idx}"), w, 3, 1, 1, ActKind::Relu);
+            idx += 1;
+        }
+        maxpool(&mut b, &format!("features.{stage}"), 2, 2);
+    }
+    b.push("classifier.flatten", OpKind::Flatten);
+    let in_features = b.current_shape().numel();
+    b.push(
+        "classifier.0",
+        OpKind::Linear {
+            in_features,
+            out_features: 4096,
+        },
+    );
+    b.push("classifier.1", OpKind::Activation(ActKind::Relu));
+    b.push(
+        "classifier.3",
+        OpKind::Linear {
+            in_features: 4096,
+            out_features: 4096,
+        },
+    );
+    b.push("classifier.4", OpKind::Activation(ActKind::Relu));
+    b.push(
+        "classifier.6",
+        OpKind::Linear {
+            in_features: 4096,
+            out_features: 1000,
+        },
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorShape;
+
+    #[test]
+    fn vgg19_has_16_convs() {
+        let g = vgg19();
+        let convs = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 16);
+    }
+
+    #[test]
+    fn vgg19_flatten_is_25088() {
+        let g = vgg19();
+        let flatten = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "classifier.flatten")
+            .unwrap();
+        assert_eq!(flatten.output_shape, TensorShape::flat(512 * 7 * 7));
+    }
+}

@@ -1,0 +1,132 @@
+use super::helpers::imagenet;
+use crate::{ActKind, Graph, GraphBuilder, OpKind, TensorShape};
+
+/// Pushes one ViT encoder block: LN → MHSA → residual add → LN → MLP
+/// (fc 4x expand, GELU, fc contract) → residual add.
+fn encoder_block(b: &mut GraphBuilder, prefix: &str, dim: usize, heads: usize) {
+    let pre = b.next_id().saturating_sub(1);
+    b.push(format!("{prefix}.ln1"), OpKind::LayerNorm);
+    b.push(
+        format!("{prefix}.attn"),
+        OpKind::Attention {
+            embed_dim: dim,
+            heads,
+        },
+    );
+    let add1 = b.push(format!("{prefix}.add1"), OpKind::Add);
+    if pre < add1 {
+        b.add_skip(pre, add1);
+    }
+    b.push(format!("{prefix}.ln2"), OpKind::LayerNorm);
+    b.push(
+        format!("{prefix}.mlp.fc1"),
+        OpKind::Linear {
+            in_features: dim,
+            out_features: 4 * dim,
+        },
+    );
+    b.push(format!("{prefix}.mlp.gelu"), OpKind::Activation(ActKind::Gelu));
+    b.push(
+        format!("{prefix}.mlp.fc2"),
+        OpKind::Linear {
+            in_features: 4 * dim,
+            out_features: dim,
+        },
+    );
+    let add2 = b.push(format!("{prefix}.add2"), OpKind::Add);
+    b.add_skip(add1, add2);
+}
+
+fn vit(name: &str, patch: usize) -> Graph {
+    const DIM: usize = 768;
+    const HEADS: usize = 12;
+    const DEPTH: usize = 12;
+
+    let mut b = GraphBuilder::new(name, imagenet());
+    b.push(
+        "patch_embed",
+        OpKind::PatchEmbed {
+            in_ch: 3,
+            embed_dim: DIM,
+            patch,
+            extra_tokens: 1,
+        },
+    );
+    for i in 0..DEPTH {
+        encoder_block(&mut b, &format!("encoder.{i}"), DIM, HEADS);
+    }
+    b.push("final.ln", OpKind::LayerNorm);
+    // Class-token extraction: zero-cost view of the first token.
+    b.set_current_shape(TensorShape::flat(DIM));
+    b.push(
+        "head",
+        OpKind::Linear {
+            in_features: DIM,
+            out_features: 1000,
+        },
+    );
+    b.finish()
+}
+
+/// ViT-B/16 (torchvision `vit_b_16`): 16x16 patches → 197 tokens, 12 encoder
+/// blocks at d=768 — ~17.6 GFLOPs / ~86.6 M params.
+pub fn vit_base_16() -> Graph {
+    vit("vit_base_16", 16)
+}
+
+/// ViT-B/32 (torchvision `vit_b_32`): 32x32 patches → 50 tokens, 12 encoder
+/// blocks at d=768 — ~4.4 GFLOPs / ~88.2 M params.
+pub fn vit_base_32() -> Graph {
+    vit("vit_base_32", 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_counts() {
+        let g16 = vit_base_16();
+        let pe = &g16.layers()[0];
+        assert_eq!(pe.output_shape, TensorShape::tokens(197, 768));
+        let g32 = vit_base_32();
+        assert_eq!(g32.layers()[0].output_shape, TensorShape::tokens(50, 768));
+    }
+
+    #[test]
+    fn twelve_attention_layers() {
+        let g = vit_base_16();
+        let attn = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Attention { .. }))
+            .count();
+        assert_eq!(attn, 12);
+    }
+
+    #[test]
+    fn vit16_more_flops_than_vit32_same_params() {
+        let s16 = vit_base_16().stats();
+        let s32 = vit_base_32().stats();
+        assert!(s16.total_flops > 3.0 * s32.total_flops);
+        // Parameter counts nearly equal (patch embed differs slightly).
+        let ratio = s16.total_params / s32.total_params;
+        assert!(ratio > 0.9 && ratio < 1.1);
+    }
+
+    #[test]
+    fn repeated_structure_is_homogeneous() {
+        // All 12 encoder blocks have identical per-block FLOPs — the property
+        // that makes PowerLens cluster the whole encoder into one power block.
+        let g = vit_base_16();
+        let attn_flops: Vec<f64> = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Attention { .. }))
+            .map(|l| l.flops())
+            .collect();
+        for f in &attn_flops {
+            assert_eq!(*f, attn_flops[0]);
+        }
+    }
+}

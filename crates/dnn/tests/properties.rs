@@ -1,0 +1,89 @@
+//! Property-based tests over the DNN IR and the random-network generator.
+
+use powerlens_dnn::random::{generate, RandomDnnConfig};
+use powerlens_dnn::{zoo, TensorShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(seed: u64) -> powerlens_dnn::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&RandomDnnConfig::default(), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every random network is a well-formed classifier head pipeline.
+    #[test]
+    fn generated_graphs_are_wellformed(seed in 0u64..10_000) {
+        let g = random_graph(seed);
+        prop_assert!(g.num_layers() >= 4);
+        prop_assert_eq!(g.output_shape(), TensorShape::flat(1000));
+        let s = g.stats();
+        prop_assert!(s.total_flops > 0.0 && s.total_flops.is_finite());
+        prop_assert!(s.total_params > 0.0 && s.total_params.is_finite());
+        prop_assert!(s.total_memory_bytes > 0.0);
+    }
+
+    /// Aggregate statistics are additive over a split of the layer range.
+    #[test]
+    fn stats_are_additive_over_ranges(seed in 0u64..10_000, frac in 0.1f64..0.9) {
+        let g = random_graph(seed);
+        let n = g.num_layers();
+        let mid = ((n as f64 * frac) as usize).clamp(1, n - 1);
+        let whole = g.stats_range(0, n);
+        let left = g.stats_range(0, mid);
+        let right = g.stats_range(mid, n);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+        prop_assert!(rel(left.total_flops + right.total_flops, whole.total_flops) < 1e-9);
+        prop_assert!(rel(left.total_params + right.total_params, whole.total_params) < 1e-9);
+        prop_assert!(rel(
+            left.total_memory_bytes + right.total_memory_bytes,
+            whole.total_memory_bytes
+        ) < 1e-9);
+        prop_assert_eq!(left.num_layers + right.num_layers, whole.num_layers);
+    }
+
+    /// Layer shapes thread: every non-branch layer consumes its predecessor's
+    /// output (branch merges are managed by the builders and exempt).
+    #[test]
+    fn layer_costs_are_finite_and_nonnegative(seed in 0u64..10_000) {
+        let g = random_graph(seed);
+        for l in g.layers() {
+            prop_assert!(l.flops() >= 0.0 && l.flops().is_finite(), "{}", l.name);
+            prop_assert!(l.params() >= 0.0, "{}", l.name);
+            prop_assert!(l.memory_bytes() > 0.0, "{}", l.name);
+            prop_assert!(l.weight_bytes() <= l.memory_bytes() + 1e-9, "{}", l.name);
+            prop_assert!(l.activation_bytes() >= 0.0, "{}", l.name);
+        }
+    }
+
+    /// Skip edges always point forward and stay in range.
+    #[test]
+    fn skip_edges_are_forward(seed in 0u64..10_000) {
+        let g = random_graph(seed);
+        for &(from, to) in g.skip_edges() {
+            prop_assert!(from < to);
+            prop_assert!(to < g.num_layers());
+        }
+    }
+}
+
+#[test]
+fn zoo_models_have_unique_names() {
+    let names: Vec<&str> = zoo::all_models().iter().map(|(n, _)| *n).collect();
+    let set: std::collections::HashSet<&&str> = names.iter().collect();
+    assert_eq!(set.len(), names.len());
+}
+
+#[test]
+fn zoo_layer_names_are_unique_within_model() {
+    for (name, build) in zoo::all_models() {
+        let g = build();
+        let mut seen = std::collections::HashSet::new();
+        for l in g.layers() {
+            assert!(seen.insert(l.name.clone()), "{name}: duplicate layer {}", l.name);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+use powerlens_dnn::{Graph, LayerId};
+use powerlens_platform::{FreqLevel, Platform, Telemetry, WindowStats};
+use powerlens_sim::{Controller, FreqRequest};
+
+/// Core state shared by the FPG-G and FPG-C+G governors.
+///
+/// FPG (Karzhaubayeva et al. [5]) adjusts frequencies at runtime "based on
+/// performance, power, energy delay product, and CPU/GPU utilization". We
+/// reproduce it as a learning hill climb:
+///
+/// * once per sampling window the governor evaluates a cost combining energy
+///   per unit of work (`power / (busy_util * f)`) with a delay penalty
+///   (EDP-flavoured: slower clocks are charged extra) and folds it into a
+///   per-level exponential moving average (measurement windows cover
+///   different layer mixes, so single-window comparisons are too noisy),
+/// * every few windows it moves to the cheapest of the neighbouring levels
+///   by EMA - visiting unexplored neighbours first,
+/// * utilization guards short-circuit the climb: near-saturated GPU load
+///   forces a step up, very low load forces a step down.
+///
+/// Like every reactive method, its decisions trail the workload by at least
+/// one window - the lag PowerLens eliminates by presetting frequencies.
+#[derive(Debug, Clone)]
+struct FpgCore {
+    window: f64,
+    /// Extra settling time inserted after any frequency change before the
+    /// next measurement window starts, so the DVFS transition stall does not
+    /// pollute the cost estimate.
+    settle_guard: f64,
+    next_decision: f64,
+    dwell_windows: u32,
+    dwell_left: u32,
+    high_guard: f64,
+    low_guard: f64,
+    delay_penalty: f64,
+    ema_alpha: f64,
+    /// Per-level EMA of the cost metric; `None` until first visited.
+    cost_ema: Vec<Option<f64>>,
+    gpu_levels: usize,
+    freqs_hz: Vec<f64>,
+    /// Number of decision windows processed (lets the CPU policy detect a
+    /// fresh window).
+    ticks: u64,
+    /// Window stats observed at the last decision tick.
+    last_window: Option<WindowStats>,
+    /// Windows since the GPU level last changed.
+    stable_windows: u32,
+}
+
+impl FpgCore {
+    fn new(platform: &Platform) -> Self {
+        let t = platform.gpu_table();
+        FpgCore {
+            window: 0.25,
+            settle_guard: 0.08,
+            next_decision: 0.0,
+            dwell_windows: 1,
+            dwell_left: 0,
+            high_guard: 0.995,
+            low_guard: 0.30,
+            delay_penalty: 0.12,
+            ema_alpha: 0.4,
+            cost_ema: vec![None; t.num_levels()],
+            gpu_levels: t.num_levels(),
+            freqs_hz: (0..t.num_levels()).map(|l| t.freq_hz(l)).collect(),
+            ticks: 0,
+            last_window: None,
+            stable_windows: 0,
+        }
+    }
+
+    /// Energy-per-work with an EDP-style delay penalty: lower is better.
+    fn cost(&self, w: &WindowStats, level: FreqLevel) -> f64 {
+        let f = self.freqs_hz[level];
+        let f_max = self.freqs_hz[self.gpu_levels - 1];
+        let progress = (w.busy_util * f).max(1.0);
+        (w.power_w / progress) * (1.0 + self.delay_penalty * (f_max / f - 1.0))
+    }
+
+    fn reset(&mut self) {
+        self.dwell_left = 0;
+        self.stable_windows = 0;
+    }
+
+    fn move_to(&mut self, now: f64, target: FreqLevel) -> Option<FreqLevel> {
+        self.dwell_left = self.dwell_windows;
+        self.next_decision = now + self.settle_guard + self.window;
+        self.stable_windows = 0;
+        Some(target)
+    }
+
+    fn decide_gpu(&mut self, telemetry: &Telemetry, gpu_level: FreqLevel) -> Option<FreqLevel> {
+        let now = telemetry.now();
+        if now < self.next_decision {
+            return None;
+        }
+        self.next_decision = now + self.window;
+        let w = telemetry.window_stats(self.window)?;
+        self.ticks += 1;
+        self.last_window = Some(w);
+
+        // Fold the fresh measurement into the level's running estimate, and
+        // slowly *forget* the other levels' estimates toward the fresh
+        // sample: when the workload changes (task switch in a flow), stale
+        // estimates would otherwise pin the climb to an old optimum.
+        let sample = self.cost(&w, gpu_level);
+        let ema = &mut self.cost_ema[gpu_level];
+        *ema = Some(match *ema {
+            Some(prev) => prev + self.ema_alpha * (sample - prev),
+            None => sample,
+        });
+        for (l, e) in self.cost_ema.iter_mut().enumerate() {
+            if l != gpu_level {
+                if let Some(v) = e {
+                    *v += 0.03 * (sample - *v);
+                }
+            }
+        }
+
+        // Utilization guards pre-empt the hill climb — unless the EMA
+        // already knows the next level up is more expensive (prevents a
+        // guard-up / climb-down oscillation on saturated workloads).
+        if w.busy_util > self.high_guard && gpu_level + 1 < self.gpu_levels {
+            let up_known_worse = matches!(
+                (self.cost_ema[gpu_level + 1], self.cost_ema[gpu_level]),
+                (Some(up), Some(here)) if up > here
+            );
+            if !up_known_worse {
+                self.reset();
+                return self.move_to(now, gpu_level + 1);
+            }
+        }
+        if w.busy_util < self.low_guard && gpu_level > 0 {
+            self.reset();
+            return self.move_to(now, gpu_level - 1);
+        }
+
+        if self.dwell_left > 0 {
+            self.dwell_left -= 1;
+            self.stable_windows = self.stable_windows.saturating_add(1);
+            return None;
+        }
+
+        // Visit unexplored neighbours first (downward preferred: the climb
+        // starts from the MAXN boot level).
+        let down = gpu_level.checked_sub(1);
+        let up = (gpu_level + 1 < self.gpu_levels).then_some(gpu_level + 1);
+        if let Some(d) = down {
+            if self.cost_ema[d].is_none() {
+                return self.move_to(now, d);
+            }
+        }
+        if let Some(u) = up {
+            if self.cost_ema[u].is_none() {
+                return self.move_to(now, u);
+            }
+        }
+
+        // Greedy step to the cheapest of {down, here, up} by EMA.
+        let here = self.cost_ema[gpu_level].expect("just updated");
+        let mut best = gpu_level;
+        let mut best_cost = here;
+        for n in [down, up].into_iter().flatten() {
+            if let Some(c) = self.cost_ema[n] {
+                if c < best_cost {
+                    best_cost = c;
+                    best = n;
+                }
+            }
+        }
+        if best != gpu_level {
+            self.move_to(now, best)
+        } else {
+            // Settled at a local minimum; re-examine neighbours rarely.
+            self.dwell_left = 8 * self.dwell_windows.max(1);
+            self.stable_windows = self.stable_windows.saturating_add(1);
+            None
+        }
+    }
+}
+
+/// FPG-G: the FPG heuristic applied to the GPU only; the CPU keeps its MAXN
+/// default (baseline ③ of §3.1).
+#[derive(Debug, Clone)]
+pub struct FpgG {
+    core: FpgCore,
+}
+
+impl FpgG {
+    /// Creates the GPU-only FPG governor for `platform`.
+    pub fn new(platform: &Platform) -> Self {
+        FpgG {
+            core: FpgCore::new(platform),
+        }
+    }
+}
+
+impl Controller for FpgG {
+    fn name(&self) -> &str {
+        "FPG-G"
+    }
+
+    fn on_task_start(&mut self, _graph: &Graph) {
+        self.core.reset();
+    }
+
+    fn before_layer(
+        &mut self,
+        _graph: &Graph,
+        _layer: LayerId,
+        telemetry: &Telemetry,
+        gpu_level: FreqLevel,
+        _cpu_level: FreqLevel,
+    ) -> FreqRequest {
+        match self.core.decide_gpu(telemetry, gpu_level) {
+            Some(l) => FreqRequest::gpu(l),
+            None => FreqRequest::none(),
+        }
+    }
+}
+
+/// FPG-C+G: the full FPG heuristic scaling both CPU and GPU (baseline ② of
+/// §3.1). The CPU cluster runs the same EMA-based cost hill climb as the
+/// GPU, but only while the GPU level is settled (so the two searches do not
+/// chase each other). CPU cost estimates are invalidated whenever the GPU
+/// moves, because the cost landscape shifts with it.
+#[derive(Debug, Clone)]
+pub struct FpgCg {
+    core: FpgCore,
+    cpu_levels: usize,
+    /// Lowest CPU level the climb may reach. Deep CPU downclocks inflate
+    /// kernel-launch latency faster than they save power, so the search is
+    /// restricted to the top few levels.
+    cpu_floor: FreqLevel,
+    cpu_ema: Vec<Option<f64>>,
+    cpu_dwell: u32,
+    last_tick: u64,
+    last_gpu_level: Option<FreqLevel>,
+}
+
+impl FpgCg {
+    /// Creates the CPU+GPU FPG governor for `platform`.
+    pub fn new(platform: &Platform) -> Self {
+        FpgCg {
+            core: FpgCore::new(platform),
+            cpu_levels: platform.cpu_table().num_levels(),
+            cpu_floor: platform.cpu_table().num_levels().saturating_sub(3),
+            cpu_ema: vec![None; platform.cpu_table().num_levels()],
+            cpu_dwell: 0,
+            last_tick: 0,
+            last_gpu_level: None,
+        }
+    }
+
+    fn decide_cpu(&mut self, gpu_level: FreqLevel, cpu_level: FreqLevel) -> Option<FreqLevel> {
+        // Only act on fresh windows, and only while the GPU search rests.
+        if self.core.ticks == self.last_tick {
+            return None;
+        }
+        self.last_tick = self.core.ticks;
+        if self.last_gpu_level != Some(gpu_level) {
+            // GPU moved: the CPU cost landscape changed — start over.
+            self.last_gpu_level = Some(gpu_level);
+            self.cpu_ema.iter_mut().for_each(|e| *e = None);
+            return None;
+        }
+        if self.core.stable_windows < 2 {
+            return None;
+        }
+        let w = self.core.last_window?;
+        let sample = self.core.cost(&w, gpu_level);
+        let ema = &mut self.cpu_ema[cpu_level];
+        *ema = Some(match *ema {
+            Some(prev) => prev + self.core.ema_alpha * (sample - prev),
+            None => sample,
+        });
+        if self.cpu_dwell > 0 {
+            self.cpu_dwell -= 1;
+            return None;
+        }
+        let down = (cpu_level > self.cpu_floor).then(|| cpu_level - 1);
+        let up = (cpu_level + 1 < self.cpu_levels).then_some(cpu_level + 1);
+        if let Some(d) = down {
+            if self.cpu_ema[d].is_none() {
+                self.cpu_dwell = 2;
+                return Some(d);
+            }
+        }
+        let here = self.cpu_ema[cpu_level].expect("just updated");
+        let mut best = cpu_level;
+        let mut best_cost = here;
+        for n in [down, up].into_iter().flatten() {
+            if let Some(c) = self.cpu_ema[n] {
+                if c < best_cost {
+                    best_cost = c;
+                    best = n;
+                }
+            }
+        }
+        if best != cpu_level {
+            self.cpu_dwell = 2;
+            Some(best)
+        } else {
+            self.cpu_dwell = 8;
+            None
+        }
+    }
+}
+
+impl Controller for FpgCg {
+    fn name(&self) -> &str {
+        "FPG-CG"
+    }
+
+    fn on_task_start(&mut self, _graph: &Graph) {
+        self.core.reset();
+    }
+
+    fn before_layer(
+        &mut self,
+        _graph: &Graph,
+        _layer: LayerId,
+        telemetry: &Telemetry,
+        gpu_level: FreqLevel,
+        cpu_level: FreqLevel,
+    ) -> FreqRequest {
+        let gpu = self.core.decide_gpu(telemetry, gpu_level);
+        let cpu = if gpu.is_none() {
+            self.decide_cpu(gpu_level, cpu_level)
+        } else {
+            None
+        };
+        FreqRequest { gpu, cpu }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bim;
+    use powerlens_dnn::zoo;
+    use powerlens_sim::Engine;
+
+    #[test]
+    fn fpg_g_beats_bim_on_efficiency() {
+        let p = Platform::agx();
+        let e = Engine::new(&p).with_batch(8);
+        let g = zoo::resnet152();
+        let mut bim = Bim::new(&p);
+        let mut fpg = FpgG::new(&p);
+        let r_bim = e.run(&g, &mut bim, 64);
+        let r_fpg = e.run(&g, &mut fpg, 64);
+        assert!(
+            r_fpg.energy_efficiency > r_bim.energy_efficiency,
+            "FPG-G {:.4} should beat BiM {:.4}",
+            r_fpg.energy_efficiency,
+            r_bim.energy_efficiency
+        );
+    }
+
+    #[test]
+    fn fpg_cg_beats_fpg_g_on_efficiency() {
+        // The CPU hill climb engages only after the GPU search settles, so
+        // give both governors a long continuous session (the paper's 50-run
+        // protocol) before comparing.
+        let p = Platform::agx();
+        let e = Engine::new(&p).with_batch(8);
+        let g = zoo::resnet152();
+        let tasks: Vec<powerlens_sim::TaskSpec<'_>> = (0..30)
+            .map(|_| powerlens_sim::TaskSpec {
+                graph: &g,
+                images: 48,
+            })
+            .collect();
+        let mut fg = FpgG::new(&p);
+        let r_g = powerlens_sim::run_taskflow(&e, &tasks, &mut fg);
+        let mut fcg = FpgCg::new(&p);
+        let r_cg = powerlens_sim::run_taskflow(&e, &tasks, &mut fcg);
+        assert!(
+            r_cg.energy_efficiency > r_g.energy_efficiency,
+            "FPG-CG {:.4} should beat FPG-G {:.4}",
+            r_cg.energy_efficiency,
+            r_g.energy_efficiency
+        );
+    }
+
+    #[test]
+    fn fpg_cg_moves_cpu_level() {
+        let p = Platform::agx();
+        let e = Engine::new(&p).with_batch(8);
+        let g = zoo::resnet34();
+        let tasks: Vec<powerlens_sim::TaskSpec<'_>> = (0..30)
+            .map(|_| powerlens_sim::TaskSpec {
+                graph: &g,
+                images: 48,
+            })
+            .collect();
+        let mut fcg = FpgCg::new(&p);
+        let r = powerlens_sim::run_taskflow(&e, &tasks, &mut fcg);
+        // GPU switches alone would match FPG-G; CPU moves add more.
+        let mut fg = FpgG::new(&p);
+        let r_g = powerlens_sim::run_taskflow(&e, &tasks, &mut fg);
+        assert!(
+            r.num_switches > r_g.num_switches,
+            "FPG-CG should touch the CPU ({} vs {})",
+            r.num_switches,
+            r_g.num_switches
+        );
+    }
+
+    #[test]
+    fn fpg_settles_below_max_frequency() {
+        // The hill climb should pull a sustained workload away from max.
+        let p = Platform::tx2();
+        let e = Engine::new(&p).with_batch(8);
+        let mut fpg = FpgG::new(&p);
+        let r = e.run(&zoo::resnet152(), &mut fpg, 64);
+        let max = p.gpu_table().max_level();
+        let below: f64 = r
+            .telemetry
+            .samples()
+            .iter()
+            .filter(|s| s.gpu_level < max)
+            .map(|s| s.duration)
+            .sum();
+        assert!(
+            below / r.total_time > 0.5,
+            "FPG spent only {:.0}% below max",
+            100.0 * below / r.total_time
+        );
+    }
+
+    #[test]
+    fn fpg_does_not_collapse_to_minimum() {
+        // The delay penalty must keep the climb away from the lowest levels
+        // on a compute-heavy model.
+        let p = Platform::agx();
+        let e = Engine::new(&p).with_batch(8);
+        let mut fpg = FpgG::new(&p);
+        let r = e.run(&zoo::vgg19(), &mut fpg, 64);
+        let low: f64 = r
+            .telemetry
+            .samples()
+            .iter()
+            .filter(|s| s.gpu_level <= 1)
+            .map(|s| s.duration)
+            .sum();
+        assert!(
+            low / r.total_time < 0.3,
+            "FPG spent {:.0}% at the two lowest levels",
+            100.0 * low / r.total_time
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Exhaustive-search oracle: the labelling backend of the paper's dataset
+//! generator ("Each block in the power view is deployed at all frequencies
+//! to select test data that achieves the optimal energy efficiency", §2.2).
+
+use powerlens_dnn::Graph;
+use powerlens_platform::{FreqLevel, Platform};
+
+/// Outcome of evaluating one layer range at one frequency level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeEval {
+    /// GPU level evaluated.
+    pub gpu_level: FreqLevel,
+    /// Execution time of the range (seconds, one batch).
+    pub time: f64,
+    /// Energy of the range (joules, one batch).
+    pub energy: f64,
+    /// Local energy efficiency proxy (1 / energy — higher is better for a
+    /// fixed amount of work).
+    pub efficiency: f64,
+}
+
+/// Analytically evaluates the layer range `lo..hi` of `graph` at a fixed GPU
+/// level (CPU pinned at max), without running the full simulator — the inner
+/// loop of dataset labelling, called millions of times.
+///
+/// # Panics
+///
+/// Panics if the range is empty or out of bounds.
+pub fn eval_range(
+    platform: &Platform,
+    graph: &Graph,
+    lo: usize,
+    hi: usize,
+    batch: usize,
+    gpu_level: FreqLevel,
+) -> RangeEval {
+    assert!(lo < hi && hi <= graph.num_layers(), "invalid range {lo}..{hi}");
+    let cpu = platform.cpu_table().max_level();
+    let mut time = 0.0;
+    let mut energy = 0.0;
+    for layer in &graph.layers()[lo..hi] {
+        let t = platform.layer_timing(layer, batch, gpu_level, cpu);
+        time += t.total;
+        energy += platform.layer_power(&t, gpu_level, cpu) * t.total;
+    }
+    RangeEval {
+        gpu_level,
+        time,
+        energy,
+        efficiency: if energy > 0.0 { 1.0 / energy } else { 0.0 },
+    }
+}
+
+/// Sweeps every GPU level for the range and returns all evaluations
+/// (ascending by level).
+pub fn sweep_range(
+    platform: &Platform,
+    graph: &Graph,
+    lo: usize,
+    hi: usize,
+    batch: usize,
+) -> Vec<RangeEval> {
+    (0..platform.gpu_levels())
+        .map(|g| eval_range(platform, graph, lo, hi, batch, g))
+        .collect()
+}
+
+/// The GPU level minimizing the range's energy subject to a latency budget:
+/// time must not exceed `slack` times the time at the maximum level. This is
+/// how "optimal energy efficiency" is selected while "maintaining
+/// performance" (§2.1.1) — pure energy minimization would always pick the
+/// lowest frequency.
+pub fn best_level_for_range(
+    platform: &Platform,
+    graph: &Graph,
+    lo: usize,
+    hi: usize,
+    batch: usize,
+    slack: f64,
+) -> FreqLevel {
+    let evals = sweep_range(platform, graph, lo, hi, batch);
+    let t_max_level = evals[evals.len() - 1].time;
+    let budget = t_max_level * slack;
+    evals
+        .iter()
+        .filter(|e| e.time <= budget)
+        .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite energy"))
+        // If nothing meets the budget (cannot happen for slack >= 1), fall
+        // back to the maximum level.
+        .map_or(platform.gpu_table().max_level(), |e| e.gpu_level)
+}
+
+/// The best *single* static level for the whole graph under the same latency
+/// slack — the oracle for the P-N ablation (one decision for the entire DNN).
+pub fn best_static_level(platform: &Platform, graph: &Graph, batch: usize, slack: f64) -> FreqLevel {
+    best_level_for_range(platform, graph, 0, graph.num_layers(), batch, slack)
+}
+
+/// Default latency slack used throughout the reproduction: unconstrained,
+/// matching the paper's per-block labelling rule ("deployed at all
+/// frequencies to select ... the optimal energy efficiency" — pure
+/// energy-efficiency argmax per block). A finite slack would interact
+/// inconsistently across blocks: the same frequency ratio that is feasible
+/// for a mixed block can be infeasible for a purely compute-bound one,
+/// pushing per-block choices *above* the uniform optimum. Callers that need
+/// a latency guarantee can still pass a finite slack explicitly.
+pub const DEFAULT_SLACK: f64 = f64::INFINITY;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_dnn::zoo;
+
+    #[test]
+    fn sweep_is_monotonic_in_time() {
+        let p = Platform::agx();
+        let g = zoo::alexnet();
+        let evals = sweep_range(&p, &g, 0, g.num_layers(), 8);
+        for w in evals.windows(2) {
+            assert!(w[0].time >= w[1].time, "time must not increase with frequency");
+        }
+    }
+
+    #[test]
+    fn best_level_respects_slack() {
+        let p = Platform::agx();
+        let g = zoo::resnet34();
+        let n = g.num_layers();
+        let best = best_level_for_range(&p, &g, 0, n, 8, DEFAULT_SLACK);
+        let e_best = eval_range(&p, &g, 0, n, 8, best);
+        let e_max = eval_range(&p, &g, 0, n, 8, p.gpu_table().max_level());
+        assert!(e_best.time <= e_max.time * DEFAULT_SLACK + 1e-12);
+        assert!(e_best.energy <= e_max.energy);
+    }
+
+    #[test]
+    fn tight_slack_forces_max_level() {
+        let p = Platform::tx2();
+        let g = zoo::vgg19();
+        let best = best_static_level(&p, &g, 8, 1.0);
+        // With zero slack only the fastest level qualifies; on a
+        // compute-bound model that is the max level.
+        assert_eq!(best, p.gpu_table().max_level());
+    }
+
+    #[test]
+    fn memory_bound_range_prefers_lower_level_than_compute_bound() {
+        let p = Platform::agx();
+        let g = zoo::vgg19();
+        // Early VGG convs are huge & compute-bound; the classifier FCs are
+        // memory-bound. Compare their oracle levels.
+        let n = g.num_layers();
+        let conv_level = best_level_for_range(&p, &g, 0, 6, 8, DEFAULT_SLACK);
+        let fc_level = best_level_for_range(&p, &g, n - 6, n, 8, DEFAULT_SLACK);
+        assert!(
+            fc_level < conv_level,
+            "fc block level {fc_level} should be below conv block level {conv_level}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn empty_range_rejected() {
+        let p = Platform::agx();
+        let g = zoo::alexnet();
+        eval_range(&p, &g, 3, 3, 1, 0);
+    }
+
+    #[test]
+    fn eval_matches_simulator_shape() {
+        // The analytical range evaluation and the full simulator must agree
+        // on energy ordering across levels for a whole graph.
+        let p = Platform::tx2();
+        let g = zoo::alexnet();
+        let a = eval_range(&p, &g, 0, g.num_layers(), 4, 2);
+        let b = eval_range(&p, &g, 0, g.num_layers(), 4, 10);
+        let engine = powerlens_sim::Engine::new(&p).with_batch(4);
+        let reports = engine.sweep_gpu_levels(&g, 4);
+        let sim_a = reports[2].total_energy;
+        let sim_b = reports[10].total_energy;
+        assert_eq!(a.energy < b.energy, sim_a < sim_b);
+    }
+}

@@ -1,0 +1,126 @@
+use serde::{Deserialize, Serialize};
+
+use crate::DenseLayer;
+
+/// The Adam optimizer with per-layer first/second moment state.
+///
+/// One `Adam` instance is shared across all layers of a network; moment
+/// buffers are keyed by layer index and sized lazily on first use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Division-by-zero guard.
+    pub eps: f64,
+    t: u64,
+    state: Vec<MomentState>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct MomentState {
+    m_w: Vec<f64>,
+    v_w: Vec<f64>,
+    m_b: Vec<f64>,
+    v_b: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard hyperparameters and the given learning
+    /// rate.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+
+    /// Advances the global step counter; call once per mini-batch before
+    /// stepping layers.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one Adam update to `layer` using its accumulated gradients,
+    /// scaled by `1/batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `begin_step` has never been called or `batch_size` is zero.
+    pub fn step_layer(&mut self, index: usize, layer: &mut DenseLayer, batch_size: usize) {
+        assert!(self.t > 0, "call begin_step before step_layer");
+        assert!(batch_size > 0, "batch size must be positive");
+        let (w, gw, b, gb) = layer.params_mut();
+        while self.state.len() <= index {
+            self.state.push(MomentState {
+                m_w: Vec::new(),
+                v_w: Vec::new(),
+                m_b: Vec::new(),
+                v_b: Vec::new(),
+            });
+        }
+        let st = &mut self.state[index];
+        if st.m_w.len() != w.len() {
+            st.m_w = vec![0.0; w.len()];
+            st.v_w = vec![0.0; w.len()];
+            st.m_b = vec![0.0; b.len()];
+            st.v_b = vec![0.0; b.len()];
+        }
+        let scale = 1.0 / batch_size as f64;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let update = |p: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]| {
+            for i in 0..p.len() {
+                let grad = g[i] * scale;
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        };
+        update(w, gw, &mut st.m_w, &mut st.v_w);
+        update(b, gb, &mut st.m_b, &mut st.v_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adam_reduces_simple_loss() {
+        // Minimize (w*1 - 1)^2-ish via repeated gradient steps on a 1x1 layer.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = DenseLayer::new(1, 1, &mut rng);
+        let mut adam = Adam::new(0.05);
+        for _ in 0..200 {
+            layer.zero_grad();
+            let y = layer.forward(&[1.0])[0];
+            let dy = 2.0 * (y - 1.0);
+            layer.backward(&[1.0], &[dy]);
+            adam.begin_step();
+            adam.step_layer(0, &mut layer, 1);
+        }
+        let y = layer.forward(&[1.0])[0];
+        assert!((y - 1.0).abs() < 1e-3, "converged to {y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn step_without_begin_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = DenseLayer::new(1, 1, &mut rng);
+        let mut adam = Adam::new(0.01);
+        adam.step_layer(0, &mut layer, 1);
+    }
+}

@@ -1,0 +1,213 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = W·x + b` with explicit gradients.
+///
+/// Weights are stored row-major (`out_dim x in_dim`). Gradient buffers are
+/// accumulated by [`DenseLayer::backward`] and consumed by
+/// [`crate::Adam::step_layer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    in_dim: usize,
+    out_dim: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+    #[serde(skip)]
+    grad_w: Vec<f64>,
+    #[serde(skip)]
+    grad_b: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with He-initialized weights.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let scale = (2.0 / in_dim as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-1.0..1.0) * scale)
+            .collect();
+        DenseLayer {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "dense forward dim mismatch");
+        let mut y = self.b.clone();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            y[o] += row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        }
+        y
+    }
+
+    /// Accumulates gradients for one sample and returns the gradient with
+    /// respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "dense backward input mismatch");
+        assert_eq!(dy.len(), self.out_dim, "dense backward output mismatch");
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = dy[o];
+            self.grad_b[o] += g;
+            let row = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.grad_w[row + i] += g * x[i];
+                dx[i] += self.w[row + i] * g;
+            }
+        }
+        dx
+    }
+
+    /// Clears accumulated gradients (start of a new mini-batch).
+    pub fn zero_grad(&mut self) {
+        // serde(skip) leaves the buffers empty after deserialization;
+        // re-materialize them lazily.
+        if self.grad_w.len() != self.w.len() {
+            self.grad_w = vec![0.0; self.w.len()];
+            self.grad_b = vec![0.0; self.b.len()];
+        }
+        self.grad_w.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Parameter / gradient views for the optimizer:
+    /// `(weights, weight grads, biases, bias grads)`.
+    pub(crate) fn params_mut(&mut self) -> (&mut [f64], &[f64], &mut [f64], &[f64]) {
+        (&mut self.w, &self.grad_w, &mut self.b, &self.grad_b)
+    }
+
+    /// Total number of learnable parameters.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// Applies ReLU in place and returns the result.
+pub(crate) fn relu(mut v: Vec<f64>) -> Vec<f64> {
+    for x in &mut v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    v
+}
+
+/// Backpropagates through ReLU: zeroes gradient where the activation was
+/// clamped.
+pub(crate) fn relu_backward(dy: &mut [f64], activated: &[f64]) {
+    for (g, &a) in dy.iter_mut().zip(activated) {
+        if a <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = DenseLayer::new(2, 1, &mut rng);
+        l.w = vec![2.0, -1.0];
+        l.b = vec![0.5];
+        assert_eq!(l.forward(&[3.0, 4.0]), vec![2.5]);
+    }
+
+    #[test]
+    fn backward_matches_numeric_gradient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = DenseLayer::new(3, 2, &mut rng);
+        let x = [0.5, -1.2, 2.0];
+        // Loss = sum(y); dy = ones.
+        l.zero_grad();
+        let dx = l.backward(&x, &[1.0, 1.0]);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let fp: f64 = l.forward(&xp).iter().sum();
+            let mut xm = x;
+            xm[i] -= eps;
+            let fm: f64 = l.forward(&xm).iter().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((dx[i] - num).abs() < 1e-6, "dx[{i}]: {} vs {num}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn weight_gradient_accumulates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = DenseLayer::new(1, 1, &mut rng);
+        l.zero_grad();
+        l.backward(&[2.0], &[1.0]);
+        l.backward(&[2.0], &[1.0]);
+        assert_eq!(l.grad_w[0], 4.0);
+        assert_eq!(l.grad_b[0], 2.0);
+        l.zero_grad();
+        assert_eq!(l.grad_w[0], 0.0);
+    }
+
+    #[test]
+    fn relu_clamps_and_blocks_gradient() {
+        let v = relu(vec![-1.0, 2.0, 0.0]);
+        assert_eq!(v, vec![0.0, 2.0, 0.0]);
+        let mut dy = vec![1.0, 1.0, 1.0];
+        relu_backward(&mut dy, &v);
+        assert_eq!(dy, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = DenseLayer::new(4, 3, &mut rng);
+        let json = serde_json::to_string(&l).unwrap();
+        let mut back: DenseLayer = serde_json::from_str(&json).unwrap();
+        for (a, b) in back
+            .forward(&[1.0, 2.0, 3.0, 4.0])
+            .iter()
+            .zip(l.forward(&[1.0, 2.0, 3.0, 4.0]))
+        {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Gradient buffers are skipped by serde; zero_grad must repair them.
+        back.zero_grad();
+        back.backward(&[1.0; 4], &[1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn forward_rejects_wrong_dim() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = DenseLayer::new(2, 2, &mut rng);
+        l.forward(&[1.0]);
+    }
+}

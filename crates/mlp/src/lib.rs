@@ -1,0 +1,48 @@
+//! A small from-scratch neural-network library for PowerLens' two prediction
+//! models (paper §2.2):
+//!
+//! * the **clustering-hyperparameter prediction model** (Figure 3) — a
+//!   two-stage classifier whose *structural* features enter at the input and
+//!   whose *statistics* features are injected at the mid-stage
+//!   ([`TwoStageNet`]);
+//! * the **target-frequency decision model** (Figure 4) — a plain MLP
+//!   classifier over frequency levels ([`Mlp`]).
+//!
+//! Both are dense ReLU networks trained with softmax cross-entropy and Adam
+//! on mini-batches. Everything is implemented here (no framework): explicit
+//! forward/backward passes over [`DenseLayer`]s, a numerically stable
+//! [`softmax_cross_entropy`], and an [`Adam`] optimizer.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_mlp::{Mlp, Adam, TrainConfig, train_mlp, Sample};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Learn XOR-ish separation of two clusters.
+//! let samples: Vec<Sample> = (0..100).map(|i| {
+//!     let x = (i % 2) as f64;
+//!     Sample { input: vec![x, 1.0 - x], label: i % 2 }
+//! }).collect();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Mlp::new(&[2, 16, 2], &mut rng);
+//! let stats = train_mlp(&mut net, &samples, &TrainConfig::default(), &mut rng);
+//! assert!(stats.final_train_accuracy > 0.95);
+//! ```
+
+mod adam;
+mod dense;
+mod loss;
+mod network;
+mod train;
+mod two_stage;
+
+pub use adam::Adam;
+pub use dense::DenseLayer;
+pub use loss::{softmax, softmax_cross_entropy};
+pub use network::Mlp;
+pub use train::{
+    accuracy_mlp, accuracy_two_stage, train_mlp, train_two_stage, Sample, TrainConfig, TrainStats,
+    TwoStageSample,
+};
+pub use two_stage::TwoStageNet;

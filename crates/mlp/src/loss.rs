@@ -1,0 +1,81 @@
+/// Numerically stable softmax.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_mlp::softmax;
+/// let p = softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy loss for one sample; returns `(loss, dlogits)`.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()`.
+pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "label {label} out of range");
+    let probs = softmax(logits);
+    let loss = -(probs[label].max(1e-300)).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        let c = softmax(&[-1e30, 0.0]);
+        assert!(c.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let (loss, _) = softmax_cross_entropy(&[100.0, 0.0], 0);
+        assert!(loss < 1e-9);
+        let (bad, _) = softmax_cross_entropy(&[100.0, 0.0], 1);
+        assert!(bad > 50.0);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = [0.3, -0.7, 1.2];
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut lp = logits;
+            lp[i] += eps;
+            let (fp, _) = softmax_cross_entropy(&lp, 1);
+            let mut lm = logits;
+            lm[i] -= eps;
+            let (fm, _) = softmax_cross_entropy(&lm, 1);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((grad[i] - num).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[0.1, 0.2, 0.3, 0.4], 2);
+        assert!(grad.iter().sum::<f64>().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dense::{relu, relu_backward};
+use crate::{softmax_cross_entropy, Adam, DenseLayer};
+
+/// A plain multi-layer perceptron classifier with ReLU activations between
+/// layers and raw logits at the output — the architecture of the paper's
+/// target-frequency decision model (Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `&[25, 64, 32, 14]`
+    /// for 25 inputs, two hidden layers, and 14 classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(widths: &[usize], rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| DenseLayer::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Total learnable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(DenseLayer::num_params).sum()
+    }
+
+    /// Forward pass returning logits.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.layers.len();
+        let mut h = x.to_vec();
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward(&h);
+            if i + 1 < n {
+                h = relu(h);
+            }
+        }
+        h
+    }
+
+    /// Predicted class (argmax of logits).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.forward(x))
+    }
+
+    /// Clears gradient accumulators on all layers.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Forward + backward for one labelled sample; accumulates gradients and
+    /// returns the loss.
+    pub fn backprop(&mut self, x: &[f64], label: usize) -> f64 {
+        let n = self.layers.len();
+        // Forward with caches.
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        acts.push(x.to_vec());
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut h = l.forward(acts.last().expect("non-empty"));
+            if i + 1 < n {
+                h = relu(h);
+            }
+            acts.push(h);
+        }
+        let (loss, mut grad) = softmax_cross_entropy(&acts[n], label);
+        // Backward.
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                relu_backward(&mut grad, &acts[i + 1]);
+            }
+            grad = self.layers[i].backward(&acts[i], &grad);
+        }
+        loss
+    }
+
+    /// One Adam step over all layers after a mini-batch of `batch_size`
+    /// backprop calls.
+    pub fn apply_step(&mut self, adam: &mut Adam, batch_size: usize) {
+        adam.begin_step();
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            adam.step_layer(i, l, batch_size);
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub(crate) fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(&[3, 8, 4], &mut rng);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 4);
+        assert_eq!(net.in_dim(), 3);
+        assert_eq!(net.num_classes(), 4);
+        assert_eq!(net.num_params(), 3 * 8 + 8 + 8 * 4 + 4);
+    }
+
+    #[test]
+    fn backprop_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Mlp::new(&[2, 16, 2], &mut rng);
+        let mut adam = Adam::new(0.01);
+        let data = [([0.0, 1.0], 0usize), ([1.0, 0.0], 1usize)];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..300 {
+            net.zero_grad();
+            let mut loss = 0.0;
+            for (x, y) in &data {
+                loss += net.backprop(x, *y);
+            }
+            net.apply_step(&mut adam, data.len());
+            if epoch == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+        assert_eq!(net.predict(&[0.0, 1.0]), 0);
+        assert_eq!(net.predict(&[1.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Mlp::new(&[4, 6, 3], &mut rng);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.5, -0.5, 1.0, 0.0];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
+        assert_eq!(argmax(&[0.0, 2.0, 2.0]), 1);
+    }
+}

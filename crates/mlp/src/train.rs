@@ -1,0 +1,213 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Adam, Mlp, TwoStageNet};
+
+/// One labelled sample for a plain [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Input features.
+    pub input: Vec<f64>,
+    /// Class label.
+    pub label: usize,
+}
+
+/// One labelled sample for a [`TwoStageNet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoStageSample {
+    /// Structural features (network input stage).
+    pub structural: Vec<f64>,
+    /// Statistics features (mid-stage injection).
+    pub statistics: Vec<f64>,
+    /// Class label.
+    pub label: usize,
+}
+
+/// Mini-batch training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            lr: 1e-3,
+        }
+    }
+}
+
+/// Per-epoch losses and final training accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStats {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Accuracy on the training set after the last epoch.
+    pub final_train_accuracy: f64,
+}
+
+/// Trains a plain MLP classifier with shuffled mini-batches.
+pub fn train_mlp<R: Rng + ?Sized>(
+    net: &mut Mlp,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    rng: &mut R,
+) -> TrainStats {
+    assert!(!samples.is_empty(), "no training samples");
+    let mut adam = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        let mut total = 0.0;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            net.zero_grad();
+            for &i in chunk {
+                total += net.backprop(&samples[i].input, samples[i].label);
+            }
+            net.apply_step(&mut adam, chunk.len());
+        }
+        epoch_losses.push(total / samples.len() as f64);
+    }
+    TrainStats {
+        final_train_accuracy: accuracy_mlp(net, samples),
+        epoch_losses,
+    }
+}
+
+/// Trains a two-stage classifier with shuffled mini-batches.
+pub fn train_two_stage<R: Rng + ?Sized>(
+    net: &mut TwoStageNet,
+    samples: &[TwoStageSample],
+    cfg: &TrainConfig,
+    rng: &mut R,
+) -> TrainStats {
+    assert!(!samples.is_empty(), "no training samples");
+    let mut adam = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        let mut total = 0.0;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            net.zero_grad();
+            for &i in chunk {
+                let s = &samples[i];
+                total += net.backprop(&s.structural, &s.statistics, s.label);
+            }
+            net.apply_step(&mut adam, chunk.len());
+        }
+        epoch_losses.push(total / samples.len() as f64);
+    }
+    TrainStats {
+        final_train_accuracy: accuracy_two_stage(net, samples),
+        epoch_losses,
+    }
+}
+
+/// Classification accuracy of an MLP on a sample set (0 for an empty set).
+pub fn accuracy_mlp(net: &Mlp, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| net.predict(&s.input) == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+/// Classification accuracy of a two-stage net on a sample set.
+pub fn accuracy_two_stage(net: &TwoStageNet, samples: &[TwoStageSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| net.predict(&s.structural, &s.statistics) == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_samples(n: usize, rng: &mut StdRng) -> Vec<Sample> {
+        // Two Gaussian-ish blobs in 2-D.
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let cx = if label == 0 { -1.0 } else { 1.0 };
+                Sample {
+                    input: vec![cx + rng.gen_range(-0.3..0.3), rng.gen_range(-0.3..0.3)],
+                    label,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mlp_learns_blobs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let samples = blob_samples(200, &mut rng);
+        let mut net = Mlp::new(&[2, 16, 2], &mut rng);
+        let stats = train_mlp(&mut net, &samples, &TrainConfig::default(), &mut rng);
+        assert!(stats.final_train_accuracy > 0.98);
+        // Losses trend down.
+        assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
+    }
+
+    #[test]
+    fn two_stage_learns_mixed_signal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Label = (structural sign XOR statistics sign).
+        let samples: Vec<TwoStageSample> = (0..400)
+            .map(|_| {
+                let a: f64 = rng.gen_range(-1.0..1.0);
+                let b: f64 = rng.gen_range(-1.0..1.0);
+                TwoStageSample {
+                    structural: vec![a],
+                    statistics: vec![b],
+                    label: usize::from((a > 0.0) != (b > 0.0)),
+                }
+            })
+            .collect();
+        let mut net = TwoStageNet::new(1, 1, 24, 2, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 120,
+            batch_size: 16,
+            lr: 3e-3,
+        };
+        let stats = train_two_stage(&mut net, &samples, &cfg, &mut rng);
+        assert!(
+            stats.final_train_accuracy > 0.9,
+            "accuracy {}",
+            stats.final_train_accuracy
+        );
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Mlp::new(&[2, 2], &mut rng);
+        assert_eq!(accuracy_mlp(&net, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training samples")]
+    fn train_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[2, 2], &mut rng);
+        train_mlp(&mut net, &[], &TrainConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,194 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dense::{relu, relu_backward};
+use crate::network::argmax;
+use crate::{softmax_cross_entropy, Adam, DenseLayer};
+
+/// The clustering-hyperparameter prediction model of Figure 3.
+///
+/// Two-stage architecture: *structural* features are consumed at the input
+/// ("to establish a basic understanding of the DNN structure"); *statistics*
+/// features are concatenated onto the hidden representation at the network's
+/// mid-stage ("to further enhance the prediction accuracy based on the
+/// existing structural understanding"). The output is a softmax over
+/// clustering-hyperparameter schemes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageNet {
+    stage1: DenseLayer,
+    stage2: DenseLayer,
+    head: DenseLayer,
+    statistics_dim: usize,
+}
+
+impl TwoStageNet {
+    /// Creates the network.
+    ///
+    /// * `structural_dim` — width of the structural input,
+    /// * `statistics_dim` — width of the mid-stage statistics input,
+    /// * `hidden` — hidden width of both stages,
+    /// * `classes` — number of hyperparameter schemes.
+    pub fn new<R: Rng + ?Sized>(
+        structural_dim: usize,
+        statistics_dim: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        TwoStageNet {
+            stage1: DenseLayer::new(structural_dim, hidden, rng),
+            stage2: DenseLayer::new(hidden + statistics_dim, hidden, rng),
+            head: DenseLayer::new(hidden, classes, rng),
+            statistics_dim,
+        }
+    }
+
+    /// Width of the structural input.
+    pub fn structural_dim(&self) -> usize {
+        self.stage1.in_dim()
+    }
+
+    /// Width of the statistics input.
+    pub fn statistics_dim(&self) -> usize {
+        self.statistics_dim
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    /// Forward pass returning logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input dimension mismatches.
+    pub fn forward(&self, structural: &[f64], statistics: &[f64]) -> Vec<f64> {
+        assert_eq!(statistics.len(), self.statistics_dim, "statistics dim");
+        let h1 = relu(self.stage1.forward(structural));
+        let mut cat = h1;
+        cat.extend_from_slice(statistics);
+        let h2 = relu(self.stage2.forward(&cat));
+        self.head.forward(&h2)
+    }
+
+    /// Predicted class (argmax of logits).
+    pub fn predict(&self, structural: &[f64], statistics: &[f64]) -> usize {
+        argmax(&self.forward(structural, statistics))
+    }
+
+    /// Clears gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.stage1.zero_grad();
+        self.stage2.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// Forward + backward for one labelled sample; accumulates gradients and
+    /// returns the loss.
+    pub fn backprop(&mut self, structural: &[f64], statistics: &[f64], label: usize) -> f64 {
+        let h1 = relu(self.stage1.forward(structural));
+        let mut cat = h1.clone();
+        cat.extend_from_slice(statistics);
+        let h2 = relu(self.stage2.forward(&cat));
+        let logits = self.head.forward(&h2);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, label);
+
+        let mut dh2 = self.head.backward(&h2, &dlogits);
+        relu_backward(&mut dh2, &h2);
+        let dcat = self.stage2.backward(&cat, &dh2);
+        let mut dh1 = dcat[..h1.len()].to_vec();
+        relu_backward(&mut dh1, &h1);
+        self.stage1.backward(structural, &dh1);
+        loss
+    }
+
+    /// One Adam step over the three layers after a mini-batch of
+    /// `batch_size` backprop calls.
+    pub fn apply_step(&mut self, adam: &mut Adam, batch_size: usize) {
+        adam.begin_step();
+        adam.step_layer(0, &mut self.stage1, batch_size);
+        adam.step_layer(1, &mut self.stage2, batch_size);
+        adam.step_layer(2, &mut self.head, batch_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = TwoStageNet::new(5, 3, 16, 4, &mut rng);
+        let logits = net.forward(&[0.0; 5], &[0.0; 3]);
+        assert_eq!(logits.len(), 4);
+        assert_eq!(net.structural_dim(), 5);
+        assert_eq!(net.statistics_dim(), 3);
+        assert_eq!(net.num_classes(), 4);
+    }
+
+    #[test]
+    fn statistics_input_affects_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = TwoStageNet::new(4, 2, 16, 3, &mut rng);
+        let s = [0.3, -0.2, 0.9, 0.1];
+        let a = net.forward(&s, &[5.0, -5.0]);
+        let b = net.forward(&s, &[-5.0, 5.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn learns_label_from_statistics_branch() {
+        // Label depends *only* on the statistics input — the mid-stage
+        // injection must carry gradient.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = TwoStageNet::new(2, 1, 16, 2, &mut rng);
+        let mut adam = Adam::new(0.02);
+        for _ in 0..300 {
+            net.zero_grad();
+            net.backprop(&[0.1, 0.1], &[1.0], 1);
+            net.backprop(&[0.1, 0.1], &[-1.0], 0);
+            net.apply_step(&mut adam, 2);
+        }
+        assert_eq!(net.predict(&[0.1, 0.1], &[1.0]), 1);
+        assert_eq!(net.predict(&[0.1, 0.1], &[-1.0]), 0);
+    }
+
+    #[test]
+    fn learns_label_from_structural_branch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = TwoStageNet::new(1, 1, 16, 2, &mut rng);
+        let mut adam = Adam::new(0.02);
+        for _ in 0..300 {
+            net.zero_grad();
+            net.backprop(&[1.0], &[0.0], 1);
+            net.backprop(&[-1.0], &[0.0], 0);
+            net.apply_step(&mut adam, 2);
+        }
+        assert_eq!(net.predict(&[1.0], &[0.0]), 1);
+        assert_eq!(net.predict(&[-1.0], &[0.0]), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = TwoStageNet::new(3, 2, 8, 3, &mut rng);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: TwoStageNet = serde_json::from_str(&json).unwrap();
+        let logits = net.forward(&[1.0, 2.0, 3.0], &[0.5, 0.5]);
+        for (a, b) in back.forward(&[1.0, 2.0, 3.0], &[0.5, 0.5]).iter().zip(logits) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "statistics dim")]
+    fn wrong_statistics_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = TwoStageNet::new(2, 2, 4, 2, &mut rng);
+        net.forward(&[0.0; 2], &[0.0; 3]);
+    }
+}

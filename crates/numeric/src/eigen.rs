@@ -1,0 +1,223 @@
+use crate::{Matrix, NumericError, Result};
+
+/// Eigendecomposition of a real symmetric matrix.
+///
+/// Produced by [`jacobi_eigen`]. Satisfies `A = V * diag(values) * V^T`
+/// with `V` orthonormal (columns are eigenvectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues, in the order matching the columns of [`Eigen::vectors`].
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvector matrix; column `k` pairs with `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi rotation method.
+///
+/// The Jacobi method is slow for large matrices but extremely robust and
+/// accurate for the small (tens of rows) covariance matrices PowerLens
+/// works with.
+///
+/// # Errors
+///
+/// * [`NumericError::NotSquare`] if `a` is not square.
+/// * [`NumericError::Empty`] if `a` is empty.
+/// * [`NumericError::NonFinite`] if `a` contains NaN or infinity.
+/// * [`NumericError::NoConvergence`] if off-diagonal mass does not vanish
+///   within the iteration budget (does not happen for well-formed symmetric
+///   input).
+///
+/// # Example
+///
+/// ```
+/// use powerlens_numeric::{jacobi_eigen, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+/// let eig = jacobi_eigen(&a).unwrap();
+/// let mut vals = eig.values.clone();
+/// vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+/// assert!((vals[0] - 1.0).abs() < 1e-10);
+/// assert!((vals[1] - 3.0).abs() < 1e-10);
+/// ```
+pub fn jacobi_eigen(a: &Matrix) -> Result<Eigen> {
+    if a.rows() != a.cols() {
+        return Err(NumericError::NotSquare {
+            op: "jacobi_eigen",
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    if a.is_empty() {
+        return Err(NumericError::Empty { op: "jacobi_eigen" });
+    }
+    if !a.all_finite() {
+        return Err(NumericError::NonFinite { op: "jacobi_eigen" });
+    }
+    let n = a.rows();
+    // Work on a symmetrized copy to be tolerant of tiny asymmetries from
+    // floating-point accumulation in covariance computation.
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    let tol = 1e-14 * m.max_abs().max(1.0);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            let values = (0..n).map(|i| m[(i, i)]).collect();
+            return Ok(Eigen { values, vectors: v });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, theta) on both sides: M <- G^T M G.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(NumericError::NoConvergence {
+        op: "jacobi_eigen",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(eig: &Eigen) -> Matrix {
+        let n = eig.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = eig.values[i];
+        }
+        eig.vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&eig.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 7.0]]).unwrap();
+        let eig = jacobi_eigen(&a).unwrap();
+        let mut vals = eig.values.clone();
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ])
+        .unwrap();
+        let eig = jacobi_eigen(&a).unwrap();
+        let r = reconstruct(&eig);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9, "mismatch at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let eig = jacobi_eigen(&a).unwrap();
+        let vtv = eig.vectors.transpose().matmul(&eig.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            jacobi_eigen(&a).unwrap_err(),
+            NumericError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let a = Matrix::from_rows(&[vec![f64::NAN]]).unwrap();
+        assert!(matches!(
+            jacobi_eigen(&a).unwrap_err(),
+            NumericError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let eig = jacobi_eigen(&a).unwrap();
+        assert_eq!(eig.values, vec![5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_has_zero_eigenvalue() {
+        // Rank-1 matrix: [1 1; 1 1] has eigenvalues {0, 2}.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let eig = jacobi_eigen(&a).unwrap();
+        let mut vals = eig.values.clone();
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!(vals[0].abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+    }
+}

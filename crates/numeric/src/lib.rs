@@ -1,0 +1,36 @@
+//! Small dense linear-algebra and statistics substrate for PowerLens.
+//!
+//! The PowerLens clustering stage (Algorithm 1 of the paper) computes a
+//! Mahalanobis distance between per-layer feature vectors, which requires the
+//! covariance matrix of the feature set and its Moore–Penrose pseudo-inverse.
+//! Feature dimensionality is small (tens of dimensions), so a straightforward
+//! dense implementation with a Jacobi eigensolver is both simple and robust.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_numeric::{Matrix, covariance, pseudo_inverse};
+//!
+//! // Three observations of a 2-dimensional feature.
+//! let x = Matrix::from_rows(&[
+//!     vec![1.0, 2.0],
+//!     vec![2.0, 4.1],
+//!     vec![3.0, 5.9],
+//! ]).unwrap();
+//! let cov = covariance(&x).unwrap();
+//! let pinv = pseudo_inverse(&cov).unwrap();
+//! assert_eq!(pinv.rows(), 2);
+//! ```
+
+mod eigen;
+mod error;
+mod matrix;
+mod stats;
+
+pub use eigen::{jacobi_eigen, Eigen};
+pub use error::NumericError;
+pub use matrix::Matrix;
+pub use stats::{covariance, mahalanobis, mean_columns, pseudo_inverse, zscore_scale, Scaler};
+
+/// Convenience result alias for numeric operations.
+pub type Result<T> = std::result::Result<T, NumericError>;

@@ -1,0 +1,124 @@
+//! Property-based tests for the numeric substrate.
+
+use powerlens_numeric::{
+    covariance, jacobi_eigen, mahalanobis, pseudo_inverse, zscore_scale, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric matrix of size 1..=6 with bounded entries.
+fn symmetric_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(-100.0f64..100.0, n * n).prop_map(move |raw| {
+            let mut m = Matrix::from_vec(n, n, raw).unwrap();
+            for i in 0..n {
+                for j in 0..i {
+                    let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+                    m[(i, j)] = avg;
+                    m[(j, i)] = avg;
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Strategy: a random observation matrix (2..=12 rows, 1..=6 cols).
+fn observations() -> impl Strategy<Value = Matrix> {
+    (2usize..=12, 1usize..=6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-50.0f64..50.0, r * c)
+            .prop_map(move |raw| Matrix::from_vec(r, c, raw).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn eigen_reconstructs_input(a in symmetric_matrix()) {
+        let eig = jacobi_eigen(&a).unwrap();
+        let n = a.rows();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n { d[(i, i)] = eig.values[i]; }
+        let r = eig.vectors.matmul(&d).unwrap().matmul(&eig.vectors.transpose()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-8 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_trace_is_preserved(a in symmetric_matrix()) {
+        let eig = jacobi_eigen(&a).unwrap();
+        let trace: f64 = (0..a.rows()).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn pinv_satisfies_first_penrose_condition(a in symmetric_matrix()) {
+        let p = pseudo_inverse(&a).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!((apa[(i, j)] - a[(i, j)]).abs() < 1e-6 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd(x in observations()) {
+        let c = covariance(&x).unwrap();
+        prop_assert!(c.is_symmetric(1e-9 * c.max_abs().max(1.0)));
+        let eig = jacobi_eigen(&c).unwrap();
+        for v in eig.values {
+            prop_assert!(v > -1e-7 * c.max_abs().max(1.0), "negative eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn mahalanobis_is_symmetric_and_nonnegative(x in observations()) {
+        let c = covariance(&x).unwrap();
+        let p = pseudo_inverse(&c).unwrap();
+        let a = x.row(0).to_vec();
+        let b = x.row(x.rows() - 1).to_vec();
+        let dab = mahalanobis(&a, &b, &p).unwrap();
+        let dba = mahalanobis(&b, &a, &p).unwrap();
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-9 * dab.max(1.0));
+        prop_assert!(mahalanobis(&a, &a, &p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn zscore_output_is_finite_and_centred(x in observations()) {
+        let s = zscore_scale(&x).unwrap();
+        prop_assert!(s.all_finite());
+        for c in 0..s.cols() {
+            let mean: f64 = (0..s.rows()).map(|r| s[(r, c)]).sum::<f64>() / s.rows() as f64;
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in proptest::collection::vec(-10.0f64..10.0, 9),
+        b in proptest::collection::vec(-10.0f64..10.0, 9),
+        c in proptest::collection::vec(-10.0f64..10.0, 9),
+    ) {
+        let ma = Matrix::from_vec(3, 3, a).unwrap();
+        let mb = Matrix::from_vec(3, 3, b).unwrap();
+        let mc = Matrix::from_vec(3, 3, c).unwrap();
+        let left = ma.matmul(&mb).unwrap().matmul(&mc).unwrap();
+        let right = ma.matmul(&mb.matmul(&mc).unwrap()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-6 * left.max_abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(x in observations()) {
+        prop_assert_eq!(x.transpose().transpose(), x);
+    }
+}

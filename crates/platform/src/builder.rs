@@ -1,0 +1,202 @@
+use crate::{FrequencyTable, Platform, PowerDomainModel};
+
+/// Builder for custom [`Platform`] models.
+///
+/// [`Platform::agx`] and [`Platform::tx2`] cover the paper's boards; the
+/// builder lets downstream users model their own hardware (a different
+/// Jetson, a desktop GPU, a datacenter accelerator) and run the whole
+/// PowerLens pipeline against it — the paper's "adaptability to hardware
+/// platforms" claim extended beyond the two evaluated devices.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_platform::{FrequencyTable, PlatformBuilder};
+///
+/// // A made-up 4-level accelerator.
+/// let gpu = FrequencyTable::new(vec![300e6, 600e6, 900e6, 1200e6], 0.65, 1.0);
+/// let cpu = FrequencyTable::new(vec![1.0e9, 2.0e9], 0.6, 1.0);
+/// let board = PlatformBuilder::new("toy", gpu, cpu)
+///     .flops_per_cycle(256.0)
+///     .memory_bandwidth(25.0e9)
+///     .build();
+/// assert_eq!(board.gpu_levels(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: &'static str,
+    gpu: FrequencyTable,
+    cpu: FrequencyTable,
+    gpu_power: PowerDomainModel,
+    cpu_power: PowerDomainModel,
+    mem_max_w: f64,
+    mem_idle_w: f64,
+    board_static_w: f64,
+    flops_per_cycle: f64,
+    mem_bw: f64,
+    launch_base: f64,
+    kernel_overhead: f64,
+    stall_activity: f64,
+    clock_floor: f64,
+    dvfs_transition: f64,
+    dvfs_settle: f64,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder with moderate embedded-class defaults.
+    pub fn new(name: &'static str, gpu: FrequencyTable, cpu: FrequencyTable) -> Self {
+        PlatformBuilder {
+            name,
+            gpu,
+            cpu,
+            gpu_power: PowerDomainModel::new(1.0, 1.0e-8),
+            cpu_power: PowerDomainModel::new(0.5, 2.0e-9),
+            mem_max_w: 3.0,
+            mem_idle_w: 0.5,
+            board_static_w: 2.0,
+            flops_per_cycle: 512.0,
+            mem_bw: 40.0e9,
+            launch_base: 50e-6,
+            kernel_overhead: 25e-6,
+            stall_activity: 0.4,
+            clock_floor: 0.06,
+            dvfs_transition: 0.0005,
+            dvfs_settle: 0.050,
+        }
+    }
+
+    /// GPU power domain (idle watts, effective capacitance).
+    pub fn gpu_power(mut self, idle_w: f64, c_eff: f64) -> Self {
+        self.gpu_power = PowerDomainModel::new(idle_w, c_eff);
+        self
+    }
+
+    /// CPU power domain (idle watts, effective capacitance).
+    pub fn cpu_power(mut self, idle_w: f64, c_eff: f64) -> Self {
+        self.cpu_power = PowerDomainModel::new(idle_w, c_eff);
+        self
+    }
+
+    /// Memory subsystem power at full utilization / idle (watts).
+    pub fn memory_power(mut self, max_w: f64, idle_w: f64) -> Self {
+        self.mem_max_w = max_w;
+        self.mem_idle_w = idle_w;
+        self
+    }
+
+    /// Always-on board power (watts).
+    pub fn board_static(mut self, watts: f64) -> Self {
+        self.board_static_w = watts;
+        self
+    }
+
+    /// Peak GPU FLOPs per clock cycle.
+    pub fn flops_per_cycle(mut self, flops: f64) -> Self {
+        self.flops_per_cycle = flops;
+        self
+    }
+
+    /// Effective off-chip memory bandwidth (bytes/second).
+    pub fn memory_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.mem_bw = bytes_per_sec;
+        self
+    }
+
+    /// Kernel launch overhead at maximum CPU frequency (seconds).
+    pub fn launch_overhead(mut self, seconds: f64) -> Self {
+        self.launch_base = seconds;
+        self
+    }
+
+    /// GPU-side fixed per-kernel time (seconds).
+    pub fn kernel_overhead(mut self, seconds: f64) -> Self {
+        self.kernel_overhead = seconds;
+        self
+    }
+
+    /// Fraction of dynamic power burned during memory stalls, and the
+    /// clock-tree activity floor.
+    pub fn activity_factors(mut self, stall: f64, floor: f64) -> Self {
+        self.stall_activity = stall;
+        self.clock_floor = floor;
+        self
+    }
+
+    /// DVFS execution stall and end-to-end settle latency (seconds).
+    pub fn dvfs_costs(mut self, stall: f64, settle: f64) -> Self {
+        self.dvfs_transition = stall;
+        self.dvfs_settle = settle;
+        self
+    }
+
+    /// Finalizes the platform.
+    pub fn build(self) -> Platform {
+        Platform::from_parts(
+            self.name,
+            self.gpu,
+            self.cpu,
+            self.gpu_power,
+            self.cpu_power,
+            self.mem_max_w,
+            self.mem_idle_w,
+            self.board_static_w,
+            self.flops_per_cycle,
+            self.mem_bw,
+            self.launch_base,
+            self.kernel_overhead,
+            self.stall_activity,
+            self.clock_floor,
+            self.dvfs_transition,
+            self.dvfs_settle,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Platform {
+        let gpu = FrequencyTable::new(vec![300e6, 600e6, 900e6, 1200e6], 0.65, 1.0);
+        let cpu = FrequencyTable::new(vec![1.0e9, 2.0e9], 0.6, 1.0);
+        PlatformBuilder::new("toy", gpu, cpu)
+            .flops_per_cycle(256.0)
+            .memory_bandwidth(25.0e9)
+            .gpu_power(0.5, 8.0e-9)
+            .cpu_power(0.2, 1.5e-9)
+            .memory_power(2.0, 0.2)
+            .board_static(1.0)
+            .launch_overhead(40e-6)
+            .kernel_overhead(20e-6)
+            .activity_factors(0.45, 0.05)
+            .dvfs_costs(0.001, 0.02)
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_usable_platform() {
+        let p = toy();
+        assert_eq!(p.name(), "toy");
+        assert_eq!(p.gpu_levels(), 4);
+        assert_eq!(p.cpu_levels(), 2);
+        assert_eq!(p.dvfs_transition_cost(), 0.001);
+        assert_eq!(p.dvfs_settle_latency(), 0.02);
+        let g = powerlens_dnn::zoo::alexnet();
+        let l = &g.layers()[0];
+        let t = p.layer_timing(l, 1, 3, 1);
+        assert!(t.total > 0.0 && t.total.is_finite());
+        assert!(p.layer_power(&t, 3, 1) > p.idle_power(3, 1));
+    }
+
+    #[test]
+    fn custom_platform_shows_dvfs_headroom() {
+        // Any sensible platform must reward downclocking memory-bound work.
+        let p = toy();
+        let g = powerlens_dnn::zoo::alexnet();
+        let e_max: f64 = g.layers().iter().map(|l| p.layer_energy(l, 8, 3, 1)).sum();
+        let e_best: f64 = (0..p.gpu_levels())
+            .map(|lvl| g.layers().iter().map(|l| p.layer_energy(l, 8, lvl, 1)).sum())
+            .fold(f64::INFINITY, f64::min);
+        assert!(e_best < e_max);
+    }
+}

@@ -1,0 +1,98 @@
+use crate::FreqLevel;
+
+/// Stateful DVFS actuator for one clock domain.
+///
+/// Tracks the current level and charges the platform's transition cost for
+/// every *actual* change (setting the already-active level is free — this is
+/// what lets a well-clustered plan amortize instrumentation while a
+/// ping-ponging reactive governor pays repeatedly).
+///
+/// # Example
+///
+/// ```
+/// use powerlens_platform::DvfsActuator;
+///
+/// let mut a = DvfsActuator::new(13, 0.050);
+/// assert_eq!(a.set_level(13), 0.0);      // no-op: already there
+/// assert_eq!(a.set_level(5), 0.050);     // pays the transition
+/// assert_eq!(a.num_switches(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsActuator {
+    current: FreqLevel,
+    transition_cost: f64,
+    num_switches: usize,
+    total_overhead: f64,
+}
+
+impl DvfsActuator {
+    /// Creates an actuator starting at `initial` with the given per-switch
+    /// wall-clock cost in seconds.
+    pub fn new(initial: FreqLevel, transition_cost: f64) -> Self {
+        DvfsActuator {
+            current: initial,
+            transition_cost,
+            num_switches: 0,
+            total_overhead: 0.0,
+        }
+    }
+
+    /// Requests `level`; returns the wall-clock stall incurred (0 if the
+    /// level is already active).
+    pub fn set_level(&mut self, level: FreqLevel) -> f64 {
+        if level == self.current {
+            return 0.0;
+        }
+        self.current = level;
+        self.num_switches += 1;
+        self.total_overhead += self.transition_cost;
+        self.transition_cost
+    }
+
+    /// Currently active level.
+    pub fn level(&self) -> FreqLevel {
+        self.current
+    }
+
+    /// Number of actual level changes performed.
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    /// Total wall-clock overhead paid for switches so far (seconds).
+    pub fn total_overhead(&self) -> f64 {
+        self.total_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_set_same_level_is_free() {
+        let mut a = DvfsActuator::new(3, 0.05);
+        for _ in 0..10 {
+            assert_eq!(a.set_level(3), 0.0);
+        }
+        assert_eq!(a.num_switches(), 0);
+        assert_eq!(a.total_overhead(), 0.0);
+    }
+
+    #[test]
+    fn ping_pong_accumulates_overhead() {
+        let mut a = DvfsActuator::new(0, 0.05);
+        for i in 0..10 {
+            a.set_level(if i % 2 == 0 { 5 } else { 0 });
+        }
+        assert_eq!(a.num_switches(), 10);
+        assert!((a.total_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_tracks_latest() {
+        let mut a = DvfsActuator::new(0, 0.05);
+        a.set_level(7);
+        assert_eq!(a.level(), 7);
+    }
+}

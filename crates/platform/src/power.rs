@@ -1,0 +1,64 @@
+/// CMOS power model for one clock domain:
+/// `P = P_idle + C_eff · V² · f · activity`.
+///
+/// `C_eff` (effective switched capacitance) is calibrated per domain so that
+/// full activity at the maximum operating point lands on the board's
+/// published power envelope.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_platform::PowerDomainModel;
+///
+/// let m = PowerDomainModel::new(1.0, 1.2e-8);
+/// let idle = m.power(1.0, 1.0e9, 0.0);
+/// let busy = m.power(1.0, 1.0e9, 1.0);
+/// assert!(busy > idle);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerDomainModel {
+    /// Static/idle power of the domain in watts.
+    pub idle_w: f64,
+    /// Effective switched capacitance (W / (V² · Hz)).
+    pub c_eff: f64,
+}
+
+impl PowerDomainModel {
+    /// Creates a domain model from its idle power and effective capacitance.
+    pub fn new(idle_w: f64, c_eff: f64) -> Self {
+        PowerDomainModel { idle_w, c_eff }
+    }
+
+    /// Instantaneous power in watts at voltage `v`, frequency `f_hz`, and
+    /// activity factor `activity` in `[0, 1]`.
+    pub fn power(&self, v: f64, f_hz: f64, activity: f64) -> f64 {
+        self.idle_w + self.c_eff * v * v * f_hz * activity.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_scales_quadratically_with_voltage() {
+        let m = PowerDomainModel::new(0.0, 1e-9);
+        let p1 = m.power(0.6, 1e9, 1.0);
+        let p2 = m.power(1.2, 1e9, 1.0);
+        assert!((p2 / p1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_linear_in_frequency_and_activity() {
+        let m = PowerDomainModel::new(0.0, 1e-9);
+        assert!((m.power(1.0, 2e9, 1.0) / m.power(1.0, 1e9, 1.0) - 2.0).abs() < 1e-9);
+        assert!((m.power(1.0, 1e9, 0.5) / m.power(1.0, 1e9, 1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_is_clamped() {
+        let m = PowerDomainModel::new(1.0, 1e-9);
+        assert_eq!(m.power(1.0, 1e9, -1.0), 1.0);
+        assert_eq!(m.power(1.0, 1e9, 2.0), m.power(1.0, 1e9, 1.0));
+    }
+}

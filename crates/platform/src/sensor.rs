@@ -1,0 +1,199 @@
+/// One telemetry sample covering a time span of constant behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Start of the span (seconds since run start).
+    pub t_start: f64,
+    /// Span duration (seconds).
+    pub duration: f64,
+    /// Average board power over the span (watts).
+    pub power_w: f64,
+    /// GPU *compute* utilization (useful work fraction) in `[0, 1]`.
+    pub gpu_util: f64,
+    /// GPU *busy* fraction (kernel resident, incl. memory stalls) — the load
+    /// signal an ondemand-style governor actually observes.
+    pub busy_util: f64,
+    /// CPU busy fraction in `[0, 1]`.
+    pub cpu_util: f64,
+    /// GPU frequency level active during the span.
+    pub gpu_level: usize,
+}
+
+/// Time-weighted aggregate over a telemetry window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Average board power (watts).
+    pub power_w: f64,
+    /// Average GPU compute utilization.
+    pub gpu_util: f64,
+    /// Average GPU busy fraction.
+    pub busy_util: f64,
+    /// Average CPU busy fraction.
+    pub cpu_util: f64,
+}
+
+/// A tegrastats-like telemetry accumulator.
+///
+/// The simulator records one sample per executed span; governors query
+/// trailing windows (matching how `tegrastats` / `ondemand` observe the
+/// recent past, *not* the present — the source of the lag the paper
+/// criticizes), and experiment harnesses read whole-run aggregates.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_platform::Telemetry;
+///
+/// let mut t = Telemetry::new();
+/// t.record(0.1, 10.0, 0.9, 1.0, 0.1, 5);
+/// t.record(0.1, 20.0, 0.5, 0.8, 0.1, 5);
+/// assert!((t.total_energy() - 3.0).abs() < 1e-12);
+/// assert!((t.avg_power() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    samples: Vec<PowerSample>,
+    now: f64,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry stream at time zero.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Appends a span of `duration` seconds.
+    pub fn record(
+        &mut self,
+        duration: f64,
+        power_w: f64,
+        gpu_util: f64,
+        busy_util: f64,
+        cpu_util: f64,
+        gpu_level: usize,
+    ) {
+        if duration <= 0.0 {
+            return;
+        }
+        self.samples.push(PowerSample {
+            t_start: self.now,
+            duration,
+            power_w,
+            gpu_util,
+            busy_util,
+            cpu_util,
+            gpu_level,
+        });
+        self.now += duration;
+    }
+
+    /// Current simulated time (seconds since start).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Total energy in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.samples.iter().map(|s| s.power_w * s.duration).sum()
+    }
+
+    /// Time-weighted average power in watts (0 for an empty stream).
+    pub fn avg_power(&self) -> f64 {
+        if self.now > 0.0 {
+            self.total_energy() / self.now
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted aggregates over the trailing `window` seconds; `None`
+    /// if nothing has been recorded yet.
+    pub fn window_stats(&self, window: f64) -> Option<WindowStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let from = (self.now - window).max(0.0);
+        let mut energy = 0.0;
+        let mut gpu = 0.0;
+        let mut busy = 0.0;
+        let mut cpu = 0.0;
+        let mut span = 0.0;
+        for s in self.samples.iter().rev() {
+            let end = s.t_start + s.duration;
+            if end <= from {
+                break;
+            }
+            let overlap = end.min(self.now) - s.t_start.max(from);
+            if overlap > 0.0 {
+                energy += s.power_w * overlap;
+                gpu += s.gpu_util * overlap;
+                busy += s.busy_util * overlap;
+                cpu += s.cpu_util * overlap;
+                span += overlap;
+            }
+        }
+        if span > 0.0 {
+            Some(WindowStats {
+                power_w: energy / span,
+                gpu_util: gpu / span,
+                busy_util: busy / span,
+                cpu_util: cpu / span,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_defaults() {
+        let t = Telemetry::new();
+        assert_eq!(t.avg_power(), 0.0);
+        assert_eq!(t.total_energy(), 0.0);
+        assert!(t.window_stats(1.0).is_none());
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut t = Telemetry::new();
+        t.record(0.0, 100.0, 1.0, 1.0, 1.0, 0);
+        assert!(t.samples().is_empty());
+    }
+
+    #[test]
+    fn window_covers_partial_samples() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 10.0, 0.2, 0.9, 0.1, 0); // [0, 1)
+        t.record(1.0, 30.0, 0.8, 1.0, 0.3, 1); // [1, 2)
+        // Window of 1.5 s: 0.5 s of the first + 1.0 s of the second.
+        let w = t.window_stats(1.5).unwrap();
+        assert!((w.power_w - 35.0 / 1.5).abs() < 1e-12);
+        assert!((w.gpu_util - (0.5 * 0.2 + 1.0 * 0.8) / 1.5).abs() < 1e-12);
+        assert!((w.busy_util - (0.5 * 0.9 + 1.0 * 1.0) / 1.5).abs() < 1e-12);
+        assert!((w.cpu_util - (0.5 * 0.1 + 1.0 * 0.3) / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_larger_than_history() {
+        let mut t = Telemetry::new();
+        t.record(0.5, 12.0, 0.5, 0.6, 0.2, 2);
+        let w = t.window_stats(100.0).unwrap();
+        assert!((w.power_w - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_accumulates() {
+        let mut t = Telemetry::new();
+        t.record(0.25, 5.0, 0.1, 0.2, 0.0, 0);
+        t.record(0.75, 5.0, 0.1, 0.2, 0.0, 0);
+        assert!((t.now() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the board cost model: the monotonicity and
+//! consistency guarantees every governor and oracle relies on.
+
+use powerlens_dnn::random::{generate, RandomDnnConfig};
+use powerlens_platform::Platform;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(seed: u64) -> powerlens_dnn::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&RandomDnnConfig::default(), &mut rng)
+}
+
+fn platforms() -> [Platform; 3] {
+    [Platform::agx(), Platform::tx2(), Platform::cloud_v100()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Total layer time never increases with GPU frequency.
+    #[test]
+    fn time_is_monotone_in_gpu_frequency(seed in 0u64..3000, pi in 0usize..3, batch in 1usize..17) {
+        let p = &platforms()[pi];
+        let g = random_graph(seed);
+        let cpu = p.cpu_table().max_level();
+        let layer = &g.layers()[seed as usize % g.num_layers()];
+        let mut prev = f64::INFINITY;
+        for lvl in 0..p.gpu_levels() {
+            let t = p.layer_timing(layer, batch, lvl, cpu).total;
+            prop_assert!(t <= prev + 1e-15, "level {lvl}: {t} > {prev}");
+            prop_assert!(t > 0.0);
+            prev = t;
+        }
+    }
+
+    /// Instantaneous power never decreases with GPU frequency for a fixed
+    /// layer (higher V and f strictly dominate).
+    #[test]
+    fn power_is_monotone_in_gpu_frequency(seed in 0u64..3000, pi in 0usize..3) {
+        let p = &platforms()[pi];
+        let g = random_graph(seed);
+        let cpu = p.cpu_table().max_level();
+        let layer = &g.layers()[seed as usize % g.num_layers()];
+        let mut prev = 0.0;
+        for lvl in 0..p.gpu_levels() {
+            let t = p.layer_timing(layer, 8, lvl, cpu);
+            let w = p.layer_power(&t, lvl, cpu);
+            prop_assert!(w >= p.idle_power(lvl, cpu) - 1e-12);
+            prop_assert!(w + 1e-9 >= prev, "level {lvl}: {w} < {prev}");
+            prev = w;
+        }
+    }
+
+    /// Utilization signals stay in [0, 1] at every operating point.
+    #[test]
+    fn utilizations_bounded(seed in 0u64..3000, pi in 0usize..3, g_lvl in 0usize..7, c_lvl in 0usize..4) {
+        let p = &platforms()[pi];
+        let g = random_graph(seed);
+        let gl = g_lvl.min(p.gpu_levels() - 1);
+        let cl = c_lvl.min(p.cpu_levels() - 1);
+        for layer in g.layers().iter().take(40) {
+            let t = p.layer_timing(layer, 4, gl, cl);
+            prop_assert!((0.0..=1.0).contains(&t.gpu_util));
+            prop_assert!((0.0..=1.0).contains(&t.busy_util));
+            prop_assert!((0.0..=1.0).contains(&t.cpu_util));
+            prop_assert!(t.gpu_util <= t.busy_util + 1e-12);
+        }
+    }
+
+    /// Batch scaling: doubling the batch never doubles latency *more* than
+    /// 2x (weights stream once, overheads amortize) and never reduces it.
+    #[test]
+    fn batch_scaling_is_subadditive(seed in 0u64..3000, pi in 0usize..3) {
+        let p = &platforms()[pi];
+        let g = random_graph(seed);
+        let cpu = p.cpu_table().max_level();
+        let lvl = p.gpu_table().max_level();
+        for layer in g.layers().iter().take(40) {
+            let t1 = p.layer_timing(layer, 4, lvl, cpu).total;
+            let t2 = p.layer_timing(layer, 8, lvl, cpu).total;
+            prop_assert!(t2 >= t1 - 1e-15, "{}", layer.name);
+            prop_assert!(t2 <= 2.0 * t1 + 1e-15, "{}", layer.name);
+        }
+    }
+
+    /// Energy is consistent: power x time equals layer_energy.
+    #[test]
+    fn energy_equals_power_times_time(seed in 0u64..3000, pi in 0usize..3, lvl in 0usize..7) {
+        let p = &platforms()[pi];
+        let g = random_graph(seed);
+        let gl = lvl.min(p.gpu_levels() - 1);
+        let cpu = p.cpu_table().max_level();
+        let layer = &g.layers()[seed as usize % g.num_layers()];
+        let t = p.layer_timing(layer, 8, gl, cpu);
+        let e = p.layer_energy(layer, 8, gl, cpu);
+        let expect = p.layer_power(&t, gl, cpu) * t.total;
+        prop_assert!((e - expect).abs() < 1e-12 * expect.max(1.0));
+    }
+}

@@ -1,0 +1,132 @@
+use std::io::{self, Write};
+
+use crate::RunReport;
+
+/// Writes the run's telemetry stream as CSV (`t_start,duration,power_w,
+/// gpu_util,busy_util,cpu_util,gpu_level`) — the format external plotting
+/// tools expect for frequency/power traces like the paper's Figure 1.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_sim::{Engine, StaticController, write_trace_csv};
+/// use powerlens_platform::Platform;
+/// use powerlens_dnn::zoo;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let agx = Platform::agx();
+/// let engine = Engine::new(&agx);
+/// let mut ctl = StaticController::new(5, 3);
+/// let report = engine.run(&zoo::alexnet(), &mut ctl, 2);
+/// let mut csv = Vec::new();
+/// write_trace_csv(&report, &mut csv)?;
+/// assert!(String::from_utf8_lossy(&csv).starts_with("t_start,"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace_csv<W: Write>(report: &RunReport, mut w: W) -> io::Result<()> {
+    writeln!(
+        w,
+        "t_start,duration,power_w,gpu_util,busy_util,cpu_util,gpu_level"
+    )?;
+    for s in report.telemetry.samples() {
+        writeln!(
+            w,
+            "{:.9},{:.9},{:.6},{:.4},{:.4},{:.4},{}",
+            s.t_start, s.duration, s.power_w, s.gpu_util, s.busy_util, s.cpu_util, s.gpu_level
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a one-line CSV summary header + row for a run (for aggregating
+/// many runs into one table).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_summary_csv<W: Write>(report: &RunReport, mut w: W, header: bool) -> io::Result<()> {
+    if header {
+        writeln!(
+            w,
+            "controller,model,images,total_time,total_energy,avg_power,fps,energy_efficiency,gpu_switches,cpu_switches"
+        )?;
+    }
+    // Controller names may contain commas (e.g. "static(g4,c2)"): quote the
+    // text fields per RFC 4180.
+    writeln!(
+        w,
+        "\"{}\",\"{}\",{},{:.6},{:.6},{:.4},{:.4},{:.6},{},{}",
+        report.controller.replace('"', "\"\""),
+        report.model.replace('"', "\"\""),
+        report.images,
+        report.total_time,
+        report.total_energy,
+        report.avg_power,
+        report.fps,
+        report.energy_efficiency,
+        report.num_gpu_switches,
+        report.num_cpu_switches
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, StaticController};
+    use powerlens_dnn::zoo;
+    use powerlens_platform::Platform;
+
+    fn report() -> RunReport {
+        let p = Platform::tx2();
+        let e = Engine::new(&p).with_batch(2);
+        let mut ctl = StaticController::new(4, 2);
+        e.run(&zoo::alexnet(), &mut ctl, 4)
+    }
+
+    #[test]
+    fn trace_csv_has_one_row_per_sample() {
+        let r = report();
+        let mut out = Vec::new();
+        write_trace_csv(&r, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let rows = text.lines().count();
+        assert_eq!(rows, r.telemetry.samples().len() + 1);
+        assert!(text.starts_with("t_start,duration,power_w"));
+    }
+
+    #[test]
+    fn trace_csv_durations_sum_to_total() {
+        let r = report();
+        let mut out = Vec::new();
+        write_trace_csv(&r, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let sum: f64 = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - r.total_time).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_csv_roundtrips_key_fields() {
+        let r = report();
+        let mut out = Vec::new();
+        write_summary_csv(&r, &mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 10);
+        // Quoted text fields guard against commas inside controller names.
+        assert!(row.starts_with(&format!("\"{}\",\"{}\"", r.controller, r.model)));
+        let numeric_fields = row.rsplit(',').take(8).count();
+        assert_eq!(numeric_fields, 8);
+    }
+}

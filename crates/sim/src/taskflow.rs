@@ -1,0 +1,149 @@
+use powerlens_dnn::Graph;
+
+use crate::{Controller, Engine};
+
+/// One task of an inference task flow (paper §3.2.2: 100 tasks randomly
+/// assembled from the 12 models, 50 images each).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSpec<'a> {
+    /// The model to run.
+    pub graph: &'a Graph,
+    /// Number of images in the task.
+    pub images: usize,
+}
+
+/// Aggregate result of a task-flow run (Figure 5's three panels: energy,
+/// time, energy efficiency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFlowReport {
+    /// Controller that steered the flow.
+    pub controller: String,
+    /// Number of tasks processed.
+    pub num_tasks: usize,
+    /// Total images processed.
+    pub total_images: usize,
+    /// Total wall-clock time in seconds.
+    pub total_time: f64,
+    /// Total energy in joules.
+    pub total_energy: f64,
+    /// Time-weighted average power in watts.
+    pub avg_power: f64,
+    /// Energy efficiency in images per joule.
+    pub energy_efficiency: f64,
+    /// Total actual DVFS level changes (GPU + CPU).
+    pub num_switches: usize,
+}
+
+/// Runs a sequence of tasks back-to-back under one controller. Board state
+/// (current frequency levels, telemetry clock) persists across task
+/// boundaries, exactly like a real device processing a queue.
+pub fn run_taskflow(
+    engine: &Engine<'_>,
+    tasks: &[TaskSpec<'_>],
+    controller: &mut dyn Controller,
+) -> TaskFlowReport {
+    let mut state = engine.fresh_state();
+    let mut total_images = 0;
+    for task in tasks {
+        controller.on_task_start(task.graph);
+        engine.run_into(&mut state, task.graph, controller, task.images);
+        total_images += task.images;
+    }
+    let total_time = state.telemetry.now();
+    let total_energy = state.telemetry.total_energy();
+    TaskFlowReport {
+        controller: controller.name().to_string(),
+        num_tasks: tasks.len(),
+        total_images,
+        total_time,
+        total_energy,
+        avg_power: state.telemetry.avg_power(),
+        energy_efficiency: if total_energy > 0.0 {
+            total_images as f64 / total_energy
+        } else {
+            0.0
+        },
+        num_switches: state.gpu.num_switches() + state.cpu.num_switches(),
+    }
+}
+
+/// Convenience accessors for printing task-flow totals next to single-run
+/// reports.
+impl TaskFlowReport {
+    /// Frames per second over the whole flow.
+    pub fn fps(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.total_images as f64 / self.total_time
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticController;
+    use powerlens_dnn::zoo;
+    use powerlens_platform::Platform;
+
+    #[test]
+    fn taskflow_totals_are_consistent() {
+        let p = Platform::tx2();
+        let e = Engine::new(&p).with_batch(10);
+        let a = zoo::alexnet();
+        let v = zoo::vgg19();
+        let tasks = [
+            TaskSpec {
+                graph: &a,
+                images: 20,
+            },
+            TaskSpec {
+                graph: &v,
+                images: 10,
+            },
+        ];
+        let mut ctl = StaticController::new(6, p.cpu_table().max_level());
+        let r = run_taskflow(&e, &tasks, &mut ctl);
+        assert_eq!(r.num_tasks, 2);
+        assert_eq!(r.total_images, 30);
+        assert!(r.total_time > 0.0);
+        assert!((r.energy_efficiency - 30.0 / r.total_energy).abs() < 1e-12);
+        assert!((r.avg_power - r.total_energy / r.total_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taskflow_matches_sum_of_single_runs_for_static_control() {
+        let p = Platform::agx();
+        let e = Engine::new(&p).with_batch(5);
+        let a = zoo::alexnet();
+        let tasks = [
+            TaskSpec {
+                graph: &a,
+                images: 10,
+            },
+            TaskSpec {
+                graph: &a,
+                images: 10,
+            },
+        ];
+        let mut ctl = StaticController::new(4, 4);
+        let flow = run_taskflow(&e, &tasks, &mut ctl);
+        let mut ctl2 = StaticController::new(4, 4);
+        let single = e.run(&a, &mut ctl2, 10);
+        // Second task pays no extra DVFS switch, so flow time is slightly
+        // less than 2x the single run (which pays the boot switch).
+        assert!(flow.total_time < 2.0 * single.total_time + 1e-9);
+        assert!(flow.total_time > 2.0 * (single.total_time - 0.11));
+    }
+
+    #[test]
+    fn empty_taskflow_is_zero() {
+        let p = Platform::agx();
+        let e = Engine::new(&p);
+        let mut ctl = StaticController::new(0, 0);
+        let r = run_taskflow(&e, &[], &mut ctl);
+        assert_eq!(r.total_images, 0);
+        assert_eq!(r.energy_efficiency, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Frequency sweep across the model zoo: the measurement campaign behind
+//! every DVFS decision in PowerLens.
+//!
+//! For each of the 12 evaluation models, runs inference at every GPU
+//! frequency level of the Jetson AGX and reports the throughput / power /
+//! energy-efficiency curve, highlighting the EE-optimal level. This is the
+//! data a frequency oracle sees — and why "maximum frequency" and "maximum
+//! efficiency" are different operating points.
+//!
+//! ```text
+//! cargo run --release -p powerlens --example model_zoo_sweep [model_name]
+//! ```
+
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use powerlens_sim::Engine;
+
+fn sweep(platform: &Platform, name: &str) {
+    let graph = match zoo::by_name(name) {
+        Some(g) => g,
+        None => {
+            eprintln!(
+                "unknown model {name:?}; available: {:?}",
+                zoo::all_models().iter().map(|(n, _)| *n).collect::<Vec<_>>()
+            );
+            std::process::exit(1);
+        }
+    };
+    let engine = Engine::new(platform).with_batch(8);
+    let reports = engine.sweep_gpu_levels(&graph, 24);
+    let best = reports
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.energy_efficiency
+                .partial_cmp(&b.1.energy_efficiency)
+                .expect("finite")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty sweep");
+
+    println!();
+    println!(
+        "{name} on {} ({} layers, {:.1} GFLOPs)",
+        platform.name().to_uppercase(),
+        graph.num_layers(),
+        graph.stats().total_flops / 1e9
+    );
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>11}",
+        "level", "MHz", "FPS", "watts", "img/J"
+    );
+    for (level, r) in reports.iter().enumerate() {
+        println!(
+            "{:>5} {:>9.0} {:>9.2} {:>9.2} {:>11.3}{}",
+            level,
+            platform.gpu_table().freq_mhz(level),
+            r.fps,
+            r.avg_power,
+            r.energy_efficiency,
+            if level == best { "  <- best EE" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let agx = Platform::agx();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for (name, _) in zoo::all_models() {
+            sweep(&agx, name);
+        }
+    } else {
+        for name in &args {
+            sweep(&agx, name);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: plan and execute adaptive DVFS for one network.
+//!
+//! Builds ResNet-34, derives a PowerLens instrumentation plan with the
+//! exhaustive oracle (no trained models needed), and compares the plan
+//! against the board's built-in ondemand governor on the simulated Jetson
+//! AGX Xavier.
+//!
+//! ```text
+//! cargo run --release -p powerlens --example quickstart
+//! ```
+
+use powerlens::{PlanController, PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_governors::Bim;
+use powerlens_platform::Platform;
+use powerlens_sim::Engine;
+
+fn main() {
+    // 1. A simulated board and a model to optimize.
+    let agx = Platform::agx();
+    let model = zoo::resnet34();
+    println!(
+        "model: {} ({} layers, {:.1} GFLOPs)",
+        model.name(),
+        model.num_layers(),
+        model.stats().total_flops / 1e9
+    );
+
+    // 2. Offline: cluster the network into power blocks and preset a target
+    //    frequency before each block. `plan_oracle` uses exhaustive search;
+    //    see `train_and_deploy.rs` for the learned-model workflow.
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let outcome = pl.plan_oracle(&model).expect("well-formed network");
+    println!("power view: {} block(s)", outcome.view.num_blocks());
+    for (block, point) in outcome.view.blocks().iter().zip(outcome.plan.points()) {
+        println!(
+            "  layers {:>3}..{:<3} -> {:>5.0} MHz (level {})",
+            block.start,
+            block.end,
+            agx.gpu_table().freq_mhz(point.gpu_level),
+            point.gpu_level
+        );
+    }
+
+    // 3. Runtime: execute 64 inferences under the plan and under ondemand.
+    let engine = Engine::new(&agx).with_batch(8);
+    let mut ours = PlanController::new(outcome.plan);
+    let r_ours = engine.run(&model, &mut ours, 64);
+    let mut bim = Bim::new(&agx);
+    let r_bim = engine.run(&model, &mut bim, 64);
+
+    println!();
+    println!(
+        "PowerLens: {:>6.2} img/J at {:>5.1} W ({:.2} s)",
+        r_ours.energy_efficiency, r_ours.avg_power, r_ours.total_time
+    );
+    println!(
+        "ondemand:  {:>6.2} img/J at {:>5.1} W ({:.2} s)",
+        r_bim.energy_efficiency, r_bim.avg_power, r_bim.total_time
+    );
+    println!(
+        "energy efficiency gain: {:+.1}%",
+        (r_ours.energy_efficiency / r_bim.energy_efficiency - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Mixed inference task flow (the paper's §3.2.2 scenario, scaled down):
+//! a queue of tasks drawn from several models processed back-to-back, with
+//! PowerLens switching instrumentation plans at task boundaries via
+//! [`powerlens::MultiPlanController`], compared against the reactive
+//! baselines on the same queue.
+//!
+//! ```text
+//! cargo run --release -p powerlens --example taskflow
+//! ```
+
+use powerlens::{MultiPlanController, PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_platform::Platform;
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_TASKS: usize = 20;
+const IMAGES_PER_TASK: usize = 50;
+
+fn main() {
+    let agx = Platform::agx();
+    let names = ["alexnet", "resnet34", "resnet152", "vgg19", "vit_base_32"];
+    let graphs: Vec<powerlens_dnn::Graph> =
+        names.iter().map(|n| zoo::by_name(n).expect("zoo")).collect();
+
+    // Offline: one plan per model (oracle-backed planner for brevity).
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let mut powerlens = MultiPlanController::new();
+    for g in &graphs {
+        powerlens.insert(g.name(), pl.plan_oracle(g).expect("plan").plan);
+    }
+
+    // A random queue of tasks.
+    let mut rng = StdRng::seed_from_u64(99);
+    let tasks: Vec<TaskSpec<'_>> = (0..NUM_TASKS)
+        .map(|_| TaskSpec {
+            graph: &graphs[rng.gen_range(0..graphs.len())],
+            images: IMAGES_PER_TASK,
+        })
+        .collect();
+    println!(
+        "task flow: {NUM_TASKS} tasks x {IMAGES_PER_TASK} images from {:?}",
+        names
+    );
+
+    let engine = Engine::new(&agx).with_batch(8);
+    let mut bim = Bim::new(&agx);
+    let mut fpg_g = FpgG::new(&agx);
+    let mut fpg_cg = FpgCg::new(&agx);
+    let controllers: Vec<&mut dyn Controller> =
+        vec![&mut powerlens, &mut fpg_g, &mut fpg_cg, &mut bim];
+
+    println!();
+    println!(
+        "{:<12} {:>11} {:>9} {:>11} {:>9}",
+        "method", "energy (J)", "time (s)", "EE (img/J)", "switches"
+    );
+    for ctl in controllers {
+        let r = run_taskflow(&engine, &tasks, ctl);
+        println!(
+            "{:<12} {:>11.1} {:>9.1} {:>11.4} {:>9}",
+            r.controller, r.total_energy, r.total_time, r.energy_efficiency, r.num_switches
+        );
+    }
+}

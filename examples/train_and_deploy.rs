@@ -1,0 +1,95 @@
+//! The full PowerLens deployment workflow of paper §2.2, end to end:
+//!
+//! 1. generate random networks and label them with the frequency oracle
+//!    (dataset generator),
+//! 2. train the clustering-hyperparameter prediction model and the
+//!    target-frequency decision model,
+//! 3. persist the trained models to disk (the artifact you'd ship to the
+//!    target board),
+//! 4. reload them and plan an unseen network entirely through the learned
+//!    models — no exhaustive search at deployment time.
+//!
+//! Transferring PowerLens to a new platform repeats exactly these steps
+//! against the other `Platform` constructor — no manual recalibration,
+//! which is the paper's "adaptability to hardware platforms" claim.
+//!
+//! ```text
+//! cargo run --release -p powerlens --example train_and_deploy
+//! ```
+
+use powerlens::dataset::{self, DatasetConfig};
+use powerlens::training::{train_models, TrainingConfig};
+use powerlens::{PlanController, PowerLens, PowerLensConfig, TrainedModels};
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use powerlens_sim::Engine;
+
+fn main() {
+    let tx2 = Platform::tx2();
+    let config = PowerLensConfig::default();
+
+    // --- 1. dataset generation (scaled down for an example; the paper
+    //        uses 8000 networks) ---
+    let ds_config = DatasetConfig {
+        num_networks: 150,
+        ..DatasetConfig::default()
+    };
+    println!("generating datasets ({} random networks)...", ds_config.num_networks);
+    let datasets = dataset::generate(&tx2, &config, &ds_config);
+    println!(
+        "  dataset A: {} networks, dataset B: {} blocks",
+        datasets.hyper.len(),
+        datasets.decision.len()
+    );
+
+    // --- 2. training ---
+    println!("training prediction models...");
+    let models = train_models(
+        &datasets,
+        config.schemes.len(),
+        tx2.gpu_levels(),
+        &TrainingConfig::default(),
+    );
+    println!(
+        "  hyperparameter model test accuracy: {:.1}%",
+        models.report.hyper_test_accuracy * 100.0
+    );
+    println!(
+        "  decision model test accuracy:       {:.1}% ({:.1}% within one level)",
+        models.report.decision_test_accuracy * 100.0,
+        models.report.decision_within_one_level * 100.0
+    );
+
+    // --- 3. persist the deployable artifact ---
+    let path = std::env::temp_dir().join("powerlens_tx2_models.json");
+    models.save(&path).expect("writable temp dir");
+    println!("saved models to {}", path.display());
+
+    // --- 4. deployment: plan an unseen network through the models ---
+    let reloaded = TrainedModels::load(&path).expect("just saved");
+    let pl = PowerLens::with_models(&tx2, config, reloaded);
+    let model = zoo::resnet152();
+    let outcome = pl.plan(&model).expect("trained plan");
+    println!();
+    println!(
+        "deployed plan for {}: {} block(s), scheme #{}",
+        model.name(),
+        outcome.plan.num_blocks(),
+        outcome.scheme_index
+    );
+    println!(
+        "  offline workflow: features {:?}, prediction {:?}, clustering {:?}, decisions {:?}",
+        outcome.timings.feature_extraction,
+        outcome.timings.hyperparameter_prediction,
+        outcome.timings.clustering,
+        outcome.timings.decision
+    );
+
+    let engine = Engine::new(&tx2).with_batch(8);
+    let mut ctl = PlanController::new(outcome.plan);
+    let report = engine.run(&model, &mut ctl, 48);
+    println!(
+        "  runtime: {:.2} img/J at {:.1} W over {:.2} s",
+        report.energy_efficiency, report.avg_power, report.total_time
+    );
+}

@@ -1,0 +1,126 @@
+//! Miniature versions of the paper's experiments, asserting the *shapes*
+//! the full harness (crates/bench) reports: method ordering, ablation
+//! signs, and overhead accounting.
+
+use powerlens::{ablation, evaluate_plan, PlanController, PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_platform::{DvfsActuator, Platform};
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+
+/// Long continuous session EE (the paper's 50-runs protocol, shortened).
+fn session_ee(platform: &Platform, graph: &powerlens_dnn::Graph, ctl: &mut dyn Controller) -> f64 {
+    let engine = Engine::new(platform).with_batch(8);
+    let tasks: Vec<TaskSpec<'_>> = (0..20)
+        .map(|_| TaskSpec {
+            graph,
+            images: 48,
+        })
+        .collect();
+    run_taskflow(&engine, &tasks, ctl).energy_efficiency
+}
+
+#[test]
+fn table1_shape_method_ordering_on_resnet152() {
+    for platform in [Platform::agx(), Platform::tx2()] {
+        let g = zoo::resnet152();
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        let plan = pl.plan_oracle(&g).unwrap().plan;
+
+        let ee_pl = session_ee(&platform, &g, &mut PlanController::new(plan));
+        let ee_bim = session_ee(&platform, &g, &mut Bim::new(&platform));
+        let ee_fpg_g = session_ee(&platform, &g, &mut FpgG::new(&platform));
+        let ee_fpg_cg = session_ee(&platform, &g, &mut FpgCg::new(&platform));
+
+        assert!(
+            ee_pl > ee_fpg_cg && ee_fpg_cg > ee_fpg_g && ee_fpg_g > ee_bim,
+            "{}: ordering violated: PL {ee_pl:.3}, FPG-CG {ee_fpg_cg:.3}, \
+             FPG-G {ee_fpg_g:.3}, BiM {ee_bim:.3}",
+            platform.name()
+        );
+    }
+}
+
+#[test]
+fn fig5_shape_taskflow_energy_and_time() {
+    // PowerLens: lowest energy & highest EE; BiM: fastest & most energy.
+    let platform = Platform::agx();
+    let names = ["alexnet", "resnet34", "vgg19"];
+    let graphs: Vec<powerlens_dnn::Graph> =
+        names.iter().map(|n| zoo::by_name(n).unwrap()).collect();
+    let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+    let mut multi = powerlens::MultiPlanController::new();
+    for g in &graphs {
+        multi.insert(g.name(), pl.plan_oracle(g).unwrap().plan);
+    }
+    let tasks: Vec<TaskSpec<'_>> = (0..12)
+        .map(|i| TaskSpec {
+            graph: &graphs[i % graphs.len()],
+            images: 50,
+        })
+        .collect();
+    let engine = Engine::new(&platform).with_batch(8);
+    let r_pl = run_taskflow(&engine, &tasks, &mut multi);
+    let r_bim = run_taskflow(&engine, &tasks, &mut Bim::new(&platform));
+    let r_fpg = run_taskflow(&engine, &tasks, &mut FpgG::new(&platform));
+
+    assert!(r_pl.total_energy < r_fpg.total_energy);
+    assert!(r_pl.total_energy < r_bim.total_energy);
+    assert!(r_pl.energy_efficiency > r_fpg.energy_efficiency);
+    assert!(r_pl.energy_efficiency > r_bim.energy_efficiency);
+    assert!(r_bim.total_time < r_pl.total_time, "BiM should be fastest");
+}
+
+#[test]
+fn table2_shape_ablations_never_beat_full_pipeline_meaningfully() {
+    let platform = Platform::agx();
+    let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+    for name in ["alexnet", "vgg19", "resnet152"] {
+        let g = zoo::by_name(name).unwrap();
+        let full = pl.plan_oracle(&g).unwrap();
+        let ee_full = evaluate_plan(&platform, &g, &full.plan, 8, 48).energy_efficiency;
+        let pn = ablation::plan_no_clustering(&pl, &g);
+        let ee_pn = evaluate_plan(&platform, &g, &pn, 8, 48).energy_efficiency;
+        let ee_pr: f64 = (0..4)
+            .map(|s| {
+                let plan = ablation::plan_random(&pl, &g, full.plan.num_blocks().max(2), s);
+                evaluate_plan(&platform, &g, &plan, 8, 48).energy_efficiency
+            })
+            .sum::<f64>()
+            / 4.0;
+        assert!(ee_pn <= ee_full * 1.001, "{name}: P-N {ee_pn} vs {ee_full}");
+        assert!(ee_pr <= ee_full * 1.001, "{name}: P-R {ee_pr} vs {ee_full}");
+    }
+}
+
+#[test]
+fn dvfs_overhead_measurement_matches_platform_constants() {
+    // §3.3: 100 level changes; each pays the transition stall, and the
+    // advertised settle latency reproduces the paper's ~50 ms figure.
+    let platform = Platform::agx();
+    let mut act = DvfsActuator::new(0, platform.dvfs_transition_cost());
+    for i in 0..100 {
+        act.set_level((i % 2) + 1);
+    }
+    assert_eq!(act.num_switches(), 100);
+    let avg_stall = act.total_overhead() / 100.0;
+    assert!((avg_stall - platform.dvfs_transition_cost()).abs() < 1e-12);
+    assert!((platform.dvfs_settle_latency() - 0.050).abs() < 1e-12);
+}
+
+#[test]
+fn paper_observation_small_models_cluster_to_one_block() {
+    // Table 1 observation ①: alexnet and mobilenet lack operators for
+    // fine clustering; observation ③: ViT's repeated encoder collapses.
+    let platform = Platform::agx();
+    let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+    for name in ["alexnet", "vit_base_16"] {
+        let g = zoo::by_name(name).unwrap();
+        let outcome = pl.plan_oracle(&g).unwrap();
+        assert!(
+            outcome.plan.num_blocks() <= 2,
+            "{name}: expected <=2 blocks, got {}",
+            outcome.plan.num_blocks()
+        );
+    }
+}
