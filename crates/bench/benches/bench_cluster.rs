@@ -41,5 +41,10 @@ fn bench_full_algorithm1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distance_matrix, bench_dbscan, bench_full_algorithm1);
+criterion_group!(
+    benches,
+    bench_distance_matrix,
+    bench_dbscan,
+    bench_full_algorithm1
+);
 criterion_main!(benches);

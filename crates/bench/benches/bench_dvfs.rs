@@ -43,9 +43,17 @@ fn bench_plan_oracle(c: &mut Criterion) {
     let pl = PowerLens::untrained(&p, PowerLensConfig::default());
     let mut group = c.benchmark_group("plan_oracle");
     group.sample_size(10);
-    group.bench_function("resnet34", |b| b.iter(|| pl.plan_oracle(black_box(&g)).unwrap()));
+    group.bench_function("resnet34", |b| {
+        b.iter(|| pl.plan_oracle(black_box(&g)).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_actuator, bench_oracle_range, bench_evaluate_plan, bench_plan_oracle);
+criterion_group!(
+    benches,
+    bench_actuator,
+    bench_oracle_range,
+    bench_evaluate_plan,
+    bench_plan_oracle
+);
 criterion_main!(benches);

@@ -42,5 +42,10 @@ fn bench_training_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decision_forward, bench_hyper_forward, bench_training_step);
+criterion_group!(
+    benches,
+    bench_decision_forward,
+    bench_hyper_forward,
+    bench_training_step
+);
 criterion_main!(benches);

@@ -45,5 +45,10 @@ fn bench_level_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layer_timing, bench_engine_run, bench_level_sweep);
+criterion_group!(
+    benches,
+    bench_layer_timing,
+    bench_engine_run,
+    bench_level_sweep
+);
 criterion_main!(benches);

@@ -19,7 +19,13 @@ use powerlens_features::depthwise_features;
 use powerlens_numeric::{Matrix, Scaler};
 use powerlens_platform::Platform;
 
-const MODELS: [&str; 5] = ["alexnet", "vgg19", "resnet152", "vit_base_16", "mobilenet_v3"];
+const MODELS: [&str; 5] = [
+    "alexnet",
+    "vgg19",
+    "resnet152",
+    "vit_base_16",
+    "mobilenet_v3",
+];
 const BATCH: usize = 8;
 const IMAGES: usize = 48;
 
@@ -154,8 +160,7 @@ fn main() {
     for name in MODELS {
         let g = zoo::by_name(name).unwrap();
         let outcome = pl_trained.plan(&g).unwrap();
-        let ee_model =
-            evaluate_plan(&platform, &g, &outcome.plan, BATCH, IMAGES).energy_efficiency;
+        let ee_model = evaluate_plan(&platform, &g, &outcome.plan, BATCH, IMAGES).energy_efficiency;
         let oracle_plan = ablation::plan_for_view(&pl, &g, &outcome.view);
         let ee_oracle = evaluate_plan(&platform, &g, &oracle_plan, BATCH, IMAGES).energy_efficiency;
         println!(

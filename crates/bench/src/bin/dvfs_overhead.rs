@@ -2,8 +2,8 @@
 //! the DVFS level for 100 times and measured its average time overhead,
 //! which is 50ms for the device used in the experiments."
 //!
-//! The simulated actuator distinguishes the execution stall (pipeline drain
-//! + PLL relock) from the end-to-end userspace settle latency; the paper's
+//! The simulated actuator distinguishes the execution stall (pipeline drain +
+//! PLL relock) from the end-to-end userspace settle latency; the paper's
 //! 50 ms figure corresponds to the latter.
 //!
 //! ```text

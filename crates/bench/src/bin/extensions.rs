@@ -15,7 +15,13 @@ use powerlens_bench::rule;
 use powerlens_dnn::zoo;
 use powerlens_platform::Platform;
 
-const MODELS: [&str; 5] = ["alexnet", "resnet34", "resnet152", "densenet201", "vit_base_32"];
+const MODELS: [&str; 5] = [
+    "alexnet",
+    "resnet34",
+    "resnet152",
+    "densenet201",
+    "vit_base_32",
+];
 
 fn main() {
     for platform in [Platform::tx2(), Platform::agx(), Platform::cloud_v100()] {
@@ -39,8 +45,7 @@ fn main() {
             let gpu_only = pl.plan_oracle(&g).expect("plan");
             let gpu_eval = evaluate_plan(&platform, &g, &gpu_only.plan, 8, 48);
             let cpu_ext = plan_with_cpu(&pl, &g).expect("cpu plan");
-            let batch_ext =
-                co_optimize_batch(&pl, &g, &[1, 4, 8, 16, 32]).expect("batch plan");
+            let batch_ext = co_optimize_batch(&pl, &g, &[1, 4, 8, 16, 32]).expect("batch plan");
             println!(
                 "{:<14} {:>10.3} {:>12.3} {:>12.3} {:>8} {:>12.3} {:>8}",
                 name,

@@ -15,7 +15,7 @@ use powerlens_bench::{rule, trained_models, MODEL_NAMES};
 use powerlens_dnn::zoo;
 use powerlens_governors::{Bim, FpgCg, FpgG};
 use powerlens_platform::Platform;
-use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec, TaskFlowReport};
+use powerlens_sim::{run_taskflow, Controller, Engine, TaskFlowReport, TaskSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,7 +29,9 @@ fn main() {
         .map(|n| zoo::by_name(n).expect("zoo model"))
         .collect();
     let mut rng = StdRng::seed_from_u64(20240623);
-    let order: Vec<usize> = (0..NUM_TASKS).map(|_| rng.gen_range(0..graphs.len())).collect();
+    let order: Vec<usize> = (0..NUM_TASKS)
+        .map(|_| rng.gen_range(0..graphs.len()))
+        .collect();
 
     for platform in [Platform::tx2(), Platform::agx()] {
         let models = trained_models(&platform);
@@ -75,7 +77,11 @@ fn main() {
         for r in &reports {
             println!(
                 "{:<12} {:>12.1} {:>10.1} {:>12.4} {:>10.2} {:>10}",
-                r.controller, r.total_energy, r.total_time, r.energy_efficiency, r.avg_power,
+                r.controller,
+                r.total_energy,
+                r.total_time,
+                r.energy_efficiency,
+                r.avg_power,
                 r.num_switches
             );
         }

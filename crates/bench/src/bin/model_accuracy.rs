@@ -19,7 +19,14 @@ fn main() {
     rule(96);
     println!(
         "{:<9} {:>9} {:>8} | {:>12} {:>12} | {:>12} {:>12} {:>10}",
-        "platform", "networks", "blocks", "hyper val", "hyper test", "dec. val", "dec. test", "within±1"
+        "platform",
+        "networks",
+        "blocks",
+        "hyper val",
+        "hyper test",
+        "dec. val",
+        "dec. test",
+        "within±1"
     );
     rule(96);
     for platform in [Platform::tx2(), Platform::agx()] {

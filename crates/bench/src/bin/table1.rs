@@ -24,7 +24,9 @@ const NOISE_SIGMA: f64 = 0.03;
 /// EE over the paper's 50-run protocol: the runs execute back-to-back on a
 /// live board (governor state persists across runs, as on real hardware).
 fn avg_ee(platform: &Platform, graph: &powerlens_dnn::Graph, mut ctl: Box<dyn Controller>) -> f64 {
-    let engine = Engine::new(platform).with_batch(8).with_noise(7, NOISE_SIGMA);
+    let engine = Engine::new(platform)
+        .with_batch(8)
+        .with_noise(7, NOISE_SIGMA);
     let tasks: Vec<TaskSpec<'_>> = (0..RUNS)
         .map(|_| TaskSpec {
             graph,
@@ -59,7 +61,11 @@ fn main() {
             let outcome = pl.plan(&graph).expect("trained plan");
             let plan = outcome.plan.clone();
 
-            let ee_pl = avg_ee(&platform, &graph, Box::new(PlanController::new(plan.clone())));
+            let ee_pl = avg_ee(
+                &platform,
+                &graph,
+                Box::new(PlanController::new(plan.clone())),
+            );
             let ee_bim = avg_ee(&platform, &graph, Box::new(Bim::new(&platform)));
             let ee_fpg_g = avg_ee(&platform, &graph, Box::new(FpgG::new(&platform)));
             let ee_fpg_cg = avg_ee(&platform, &graph, Box::new(FpgCg::new(&platform)));

@@ -34,10 +34,7 @@ fn fmt_dur(d: Duration) -> String {
 fn main() {
     println!("Table 3: offline overhead of PowerLens");
     rule(86);
-    println!(
-        "{:<14} {:<44} {:>10} {:>10}",
-        "Phase", "item", "TX2", "AGX"
-    );
+    println!("{:<14} {:<44} {:>10} {:>10}", "Phase", "item", "TX2", "AGX");
     rule(86);
 
     let nets = dataset_networks();
@@ -69,10 +66,7 @@ fn main() {
     );
     println!(
         "{:<14} {:<44} {:>10} {:>10}",
-        "",
-        "hyperparameter + decision model training",
-        training_rows[0].1,
-        training_rows[1].1
+        "", "hyperparameter + decision model training", training_rows[0].1, training_rows[1].1
     );
     println!(
         "{:<14} {:<44} {:>10} {:>10}",

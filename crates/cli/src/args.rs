@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (keeping the dependency set minimal).
 
+use powerlens_obs::TraceMode;
 use std::fmt;
 
 /// CLI usage text.
@@ -7,12 +8,17 @@ pub const USAGE: &str = "usage:
   powerlens-cli zoo
   powerlens-cli inspect  <model>
   powerlens-cli sweep    <model> [--platform P] [--batch N] [--images N]
-  powerlens-cli plan     <model> [--platform P] [--batch N] [--models PATH]
+  powerlens-cli plan     <model> [--platform P] [--batch N] [--images N] [--models PATH]
   powerlens-cli compare  <model> [--platform P] [--batch N] [--images N] [--models PATH]
   powerlens-cli train    [--platform P] [--nets N] [--out PATH]
   powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
+  powerlens-cli stats    [report.json]
 
-platforms: agx (default), tx2, cloud";
+platforms: agx (default), tx2, cloud
+
+every subcommand also accepts --trace {off,log,json}: profile the run with
+the observability layer; `log` streams events to stderr, `json` writes
+results/trace.json; both print a stats summary at the end";
 
 /// Shared options across subcommands.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +35,8 @@ pub struct Options {
     pub nets: usize,
     /// Output path for training.
     pub out: String,
+    /// Observability mode (`--trace {off,log,json}`).
+    pub trace: TraceMode,
 }
 
 impl Default for Options {
@@ -40,6 +48,7 @@ impl Default for Options {
             models: None,
             nets: 600,
             out: "powerlens_models.json".into(),
+            trace: TraceMode::Off,
         }
     }
 }
@@ -61,6 +70,8 @@ pub enum Command {
     Train { opts: Options },
     /// Export a frequency/power trace CSV for a PowerLens run.
     Trace { model: String, opts: Options },
+    /// Render the stats table from a saved `--trace json` report.
+    Stats { path: Option<String> },
 }
 
 /// Parse error with a human-readable message.
@@ -114,6 +125,14 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
             "--nets" => opts.nets = parse_usize("--nets", &take_value("--nets", &mut it)?)?,
             "--models" => opts.models = Some(take_value("--models", &mut it)?),
             "--out" => opts.out = take_value("--out", &mut it)?,
+            "--trace" => {
+                let v = take_value("--trace", &mut it)?;
+                opts.trace = TraceMode::parse(&v).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown trace mode {v:?} (expected off, log or json)"
+                    ))
+                })?;
+            }
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -159,6 +178,13 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "train" => Ok(Command::Train {
             opts: parse_options(it)?,
         }),
+        "stats" => {
+            let path = it.next().cloned();
+            if it.next().is_some() {
+                return Err(ParseError("stats takes at most one report path".into()));
+            }
+            Ok(Command::Stats { path })
+        }
         other => Err(ParseError(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -229,6 +255,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_trace_flag() {
+        match parse(&v(&["plan", "alexnet", "--trace", "json"])).unwrap() {
+            Command::Plan { opts, .. } => assert_eq!(opts.trace, TraceMode::Json),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["train", "--trace", "log"])).unwrap() {
+            Command::Train { opts } => assert_eq!(opts.trace, TraceMode::Log),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&v(&["plan", "alexnet", "--trace", "loud"])).unwrap_err();
+        assert!(err.0.contains("unknown trace mode"));
+    }
+
+    #[test]
     fn parses_trace() {
         match parse(&v(&["trace", "vgg19", "--out", "t.csv"])).unwrap() {
             Command::Trace { model, opts } => {
@@ -237,6 +277,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_stats() {
+        assert_eq!(
+            parse(&v(&["stats"])).unwrap(),
+            Command::Stats { path: None }
+        );
+        assert_eq!(
+            parse(&v(&["stats", "results/trace.json"])).unwrap(),
+            Command::Stats {
+                path: Some("results/trace.json".into())
+            }
+        );
+        assert!(parse(&v(&["stats", "a.json", "b.json"])).is_err());
     }
 
     #[test]

@@ -8,6 +8,8 @@ use powerlens::training::{train_models, TrainingConfig};
 use powerlens::{PlanController, PowerLens, PowerLensConfig, TrainedModels};
 use powerlens_dnn::{zoo, Graph};
 use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_obs as obs;
+use powerlens_obs::TraceMode;
 use powerlens_platform::Platform;
 use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
 
@@ -16,15 +18,45 @@ use crate::args::{Command, Options};
 type CliResult = Result<(), Box<dyn Error>>;
 
 /// Dispatches a parsed command.
+///
+/// Initializes the observability layer from the command's `--trace` option
+/// before running it, and prints the collected stats summary (plus the JSON
+/// report path in `json` mode) afterwards.
 pub fn run(cmd: Command) -> CliResult {
-    match cmd {
+    let trace = match &cmd {
+        Command::Zoo | Command::Inspect { .. } | Command::Stats { .. } => TraceMode::Off,
+        Command::Sweep { opts, .. }
+        | Command::Plan { opts, .. }
+        | Command::Compare { opts, .. }
+        | Command::Train { opts }
+        | Command::Trace { opts, .. } => opts.trace,
+    };
+    obs::init(trace);
+    let result = match cmd {
         Command::Zoo => zoo_cmd(),
         Command::Inspect { model } => inspect(&model),
         Command::Sweep { model, opts } => sweep(&model, &opts),
         Command::Plan { model, opts } => plan(&model, &opts),
         Command::Compare { model, opts } => compare(&model, &opts),
         Command::Train { opts } => train(&opts),
-        Command::Trace { model, opts } => trace(&model, &opts),
+        Command::Trace { model, opts } => trace_cmd(&model, &opts),
+        Command::Stats { path } => return stats(path.as_deref()),
+    };
+    report_stats(trace);
+    result
+}
+
+/// Prints the end-of-command observability summary.
+fn report_stats(trace: TraceMode) {
+    if trace == TraceMode::Off {
+        return;
+    }
+    println!("--- obs stats ---");
+    print!("{}", obs::snapshot().render_table());
+    match obs::flush() {
+        Ok(Some(path)) => println!("obs: wrote trace report to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("obs: failed to write trace report: {e}"),
     }
 }
 
@@ -38,19 +70,15 @@ fn platform_for(opts: &Options) -> Platform {
 
 fn model_for(name: &str) -> Result<Graph, Box<dyn Error>> {
     zoo::by_name(name).ok_or_else(|| {
-        format!(
-            "unknown model {name:?}; run `powerlens zoo` for the available names"
-        )
-        .into()
+        format!("unknown model {name:?}; run `powerlens zoo` for the available names").into()
     })
 }
 
-fn planner<'p>(
-    platform: &'p Platform,
-    opts: &Options,
-) -> Result<PowerLens<'p>, Box<dyn Error>> {
-    let mut config = PowerLensConfig::default();
-    config.batch = opts.batch;
+fn planner<'p>(platform: &'p Platform, opts: &Options) -> Result<PowerLens<'p>, Box<dyn Error>> {
+    let config = PowerLensConfig {
+        batch: opts.batch,
+        ..PowerLensConfig::default()
+    };
     Ok(match &opts.models {
         Some(path) => {
             let models = TrainedModels::load(Path::new(path))
@@ -62,7 +90,10 @@ fn planner<'p>(
 }
 
 fn zoo_cmd() -> CliResult {
-    println!("{:<16} {:>7} {:>10} {:>10} {:>8}", "model", "layers", "GFLOPs", "Mparams", "skips");
+    println!(
+        "{:<16} {:>7} {:>10} {:>10} {:>8}",
+        "model", "layers", "GFLOPs", "Mparams", "skips"
+    );
     for (name, build) in zoo::all_models() {
         let g = build();
         let s = g.stats();
@@ -103,11 +134,18 @@ fn sweep(model: &str, opts: &Options) -> CliResult {
         opts.batch,
         opts.images
     );
-    println!("{:>5} {:>9} {:>9} {:>9} {:>11}", "level", "MHz", "FPS", "watts", "img/J");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>11}",
+        "level", "MHz", "FPS", "watts", "img/J"
+    );
     let best = reports
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.energy_efficiency.partial_cmp(&b.1.energy_efficiency).unwrap())
+        .max_by(|a, b| {
+            a.1.energy_efficiency
+                .partial_cmp(&b.1.energy_efficiency)
+                .unwrap()
+        })
         .map(|(i, _)| i)
         .unwrap_or(0);
     for (level, r) in reports.iter().enumerate() {
@@ -151,6 +189,15 @@ fn plan(model: &str, opts: &Options) -> CliResult {
             feats.statistics[3]
         );
     }
+    // Validate the plan with a short simulated run so the printed numbers
+    // (and, under --trace, the sim.* metrics) reflect actual execution.
+    let engine = Engine::new(&platform).with_batch(opts.batch);
+    let mut ctl = PlanController::new(outcome.plan);
+    let report = engine.run(&g, &mut ctl, opts.images);
+    println!(
+        "predicted ({} images): {:.2} FPS, {:.2} W, {:.3} img/J",
+        opts.images, report.fps, report.avg_power, report.energy_efficiency
+    );
     Ok(())
 }
 
@@ -196,7 +243,10 @@ fn compare(model: &str, opts: &Options) -> CliResult {
                 base = Some(r.energy_efficiency);
                 String::new()
             }
-            Some(b) => format!("  ({:+.1}% vs PowerLens)", (b / r.energy_efficiency - 1.0) * 100.0),
+            Some(b) => format!(
+                "  ({:+.1}% vs PowerLens)",
+                (b / r.energy_efficiency - 1.0) * 100.0
+            ),
         };
         println!(
             "{:<22} {:>11.1} {:>9.2} {:>11.4} {:>9}{}",
@@ -206,7 +256,7 @@ fn compare(model: &str, opts: &Options) -> CliResult {
     Ok(())
 }
 
-fn trace(model: &str, opts: &Options) -> CliResult {
+fn trace_cmd(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let g = model_for(model)?;
     let pl = planner(&platform, opts)?;
@@ -230,6 +280,75 @@ fn trace(model: &str, opts: &Options) -> CliResult {
         report.telemetry.samples().len(),
         report.energy_efficiency
     );
+    Ok(())
+}
+
+/// Reads a `--trace json` report back from disk and re-renders its stats
+/// table (default path matches what `--trace json` writes).
+fn stats(path: Option<&str>) -> CliResult {
+    use powerlens_obs::{HistogramStats, Snapshot, SpanStats, TRACE_SCHEMA_VERSION};
+    use serde::Value;
+
+    fn num(v: &Value) -> Result<f64, Box<dyn Error>> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            // non-finite floats are exported as `null`
+            Value::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, found {}", other.kind()).into()),
+        }
+    }
+    fn entries(v: &Value) -> Result<&[(String, Value)], Box<dyn Error>> {
+        match v {
+            Value::Object(fields) => Ok(fields),
+            other => Err(format!("expected object, found {}", other.kind()).into()),
+        }
+    }
+
+    let path = path.unwrap_or("results/trace.json");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace report {path}: {e}"))?;
+    let root: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse trace report {path}: {e}"))?;
+
+    let version = num(root.field("powerlens_trace_version")?)?;
+    if version != f64::from(TRACE_SCHEMA_VERSION) {
+        return Err(format!(
+            "trace report {path} has schema version {version}, this build reads version {TRACE_SCHEMA_VERSION}"
+        )
+        .into());
+    }
+
+    let mut snap = Snapshot::default();
+    for (name, v) in entries(root.field("spans")?)? {
+        snap.spans.insert(
+            name.clone(),
+            SpanStats {
+                count: num(v.field("count")?)? as u64,
+                total_ns: num(v.field("total_ns")?)? as u128,
+                min_ns: num(v.field("min_ns")?)? as u128,
+                max_ns: num(v.field("max_ns")?)? as u128,
+            },
+        );
+    }
+    for (name, v) in entries(root.field("counters")?)? {
+        snap.counters.insert(name.clone(), num(v)? as u64);
+    }
+    for (name, v) in entries(root.field("gauges")?)? {
+        snap.gauges.insert(name.clone(), num(v)?);
+    }
+    for (name, v) in entries(root.field("histograms")?)? {
+        snap.histograms.insert(
+            name.clone(),
+            HistogramStats {
+                count: num(v.field("count")?)? as u64,
+                sum: num(v.field("sum")?)?,
+                min: num(v.field("min")?)?,
+                max: num(v.field("max")?)?,
+            },
+        );
+    }
+    println!("{path} (schema v{TRACE_SCHEMA_VERSION}):");
+    print!("{}", snap.render_table());
     Ok(())
 }
 
@@ -290,6 +409,7 @@ mod tests {
                 .join("powerlens_cli_test.json")
                 .to_string_lossy()
                 .into_owned(),
+            trace: TraceMode::Off,
         }
     }
 

@@ -1,0 +1,99 @@
+//! End-to-end check of the `--trace json` observability pipeline: runs the
+//! real binary in a scratch directory and validates the report it writes.
+//!
+//! This runs out of process so the obs globals of the unit-test binary are
+//! not disturbed.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "powerlens_trace_json_{name}_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn plan_with_trace_json_writes_report() {
+    let dir = scratch_dir("plan");
+    let output = Command::new(env!("CARGO_BIN_EXE_powerlens-cli"))
+        .args(["plan", "alexnet", "--platform", "tx2", "--trace", "json"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "plan failed: {stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The stats summary is printed after the command output.
+    assert!(
+        stdout.contains("--- obs stats ---"),
+        "missing summary: {stdout}"
+    );
+    assert!(stdout.contains("spans:"), "missing span table: {stdout}");
+
+    let report = dir.join("results/trace.json");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"powerlens_trace_version\": 1"));
+    // Per-phase spans from core::pipeline (untrained planner -> oracle path).
+    for key in [
+        "\"plan_oracle\"",
+        "plan_oracle/feature_extraction",
+        "plan_oracle/clustering",
+        "plan_oracle/decision",
+    ] {
+        assert!(json.contains(key), "missing span {key} in {json}");
+    }
+    // Counters from the pipeline, cluster and sim subsystems (the plan
+    // validation run exercises the engine).
+    for key in [
+        "plan.networks_planned",
+        "plan.schemes_scored",
+        "cluster.dbscan.iterations",
+        "sim.images",
+        "sim.dvfs.gpu_switches",
+        "\"sim_run\"",
+    ] {
+        assert!(json.contains(key), "missing counter {key} in {json}");
+    }
+
+    // `stats` renders the same report back from disk.
+    let output = Command::new(env!("CARGO_BIN_EXE_powerlens-cli"))
+        .args(["stats", "results/trace.json"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "stats failed: {stdout}");
+    assert!(
+        stdout.contains("plan_oracle"),
+        "stats table missing spans: {stdout}"
+    );
+    assert!(
+        stdout.contains("cluster.dbscan.iterations"),
+        "stats table missing counters: {stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_off_writes_nothing() {
+    let dir = scratch_dir("off");
+    let output = Command::new(env!("CARGO_BIN_EXE_powerlens-cli"))
+        .args(["plan", "alexnet", "--platform", "tx2"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(!stdout.contains("--- obs stats ---"));
+    assert!(!dir.join("results/trace.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

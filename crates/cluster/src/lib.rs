@@ -38,6 +38,7 @@
 use powerlens_dnn::Graph;
 use powerlens_features::depthwise_features;
 use powerlens_numeric::{covariance, mahalanobis, pseudo_inverse, Matrix, NumericError, Scaler};
+use powerlens_obs as obs;
 
 /// Hyperparameters of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,6 +232,7 @@ pub fn dbscan(dist: &Matrix, epsilon: f64, min_pts: usize) -> Vec<Option<usize>>
     let mut labels: Vec<Option<usize>> = vec![None; n];
     let mut visited = vec![false; n];
     let mut cluster = 0;
+    let mut expansions: u64 = 0;
     for i in 0..n {
         if visited[i] {
             continue;
@@ -243,6 +245,7 @@ pub fn dbscan(dist: &Matrix, epsilon: f64, min_pts: usize) -> Vec<Option<usize>>
         labels[i] = Some(cluster);
         let mut queue = ns;
         while let Some(q) = queue.pop() {
+            expansions += 1;
             if labels[q].is_none() {
                 labels[q] = Some(cluster);
             }
@@ -255,6 +258,10 @@ pub fn dbscan(dist: &Matrix, epsilon: f64, min_pts: usize) -> Vec<Option<usize>>
             }
         }
         cluster += 1;
+    }
+    if obs::enabled() {
+        obs::counter("cluster.dbscan.iterations", expansions);
+        obs::counter("cluster.dbscan.clusters", cluster as u64);
     }
     labels
 }
@@ -303,9 +310,13 @@ pub fn process_clusters(labels: &[Option<usize>], min_len: usize) -> PowerView {
     // absorbed above), then enforce the minimum block length.
     let mut blocks: Vec<PowerBlock> = Vec::new();
     let mut merged: Vec<(Option<usize>, usize, usize)> = Vec::new();
+    let mut merges: u64 = 0;
     for run in runs {
         match merged.last_mut() {
-            Some((label, _, end)) if *label == run.0 && run.0.is_some() => *end = run.2,
+            Some((label, _, end)) if *label == run.0 && run.0.is_some() => {
+                *end = run.2;
+                merges += 1;
+            }
             _ => merged.push(run),
         }
     }
@@ -313,10 +324,14 @@ pub fn process_clusters(labels: &[Option<usize>], min_len: usize) -> PowerView {
         if end - start < min_len {
             if let Some(prev) = blocks.last_mut() {
                 prev.end = end;
+                merges += 1;
                 continue;
             }
         }
         blocks.push(PowerBlock { start, end });
+    }
+    if obs::enabled() {
+        obs::counter("cluster.postprocess.merges", merges);
     }
     // A trailing short block may still exist if it was first; also the very
     // first block may be shorter than min_len when the whole net is tiny.
@@ -330,6 +345,7 @@ pub fn process_clusters(labels: &[Option<usize>], min_len: usize) -> PowerView {
 ///
 /// Propagates numeric errors from the distance computation.
 pub fn cluster_graph(graph: &Graph, params: &ClusterParams) -> Result<PowerView, NumericError> {
+    let _span = obs::span("cluster_graph");
     let x = depthwise_features(graph);
     let smoothed = smooth_features(&x, params.smooth_radius);
     let dist = power_distance_matrix(&smoothed, params.alpha, params.lambda)?;
@@ -410,7 +426,15 @@ mod tests {
 
     #[test]
     fn process_clusters_merges_short_runs() {
-        let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(2), Some(2), Some(2)];
+        let labels = vec![
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(2),
+            Some(2),
+            Some(2),
+        ];
         let v = process_clusters(&labels, 2);
         // The single-layer run of label 1 merges into its predecessor.
         assert_eq!(v.blocks()[0].end, 4);

@@ -30,7 +30,7 @@ proptest! {
         let mut expected_start = 0;
         for b in view.blocks() {
             prop_assert_eq!(b.start, expected_start);
-            prop_assert!(b.len() >= 1);
+            prop_assert!(!b.is_empty());
             expected_start = b.end;
         }
         prop_assert_eq!(expected_start, l.len());
@@ -43,10 +43,7 @@ proptest! {
     fn process_clusters_merges_short_runs(l in labels(), min_len in 2usize..5) {
         let view = process_clusters(&l, min_len);
         for b in view.blocks().iter().skip(1) {
-            prop_assert!(
-                b.len() >= 1,
-                "degenerate block {b:?}"
-            );
+            prop_assert!(!b.is_empty(), "degenerate block {b:?}");
         }
     }
 

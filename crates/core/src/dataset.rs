@@ -17,6 +17,7 @@ use powerlens_dnn::random::{self, RandomDnnConfig};
 use powerlens_dnn::Graph;
 use powerlens_features::GlobalFeatures;
 use powerlens_mlp::{Sample, TwoStageSample};
+use powerlens_obs as obs;
 use powerlens_platform::Platform;
 
 use crate::{PowerLens, PowerLensConfig};
@@ -96,6 +97,18 @@ fn label_network(pl: &PowerLens<'_>, graph: &Graph) -> (TwoStageSample, Vec<Samp
     (hyper_sample, block_samples)
 }
 
+/// Chunk size for distributing `num_graphs` over at most `threads` workers.
+///
+/// The worker count is clamped to the graph count: with fewer graphs than
+/// threads the naive `num_graphs.div_ceil(threads)` sizing degenerates to
+/// single-graph chunks and pays the spawn cost of workers that have nothing
+/// to do (worst case: `num_networks = 1` still fanned out across every
+/// configured thread).
+fn chunk_size(num_graphs: usize, threads: usize) -> usize {
+    let workers = threads.min(num_graphs).max(1);
+    num_graphs.div_ceil(workers).max(1)
+}
+
 /// Generates both datasets for `platform`, distributing networks over
 /// worker threads.
 pub fn generate(
@@ -103,20 +116,23 @@ pub fn generate(
     pl_config: &PowerLensConfig,
     ds_config: &DatasetConfig,
 ) -> Datasets {
+    let _span = obs::span("dataset_generate");
+    let start = std::time::Instant::now();
     let graphs = random::generate_batch(&ds_config.random, ds_config.seed, ds_config.num_networks);
     let threads = if ds_config.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         ds_config.threads
     };
-    let chunk = graphs.len().div_ceil(threads.max(1)).max(1);
+    let chunk = chunk_size(graphs.len(), threads);
+    obs::counter("dataset.workers_spawned", graphs.chunks(chunk).len() as u64);
 
     let mut per_chunk: Vec<(Vec<TwoStageSample>, Vec<Sample>)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = graphs
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let pl = PowerLens::untrained(platform, pl_config.clone());
                     let mut hyper = Vec::with_capacity(slice.len());
                     let mut decision = Vec::new();
@@ -124,6 +140,8 @@ pub fn generate(
                         let (h, mut d) = label_network(&pl, g);
                         hyper.push(h);
                         decision.append(&mut d);
+                        // Per-graph progress, aggregated across workers.
+                        obs::counter("dataset.graphs_labeled", 1);
                     }
                     (hyper, decision)
                 })
@@ -132,8 +150,7 @@ pub fn generate(
         for h in handles {
             per_chunk.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut out = Datasets {
         num_networks: graphs.len(),
@@ -142,6 +159,14 @@ pub fn generate(
     for (h, d) in per_chunk {
         out.hyper.extend(h);
         out.decision.extend(d);
+    }
+    if obs::enabled() {
+        obs::counter("dataset.hyper_samples", out.hyper.len() as u64);
+        obs::counter("dataset.decision_samples", out.decision.len() as u64);
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            obs::gauge("dataset.graphs_per_sec", out.num_networks as f64 / secs);
+        }
     }
     out
 }
@@ -194,6 +219,38 @@ mod tests {
         let a = generate(&p, &plc, &small_config());
         let b = generate(&p, &plc, &small_config());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunking_clamps_workers_to_graph_count() {
+        // Regression: one graph across eight threads must use one chunk,
+        // not eight single-graph chunks (seven of them empty workers).
+        assert_eq!(chunk_size(1, 8), 1);
+        assert_eq!(1usize.div_ceil(chunk_size(1, 8)), 1, "exactly one worker");
+        // Fewer graphs than threads: one graph per worker, no idle spawns.
+        assert_eq!(chunk_size(3, 8), 1);
+        // More graphs than threads: ceil split over the full thread pool.
+        assert_eq!(chunk_size(12, 8), 2);
+        assert_eq!(chunk_size(12, 2), 6);
+        // Degenerate inputs stay safe for `slice::chunks` (must be > 0).
+        assert_eq!(chunk_size(0, 8), 1);
+        assert_eq!(chunk_size(5, 0), 5);
+    }
+
+    #[test]
+    fn single_network_many_threads_generates_correctly() {
+        // Regression companion to `chunking_clamps_workers_to_graph_count`:
+        // the end-to-end path with num_networks < threads.
+        let p = Platform::agx();
+        let cfg = DatasetConfig {
+            num_networks: 1,
+            threads: 8,
+            ..small_config()
+        };
+        let ds = generate(&p, &PowerLensConfig::default(), &cfg);
+        assert_eq!(ds.hyper.len(), 1);
+        assert_eq!(ds.num_networks, 1);
+        assert!(!ds.decision.is_empty());
     }
 
     #[test]

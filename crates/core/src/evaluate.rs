@@ -1,6 +1,6 @@
+use powerlens_dnn::Graph;
 use powerlens_governors::oracle;
 use powerlens_platform::Platform;
-use powerlens_dnn::Graph;
 use powerlens_sim::InstrumentationPlan;
 
 /// Analytic quality estimate of an instrumentation plan.

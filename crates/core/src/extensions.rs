@@ -156,7 +156,10 @@ pub fn co_optimize_batch(
     batches: &[usize],
 ) -> Result<BatchPlanOutcome, PowerLensError> {
     assert!(!batches.is_empty(), "need at least one candidate batch");
-    assert!(batches.iter().all(|&b| b > 0), "batch sizes must be positive");
+    assert!(
+        batches.iter().all(|&b| b > 0),
+        "batch sizes must be positive"
+    );
     let mut best: Option<BatchPlanOutcome> = None;
     for &batch in batches {
         let mut config = pl.config().clone();

@@ -7,6 +7,7 @@ use powerlens_dnn::Graph;
 use powerlens_features::GlobalFeatures;
 use powerlens_governors::oracle;
 use powerlens_numeric::NumericError;
+use powerlens_obs as obs;
 use powerlens_platform::{FreqLevel, Platform};
 use powerlens_sim::{InstrumentationPlan, InstrumentationPoint};
 
@@ -163,7 +164,14 @@ impl<'p> PowerLens<'p> {
     /// Oracle target frequency for one block (exhaustive sweep under the
     /// latency slack).
     pub fn oracle_block_level(&self, graph: &Graph, lo: usize, hi: usize) -> FreqLevel {
-        oracle::best_level_for_range(self.platform, graph, lo, hi, self.config.batch, self.config.slack)
+        oracle::best_level_for_range(
+            self.platform,
+            graph,
+            lo,
+            hi,
+            self.config.batch,
+            self.config.slack,
+        )
     }
 
     /// Model-predicted target frequency for one block.
@@ -201,8 +209,11 @@ impl<'p> PowerLens<'p> {
                 graph.stats_range(b.start, b.end).mean_arithmetic_intensity
             };
             let self_ai = ai(&blocks[i]);
-            let left = i.checked_sub(1).map(|j| (j, (ai(&blocks[j]) - self_ai).abs()));
-            let right = (i + 1 < blocks.len()).then(|| (i + 1, (ai(&blocks[i + 1]) - self_ai).abs()));
+            let left = i
+                .checked_sub(1)
+                .map(|j| (j, (ai(&blocks[j]) - self_ai).abs()));
+            let right =
+                (i + 1 < blocks.len()).then(|| (i + 1, (ai(&blocks[i + 1]) - self_ai).abs()));
             let partner = match (left, right) {
                 (Some((l, dl)), Some((r, dr))) => {
                     if dl <= dr {
@@ -215,7 +226,11 @@ impl<'p> PowerLens<'p> {
                 (None, Some((r, _))) => r,
                 (None, None) => break,
             };
-            let (keep, remove) = if partner < i { (partner, i) } else { (i, partner) };
+            let (keep, remove) = if partner < i {
+                (partner, i)
+            } else {
+                (i, partner)
+            };
             blocks[keep].end = blocks[remove].end;
             blocks.remove(remove);
         }
@@ -248,29 +263,52 @@ impl<'p> PowerLens<'p> {
     /// [`PowerLensError::Untrained`] without models; numeric errors from
     /// clustering.
     pub fn plan(&self, graph: &Graph) -> Result<PlanOutcome, PowerLensError> {
+        let _plan_span = obs::span("plan");
         let models = self.models.as_ref().ok_or(PowerLensError::Untrained)?;
         let mut timings = WorkflowTimings::default();
 
         let t = Instant::now();
-        let global = GlobalFeatures::of_graph(graph);
+        let global = {
+            let _s = obs::span("feature_extraction");
+            GlobalFeatures::of_graph(graph)
+        };
         timings.feature_extraction = t.elapsed();
 
         let t = Instant::now();
-        let scheme_index = models.predict_scheme(&global).min(self.config.schemes.len() - 1);
+        let scheme_index = {
+            let _s = obs::span("hyperparameter_prediction");
+            models
+                .predict_scheme(&global)
+                .min(self.config.schemes.len() - 1)
+        };
         timings.hyperparameter_prediction = t.elapsed();
 
         let t = Instant::now();
-        let view = self.coarsen_view(graph, cluster_graph(graph, &self.config.schemes.get(scheme_index))?);
+        let view = {
+            let _s = obs::span("clustering");
+            self.coarsen_view(
+                graph,
+                cluster_graph(graph, &self.config.schemes.get(scheme_index))?,
+            )
+        };
         timings.clustering = t.elapsed();
 
         let t = Instant::now();
-        let plan = self.plan_from_view(&view, |lo, hi| {
-            let feats = GlobalFeatures::of_range(graph, lo, hi);
-            models
-                .predict_block_level(&feats)
-                .min(self.platform.gpu_table().max_level())
-        });
+        let plan = {
+            let _s = obs::span("decision");
+            self.plan_from_view(&view, |lo, hi| {
+                let feats = GlobalFeatures::of_range(graph, lo, hi);
+                models
+                    .predict_block_level(&feats)
+                    .min(self.platform.gpu_table().max_level())
+            })
+        };
         timings.decision = t.elapsed();
+
+        if obs::enabled() {
+            obs::counter("plan.networks_planned", 1);
+            obs::counter("plan.blocks", view.num_blocks() as u64);
+        }
 
         Ok(PlanOutcome {
             view,
@@ -280,18 +318,22 @@ impl<'p> PowerLens<'p> {
         })
     }
 
-    /// Oracle-driven workflow: exhaustively scores every scheme (clustering
-    /// + per-block oracle frequencies + analytic plan evaluation) and keeps
-    /// the best. This is the labelling routine of the dataset generator and
-    /// the upper bound the trained models approximate.
+    /// Oracle-driven workflow: exhaustively scores every scheme (clustering +
+    /// per-block oracle frequencies + analytic plan evaluation) and keeps the
+    /// best. This is the labelling routine of the dataset generator and the
+    /// upper bound the trained models approximate.
     ///
     /// # Errors
     ///
     /// Propagates numeric errors from clustering.
     pub fn plan_oracle(&self, graph: &Graph) -> Result<PlanOutcome, PowerLensError> {
+        let _plan_span = obs::span("plan_oracle");
         let mut timings = WorkflowTimings::default();
         let t = Instant::now();
-        let _global = GlobalFeatures::of_graph(graph);
+        let _global = {
+            let _s = obs::span("feature_extraction");
+            GlobalFeatures::of_graph(graph)
+        };
         timings.feature_extraction = t.elapsed();
 
         let search_start = Instant::now();
@@ -299,12 +341,19 @@ impl<'p> PowerLens<'p> {
         let mut clustering_time = Duration::default();
         let mut decision_time = Duration::default();
         for idx in 0..self.config.schemes.len() {
+            obs::counter("plan.schemes_scored", 1);
             let t = Instant::now();
-            let view = self.coarsen_view(graph, cluster_graph(graph, &self.config.schemes.get(idx))?);
+            let view = {
+                let _s = obs::span("clustering");
+                self.coarsen_view(graph, cluster_graph(graph, &self.config.schemes.get(idx))?)
+            };
             clustering_time += t.elapsed();
 
             let t = Instant::now();
-            let plan = self.plan_from_view(&view, |lo, hi| self.oracle_block_level(graph, lo, hi));
+            let plan = {
+                let _s = obs::span("decision");
+                self.plan_from_view(&view, |lo, hi| self.oracle_block_level(graph, lo, hi))
+            };
             decision_time += t.elapsed();
 
             let eval = evaluate_plan(
@@ -329,9 +378,15 @@ impl<'p> PowerLens<'p> {
             }
         }
         let (_, scheme_index, view, plan) = best.expect("scheme space is non-empty");
-        timings.hyperparameter_prediction = search_start.elapsed() - clustering_time - decision_time;
+        timings.hyperparameter_prediction =
+            search_start.elapsed() - clustering_time - decision_time;
         timings.clustering = clustering_time;
         timings.decision = decision_time;
+
+        if obs::enabled() {
+            obs::counter("plan.networks_planned", 1);
+            obs::counter("plan.blocks", view.num_blocks() as u64);
+        }
 
         Ok(PlanOutcome {
             view,
@@ -413,7 +468,12 @@ mod tests {
             p.cpu_table().max_level(),
         );
         let fast = evaluate_plan(&p, &g, &max_plan, 8, 48);
-        assert!(ours.time <= fast.time * 1.8, "{} vs {}", ours.time, fast.time);
+        assert!(
+            ours.time <= fast.time * 1.8,
+            "{} vs {}",
+            ours.time,
+            fast.time
+        );
         assert!(ours.energy < fast.energy);
     }
 

@@ -17,6 +17,7 @@ use powerlens_mlp::{
     accuracy_mlp, accuracy_two_stage, train_mlp, train_two_stage, Mlp, Sample, TrainConfig,
     TwoStageNet, TwoStageSample,
 };
+use powerlens_obs as obs;
 
 use crate::dataset::Datasets;
 
@@ -235,6 +236,7 @@ pub fn train_models(
         !datasets.hyper.is_empty() && !datasets.decision.is_empty(),
         "datasets must be non-empty"
     );
+    let _span = obs::span("train_models");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // ---- Dataset A: hyperparameter model ----
@@ -264,9 +266,16 @@ pub fn train_models(
         num_schemes,
         &mut rng,
     );
-    train_two_stage(&mut hyper, &a_train, &cfg.hyper, &mut rng);
+    {
+        let _s = obs::span("hyper_model");
+        train_two_stage(&mut hyper, &a_train, &cfg.hyper, &mut rng);
+    }
     let hyper_val_accuracy = accuracy_two_stage(&hyper, &a_val);
     let hyper_test_accuracy = accuracy_two_stage(&hyper, &a_test);
+    if obs::enabled() {
+        obs::gauge("train.hyper.val_accuracy", hyper_val_accuracy);
+        obs::gauge("train.hyper.test_accuracy", hyper_test_accuracy);
+    }
 
     // ---- Dataset B: decision model ----
     let decision_scaler = FeatureScaler::fit(datasets.decision.iter().map(|s| s.input.as_slice()));
@@ -279,14 +288,25 @@ pub fn train_models(
         })
         .collect();
     let (tr, va, te) = split_indices(scaled_b.len(), &mut rng);
-    let pick = |ids: &[usize]| -> Vec<Sample> { ids.iter().map(|&i| scaled_b[i].clone()).collect() };
+    let pick =
+        |ids: &[usize]| -> Vec<Sample> { ids.iter().map(|&i| scaled_b[i].clone()).collect() };
     let (b_train, b_val, b_test) = (pick(&tr), pick(&va), pick(&te));
 
     let feat_dim = GlobalFeatures::STRUCTURAL_DIM + GlobalFeatures::STATISTICS_DIM;
-    let mut decision = Mlp::new(&[feat_dim, cfg.hidden, cfg.hidden / 2, num_levels], &mut rng);
-    train_mlp(&mut decision, &b_train, &cfg.decision, &mut rng);
+    let mut decision = Mlp::new(
+        &[feat_dim, cfg.hidden, cfg.hidden / 2, num_levels],
+        &mut rng,
+    );
+    {
+        let _s = obs::span("decision_model");
+        train_mlp(&mut decision, &b_train, &cfg.decision, &mut rng);
+    }
     let decision_val_accuracy = accuracy_mlp(&decision, &b_val);
     let decision_test_accuracy = accuracy_mlp(&decision, &b_test);
+    if obs::enabled() {
+        obs::gauge("train.decision.val_accuracy", decision_val_accuracy);
+        obs::gauge("train.decision.test_accuracy", decision_test_accuracy);
+    }
     let within_one = if b_test.is_empty() {
         0.0
     } else {
@@ -359,7 +379,12 @@ mod tests {
                 ..DatasetConfig::default()
             },
         );
-        let models = train_models(&ds, plc.schemes.len(), p.gpu_levels(), &TrainingConfig::default());
+        let models = train_models(
+            &ds,
+            plc.schemes.len(),
+            p.gpu_levels(),
+            &TrainingConfig::default(),
+        );
         // Predictions land in range.
         let g = powerlens_dnn::zoo::resnet34();
         let gf = GlobalFeatures::of_graph(&g);

@@ -93,7 +93,10 @@ impl Graph {
     ///
     /// Panics if the range is out of bounds or empty.
     pub fn stats_range(&self, lo: LayerId, hi: LayerId) -> GraphStats {
-        assert!(lo < hi && hi <= self.layers.len(), "invalid range {lo}..{hi}");
+        assert!(
+            lo < hi && hi <= self.layers.len(),
+            "invalid range {lo}..{hi}"
+        );
         let edges: Vec<(LayerId, LayerId)> = self
             .skip_edges
             .iter()
@@ -142,7 +145,7 @@ impl GraphStats {
         let mut total_flops = 0.0;
         let mut total_params = 0.0;
         let mut total_memory = 0.0;
-        let mut type_counts = vec![0usize; OpKind::NUM_TYPE_CODES];
+        let mut type_counts = [0usize; OpKind::NUM_TYPE_CODES];
         let mut num_concats = 0;
         let mut max_channels = 0;
         for l in layers {
@@ -250,7 +253,10 @@ impl GraphBuilder {
     ///
     /// Panics if no layers were pushed.
     pub fn finish(self) -> Graph {
-        assert!(!self.layers.is_empty(), "graph must have at least one layer");
+        assert!(
+            !self.layers.is_empty(),
+            "graph must have at least one layer"
+        );
         Graph {
             name: self.name,
             input_shape: self.input_shape,

@@ -306,7 +306,7 @@ impl OpKind {
     pub fn type_code(&self) -> usize {
         match *self {
             OpKind::Conv2d { groups, in_ch, .. } if groups == in_ch && in_ch > 1 => 1, // depthwise
-            OpKind::Conv2d { kernel: 1, .. } => 2, // pointwise
+            OpKind::Conv2d { kernel: 1, .. } => 2,                                     // pointwise
             OpKind::Conv2d { .. } => 0,
             OpKind::Linear { .. } => 3,
             OpKind::Pool { .. } => 4,

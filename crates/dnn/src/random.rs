@@ -76,7 +76,16 @@ fn random_cnn<R: Rng + ?Sized>(cfg: &RandomDnnConfig, rng: &mut R) -> Graph {
     // Stem.
     let stem_w = pick(rng, &[16usize, 32, 64]);
     let stem_k = pick(rng, &[3usize, 5, 7]);
-    push_conv_bn_act(&mut b, "stem", stem_w, stem_k, 2, stem_k / 2, 1, ActKind::Relu);
+    push_conv_bn_act(
+        &mut b,
+        "stem",
+        stem_w,
+        stem_k,
+        2,
+        stem_k / 2,
+        1,
+        ActKind::Relu,
+    );
     if rng.gen_bool(0.5) {
         b.push(
             "stem.pool",
@@ -223,6 +232,7 @@ fn random_transformer<R: Rng + ?Sized>(cfg: &RandomDnnConfig, rng: &mut R) -> Gr
     b.finish()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_conv_bn_act(
     b: &mut GraphBuilder,
     prefix: &str,
@@ -263,7 +273,16 @@ fn plain_block<R: Rng + ?Sized>(
 fn residual_block(b: &mut GraphBuilder, prefix: &str, width: usize, stride: usize) {
     let input_shape = b.current_shape();
     let needs_proj = stride != 1 || input_shape.channels() != width;
-    push_conv_bn_act(b, &format!("{prefix}.1"), width, 3, stride, 1, 1, ActKind::Relu);
+    push_conv_bn_act(
+        b,
+        &format!("{prefix}.1"),
+        width,
+        3,
+        stride,
+        1,
+        1,
+        ActKind::Relu,
+    );
     let in_ch = b.current_shape().channels();
     b.push(
         format!("{prefix}.2.conv"),
@@ -311,9 +330,22 @@ fn bottleneck_block<R: Rng + ?Sized>(
 ) {
     let input_shape = b.current_shape();
     let mid = (width / 4).max(8);
-    let groups = if rng.gen_bool(0.3) && mid % 32 == 0 { 32 } else { 1 };
+    let groups = if rng.gen_bool(0.3) && mid.is_multiple_of(32) {
+        32
+    } else {
+        1
+    };
     push_conv_bn_act(b, &format!("{prefix}.1"), mid, 1, 1, 0, 1, ActKind::Relu);
-    push_conv_bn_act(b, &format!("{prefix}.2"), mid, 3, stride, 1, groups, ActKind::Relu);
+    push_conv_bn_act(
+        b,
+        &format!("{prefix}.2"),
+        mid,
+        3,
+        stride,
+        1,
+        groups,
+        ActKind::Relu,
+    );
     let in_ch = b.current_shape().channels();
     b.push(
         format!("{prefix}.3.conv"),
@@ -363,7 +395,16 @@ fn inverted_block<R: Rng + ?Sized>(
     let in_ch = b.current_shape().channels();
     let exp = in_ch * pick(rng, &[2usize, 4, 6]);
     let k = pick(rng, &[3usize, 5]);
-    push_conv_bn_act(b, &format!("{prefix}.expand"), exp, 1, 1, 0, 1, ActKind::HardSwish);
+    push_conv_bn_act(
+        b,
+        &format!("{prefix}.expand"),
+        exp,
+        1,
+        1,
+        0,
+        1,
+        ActKind::HardSwish,
+    );
     push_conv_bn_act(
         b,
         &format!("{prefix}.dw"),
@@ -396,7 +437,10 @@ fn inverted_block<R: Rng + ?Sized>(
                 groups: 1,
             },
         );
-        b.push(format!("{prefix}.se.relu"), OpKind::Activation(ActKind::Relu));
+        b.push(
+            format!("{prefix}.se.relu"),
+            OpKind::Activation(ActKind::Relu),
+        );
         b.push(
             format!("{prefix}.se.fc2"),
             OpKind::Conv2d {
@@ -408,7 +452,10 @@ fn inverted_block<R: Rng + ?Sized>(
                 groups: 1,
             },
         );
-        b.push(format!("{prefix}.se.gate"), OpKind::Activation(ActKind::Sigmoid));
+        b.push(
+            format!("{prefix}.se.gate"),
+            OpKind::Activation(ActKind::Sigmoid),
+        );
         b.set_current_shape(shape);
         b.push(format!("{prefix}.se.scale"), OpKind::Add);
     }

@@ -13,17 +13,62 @@ fn inception(b: &mut GraphBuilder, prefix: &str, cfg: InceptionCfg) {
     let input_shape = b.current_shape();
 
     // Branch 1: 1x1 conv.
-    let br1 = conv_bn_act(b, &format!("{prefix}.branch1"), b1, 1, 1, 0, 1, ActKind::Relu);
+    let br1 = conv_bn_act(
+        b,
+        &format!("{prefix}.branch1"),
+        b1,
+        1,
+        1,
+        0,
+        1,
+        ActKind::Relu,
+    );
 
     // Branch 2: 1x1 reduce then 3x3.
     b.set_current_shape(input_shape);
-    conv_bn_act(b, &format!("{prefix}.branch2.0"), b2r, 1, 1, 0, 1, ActKind::Relu);
-    let br2 = conv_bn_act(b, &format!("{prefix}.branch2.1"), b2, 3, 1, 1, 1, ActKind::Relu);
+    conv_bn_act(
+        b,
+        &format!("{prefix}.branch2.0"),
+        b2r,
+        1,
+        1,
+        0,
+        1,
+        ActKind::Relu,
+    );
+    let br2 = conv_bn_act(
+        b,
+        &format!("{prefix}.branch2.1"),
+        b2,
+        3,
+        1,
+        1,
+        1,
+        ActKind::Relu,
+    );
 
     // Branch 3: 1x1 reduce then 3x3 (torchvision uses 3x3 in its 5x5 slot).
     b.set_current_shape(input_shape);
-    conv_bn_act(b, &format!("{prefix}.branch3.0"), b3r, 1, 1, 0, 1, ActKind::Relu);
-    let br3 = conv_bn_act(b, &format!("{prefix}.branch3.1"), b3, 3, 1, 1, 1, ActKind::Relu);
+    conv_bn_act(
+        b,
+        &format!("{prefix}.branch3.0"),
+        b3r,
+        1,
+        1,
+        0,
+        1,
+        ActKind::Relu,
+    );
+    let br3 = conv_bn_act(
+        b,
+        &format!("{prefix}.branch3.1"),
+        b3,
+        3,
+        1,
+        1,
+        1,
+        ActKind::Relu,
+    );
 
     // Branch 4: 3x3 max-pool then 1x1 projection.
     b.set_current_shape(input_shape);
@@ -38,7 +83,16 @@ fn inception(b: &mut GraphBuilder, prefix: &str, cfg: InceptionCfg) {
     // stride-1 3x3 pool without padding shrinks by 2; torchvision pads to
     // keep shape. Restore the spatial dims explicitly.
     b.set_current_shape(input_shape);
-    let br4 = conv_bn_act(b, &format!("{prefix}.branch4.1"), b4, 1, 1, 0, 1, ActKind::Relu);
+    let br4 = conv_bn_act(
+        b,
+        &format!("{prefix}.branch4.1"),
+        b4,
+        1,
+        1,
+        0,
+        1,
+        ActKind::Relu,
+    );
 
     // Merge: concat all four branch outputs channel-wise.
     let (h, w) = input_shape.spatial();
@@ -114,7 +168,7 @@ mod tests {
             .unwrap();
         assert_eq!(cat.output_shape.channels(), 256);
         let _ = TensorShape::flat(0); // keep the import used
-        // inception5b output: 384+384+128+128 = 1024.
+                                      // inception5b output: 384+384+128+128 = 1024.
         let cat5b = g
             .layers()
             .iter()

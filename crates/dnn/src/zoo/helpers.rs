@@ -3,6 +3,7 @@
 use crate::{ActKind, GraphBuilder, LayerId, OpKind, PoolKind, TensorShape};
 
 /// Pushes `conv -> batchnorm -> activation` and returns the activation's id.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_bn_act(
     b: &mut GraphBuilder,
     prefix: &str,
@@ -107,7 +108,10 @@ pub(crate) fn se_module(b: &mut GraphBuilder, prefix: &str, squeeze_ch: usize) {
             groups: 1,
         },
     );
-    b.push(format!("{prefix}.se.relu"), OpKind::Activation(ActKind::Relu));
+    b.push(
+        format!("{prefix}.se.relu"),
+        OpKind::Activation(ActKind::Relu),
+    );
     b.push(
         format!("{prefix}.se.fc2"),
         OpKind::Conv2d {

@@ -8,7 +8,11 @@ type BneckCfg = (usize, usize, usize, bool, bool, usize);
 /// Pushes one MobileNetV3 inverted-residual block.
 fn bneck(b: &mut GraphBuilder, prefix: &str, cfg: BneckCfg) {
     let (kernel, exp, out, use_se, hs, stride) = cfg;
-    let act = if hs { ActKind::HardSwish } else { ActKind::Relu };
+    let act = if hs {
+        ActKind::HardSwish
+    } else {
+        ActKind::Relu
+    };
     let input_shape = b.current_shape();
     let in_ch = input_shape.channels();
     let residual = stride == 1 && in_ch == out;
@@ -100,11 +104,7 @@ mod tests {
     #[test]
     fn mobilenet_uses_depthwise_convs() {
         let g = mobilenet_v3();
-        let dw = g
-            .layers()
-            .iter()
-            .filter(|l| l.op.type_code() == 1)
-            .count();
+        let dw = g.layers().iter().filter(|l| l.op.type_code() == 1).count();
         assert!(dw >= 15, "expected >= 15 depthwise convs, found {dw}");
     }
 

@@ -48,8 +48,11 @@ pub const IMAGENET_INPUT: TensorShape = TensorShape::Chw {
     w: 224,
 };
 
+/// A zoo entry: model name plus its builder function.
+pub type ModelEntry = (&'static str, fn() -> Graph);
+
 /// All 12 models of Table 1, in the paper's row order.
-pub fn all_models() -> Vec<(&'static str, fn() -> Graph)> {
+pub fn all_models() -> Vec<ModelEntry> {
     vec![
         ("alexnet", alexnet as fn() -> Graph),
         ("googlenet", googlenet),

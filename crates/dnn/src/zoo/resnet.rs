@@ -13,7 +13,16 @@ fn basic_block(b: &mut GraphBuilder, prefix: &str, out_ch: usize, stride: usize)
     let input_shape = b.current_shape();
     let needs_proj = stride != 1 || input_shape.channels() != out_ch;
 
-    conv_bn_act(b, &format!("{prefix}.1"), out_ch, 3, stride, 1, 1, ActKind::Relu);
+    conv_bn_act(
+        b,
+        &format!("{prefix}.1"),
+        out_ch,
+        3,
+        stride,
+        1,
+        1,
+        ActKind::Relu,
+    );
     let main_out = conv_bn(b, &format!("{prefix}.2"), out_ch, 3, 1, 1, 1);
 
     if needs_proj {
@@ -44,7 +53,16 @@ fn bottleneck_block(
     let needs_proj = stride != 1 || input_shape.channels() != out_ch;
 
     conv_bn_act(b, &format!("{prefix}.1"), mid_ch, 1, 1, 0, 1, ActKind::Relu);
-    conv_bn_act(b, &format!("{prefix}.2"), mid_ch, 3, stride, 1, groups, ActKind::Relu);
+    conv_bn_act(
+        b,
+        &format!("{prefix}.2"),
+        mid_ch,
+        3,
+        stride,
+        1,
+        groups,
+        ActKind::Relu,
+    );
     let main_out = conv_bn(b, &format!("{prefix}.3"), out_ch, 1, 1, 0, 1);
 
     if needs_proj {
@@ -108,14 +126,7 @@ pub fn resnext101() -> Graph {
         let out = p * 4;
         for i in 0..depth {
             let stride = if i == 0 && s > 0 { 2 } else { 1 };
-            bottleneck_block(
-                &mut b,
-                &format!("layer{}.{i}", s + 1),
-                mid,
-                out,
-                stride,
-                32,
-            );
+            bottleneck_block(&mut b, &format!("layer{}.{i}", s + 1), mid, out, stride, 32);
         }
     }
     classifier_head(&mut b, 1000);

@@ -16,7 +16,15 @@ pub fn vgg19() -> Graph {
     let mut idx = 0;
     for (stage, widths) in cfg.iter().enumerate() {
         for &w in *widths {
-            conv_act(&mut b, &format!("features.{stage}.{idx}"), w, 3, 1, 1, ActKind::Relu);
+            conv_act(
+                &mut b,
+                &format!("features.{stage}.{idx}"),
+                w,
+                3,
+                1,
+                1,
+                ActKind::Relu,
+            );
             idx += 1;
         }
         maxpool(&mut b, &format!("features.{stage}"), 2, 2);

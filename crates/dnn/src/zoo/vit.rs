@@ -25,7 +25,10 @@ fn encoder_block(b: &mut GraphBuilder, prefix: &str, dim: usize, heads: usize) {
             out_features: 4 * dim,
         },
     );
-    b.push(format!("{prefix}.mlp.gelu"), OpKind::Activation(ActKind::Gelu));
+    b.push(
+        format!("{prefix}.mlp.gelu"),
+        OpKind::Activation(ActKind::Gelu),
+    );
     b.push(
         format!("{prefix}.mlp.fc2"),
         OpKind::Linear {

@@ -83,7 +83,11 @@ fn zoo_layer_names_are_unique_within_model() {
         let g = build();
         let mut seen = std::collections::HashSet::new();
         for l in g.layers() {
-            assert!(seen.insert(l.name.clone()), "{name}: duplicate layer {}", l.name);
+            assert!(
+                seen.insert(l.name.clone()),
+                "{name}: duplicate layer {}",
+                l.name
+            );
         }
     }
 }

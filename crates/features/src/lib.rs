@@ -88,7 +88,11 @@ pub fn layer_features(layer: &Layer) -> Vec<f64> {
             groups,
             in_ch,
             ..
-        } => (kernel as f64, stride as f64, groups as f64 / in_ch.max(1) as f64),
+        } => (
+            kernel as f64,
+            stride as f64,
+            groups as f64 / in_ch.max(1) as f64,
+        ),
         OpKind::Pool { kernel, stride, .. } => (kernel as f64, stride as f64, 0.0),
         OpKind::PatchEmbed { patch, .. } => (patch as f64, patch as f64, 0.0),
         _ => (0.0, 0.0, 0.0),

@@ -34,7 +34,10 @@ pub fn eval_range(
     batch: usize,
     gpu_level: FreqLevel,
 ) -> RangeEval {
-    assert!(lo < hi && hi <= graph.num_layers(), "invalid range {lo}..{hi}");
+    assert!(
+        lo < hi && hi <= graph.num_layers(),
+        "invalid range {lo}..{hi}"
+    );
     let cpu = platform.cpu_table().max_level();
     let mut time = 0.0;
     let mut energy = 0.0;
@@ -92,7 +95,12 @@ pub fn best_level_for_range(
 
 /// The best *single* static level for the whole graph under the same latency
 /// slack — the oracle for the P-N ablation (one decision for the entire DNN).
-pub fn best_static_level(platform: &Platform, graph: &Graph, batch: usize, slack: f64) -> FreqLevel {
+pub fn best_static_level(
+    platform: &Platform,
+    graph: &Graph,
+    batch: usize,
+    slack: f64,
+) -> FreqLevel {
     best_level_for_range(platform, graph, 0, graph.num_layers(), batch, slack)
 }
 
@@ -117,7 +125,10 @@ mod tests {
         let g = zoo::alexnet();
         let evals = sweep_range(&p, &g, 0, g.num_layers(), 8);
         for w in evals.windows(2) {
-            assert!(w[0].time >= w[1].time, "time must not increase with frequency");
+            assert!(
+                w[0].time >= w[1].time,
+                "time must not increase with frequency"
+            );
         }
     }
 

@@ -21,7 +21,10 @@ pub struct DenseLayer {
 impl DenseLayer {
     /// Creates a layer with He-initialized weights.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let scale = (2.0 / in_dim as f64).sqrt();
         let w = (0..in_dim * out_dim)
             .map(|_| rng.gen_range(-1.0..1.0) * scale)
@@ -54,9 +57,9 @@ impl DenseLayer {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim, "dense forward dim mismatch");
         let mut y = self.b.clone();
-        for o in 0..self.out_dim {
+        for (o, out) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            y[o] += row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+            *out += row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         }
         y
     }
@@ -71,8 +74,7 @@ impl DenseLayer {
         assert_eq!(x.len(), self.in_dim, "dense backward input mismatch");
         assert_eq!(dy.len(), self.out_dim, "dense backward output mismatch");
         let mut dx = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate() {
             self.grad_b[o] += g;
             let row = o * self.in_dim;
             for i in 0..self.in_dim {

@@ -1,3 +1,4 @@
+use powerlens_obs as obs;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -60,6 +61,7 @@ pub fn train_mlp<R: Rng + ?Sized>(
     cfg: &TrainConfig,
     rng: &mut R,
 ) -> TrainStats {
+    let _span = obs::span("train_mlp");
     assert!(!samples.is_empty(), "no training samples");
     let mut adam = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -74,12 +76,19 @@ pub fn train_mlp<R: Rng + ?Sized>(
             }
             net.apply_step(&mut adam, chunk.len());
         }
-        epoch_losses.push(total / samples.len() as f64);
+        let mean = total / samples.len() as f64;
+        epoch_losses.push(mean);
+        if obs::enabled() {
+            obs::counter("mlp.epochs", 1);
+            obs::gauge("mlp.epoch_loss", mean);
+        }
     }
-    TrainStats {
+    let stats = TrainStats {
         final_train_accuracy: accuracy_mlp(net, samples),
         epoch_losses,
-    }
+    };
+    obs::gauge("mlp.train_accuracy", stats.final_train_accuracy);
+    stats
 }
 
 /// Trains a two-stage classifier with shuffled mini-batches.
@@ -89,6 +98,7 @@ pub fn train_two_stage<R: Rng + ?Sized>(
     cfg: &TrainConfig,
     rng: &mut R,
 ) -> TrainStats {
+    let _span = obs::span("train_two_stage");
     assert!(!samples.is_empty(), "no training samples");
     let mut adam = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -104,12 +114,19 @@ pub fn train_two_stage<R: Rng + ?Sized>(
             }
             net.apply_step(&mut adam, chunk.len());
         }
-        epoch_losses.push(total / samples.len() as f64);
+        let mean = total / samples.len() as f64;
+        epoch_losses.push(mean);
+        if obs::enabled() {
+            obs::counter("mlp.epochs", 1);
+            obs::gauge("mlp.epoch_loss", mean);
+        }
     }
-    TrainStats {
+    let stats = TrainStats {
         final_train_accuracy: accuracy_two_stage(net, samples),
         epoch_losses,
-    }
+    };
+    obs::gauge("mlp.train_accuracy", stats.final_train_accuracy);
+    stats
 }
 
 /// Classification accuracy of an MLP on a sample set (0 for an empty set).

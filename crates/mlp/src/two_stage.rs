@@ -179,7 +179,11 @@ mod tests {
         let json = serde_json::to_string(&net).unwrap();
         let back: TwoStageNet = serde_json::from_str(&json).unwrap();
         let logits = net.forward(&[1.0, 2.0, 3.0], &[0.5, 0.5]);
-        for (a, b) in back.forward(&[1.0, 2.0, 3.0], &[0.5, 0.5]).iter().zip(logits) {
+        for (a, b) in back
+            .forward(&[1.0, 2.0, 3.0], &[0.5, 0.5])
+            .iter()
+            .zip(logits)
+        {
             assert!((a - b).abs() < 1e-12);
         }
     }

@@ -52,7 +52,11 @@ impl fmt::Display for NumericError {
             ),
             NumericError::Empty { op } => write!(f, "empty matrix passed to {op}"),
             NumericError::NotSquare { op, dims } => {
-                write!(f, "{op} requires a square matrix, got {}x{}", dims.0, dims.1)
+                write!(
+                    f,
+                    "{op} requires a square matrix, got {}x{}",
+                    dims.0, dims.1
+                )
             }
             NumericError::NoConvergence { op, iterations } => {
                 write!(f, "{op} did not converge after {iterations} iterations")

@@ -61,7 +61,9 @@ impl Matrix {
     /// Returns [`NumericError::Empty`] if `rows` is empty and
     /// [`NumericError::DimensionMismatch`] if the rows have differing lengths.
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
-        let first = rows.first().ok_or(NumericError::Empty { op: "from_rows" })?;
+        let first = rows
+            .first()
+            .ok_or(NumericError::Empty { op: "from_rows" })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
@@ -128,7 +130,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -264,14 +270,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -1,0 +1,311 @@
+//! Observability layer for PowerLens: hierarchical timing spans, monotonic
+//! counters, gauges, histograms, and pluggable trace subscribers.
+//!
+//! The crate is **zero-dependency** (std only) and designed so that the
+//! disabled state — the default — costs a single relaxed atomic load per
+//! call site. Instrumented code therefore never needs to be conditionally
+//! compiled; it calls [`span`], [`counter`], [`gauge`], or [`histogram`]
+//! unconditionally and the obs layer decides whether anything happens.
+//!
+//! # Concepts
+//!
+//! * **Spans** measure wall time of a region via an RAII guard. Spans nest:
+//!   a span opened while another is active on the same thread gets a
+//!   `parent/child` path, so per-phase timings aggregate hierarchically
+//!   (e.g. `plan/clustering`).
+//! * **Counters** are monotonic `u64` sums (e.g. graphs labeled, DVFS
+//!   transitions). **Gauges** record the latest `f64` value (e.g. epoch
+//!   loss). **Histograms** aggregate `f64` samples into count / sum / min /
+//!   max / mean.
+//! * All aggregates live in a process-global [`Registry`]; a [`Snapshot`]
+//!   of it can be rendered as a table ([`Snapshot::render_table`]) or as
+//!   JSON ([`Snapshot::to_json`]).
+//! * A pluggable [`Subscriber`] additionally observes events as they
+//!   happen: [`NullSubscriber`] drops them (default), [`LogSubscriber`]
+//!   prints them to stderr, and [`JsonExportSubscriber`] remembers an
+//!   output path so [`flush`] writes the final snapshot as a JSON report
+//!   (conventionally under `results/`).
+//!
+//! Naming conventions for spans and metrics are documented in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_obs as obs;
+//!
+//! obs::test_support::reset_for_test();
+//! obs::init(obs::TraceMode::Json); // collect, export on flush()
+//!
+//! {
+//!     let _plan = obs::span("plan");
+//!     {
+//!         let _cluster = obs::span("clustering");
+//!         obs::counter("cluster.iterations", 3);
+//!     }
+//!     obs::gauge("train.loss", 0.25);
+//! }
+//!
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counters["cluster.iterations"], 3);
+//! assert!(snap.spans.contains_key("plan"));
+//! assert!(snap.spans.contains_key("plan/clustering"));
+//! ```
+
+mod registry;
+mod snapshot;
+mod span;
+mod subscriber;
+
+pub use registry::Registry;
+pub use snapshot::{HistogramStats, Snapshot, SpanStats, TRACE_SCHEMA_VERSION};
+pub use span::SpanGuard;
+pub use subscriber::{Event, JsonExportSubscriber, LogSubscriber, NullSubscriber, Subscriber};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How much the obs layer does, settable once per process (or per test via
+/// [`test_support::reset_for_test`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No collection at all; every instrumentation call is a near no-op.
+    #[default]
+    Off,
+    /// Collect aggregates and stream events to stderr.
+    Log,
+    /// Collect aggregates silently; [`flush`] writes a JSON report.
+    Json,
+}
+
+impl TraceMode {
+    /// Parses the CLI spelling (`off` / `log` / `json`).
+    pub fn parse(s: &str) -> Option<TraceMode> {
+        match s {
+            "off" => Some(TraceMode::Off),
+            "log" => Some(TraceMode::Log),
+            "json" => Some(TraceMode::Json),
+            _ => None,
+        }
+    }
+}
+
+const MODE_OFF: u8 = 0;
+const MODE_ON: u8 = 1;
+
+/// Fast-path switch: [`MODE_OFF`] makes every instrumentation call return
+/// immediately after one relaxed load.
+static MODE: AtomicU8 = AtomicU8::new(MODE_OFF);
+
+fn global() -> &'static GlobalState {
+    static GLOBAL: OnceLock<GlobalState> = OnceLock::new();
+    GLOBAL.get_or_init(|| GlobalState {
+        registry: Registry::default(),
+        subscriber: Mutex::new(Arc::new(NullSubscriber)),
+    })
+}
+
+struct GlobalState {
+    registry: Registry,
+    subscriber: Mutex<Arc<dyn Subscriber>>,
+}
+
+/// True when instrumentation is collecting (mode is not [`TraceMode::Off`]).
+#[inline]
+pub fn enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != MODE_OFF
+}
+
+/// Enables collection with the subscriber conventional for `mode`:
+/// [`NullSubscriber`] for `Off`, [`LogSubscriber`] for `Log`, and a
+/// [`JsonExportSubscriber`] targeting `results/trace.json` for `Json`.
+///
+/// Call once at process start (the CLI maps `--trace` here). For a custom
+/// subscriber or output path use [`set_subscriber`] afterwards.
+pub fn init(mode: TraceMode) {
+    match mode {
+        TraceMode::Off => {
+            set_subscriber(Arc::new(NullSubscriber));
+            MODE.store(MODE_OFF, Ordering::Relaxed);
+        }
+        TraceMode::Log => {
+            set_subscriber(Arc::new(LogSubscriber));
+            MODE.store(MODE_ON, Ordering::Relaxed);
+        }
+        TraceMode::Json => {
+            set_subscriber(Arc::new(JsonExportSubscriber::new("results/trace.json")));
+            MODE.store(MODE_ON, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Replaces the active [`Subscriber`] (keeps the current mode).
+pub fn set_subscriber(subscriber: Arc<dyn Subscriber>) {
+    *global().subscriber.lock().expect("obs subscriber poisoned") = subscriber;
+}
+
+fn with_subscriber(event: &Event<'_>) {
+    let sub = global()
+        .subscriber
+        .lock()
+        .expect("obs subscriber poisoned")
+        .clone();
+    sub.on_event(event);
+}
+
+/// Opens a timing span; time from this call until the guard drops is
+/// recorded under the span's hierarchical path.
+///
+/// `name` must not contain `/` (reserved as the hierarchy separator);
+/// nesting supplies the hierarchy.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard::enter(name)
+}
+
+/// Adds `delta` to the monotonic counter `name`.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    global().registry.add_counter(name, delta);
+    with_subscriber(&Event::Counter { name, delta });
+}
+
+/// Sets gauge `name` to `value` (last write wins).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    global().registry.set_gauge(name, value);
+    with_subscriber(&Event::Gauge { name, value });
+}
+
+/// Records `value` into histogram `name`.
+#[inline]
+pub fn histogram(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    global().registry.record_histogram(name, value);
+    with_subscriber(&Event::Histogram { name, value });
+}
+
+/// Takes a consistent snapshot of all aggregates collected so far.
+pub fn snapshot() -> Snapshot {
+    global().registry.snapshot()
+}
+
+/// Asks the active subscriber to persist its report, if it has one.
+///
+/// For [`JsonExportSubscriber`] this writes the current [`snapshot`] as
+/// JSON to the subscriber's path (creating parent directories) and returns
+/// that path. [`NullSubscriber`] and [`LogSubscriber`] return `Ok(None)`.
+pub fn flush() -> std::io::Result<Option<std::path::PathBuf>> {
+    let sub = global()
+        .subscriber
+        .lock()
+        .expect("obs subscriber poisoned")
+        .clone();
+    sub.flush(&snapshot())
+}
+
+pub(crate) fn record_span_exit(path: &str, nanos: u128) {
+    global().registry.record_span_ns(path, nanos);
+    with_subscriber(&Event::SpanExit { path, nanos });
+}
+
+pub(crate) fn emit_span_enter(path: &str) {
+    with_subscriber(&Event::SpanEnter { path });
+}
+
+/// Test-only helpers. Public so integration tests and doc-tests can use
+/// them; not intended for production call sites.
+pub mod test_support {
+    use super::*;
+
+    /// Clears all aggregates and restores the default state
+    /// ([`TraceMode::Off`], [`NullSubscriber`]).
+    ///
+    /// Tests that enable collection should run single-threaded relative to
+    /// other obs-enabled tests (the registry is process-global); the
+    /// in-crate tests serialize themselves with a mutex.
+    pub fn reset_for_test() {
+        MODE.store(MODE_OFF, Ordering::Relaxed);
+        set_subscriber(Arc::new(NullSubscriber));
+        global().registry.clear();
+        span::reset_thread_stack();
+    }
+
+    /// Directly records a span duration, bypassing the clock — lets tests
+    /// produce deterministic snapshots.
+    pub fn record_span_ns(path: &str, nanos: u128) {
+        global().registry.record_span_ns(path, nanos);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_is_inert() {
+        let _l = test_lock();
+        test_support::reset_for_test();
+        counter("never.recorded", 5);
+        gauge("never.recorded", 1.0);
+        histogram("never.recorded", 1.0);
+        {
+            let _s = span("never");
+        }
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_aggregate() {
+        let _l = test_lock();
+        test_support::reset_for_test();
+        init(TraceMode::Json);
+        counter("c", 2);
+        counter("c", 3);
+        gauge("g", 1.5);
+        gauge("g", 2.5);
+        histogram("h", 1.0);
+        histogram("h", 3.0);
+        let snap = snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.5);
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        test_support::reset_for_test();
+    }
+
+    #[test]
+    fn trace_mode_parses_cli_spellings() {
+        assert_eq!(TraceMode::parse("off"), Some(TraceMode::Off));
+        assert_eq!(TraceMode::parse("log"), Some(TraceMode::Log));
+        assert_eq!(TraceMode::parse("json"), Some(TraceMode::Json));
+        assert_eq!(TraceMode::parse("verbose"), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! The global aggregate store behind the instrumentation entry points.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::snapshot::{HistogramStats, Snapshot, SpanStats};
+
+/// Aggregates spans, counters, gauges, and histograms.
+///
+/// One process-global instance backs [`crate::counter`] & friends, but the
+/// type is public so tests (or embedders) can aggregate independently.
+/// All maps are `BTreeMap` so snapshots and exports have a deterministic
+/// order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramStats>,
+}
+
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock leaves plain data in a valid
+        // state; keep collecting rather than cascading the poison.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records one completed span occurrence of `nanos` under `path`.
+    pub fn record_span_ns(&self, path: &str, nanos: u128) {
+        let mut inner = self.lock();
+        let stats = inner.spans.entry(path.to_string()).or_default();
+        stats.count += 1;
+        stats.total_ns += nanos;
+        stats.min_ns = if stats.count == 1 {
+            nanos
+        } else {
+            stats.min_ns.min(nanos)
+        };
+        stats.max_ns = stats.max_ns.max(nanos);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Folds `value` into histogram `name`.
+    pub fn record_histogram(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        let stats = inner.histograms.entry(name.to_string()).or_default();
+        stats.count += 1;
+        stats.sum += value;
+        stats.min = if stats.count == 1 {
+            value
+        } else {
+            stats.min.min(value)
+        };
+        stats.max = if stats.count == 1 {
+            value
+        } else {
+            stats.max.max(value)
+        };
+    }
+
+    /// Copies the current aggregates out under one lock acquisition.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            spans: inner.spans.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Drops all aggregates.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stats_track_count_total_min_max() {
+        let r = Registry::default();
+        r.record_span_ns("a", 30);
+        r.record_span_ns("a", 10);
+        r.record_span_ns("a", 20);
+        let s = r.snapshot();
+        let a = &s.spans["a"];
+        assert_eq!((a.count, a.total_ns, a.min_ns, a.max_ns), (3, 60, 10, 30));
+    }
+
+    #[test]
+    fn counter_aggregation_across_threads() {
+        let r = Registry::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        r.add_counter("events", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counters["events"], 8000);
+    }
+
+    #[test]
+    fn histogram_min_max_handle_negative_first_sample() {
+        let r = Registry::default();
+        r.record_histogram("h", -2.0);
+        r.record_histogram("h", 1.0);
+        let h = &r.snapshot().histograms["h"];
+        assert_eq!((h.min, h.max, h.count), (-2.0, 1.0, 2));
+        assert!((h.sum - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let r = Registry::default();
+        r.add_counter("c", 1);
+        r.set_gauge("g", 1.0);
+        r.record_span_ns("s", 1);
+        r.record_histogram("h", 1.0);
+        r.clear();
+        let s = r.snapshot();
+        assert!(
+            s.counters.is_empty()
+                && s.gauges.is_empty()
+                && s.spans.is_empty()
+                && s.histograms.is_empty()
+        );
+    }
+}

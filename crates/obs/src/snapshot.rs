@@ -1,0 +1,331 @@
+//! Point-in-time copies of the registry, renderable as a table or JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated timings for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed occurrences.
+    pub count: u64,
+    /// Summed wall time.
+    pub total_ns: u128,
+    /// Shortest occurrence.
+    pub min_ns: u128,
+    /// Longest occurrence.
+    pub max_ns: u128,
+}
+
+/// Aggregated samples for one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl HistogramStats {
+    /// Arithmetic mean of the samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A consistent copy of every aggregate in a [`crate::Registry`].
+///
+/// All maps are ordered (`BTreeMap`), so [`Snapshot::to_json`] and
+/// [`Snapshot::render_table`] output is deterministic given the same data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Span path → timing stats.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Counter name → monotonic sum.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → sample stats.
+    pub histograms: BTreeMap<String, HistogramStats>,
+}
+
+/// JSON schema version emitted by [`Snapshot::to_json`]; bump on breaking
+/// shape changes (documented in `docs/OBSERVABILITY.md`).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest round-trip formatting; always valid JSON.
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        out.push_str("null");
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Snapshot {
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a deterministic JSON document.
+    ///
+    /// The schema (see `docs/OBSERVABILITY.md` for the contract):
+    ///
+    /// ```json
+    /// {
+    ///   "powerlens_trace_version": 1,
+    ///   "spans": {"plan/clustering": {"count": 1, "total_ns": 42,
+    ///              "min_ns": 42, "max_ns": 42}},
+    ///   "counters": {"dataset.graphs_labeled": 12},
+    ///   "gauges": {"train.hyper.loss": 0.5},
+    ///   "histograms": {"sim.batch_time_s": {"count": 2, "sum": 3.0,
+    ///                   "min": 1.0, "max": 2.0, "mean": 1.5}}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"powerlens_trace_version\": {TRACE_SCHEMA_VERSION},"
+        );
+
+        out.push_str("  \"spans\": {");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json_escape(&mut out, path);
+            let _ = write!(
+                out,
+                "\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json_escape(&mut out, name);
+            let _ = write!(out, "\": {v}");
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json_escape(&mut out, name);
+            out.push_str("\": ");
+            json_f64(&mut out, *v);
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json_escape(&mut out, name);
+            let _ = write!(out, "\": {{\"count\": {}, \"sum\": ", h.count);
+            json_f64(&mut out, h.sum);
+            out.push_str(", \"min\": ");
+            json_f64(&mut out, h.min);
+            out.push_str(", \"max\": ");
+            json_f64(&mut out, h.max);
+            out.push_str(", \"mean\": ");
+            json_f64(&mut out, h.mean());
+            out.push('}');
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the human-readable summary printed by `powerlens stats`.
+    pub fn render_table(&self) -> String {
+        if self.is_empty() {
+            return "obs: nothing collected (tracing off?)\n".to_string();
+        }
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            let w = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (path, s) in &self.spans {
+                let mean = if s.count == 0 {
+                    0
+                } else {
+                    s.total_ns / s.count as u128
+                };
+                let _ = writeln!(
+                    out,
+                    "  {path:<w$}  count {:>6}  total {:>12}  mean {:>12}  max {:>12}",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(mean),
+                    fmt_ns(s.max_ns),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<w$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let w = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<w$}  {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let w = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<w$}  count {:>6}  mean {:.6}  min {:.6}  max {:.6}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.spans.insert(
+            "plan".into(),
+            SpanStats {
+                count: 1,
+                total_ns: 1000,
+                min_ns: 1000,
+                max_ns: 1000,
+            },
+        );
+        s.counters.insert("c".into(), 7);
+        s.gauges.insert("g".into(), 2.5);
+        s.histograms.insert(
+            "h".into(),
+            HistogramStats {
+                count: 2,
+                sum: 4.0,
+                min: 1.0,
+                max: 3.0,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn json_is_deterministic_and_contains_all_sections() {
+        let s = sample();
+        let a = s.to_json();
+        let b = s.to_json();
+        assert_eq!(a, b);
+        for needle in [
+            "\"powerlens_trace_version\": 1",
+            "\"plan\": {\"count\": 1",
+            "\"c\": 7",
+            "\"g\": 2.5",
+            "\"mean\": 2}",
+        ] {
+            assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        let j = s.to_json();
+        assert!(j.contains("\"spans\": {}"));
+        assert!(j.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let mut s = Snapshot::default();
+        s.gauges.insert("bad".into(), f64::NAN);
+        assert!(s.to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn table_lists_every_metric_kind() {
+        let t = sample().render_table();
+        for needle in ["spans:", "counters:", "gauges:", "histograms:", "plan"] {
+            assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+        }
+        assert!(Snapshot::default()
+            .render_table()
+            .contains("nothing collected"));
+    }
+}

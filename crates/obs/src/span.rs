@@ -1,0 +1,165 @@
+//! RAII timing spans with per-thread hierarchical paths.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of active span paths on this thread; the top is the parent of
+    /// the next span opened.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn reset_thread_stack() {
+    SPAN_STACK.with(|s| s.borrow_mut().clear());
+}
+
+/// Guard returned by [`crate::span`]; records the elapsed wall time under
+/// the span's hierarchical path when dropped.
+///
+/// The guard is tied to the thread that opened it (span hierarchies are
+/// per-thread) and is intentionally `!Send`.
+#[must_use = "a span measures the time until the guard is dropped"]
+pub struct SpanGuard {
+    /// `None` when tracing was disabled at creation: dropping is free.
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+    /// Keeps the guard `!Send`: the path stack is thread-local.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+
+    pub(crate) fn enter(name: &str) -> SpanGuard {
+        debug_assert!(
+            !name.contains('/'),
+            "span name {name:?} must not contain '/'; nest spans instead"
+        );
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        crate::emit_span_enter(&path);
+        SpanGuard {
+            active: Some(ActiveSpan {
+                path,
+                start: Instant::now(),
+                _not_send: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// The full hierarchical path, or `None` for a disabled guard.
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|a| a.path.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let nanos = active.start.elapsed().as_nanos();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop in LIFO order; tolerate out-of-order
+            // drops by removing this span's entry wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|p| *p == active.path) {
+                stack.remove(pos);
+            }
+        });
+        crate::record_span_exit(&active.path, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{init, snapshot, span, test_lock, test_support, TraceMode};
+
+    #[test]
+    fn nested_spans_build_hierarchical_paths() {
+        let _l = test_lock();
+        test_support::reset_for_test();
+        init(TraceMode::Json);
+        {
+            let outer = span("plan");
+            assert_eq!(outer.path(), Some("plan"));
+            {
+                let inner = span("clustering");
+                assert_eq!(inner.path(), Some("plan/clustering"));
+            }
+            {
+                let inner = span("decision");
+                assert_eq!(inner.path(), Some("plan/decision"));
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap.spans["plan"].count, 1);
+        assert_eq!(snap.spans["plan/clustering"].count, 1);
+        assert_eq!(snap.spans["plan/decision"].count, 1);
+        test_support::reset_for_test();
+    }
+
+    #[test]
+    fn nested_span_timing_is_monotonic() {
+        let _l = test_lock();
+        test_support::reset_for_test();
+        init(TraceMode::Json);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = snapshot();
+        let outer = &snap.spans["outer"];
+        let inner = &snap.spans["outer/inner"];
+        assert!(inner.total_ns >= 2_000_000, "sleep must register");
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "parent ({}) must cover child ({})",
+            outer.total_ns,
+            inner.total_ns
+        );
+        assert!(outer.min_ns <= outer.max_ns);
+        test_support::reset_for_test();
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_hierarchy() {
+        let _l = test_lock();
+        test_support::reset_for_test();
+        init(TraceMode::Json);
+        let _outer = span("main_thread");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let worker = span("worker");
+                // Not "main_thread/worker": hierarchies are per-thread.
+                assert_eq!(worker.path(), Some("worker"));
+            });
+        });
+        drop(_outer);
+        test_support::reset_for_test();
+    }
+
+    #[test]
+    fn disabled_guard_has_no_path() {
+        let _l = test_lock();
+        test_support::reset_for_test();
+        let g = span("ignored");
+        assert_eq!(g.path(), None);
+    }
+}

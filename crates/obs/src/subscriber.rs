@@ -1,0 +1,164 @@
+//! Pluggable sinks for instrumentation events.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::Snapshot;
+
+/// One instrumentation event, delivered to the active [`Subscriber`] as it
+/// happens. Aggregation is the registry's job; subscribers see the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event<'a> {
+    /// A span opened (path is already hierarchical).
+    SpanEnter {
+        /// Full `parent/child` path.
+        path: &'a str,
+    },
+    /// A span closed after `nanos` of wall time.
+    SpanExit {
+        /// Full `parent/child` path.
+        path: &'a str,
+        /// Elapsed wall time.
+        nanos: u128,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: &'a str,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A gauge update.
+    Gauge {
+        /// Gauge name.
+        name: &'a str,
+        /// New value.
+        value: f64,
+    },
+    /// A histogram sample.
+    Histogram {
+        /// Histogram name.
+        name: &'a str,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// A sink observing the live event stream.
+///
+/// Contract (also spelled out in `docs/OBSERVABILITY.md`):
+///
+/// * [`Subscriber::on_event`] is called from whichever thread produced the
+///   event, potentially concurrently — implementations must be `Sync` and
+///   must not block for long (they sit on the instrumentation hot path).
+/// * Events arrive only while tracing is enabled; a subscriber never has
+///   to filter for mode.
+/// * [`Subscriber::flush`] is called at most once per report (end of a CLI
+///   command); it receives the final aggregate snapshot and returns the
+///   path it persisted to, if any.
+pub trait Subscriber: Send + Sync {
+    /// Observes one event.
+    fn on_event(&self, event: &Event<'_>);
+
+    /// Persists a final report, returning its path (default: no report).
+    fn flush(&self, _snapshot: &Snapshot) -> std::io::Result<Option<PathBuf>> {
+        Ok(None)
+    }
+}
+
+/// Drops every event; the default subscriber.
+///
+/// With [`crate::TraceMode::Off`] the instrumentation entry points return
+/// before reaching any subscriber, so this type exists mainly so the
+/// global slot always holds a valid subscriber.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSubscriber;
+
+impl Subscriber for NullSubscriber {
+    fn on_event(&self, _event: &Event<'_>) {}
+}
+
+/// Prints every event to stderr, one line each, prefixed `obs:`.
+///
+/// Intended for interactive profiling (`--trace log`); output volume is
+/// proportional to event volume, so not for hot loops in production runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LogSubscriber;
+
+impl Subscriber for LogSubscriber {
+    fn on_event(&self, event: &Event<'_>) {
+        // Single write per event keeps lines intact across threads.
+        let line = match event {
+            Event::SpanEnter { path } => format!("obs: -> {path}\n"),
+            Event::SpanExit { path, nanos } => {
+                format!("obs: <- {path} ({:.3} ms)\n", *nanos as f64 / 1e6)
+            }
+            Event::Counter { name, delta } => format!("obs: {name} += {delta}\n"),
+            Event::Gauge { name, value } => format!("obs: {name} = {value}\n"),
+            Event::Histogram { name, value } => format!("obs: {name} << {value}\n"),
+        };
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+/// Writes the final snapshot as a JSON report when flushed.
+///
+/// Events themselves are not persisted (the registry aggregates them);
+/// this subscriber only remembers *where* the report should go —
+/// conventionally a path under `results/`.
+#[derive(Debug, Clone)]
+pub struct JsonExportSubscriber {
+    path: PathBuf,
+}
+
+impl JsonExportSubscriber {
+    /// A subscriber that will write its report to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonExportSubscriber { path: path.into() }
+    }
+
+    /// The configured report path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Subscriber for JsonExportSubscriber {
+    fn on_event(&self, _event: &Event<'_>) {}
+
+    fn flush(&self, snapshot: &Snapshot) -> std::io::Result<Option<PathBuf>> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&self.path, snapshot.to_json())?;
+        Ok(Some(self.path.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_export_writes_report_and_creates_dirs() {
+        let dir = std::env::temp_dir().join("powerlens_obs_sub_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("trace.json");
+        let sub = JsonExportSubscriber::new(&path);
+        let mut snap = Snapshot::default();
+        snap.counters.insert("k".into(), 3);
+        let written = sub.flush(&snap).unwrap().unwrap();
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"k\": 3"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn null_subscriber_flush_has_no_report() {
+        let out = NullSubscriber.flush(&Snapshot::default()).unwrap();
+        assert_eq!(out, None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Golden-file test pinning the JSON export schema.
+//!
+//! If this test fails because the schema changed on purpose, bump
+//! `TRACE_SCHEMA_VERSION`, update `tests/golden/trace.json`, and document
+//! the change in `docs/OBSERVABILITY.md`.
+
+use powerlens_obs::{Registry, TRACE_SCHEMA_VERSION};
+
+/// Builds a registry with one entry of every metric kind, using fixed
+/// durations so the export is byte-for-byte reproducible.
+fn deterministic_registry() -> Registry {
+    let r = Registry::default();
+    r.record_span_ns("plan", 5_000_000);
+    r.record_span_ns("plan/clustering", 3_000_000);
+    r.record_span_ns("plan/clustering", 1_000_000);
+    r.record_span_ns("plan/decision", 250_000);
+    r.add_counter("cluster.dbscan.iterations", 42);
+    r.add_counter("dataset.graphs_labeled", 12);
+    r.set_gauge("train.hyper.loss", 0.125);
+    r.record_histogram("sim.batch_time_s", 1.5);
+    r.record_histogram("sim.batch_time_s", 0.5);
+    r
+}
+
+#[test]
+fn json_export_matches_golden_file() {
+    let got = deterministic_registry().snapshot().to_json();
+    let golden = include_str!("golden/trace.json");
+    assert_eq!(
+        got, golden,
+        "JSON export schema drifted from tests/golden/trace.json \
+         (schema version {TRACE_SCHEMA_VERSION}); if intentional, update \
+         the golden file and docs/OBSERVABILITY.md"
+    );
+}
+
+#[test]
+fn golden_file_declares_current_schema_version() {
+    let golden = include_str!("golden/trace.json");
+    assert!(golden.contains(&format!(
+        "\"powerlens_trace_version\": {TRACE_SCHEMA_VERSION}"
+    )));
+}

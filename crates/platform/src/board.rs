@@ -137,11 +137,7 @@ impl Platform {
             1.05,
         )
         .with_voltage_exponent(2.0);
-        let cpu = FrequencyTable::new(
-            [1.2e9, 1.8e9, 2.4e9, 3.0e9].to_vec(),
-            0.7,
-            1.1,
-        );
+        let cpu = FrequencyTable::new([1.2e9, 1.8e9, 2.4e9, 3.0e9].to_vec(), 0.7, 1.1);
         Platform {
             name: "cloud_v100",
             gpu,
@@ -437,7 +433,10 @@ mod tests {
         let max = p.gpu_table().max_level();
         let cmax = p.cpu_table().max_level();
         let conv = p.layer_timing(&conv_layer(), 8, max, cmax);
-        assert!(conv.compute > conv.memory, "3x3 conv should be compute-bound");
+        assert!(
+            conv.compute > conv.memory,
+            "3x3 conv should be compute-bound"
+        );
         let relu = p.layer_timing(&relu_layer(), 8, max, cmax);
         assert!(relu.memory > relu.compute, "relu should be memory-bound");
     }
@@ -482,7 +481,10 @@ mod tests {
         let e_best = (0..p.gpu_levels())
             .map(|g| p.layer_energy(&l, 8, g, cmax))
             .fold(f64::INFINITY, f64::min);
-        assert!(e_best < e_max * 0.95, "no downclock headroom: {e_best} vs {e_max}");
+        assert!(
+            e_best < e_max * 0.95,
+            "no downclock headroom: {e_best} vs {e_max}"
+        );
     }
 
     #[test]
@@ -531,7 +533,12 @@ mod tests {
         let p = Platform::agx();
         for l in zoo::alexnet().layers() {
             let t = p.layer_timing(l, 4, 7, 3);
-            assert!((0.0..=1.0).contains(&t.gpu_util), "{}: {}", l.name, t.gpu_util);
+            assert!(
+                (0.0..=1.0).contains(&t.gpu_util),
+                "{}: {}",
+                l.name,
+                t.gpu_util
+            );
         }
     }
 

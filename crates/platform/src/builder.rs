@@ -195,7 +195,12 @@ mod tests {
         let g = powerlens_dnn::zoo::alexnet();
         let e_max: f64 = g.layers().iter().map(|l| p.layer_energy(l, 8, 3, 1)).sum();
         let e_best: f64 = (0..p.gpu_levels())
-            .map(|lvl| g.layers().iter().map(|l| p.layer_energy(l, 8, lvl, 1)).sum())
+            .map(|lvl| {
+                g.layers()
+                    .iter()
+                    .map(|l| p.layer_energy(l, 8, lvl, 1))
+                    .sum()
+            })
             .fold(f64::INFINITY, f64::min);
         assert!(e_best < e_max);
     }

@@ -173,7 +173,7 @@ mod tests {
         let mut t = Telemetry::new();
         t.record(1.0, 10.0, 0.2, 0.9, 0.1, 0); // [0, 1)
         t.record(1.0, 30.0, 0.8, 1.0, 0.3, 1); // [1, 2)
-        // Window of 1.5 s: 0.5 s of the first + 1.0 s of the second.
+                                               // Window of 1.5 s: 0.5 s of the first + 1.0 s of the second.
         let w = t.window_stats(1.5).unwrap();
         assert!((w.power_w - 35.0 / 1.5).abs() < 1e-12);
         assert!((w.gpu_util - (0.5 * 0.2 + 1.0 * 0.8) / 1.5).abs() < 1e-12);

@@ -1,4 +1,5 @@
 use powerlens_dnn::Graph;
+use powerlens_obs as obs;
 use powerlens_platform::{DvfsActuator, Platform, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +113,9 @@ impl<'p> Engine<'p> {
     /// Runs `images` inferences of `graph` under `controller` from a fresh
     /// board state.
     pub fn run(&self, graph: &Graph, controller: &mut dyn Controller, images: usize) -> RunReport {
+        // The span measures wall time; the report records simulated time,
+        // so a trace shows both side by side.
+        let _span = obs::span("sim_run");
         let mut state = self.fresh_state();
         controller.on_task_start(graph);
         self.run_into(&mut state, graph, controller, images);
@@ -146,7 +150,9 @@ impl<'p> Engine<'p> {
                 if stall > 0.0 {
                     // During a transition the pipeline drains; the board sits
                     // near idle at the new operating point.
-                    let p_idle = self.platform.idle_power(state.gpu.level(), state.cpu.level());
+                    let p_idle = self
+                        .platform
+                        .idle_power(state.gpu.level(), state.cpu.level());
                     state
                         .telemetry
                         .record(stall, p_idle, 0.0, 0.0, 0.05, state.gpu.level());
@@ -154,9 +160,9 @@ impl<'p> Engine<'p> {
                 let timing =
                     self.platform
                         .layer_timing(layer, batch, state.gpu.level(), state.cpu.level());
-                let power = self
-                    .platform
-                    .layer_power(&timing, state.gpu.level(), state.cpu.level());
+                let power =
+                    self.platform
+                        .layer_power(&timing, state.gpu.level(), state.cpu.level());
                 let mut t = timing.total;
                 if let Some((rng, sigma)) = state.rng.as_mut() {
                     let factor = 1.0 + *sigma * rng.gen_range(-1.0..1.0);
@@ -184,6 +190,16 @@ impl<'p> Engine<'p> {
     ) -> RunReport {
         let total_time = state.telemetry.now();
         let total_energy = state.telemetry.total_energy();
+        if obs::enabled() {
+            obs::counter("sim.images", images as u64);
+            obs::counter("sim.dvfs.gpu_switches", state.gpu.num_switches() as u64);
+            obs::counter("sim.dvfs.cpu_switches", state.cpu.num_switches() as u64);
+            obs::histogram("sim.simulated_time_s", total_time);
+            obs::histogram(
+                "sim.dvfs.overhead_s",
+                state.gpu.total_overhead() + state.cpu.total_overhead(),
+            );
+        }
         RunReport {
             controller: controller.name().to_string(),
             model: graph.name().to_string(),

@@ -21,7 +21,10 @@ fn sweep(platform: &Platform, name: &str) {
         None => {
             eprintln!(
                 "unknown model {name:?}; available: {:?}",
-                zoo::all_models().iter().map(|(n, _)| *n).collect::<Vec<_>>()
+                zoo::all_models()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
             );
             std::process::exit(1);
         }

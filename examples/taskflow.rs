@@ -22,8 +22,10 @@ const IMAGES_PER_TASK: usize = 50;
 fn main() {
     let agx = Platform::agx();
     let names = ["alexnet", "resnet34", "resnet152", "vgg19", "vit_base_32"];
-    let graphs: Vec<powerlens_dnn::Graph> =
-        names.iter().map(|n| zoo::by_name(n).expect("zoo")).collect();
+    let graphs: Vec<powerlens_dnn::Graph> = names
+        .iter()
+        .map(|n| zoo::by_name(n).expect("zoo"))
+        .collect();
 
     // Offline: one plan per model (oracle-backed planner for brevity).
     let pl = PowerLens::untrained(&agx, PowerLensConfig::default());

@@ -34,7 +34,10 @@ fn main() {
         num_networks: 150,
         ..DatasetConfig::default()
     };
-    println!("generating datasets ({} random networks)...", ds_config.num_networks);
+    println!(
+        "generating datasets ({} random networks)...",
+        ds_config.num_networks
+    );
     let datasets = dataset::generate(&tx2, &config, &ds_config);
     println!(
         "  dataset A: {} networks, dataset B: {} blocks",

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Pre-PR gate: run everything CI would. Usage: scripts/check.sh [--fast]
+#   --fast skips the test suite (format/lint/doc only).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+if [ "$fast" -eq 0 ]; then
+    run cargo test -q --workspace
+fi
+RUSTDOCFLAGS="-D warnings"
+export RUSTDOCFLAGS
+run cargo doc --no-deps --workspace
+
+echo "==> all checks passed"

@@ -1,0 +1,264 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the `powerlens-bench` crate uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! but honest measurement loop:
+//!
+//! 1. warm up for ~0.3 s,
+//! 2. pick an iteration count so one sample takes ~5 ms,
+//! 3. collect `sample_size` samples (default 50) and report the median and
+//!    min/max per-iteration time.
+//!
+//! There is no statistical regression analysis, plotting, or saved
+//! baselines; compare medians across runs by hand (see
+//! `docs/OBSERVABILITY.md` for how the obs layer complements this for
+//! intra-run profiling).
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default().with_quiet_profile();
+//! c.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).map(criterion::black_box).sum::<u64>())
+//! });
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement profile: how long to warm up and how many samples to take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Profile {
+    warmup: Duration,
+    target_sample_time: Duration,
+    sample_size: usize,
+}
+
+impl Profile {
+    fn standard() -> Self {
+        Profile {
+            warmup: Duration::from_millis(300),
+            target_sample_time: Duration::from_millis(5),
+            sample_size: 50,
+        }
+    }
+
+    /// A minimal profile for tests and doc-tests.
+    fn quiet() -> Self {
+        Profile {
+            warmup: Duration::from_micros(100),
+            target_sample_time: Duration::from_micros(100),
+            sample_size: 5,
+        }
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    profile: Profile,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            profile: Profile::standard(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Switches to a minimal measurement profile (used by tests; keeps
+    /// doc-tests fast).
+    pub fn with_quiet_profile(mut self) -> Self {
+        self.profile = Profile::quiet();
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.to_string(), self.profile, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let profile = self.profile;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            profile,
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    profile: Profile,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.profile.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.profile, &mut f);
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    profile: Profile,
+    /// Median / min / max per-iteration time, filled by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures the closure, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size the measurement samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.profile.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((self.profile.target_sample_time.as_secs_f64() / per_iter.max(1e-9)).ceil()
+            as u64)
+            .max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.profile.sample_size);
+        for _ in 0..self.profile.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, samples[0], samples[samples.len() - 1]));
+        self.iters_per_sample = iters;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_bench(name: &str, profile: Profile, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        profile,
+        result: None,
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, min, max)) => println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max),
+            profile.sample_size,
+            b.iters_per_sample,
+        ),
+        None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a function running a list of benchmark functions
+/// (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the `main` entry point for one or more benchmark groups
+/// (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().with_quiet_profile();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default().with_quiet_profile();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("a", |b| b.iter(|| black_box(0u64)));
+        group.bench_function(format_args!("param_{}", 7), |b| b.iter(|| black_box(0u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn macros_expand() {
+        fn bench_a(c: &mut Criterion) {
+            c.bench_function("macro_a", |b| b.iter(|| black_box(2 * 2)));
+        }
+        criterion_group!(benches, bench_a);
+        // criterion_main! would define `main`; just run the group here.
+        benches();
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! **structs with named fields** (the only shape PowerLens serializes),
+//! honouring `#[serde(skip)]`: skipped fields are omitted when writing and
+//! `Default`-initialized when reading. Anything else — enums, tuple
+//! structs, generics, other `#[serde(...)]` options — produces a
+//! `compile_error!` instead of silently wrong behaviour.
+//!
+//! The macros are hand-written over `proc_macro::TokenTree` (no `syn` /
+//! `quote`, which are unavailable in the hermetic build environment); the
+//! generated code targets the traits of the sibling `serde` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Struct {
+    name: String,
+    fields: Vec<Field>,
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Returns `Some(true)` for `#[serde(skip)]`, `Some(false)` for other
+/// attributes (docs etc.), `None` for an unsupported `#[serde(...)]` option.
+fn classify_attr(group: &proc_macro::Group) -> Option<bool> {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => match tokens.next() {
+            Some(TokenTree::Group(args)) => {
+                let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+                if inner == ["skip"] {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        _ => Some(false),
+    }
+}
+
+fn parse_fields(body: proc_macro::Group) -> Result<Vec<Field>, String> {
+    // Split the brace-delimited stream into field chunks on top-level commas
+    // (tracking `<`/`>` depth so generic argument lists stay intact).
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in body.stream() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+
+    let mut fields = Vec::new();
+    for chunk in chunks {
+        let mut skip = false;
+        let mut it = chunk.into_iter().peekable();
+        // Leading attributes: `#` followed by a bracket group.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    match it.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            match classify_attr(&g) {
+                                Some(is_skip) => skip |= is_skip,
+                                None => {
+                                    return Err(format!(
+                                        "unsupported serde attribute `{}` (shim supports only #[serde(skip)])",
+                                        g
+                                    ))
+                                }
+                            }
+                        }
+                        _ => return Err("malformed attribute".into()),
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Optional visibility: `pub` with optional `(...)` restriction.
+        if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(name)) => {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    _ => return Err(format!("expected `:` after field `{name}`")),
+                }
+                fields.push(Field {
+                    name: name.to_string(),
+                    skip,
+                });
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in field list")),
+            None => {} // trailing comma produced an empty chunk
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_struct(input: TokenStream) -> Result<Struct, String> {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find the `struct` keyword.
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => break,
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" || i.to_string() == "union" => {
+                return Err(format!(
+                    "#[derive(Serialize/Deserialize)] shim supports only structs, found {i}"
+                ));
+            }
+            Some(_) => {}
+            None => return Err("no `struct` keyword found".into()),
+        }
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+    match it.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("generic structs are not supported by the serde shim".into())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Struct {
+            name,
+            fields: parse_fields(g)?,
+        }),
+        _ => Err("expected named-field struct body".into()),
+    }
+}
+
+/// Derives the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let mut pushes = String::new();
+    for f in &s.fields {
+        if f.skip {
+            continue;
+        }
+        pushes.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        s.name, pushes
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the shim `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let mut inits = String::new();
+    for f in &s.fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(v.field(\"{0}\")?)?,\n",
+                f.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({} {{\n\
+                     {}\
+                 }})\n\
+             }}\n\
+         }}",
+        s.name, s.name, inits
+    )
+    .parse()
+    .unwrap()
+}

@@ -11,12 +11,7 @@ use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
 /// Long continuous session EE (the paper's 50-runs protocol, shortened).
 fn session_ee(platform: &Platform, graph: &powerlens_dnn::Graph, ctl: &mut dyn Controller) -> f64 {
     let engine = Engine::new(platform).with_batch(8);
-    let tasks: Vec<TaskSpec<'_>> = (0..20)
-        .map(|_| TaskSpec {
-            graph,
-            images: 48,
-        })
-        .collect();
+    let tasks: Vec<TaskSpec<'_>> = (0..20).map(|_| TaskSpec { graph, images: 48 }).collect();
     run_taskflow(&engine, &tasks, ctl).energy_efficiency
 }
 

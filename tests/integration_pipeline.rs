@@ -14,7 +14,11 @@ fn oracle_plans_cover_every_zoo_model_on_both_platforms() {
             let g = build();
             let outcome = pl.plan_oracle(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(outcome.view.num_layers(), g.num_layers(), "{name}");
-            assert_eq!(outcome.plan.num_blocks(), outcome.view.num_blocks(), "{name}");
+            assert_eq!(
+                outcome.plan.num_blocks(),
+                outcome.view.num_blocks(),
+                "{name}"
+            );
             assert!(
                 outcome.plan.num_blocks() <= pl.config().max_blocks,
                 "{name}: {} blocks exceed cap",
@@ -112,12 +116,21 @@ fn frequency_sweep_is_unimodal_enough_for_hill_climbing() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .unwrap()
         .0;
-    assert!(best > 0 && best < ee.len() - 1, "optimum at boundary: {best}");
+    assert!(
+        best > 0 && best < ee.len() - 1,
+        "optimum at boundary: {best}"
+    );
     for i in 1..=best {
-        assert!(ee[i] > ee[i - 1] * 0.98, "non-increasing before optimum at {i}");
+        assert!(
+            ee[i] > ee[i - 1] * 0.98,
+            "non-increasing before optimum at {i}"
+        );
     }
     for i in (best + 1)..ee.len() {
-        assert!(ee[i] < ee[i - 1] * 1.02, "non-decreasing after optimum at {i}");
+        assert!(
+            ee[i] < ee[i - 1] * 1.02,
+            "non-decreasing after optimum at {i}"
+        );
     }
 }
 
