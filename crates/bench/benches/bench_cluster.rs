@@ -2,7 +2,9 @@
 //! (Algorithm 1) — the dominant offline workflow cost (Table 3's 60 s row).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use powerlens_cluster::{cluster_graph, dbscan, power_distance_matrix, ClusterParams};
+use powerlens_cluster::{
+    cluster_graph, dbscan, power_distance_matrix, power_distance_matrix_reference, ClusterParams,
+};
 use powerlens_dnn::zoo;
 use powerlens_features::depthwise_features;
 use std::hint::black_box;
@@ -15,6 +17,11 @@ fn bench_distance_matrix(c: &mut Criterion) {
         let x = depthwise_features(&g);
         group.bench_function(name, |b| {
             b.iter(|| power_distance_matrix(black_box(&x), 0.7, 0.08).unwrap())
+        });
+        // The seed's per-pair Mahalanobis path, kept as the before-side of
+        // the whitening comparison (identical output within 1e-9).
+        group.bench_function(format_args!("reference_{name}"), |b| {
+            b.iter(|| power_distance_matrix_reference(black_box(&x), 0.7, 0.08).unwrap())
         });
     }
     group.finish();

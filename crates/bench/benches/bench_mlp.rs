@@ -2,9 +2,11 @@
 //! prediction models (Table 3's prediction-latency rows).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use powerlens_mlp::{Adam, Mlp, TwoStageNet};
+use powerlens_mlp::{train_mlp, Adam, Mlp, Sample, TrainConfig, TwoStageNet};
+use powerlens_numeric::Matrix;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bench_decision_forward(c: &mut Criterion) {
@@ -42,10 +44,98 @@ fn bench_training_step(c: &mut Criterion) {
     });
 }
 
+fn bench_training_step_batched(c: &mut Criterion) {
+    // Same step as `mlp_backprop_step_batch32`, through the batched GEMM
+    // path the production training loop now takes.
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("mlp_backprop_step_batch32_batched", |b| {
+        let mut net = Mlp::new(&[25, 96, 48, 14], &mut rng);
+        let mut adam = Adam::new(1e-3);
+        let xs = Matrix::from_rows(&vec![vec![0.5; 25]; 32]).unwrap();
+        let labels: Vec<usize> = (0..32).map(|i| i % 14).collect();
+        b.iter(|| {
+            net.zero_grad();
+            net.backprop_batch(black_box(&xs), black_box(&labels));
+            net.apply_step(&mut adam, 32);
+        })
+    });
+}
+
+fn training_samples(n: usize, dim: usize, classes: usize, rng: &mut StdRng) -> Vec<Sample> {
+    (0..n)
+        .map(|i| Sample {
+            input: (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            label: i % classes,
+        })
+        .collect()
+}
+
+/// The seed's training loop (per-sample backprop inside shuffled
+/// mini-batches, per-sample final accuracy pass), kept as the before-side
+/// of the batching comparison.
+fn train_mlp_per_sample(
+    net: &mut Mlp,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut adam = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            net.zero_grad();
+            for &i in chunk {
+                net.backprop(&samples[i].input, samples[i].label);
+            }
+            net.apply_step(&mut adam, chunk.len());
+        }
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| net.predict(&s.input) == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+fn bench_train_1k(c: &mut Criterion) {
+    // Decision-model-sized training run over a 1k-sample set: the batched
+    // path vs the seed's per-sample loop (identical math, see the batched
+    // backprop property tests).
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples = training_samples(1000, 25, 14, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        lr: 1e-3,
+    };
+    let mut group = c.benchmark_group("mlp_train_1k");
+    group.sample_size(30);
+    group.bench_function("per_sample", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut net = Mlp::new(&[25, 96, 48, 14], &mut rng);
+            train_mlp_per_sample(&mut net, black_box(&samples), &cfg, &mut rng);
+            net
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut net = Mlp::new(&[25, 96, 48, 14], &mut rng);
+            train_mlp(&mut net, black_box(&samples), &cfg, &mut rng);
+            net
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decision_forward,
     bench_hyper_forward,
-    bench_training_step
+    bench_training_step,
+    bench_training_step_batched,
+    bench_train_1k
 );
 criterion_main!(benches);

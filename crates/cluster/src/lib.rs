@@ -35,10 +35,15 @@
 //! assert_eq!(view.blocks().last().unwrap().end, g.num_layers());
 //! ```
 
+use std::time::Instant;
+
 use powerlens_dnn::Graph;
 use powerlens_features::depthwise_features;
-use powerlens_numeric::{covariance, mahalanobis, pseudo_inverse, Matrix, NumericError, Scaler};
+use powerlens_numeric::{
+    covariance, euclidean, mahalanobis, pseudo_inverse, Matrix, NumericError, Scaler, Whitener,
+};
 use powerlens_obs as obs;
+use powerlens_par as par;
 
 /// Hyperparameters of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,23 +84,32 @@ impl Default for ClusterParams {
 
 /// Averages each row of `x` with its neighbours within `radius` rows
 /// (truncated at the matrix edges). `radius == 0` returns `x` unchanged.
+///
+/// Implemented as a column prefix-sum sliding window: each window sum is
+/// the difference of two prefix values, so the cost is O(n·d) regardless
+/// of the radius (the naive per-row rescan is O(n·d·radius)).
 pub fn smooth_features(x: &Matrix, radius: usize) -> Matrix {
     if radius == 0 {
         return x.clone();
     }
     let n = x.rows();
     let d = x.cols();
+    // prefix[(i+1)·d + j] = Σ_{r ≤ i} x[(r, j)], with an all-zero row 0.
+    let mut prefix = vec![0.0; (n + 1) * d];
+    for i in 0..n {
+        let row = x.row(i);
+        for j in 0..d {
+            prefix[(i + 1) * d + j] = prefix[i * d + j] + row[j];
+        }
+    }
     let mut out = Matrix::zeros(n, d);
     for i in 0..n {
         let lo = i.saturating_sub(radius);
         let hi = (i + radius + 1).min(n);
         let span = (hi - lo) as f64;
+        let out_row = out.row_mut(i);
         for j in 0..d {
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += x[(k, j)];
-            }
-            out[(i, j)] = acc / span;
+            out_row[j] = (prefix[hi * d + j] - prefix[lo * d + j]) / span;
         }
     }
     out
@@ -175,15 +189,86 @@ impl PowerView {
     }
 }
 
+/// Blends a raw Mahalanobis matrix with the operator-spacing term:
+/// `α · d/scale + (1-α) · (1 - exp(-λ|i-j|))`, zero diagonal.
+fn blend_spacing(d: &Matrix, d_max: f64, alpha: f64, lambda: f64) -> Matrix {
+    let n = d.rows();
+    let scale = if d_max > 0.0 { d_max } else { 1.0 };
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let spacing = 1.0 - (-lambda * (i as f64 - j as f64).abs()).exp();
+            out[(i, j)] = alpha * d[(i, j)] / scale + (1.0 - alpha) * spacing;
+        }
+    }
+    out
+}
+
 /// Computes the blended power-distance matrix (Algorithm 1 lines 1-12):
 /// `α · D̂ + (1-α) · (1 - exp(-λ|i-j|))` with `D̂` the max-normalized
 /// Mahalanobis distance over the *scaled* feature rows.
+///
+/// The Mahalanobis step whitens the scaled rows once
+/// ([`powerlens_numeric::Whitener`]) and measures plain Euclidean distance
+/// over whitened coordinates — O(n·d² + n²·d) instead of the per-pair
+/// quadratic form's O(n²·d²) — and fans the upper-triangle rows out over
+/// the scoped thread pool. Each matrix element is computed independently
+/// and written at a fixed position, so the result is bit-identical for any
+/// thread count.
 ///
 /// # Errors
 ///
 /// Propagates numeric errors (empty input, non-finite features,
 /// eigendecomposition failure).
 pub fn power_distance_matrix(
+    features: &Matrix,
+    alpha: f64,
+    lambda: f64,
+) -> Result<Matrix, NumericError> {
+    let started = Instant::now();
+    let x = Scaler::fit(features)?.transform(features)?;
+    let cov = covariance(&x)?;
+    let z = Whitener::from_covariance(&cov)?.whiten(&x)?;
+    let n = z.rows();
+    // Upper-triangle rows are independent work units; row i holds the
+    // distances to j in (i+1)..n.
+    let tri: Vec<Vec<f64>> = par::map_range(n, 0, |i| {
+        ((i + 1)..n)
+            .map(|j| euclidean(z.row(i), z.row(j)))
+            .collect()
+    });
+    let mut d = Matrix::zeros(n, n);
+    let mut d_max: f64 = 0.0;
+    for (i, row) in tri.iter().enumerate() {
+        for (off, &m) in row.iter().enumerate() {
+            let j = i + 1 + off;
+            d[(i, j)] = m;
+            d[(j, i)] = m;
+            d_max = d_max.max(m);
+        }
+    }
+    let out = blend_spacing(&d, d_max, alpha, lambda);
+    if obs::enabled() {
+        obs::histogram("cluster.distance_ms", started.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(out)
+}
+
+/// The seed's per-pair Mahalanobis implementation of
+/// [`power_distance_matrix`] — O(n²·d²), sequential.
+///
+/// Kept as the ground truth for the whitened fast path: property tests
+/// assert element-wise agreement within 1e-9, and the criterion benches
+/// quote the before/after.
+///
+/// # Errors
+///
+/// Propagates numeric errors (empty input, non-finite features,
+/// eigendecomposition failure).
+pub fn power_distance_matrix_reference(
     features: &Matrix,
     alpha: f64,
     lambda: f64,
@@ -202,18 +287,7 @@ pub fn power_distance_matrix(
             d_max = d_max.max(m);
         }
     }
-    let scale = if d_max > 0.0 { d_max } else { 1.0 };
-    let mut out = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            let spacing = 1.0 - (-lambda * (i as f64 - j as f64).abs()).exp();
-            out[(i, j)] = alpha * d[(i, j)] / scale + (1.0 - alpha) * spacing;
-        }
-    }
-    Ok(out)
+    Ok(blend_spacing(&d, d_max, alpha, lambda))
 }
 
 /// DBSCAN over a precomputed distance matrix (Algorithm 1 line 13).

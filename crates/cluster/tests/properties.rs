@@ -1,7 +1,8 @@
 //! Property-based tests for Algorithm 1's components and invariants.
 
 use powerlens_cluster::{
-    cluster_graph, dbscan, power_distance_matrix, process_clusters, ClusterParams,
+    cluster_graph, dbscan, power_distance_matrix, power_distance_matrix_reference,
+    process_clusters, smooth_features, ClusterParams,
 };
 use powerlens_dnn::random::{generate, RandomDnnConfig};
 use powerlens_features::depthwise_features;
@@ -79,6 +80,47 @@ proptest! {
             for j in 0..n {
                 prop_assert!(d[(i, j)] >= 0.0);
                 prop_assert!(d[(i, j)] <= alpha + (1.0 - alpha) + 1e-9);
+            }
+        }
+    }
+
+    /// The whitened fast path agrees with the seed's per-pair Mahalanobis
+    /// implementation element-wise on real graph features.
+    #[test]
+    fn whitened_distance_matches_reference(seed in 0u64..3000, alpha in 0.0f64..1.0) {
+        let g = random_graph(seed);
+        let x = depthwise_features(&g);
+        let fast = power_distance_matrix(&x, alpha, 0.08).unwrap();
+        let slow = power_distance_matrix_reference(&x, alpha, 0.08).unwrap();
+        prop_assert_eq!(fast.rows(), slow.rows());
+        for i in 0..fast.rows() {
+            for j in 0..fast.cols() {
+                prop_assert!(
+                    (fast[(i, j)] - slow[(i, j)]).abs() < 1e-9,
+                    "({}, {}): {} vs {}", i, j, fast[(i, j)], slow[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// Prefix-sum smoothing agrees with a naive window rescan.
+    #[test]
+    fn smoothing_matches_naive_rescan(seed in 0u64..3000, radius in 0usize..9) {
+        let g = random_graph(seed);
+        let x = depthwise_features(&g);
+        let fast = smooth_features(&x, radius);
+        // Naive reference: re-sum the window for every row.
+        let n = x.rows();
+        for i in 0..n {
+            let lo = i.saturating_sub(radius);
+            let hi = (i + radius + 1).min(n);
+            let span = (hi - lo) as f64;
+            for j in 0..x.cols() {
+                let want: f64 = (lo..hi).map(|k| x[(k, j)]).sum::<f64>() / span;
+                prop_assert!(
+                    (fast[(i, j)] - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "({}, {}): {} vs {}", i, j, fast[(i, j)], want
+                );
             }
         }
     }

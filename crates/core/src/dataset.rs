@@ -18,6 +18,7 @@ use powerlens_dnn::Graph;
 use powerlens_features::GlobalFeatures;
 use powerlens_mlp::{Sample, TwoStageSample};
 use powerlens_obs as obs;
+use powerlens_par as par;
 use powerlens_platform::Platform;
 
 use crate::{PowerLens, PowerLensConfig};
@@ -97,20 +98,12 @@ fn label_network(pl: &PowerLens<'_>, graph: &Graph) -> (TwoStageSample, Vec<Samp
     (hyper_sample, block_samples)
 }
 
-/// Chunk size for distributing `num_graphs` over at most `threads` workers.
+/// Generates both datasets for `platform`, distributing networks over the
+/// scoped thread pool ([`powerlens_par`]).
 ///
-/// The worker count is clamped to the graph count: with fewer graphs than
-/// threads the naive `num_graphs.div_ceil(threads)` sizing degenerates to
-/// single-graph chunks and pays the spawn cost of workers that have nothing
-/// to do (worst case: `num_networks = 1` still fanned out across every
-/// configured thread).
-fn chunk_size(num_graphs: usize, threads: usize) -> usize {
-    let workers = threads.min(num_graphs).max(1);
-    num_graphs.div_ceil(workers).max(1)
-}
-
-/// Generates both datasets for `platform`, distributing networks over
-/// worker threads.
+/// Each graph is an independent work unit and results are returned in
+/// generation order, so the output is bit-identical for a fixed seed
+/// regardless of `ds_config.threads`.
 pub fn generate(
     platform: &Platform,
     pl_config: &PowerLensConfig,
@@ -119,46 +112,31 @@ pub fn generate(
     let _span = obs::span("dataset_generate");
     let start = std::time::Instant::now();
     let graphs = random::generate_batch(&ds_config.random, ds_config.seed, ds_config.num_networks);
-    let threads = if ds_config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        ds_config.threads
-    };
-    let chunk = chunk_size(graphs.len(), threads);
-    obs::counter("dataset.workers_spawned", graphs.chunks(chunk).len() as u64);
+    let (workers, _) = par::plan(graphs.len(), ds_config.threads);
+    obs::counter("dataset.workers_spawned", workers as u64);
 
-    let mut per_chunk: Vec<(Vec<TwoStageSample>, Vec<Sample>)> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = graphs
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let pl = PowerLens::untrained(platform, pl_config.clone());
-                    let mut hyper = Vec::with_capacity(slice.len());
-                    let mut decision = Vec::new();
-                    for g in slice {
-                        let (h, mut d) = label_network(&pl, g);
-                        hyper.push(h);
-                        decision.append(&mut d);
-                        // Per-graph progress, aggregated across workers.
-                        obs::counter("dataset.graphs_labeled", 1);
-                    }
-                    (hyper, decision)
-                })
-            })
-            .collect();
-        for h in handles {
-            per_chunk.push(h.join().expect("worker panicked"));
-        }
-    });
+    let pl = PowerLens::untrained(platform, pl_config.clone());
+    let labeled: Vec<(TwoStageSample, Vec<Sample>)> =
+        par::map_slice(&graphs, ds_config.threads, |_, g| {
+            let graph_started = std::time::Instant::now();
+            let labels = label_network(&pl, g);
+            if obs::enabled() {
+                obs::counter("dataset.graphs_labeled", 1);
+                obs::histogram(
+                    "dataset.graph_label_ms",
+                    graph_started.elapsed().as_secs_f64() * 1e3,
+                );
+            }
+            labels
+        });
 
     let mut out = Datasets {
         num_networks: graphs.len(),
         ..Datasets::default()
     };
-    for (h, d) in per_chunk {
-        out.hyper.extend(h);
-        out.decision.extend(d);
+    for (h, mut d) in labeled {
+        out.hyper.push(h);
+        out.decision.append(&mut d);
     }
     if obs::enabled() {
         obs::counter("dataset.hyper_samples", out.hyper.len() as u64);
@@ -222,25 +200,31 @@ mod tests {
     }
 
     #[test]
-    fn chunking_clamps_workers_to_graph_count() {
-        // Regression: one graph across eight threads must use one chunk,
-        // not eight single-graph chunks (seven of them empty workers).
-        assert_eq!(chunk_size(1, 8), 1);
-        assert_eq!(1usize.div_ceil(chunk_size(1, 8)), 1, "exactly one worker");
-        // Fewer graphs than threads: one graph per worker, no idle spawns.
-        assert_eq!(chunk_size(3, 8), 1);
-        // More graphs than threads: ceil split over the full thread pool.
-        assert_eq!(chunk_size(12, 8), 2);
-        assert_eq!(chunk_size(12, 2), 6);
-        // Degenerate inputs stay safe for `slice::chunks` (must be > 0).
-        assert_eq!(chunk_size(0, 8), 1);
-        assert_eq!(chunk_size(5, 0), 5);
+    fn generation_is_identical_for_any_thread_count() {
+        // The acceptance bar for the scoped thread pool: a fixed seed must
+        // produce bit-identical datasets on 1, 2, or 8 workers.
+        let p = Platform::agx();
+        let plc = PowerLensConfig::default();
+        let run = |threads: usize| {
+            generate(
+                &p,
+                &plc,
+                &DatasetConfig {
+                    threads,
+                    ..small_config()
+                },
+            )
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(sequential, run(threads), "threads={threads}");
+        }
     }
 
     #[test]
     fn single_network_many_threads_generates_correctly() {
-        // Regression companion to `chunking_clamps_workers_to_graph_count`:
-        // the end-to-end path with num_networks < threads.
+        // Regression: the end-to-end path with num_networks < threads must
+        // not spawn idle workers (powerlens_par clamps the fan-out).
         let p = Platform::agx();
         let cfg = DatasetConfig {
             num_networks: 1,

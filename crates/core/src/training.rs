@@ -17,15 +17,20 @@ use powerlens_mlp::{
     accuracy_mlp, accuracy_two_stage, train_mlp, train_two_stage, Mlp, Sample, TrainConfig,
     TwoStageNet, TwoStageSample,
 };
+use powerlens_numeric::{Matrix, Scaler};
 use powerlens_obs as obs;
 
 use crate::dataset::Datasets;
 
 /// A serializable per-column z-score scaler.
+///
+/// A thin wrapper around [`powerlens_numeric::Scaler`] (the same scaler the
+/// clustering stage uses) adapted to the training pipeline's slice-iterator
+/// inputs and panic-on-misuse conventions. Constant columns are centred but
+/// left unscaled, so no feature produces NaN.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureScaler {
-    mean: Vec<f64>,
-    std: Vec<f64>,
+    inner: Scaler,
 }
 
 impl FeatureScaler {
@@ -35,38 +40,11 @@ impl FeatureScaler {
     ///
     /// Panics if `rows` is empty or ragged.
     pub fn fit<'a, I: IntoIterator<Item = &'a [f64]>>(rows: I) -> Self {
-        let rows: Vec<&[f64]> = rows.into_iter().collect();
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(<[f64]>::to_vec).collect();
         assert!(!rows.is_empty(), "cannot fit scaler on empty data");
-        let d = rows[0].len();
-        let n = rows.len() as f64;
-        let mut mean = vec![0.0; d];
-        for r in &rows {
-            assert_eq!(r.len(), d, "ragged feature rows");
-            for (m, v) in mean.iter_mut().zip(*r) {
-                *m += v;
-            }
-        }
-        for m in &mut mean {
-            *m /= n;
-        }
-        let mut var = vec![0.0; d];
-        for r in &rows {
-            for i in 0..d {
-                var[i] += (r[i] - mean[i]).powi(2);
-            }
-        }
-        let std = var
-            .into_iter()
-            .map(|v| {
-                let s = (v / n.max(1.0)).sqrt();
-                if s > 1e-12 {
-                    s
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-        FeatureScaler { mean, std }
+        let x = Matrix::from_rows(&rows).expect("ragged feature rows");
+        let inner = Scaler::fit(&x).expect("scaler fit on non-empty matrix");
+        FeatureScaler { inner }
     }
 
     /// Applies the scaling to one feature vector.
@@ -75,11 +53,7 @@ impl FeatureScaler {
     ///
     /// Panics on length mismatch.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.mean.len(), "scaler dim mismatch");
-        x.iter()
-            .enumerate()
-            .map(|(i, v)| (v - self.mean[i]) / self.std[i])
-            .collect()
+        self.inner.transform_vec(x).expect("scaler dim mismatch")
     }
 }
 

@@ -37,6 +37,7 @@
 
 use powerlens_dnn::{Graph, Layer, OpKind};
 use powerlens_numeric::Matrix;
+use powerlens_par as par;
 
 /// Dimensionality of one depthwise (per-layer) feature vector.
 pub const DEPTHWISE_DIM: usize = 14;
@@ -106,11 +107,27 @@ pub fn layer_features(layer: &Layer) -> Vec<f64> {
     v
 }
 
+/// Minimum layer count before depthwise extraction fans out over the scoped
+/// thread pool. Extraction is called from inside dataset-generation workers,
+/// so small graphs stay sequential to avoid nested parallelism overhead.
+pub const PARALLEL_LAYER_THRESHOLD: usize = 256;
+
 /// Extracts the `num_layers x DEPTHWISE_DIM` depthwise feature matrix of a
 /// graph — the input of the power-behaviour similarity clustering
 /// (Algorithm 1's `X`).
+///
+/// Graphs with at least [`PARALLEL_LAYER_THRESHOLD`] layers are extracted in
+/// parallel via [`powerlens_par`]; each row depends only on its own layer and
+/// rows are assembled in layer order, so the result is identical to the
+/// sequential path.
 pub fn depthwise_features(graph: &Graph) -> Matrix {
-    let rows: Vec<Vec<f64>> = graph.layers().iter().map(layer_features).collect();
+    let layers = graph.layers();
+    let threads = if layers.len() >= PARALLEL_LAYER_THRESHOLD {
+        0 // all available cores
+    } else {
+        1
+    };
+    let rows = par::map_slice(layers, threads, |_, l| layer_features(l));
     Matrix::from_rows(&rows).expect("graphs have at least one layer")
 }
 
@@ -214,6 +231,20 @@ mod tests {
     #[test]
     fn feature_names_match_dim() {
         assert_eq!(depthwise_feature_names().len(), DEPTHWISE_DIM);
+    }
+
+    #[test]
+    fn depthwise_rows_match_per_layer_extraction() {
+        // Covers both the sequential and (for graphs at or above the layer
+        // threshold) parallel assembly paths: row i must always equal the
+        // standalone per-layer extraction, bit for bit.
+        for (name, build) in zoo::all_models() {
+            let g = build();
+            let x = depthwise_features(&g);
+            for (i, l) in g.layers().iter().enumerate() {
+                assert_eq!(x.row(i), layer_features(l).as_slice(), "{name} row {i}");
+            }
+        }
     }
 
     #[test]

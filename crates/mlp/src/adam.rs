@@ -77,13 +77,13 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let update = |p: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]| {
-            for i in 0..p.len() {
-                let grad = g[i] * scale;
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
-                let m_hat = m[i] / bc1;
-                let v_hat = v[i] / bc2;
-                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            for (((p, &g), m), v) in p.iter_mut().zip(g).zip(m.iter_mut()).zip(v.iter_mut()) {
+                let grad = g * scale;
+                *m = self.beta1 * *m + (1.0 - self.beta1) * grad;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * grad * grad;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         };
         update(w, gw, &mut st.m_w, &mut st.v_w);

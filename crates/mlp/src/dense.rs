@@ -1,3 +1,4 @@
+use powerlens_numeric::{kernels, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,75 @@ impl DenseLayer {
         dx
     }
 
+    /// Forward pass for a whole mini-batch: `x` is `batch x in_dim`, the
+    /// result is `batch x out_dim`.
+    ///
+    /// One fused GEMM (`x · Wᵀ + b`) instead of `batch` matvec calls; the
+    /// per-element summation order matches [`DenseLayer::forward`], so a
+    /// batched pass produces bit-identical activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense forward dim mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        kernels::gemm_nt_bias(
+            x.rows(),
+            self.in_dim,
+            self.out_dim,
+            x.as_slice(),
+            &self.w,
+            &self.b,
+            y.as_mut_slice(),
+        );
+        y
+    }
+
+    /// Accumulates gradients for a whole mini-batch and returns the
+    /// gradient with respect to the inputs (`batch x in_dim`).
+    ///
+    /// Three GEMMs replace the per-sample rank-1 updates. Every gradient
+    /// element accumulates its per-sample contributions in ascending batch
+    /// order — the same order as `batch` sequential [`DenseLayer::backward`]
+    /// calls — so batched and per-sample training walk identical parameter
+    /// trajectories.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward_batch(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense backward input mismatch");
+        assert_eq!(dy.cols(), self.out_dim, "dense backward output mismatch");
+        assert_eq!(x.rows(), dy.rows(), "dense backward batch mismatch");
+        let batch = x.rows();
+        for s in 0..batch {
+            for (gb, &g) in self.grad_b.iter_mut().zip(dy.row(s)) {
+                *gb += g;
+            }
+        }
+        // ∂W += ∂Yᵀ · X (batch dimension reduced sample-by-sample).
+        kernels::gemm_tn_acc(
+            batch,
+            self.out_dim,
+            self.in_dim,
+            dy.as_slice(),
+            x.as_slice(),
+            &mut self.grad_w,
+        );
+        // ∂X = ∂Y · W.
+        let mut dx = Matrix::zeros(batch, self.in_dim);
+        kernels::gemm(
+            batch,
+            self.out_dim,
+            self.in_dim,
+            dy.as_slice(),
+            &self.w,
+            dx.as_mut_slice(),
+        );
+        dx
+    }
+
     /// Clears accumulated gradients (start of a new mini-batch).
     pub fn zero_grad(&mut self) {
         // serde(skip) leaves the buffers empty after deserialization;
@@ -127,6 +197,20 @@ pub(crate) fn relu_backward(dy: &mut [f64], activated: &[f64]) {
             *g = 0.0;
         }
     }
+}
+
+/// Applies ReLU in place over a whole activation matrix.
+pub(crate) fn relu_matrix(m: &mut Matrix) {
+    for x in m.as_mut_slice() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Matrix form of [`relu_backward`].
+pub(crate) fn relu_backward_matrix(dy: &mut Matrix, activated: &Matrix) {
+    relu_backward(dy.as_mut_slice(), activated.as_slice());
 }
 
 #[cfg(test)]

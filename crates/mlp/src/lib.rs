@@ -39,7 +39,7 @@ mod two_stage;
 
 pub use adam::Adam;
 pub use dense::DenseLayer;
-pub use loss::{softmax, softmax_cross_entropy};
+pub use loss::{softmax, softmax_cross_entropy, softmax_cross_entropy_batch};
 pub use network::Mlp;
 pub use train::{
     accuracy_mlp, accuracy_two_stage, train_mlp, train_two_stage, Sample, TrainConfig, TrainStats,

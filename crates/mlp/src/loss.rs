@@ -28,6 +28,30 @@ pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
     (loss, grad)
 }
 
+/// Softmax cross-entropy over a batch of logit rows; returns per-sample
+/// losses and the `batch x classes` gradient matrix.
+///
+/// Row `s` is exactly `softmax_cross_entropy(logits.row(s), labels[s])`, so
+/// batched training can report the same losses as a per-sample loop.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy_batch(
+    logits: &powerlens_numeric::Matrix,
+    labels: &[usize],
+) -> (Vec<f64>, powerlens_numeric::Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "labels/logits batch mismatch");
+    let mut losses = Vec::with_capacity(labels.len());
+    let mut grad = powerlens_numeric::Matrix::zeros(logits.rows(), logits.cols());
+    for (s, &label) in labels.iter().enumerate() {
+        let (loss, g) = softmax_cross_entropy(logits.row(s), label);
+        losses.push(loss);
+        grad.row_mut(s).copy_from_slice(&g);
+    }
+    (losses, grad)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

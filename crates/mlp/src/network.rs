@@ -1,8 +1,9 @@
+use powerlens_numeric::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::dense::{relu, relu_backward};
-use crate::{softmax_cross_entropy, Adam, DenseLayer};
+use crate::dense::{relu, relu_backward, relu_backward_matrix, relu_matrix};
+use crate::{softmax_cross_entropy, softmax_cross_entropy_batch, Adam, DenseLayer};
 
 /// A plain multi-layer perceptron classifier with ReLU activations between
 /// layers and raw logits at the output — the architecture of the paper's
@@ -61,6 +62,27 @@ impl Mlp {
         argmax(&self.forward(x))
     }
 
+    /// Forward pass over a whole batch (`xs` is `batch x in_dim`), returning
+    /// the `batch x num_classes` logit matrix. Row `i` is bit-identical to
+    /// `forward(xs.row(i))`.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut h = xs.clone();
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward_batch(&h);
+            if i + 1 < n {
+                relu_matrix(&mut h);
+            }
+        }
+        h
+    }
+
+    /// Predicted classes for a whole batch, one per row of `xs`.
+    pub fn predict_batch(&self, xs: &Matrix) -> Vec<usize> {
+        let logits = self.forward_batch(xs);
+        (0..logits.rows()).map(|i| argmax(logits.row(i))).collect()
+    }
+
     /// Clears gradient accumulators on all layers.
     pub fn zero_grad(&mut self) {
         for l in &mut self.layers {
@@ -91,6 +113,39 @@ impl Mlp {
             grad = self.layers[i].backward(&acts[i], &grad);
         }
         loss
+    }
+
+    /// Forward + backward over a whole mini-batch (`xs` is
+    /// `batch x in_dim`); accumulates gradients and returns the per-sample
+    /// losses in row order.
+    ///
+    /// Equivalent to calling [`Mlp::backprop`] once per row — gradients and
+    /// losses are bit-identical (the dense layers' batched GEMMs preserve
+    /// per-element accumulation order) — but runs over whole matrices, which
+    /// is what makes training throughput scale past toy batch sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != xs.rows()` or on dimension mismatches.
+    pub fn backprop_batch(&mut self, xs: &Matrix, labels: &[usize]) -> Vec<f64> {
+        let n = self.layers.len();
+        let mut acts: Vec<Matrix> = Vec::with_capacity(n + 1);
+        acts.push(xs.clone());
+        for (i, l) in self.layers.iter().enumerate() {
+            let mut h = l.forward_batch(acts.last().expect("non-empty"));
+            if i + 1 < n {
+                relu_matrix(&mut h);
+            }
+            acts.push(h);
+        }
+        let (losses, mut grad) = softmax_cross_entropy_batch(&acts[n], labels);
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                relu_backward_matrix(&mut grad, &acts[i + 1]);
+            }
+            grad = self.layers[i].backward_batch(&acts[i], &grad);
+        }
+        losses
     }
 
     /// One Adam step over all layers after a mini-batch of `batch_size`

@@ -1,3 +1,6 @@
+use std::time::Instant;
+
+use powerlens_numeric::Matrix;
 use powerlens_obs as obs;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -67,12 +70,21 @@ pub fn train_mlp<R: Rng + ?Sized>(
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
+        let epoch_started = Instant::now();
         order.shuffle(rng);
         let mut total = 0.0;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             net.zero_grad();
-            for &i in chunk {
-                total += net.backprop(&samples[i].input, samples[i].label);
+            let mut xs = Matrix::zeros(chunk.len(), net.in_dim());
+            let mut labels = Vec::with_capacity(chunk.len());
+            for (r, &i) in chunk.iter().enumerate() {
+                xs.row_mut(r).copy_from_slice(&samples[i].input);
+                labels.push(samples[i].label);
+            }
+            // Summing per-sample losses in row order keeps the reported
+            // loss bit-identical to the former per-sample loop.
+            for loss in net.backprop_batch(&xs, &labels) {
+                total += loss;
             }
             net.apply_step(&mut adam, chunk.len());
         }
@@ -81,6 +93,7 @@ pub fn train_mlp<R: Rng + ?Sized>(
         if obs::enabled() {
             obs::counter("mlp.epochs", 1);
             obs::gauge("mlp.epoch_loss", mean);
+            obs::histogram("mlp.epoch_ms", epoch_started.elapsed().as_secs_f64() * 1e3);
         }
     }
     let stats = TrainStats {
@@ -104,13 +117,22 @@ pub fn train_two_stage<R: Rng + ?Sized>(
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
+        let epoch_started = Instant::now();
         order.shuffle(rng);
         let mut total = 0.0;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             net.zero_grad();
-            for &i in chunk {
+            let mut structural = Matrix::zeros(chunk.len(), net.structural_dim());
+            let mut statistics = Matrix::zeros(chunk.len(), net.statistics_dim());
+            let mut labels = Vec::with_capacity(chunk.len());
+            for (r, &i) in chunk.iter().enumerate() {
                 let s = &samples[i];
-                total += net.backprop(&s.structural, &s.statistics, s.label);
+                structural.row_mut(r).copy_from_slice(&s.structural);
+                statistics.row_mut(r).copy_from_slice(&s.statistics);
+                labels.push(s.label);
+            }
+            for loss in net.backprop_batch(&structural, &statistics, &labels) {
+                total += loss;
             }
             net.apply_step(&mut adam, chunk.len());
         }
@@ -119,6 +141,7 @@ pub fn train_two_stage<R: Rng + ?Sized>(
         if obs::enabled() {
             obs::counter("mlp.epochs", 1);
             obs::gauge("mlp.epoch_loss", mean);
+            obs::histogram("mlp.epoch_ms", epoch_started.elapsed().as_secs_f64() * 1e3);
         }
     }
     let stats = TrainStats {
@@ -130,25 +153,44 @@ pub fn train_two_stage<R: Rng + ?Sized>(
 }
 
 /// Classification accuracy of an MLP on a sample set (0 for an empty set).
+///
+/// Runs one batched forward pass over the whole set; predictions are
+/// bit-identical to per-sample [`Mlp::predict`] calls.
 pub fn accuracy_mlp(net: &Mlp, samples: &[Sample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let correct = samples
+    let mut xs = Matrix::zeros(samples.len(), net.in_dim());
+    for (r, s) in samples.iter().enumerate() {
+        xs.row_mut(r).copy_from_slice(&s.input);
+    }
+    let correct = net
+        .predict_batch(&xs)
         .iter()
-        .filter(|s| net.predict(&s.input) == s.label)
+        .zip(samples)
+        .filter(|(&p, s)| p == s.label)
         .count();
     correct as f64 / samples.len() as f64
 }
 
 /// Classification accuracy of a two-stage net on a sample set.
+///
+/// Batched like [`accuracy_mlp`].
 pub fn accuracy_two_stage(net: &TwoStageNet, samples: &[TwoStageSample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let correct = samples
+    let mut structural = Matrix::zeros(samples.len(), net.structural_dim());
+    let mut statistics = Matrix::zeros(samples.len(), net.statistics_dim());
+    for (r, s) in samples.iter().enumerate() {
+        structural.row_mut(r).copy_from_slice(&s.structural);
+        statistics.row_mut(r).copy_from_slice(&s.statistics);
+    }
+    let correct = net
+        .predict_batch(&structural, &statistics)
         .iter()
-        .filter(|s| net.predict(&s.structural, &s.statistics) == s.label)
+        .zip(samples)
+        .filter(|(&p, s)| p == s.label)
         .count();
     correct as f64 / samples.len() as f64
 }

@@ -1,9 +1,10 @@
+use powerlens_numeric::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::dense::{relu, relu_backward};
+use crate::dense::{relu, relu_backward, relu_backward_matrix, relu_matrix};
 use crate::network::argmax;
-use crate::{softmax_cross_entropy, Adam, DenseLayer};
+use crate::{softmax_cross_entropy, softmax_cross_entropy_batch, Adam, DenseLayer};
 
 /// The clustering-hyperparameter prediction model of Figure 3.
 ///
@@ -77,6 +78,37 @@ impl TwoStageNet {
         argmax(&self.forward(structural, statistics))
     }
 
+    /// Forward pass over a whole batch, returning the
+    /// `batch x num_classes` logit matrix. Row `i` is bit-identical to
+    /// `forward(structural.row(i), statistics.row(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on batch or dimension mismatches.
+    pub fn forward_batch(&self, structural: &Matrix, statistics: &Matrix) -> Matrix {
+        assert_eq!(statistics.cols(), self.statistics_dim, "statistics dim");
+        assert_eq!(structural.rows(), statistics.rows(), "batch mismatch");
+        let batch = structural.rows();
+        let hidden = self.stage1.out_dim();
+        let mut h1 = self.stage1.forward_batch(structural);
+        relu_matrix(&mut h1);
+        let mut cat = Matrix::zeros(batch, hidden + self.statistics_dim);
+        for s in 0..batch {
+            let row = cat.row_mut(s);
+            row[..hidden].copy_from_slice(h1.row(s));
+            row[hidden..].copy_from_slice(statistics.row(s));
+        }
+        let mut h2 = self.stage2.forward_batch(&cat);
+        relu_matrix(&mut h2);
+        self.head.forward_batch(&h2)
+    }
+
+    /// Predicted classes for a whole batch, one per row.
+    pub fn predict_batch(&self, structural: &Matrix, statistics: &Matrix) -> Vec<usize> {
+        let logits = self.forward_batch(structural, statistics);
+        (0..logits.rows()).map(|i| argmax(logits.row(i))).collect()
+    }
+
     /// Clears gradient accumulators.
     pub fn zero_grad(&mut self) {
         self.stage1.zero_grad();
@@ -101,6 +133,52 @@ impl TwoStageNet {
         relu_backward(&mut dh1, &h1);
         self.stage1.backward(structural, &dh1);
         loss
+    }
+
+    /// Forward + backward over a whole mini-batch (`structural` is
+    /// `batch x structural_dim`, `statistics` is `batch x statistics_dim`);
+    /// accumulates gradients and returns the per-sample losses in row order.
+    ///
+    /// Bit-identical to row-by-row [`TwoStageNet::backprop`] calls, for the
+    /// same reason as [`crate::Mlp::backprop_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on batch or dimension mismatches.
+    pub fn backprop_batch(
+        &mut self,
+        structural: &Matrix,
+        statistics: &Matrix,
+        labels: &[usize],
+    ) -> Vec<f64> {
+        assert_eq!(statistics.cols(), self.statistics_dim, "statistics dim");
+        assert_eq!(structural.rows(), statistics.rows(), "batch mismatch");
+        let batch = structural.rows();
+        let hidden = self.stage1.out_dim();
+
+        let mut h1 = self.stage1.forward_batch(structural);
+        relu_matrix(&mut h1);
+        let mut cat = Matrix::zeros(batch, hidden + self.statistics_dim);
+        for s in 0..batch {
+            let row = cat.row_mut(s);
+            row[..hidden].copy_from_slice(h1.row(s));
+            row[hidden..].copy_from_slice(statistics.row(s));
+        }
+        let mut h2 = self.stage2.forward_batch(&cat);
+        relu_matrix(&mut h2);
+        let logits = self.head.forward_batch(&h2);
+        let (losses, dlogits) = softmax_cross_entropy_batch(&logits, labels);
+
+        let mut dh2 = self.head.backward_batch(&h2, &dlogits);
+        relu_backward_matrix(&mut dh2, &h2);
+        let dcat = self.stage2.backward_batch(&cat, &dh2);
+        let mut dh1 = Matrix::zeros(batch, hidden);
+        for s in 0..batch {
+            dh1.row_mut(s).copy_from_slice(&dcat.row(s)[..hidden]);
+        }
+        relu_backward_matrix(&mut dh1, &h1);
+        self.stage1.backward_batch(structural, &dh1);
+        losses
     }
 
     /// One Adam step over the three layers after a mini-batch of

@@ -3,9 +3,15 @@
 //! networks and inputs.
 
 use powerlens_mlp::{softmax, softmax_cross_entropy, Mlp, TwoStageNet};
+use powerlens_numeric::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Packs flat sample data into a `batch x dim` matrix.
+fn pack(rows: &[Vec<f64>]) -> Matrix {
+    Matrix::from_rows(rows).unwrap()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -98,5 +104,106 @@ proptest! {
         net.zero_grad();
         let loss = net.backprop(&s, &t, label);
         prop_assert!((loss - expect).abs() < 1e-9);
+    }
+
+    /// Batched MLP backprop is bit-identical to per-sample backprop: same
+    /// losses, same accumulated gradients (derived `PartialEq` covers the
+    /// gradient buffers), hence the same training trajectory.
+    #[test]
+    fn mlp_batched_backprop_equals_per_sample(
+        seed in 0u64..1000,
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(-2.0f64..2.0, 5), 0usize..3),
+            1..24,
+        ),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[5, 8, 3], &mut rng);
+        let (inputs, labels): (Vec<Vec<f64>>, Vec<usize>) = raw.into_iter().unzip();
+
+        let mut per_sample = net.clone();
+        per_sample.zero_grad();
+        let mut want_losses = Vec::new();
+        for (x, &l) in inputs.iter().zip(&labels) {
+            want_losses.push(per_sample.backprop(x, l));
+        }
+
+        let mut batched = net;
+        batched.zero_grad();
+        let got_losses = batched.backprop_batch(&pack(&inputs), &labels);
+
+        prop_assert_eq!(got_losses, want_losses);
+        prop_assert_eq!(batched, per_sample);
+    }
+
+    /// Batched forward passes (and hence batched accuracy) produce the same
+    /// logits as per-sample forward, bit for bit.
+    #[test]
+    fn batched_forward_equals_per_sample(
+        seed in 0u64..1000,
+        raw in proptest::collection::vec(
+            (
+                proptest::collection::vec(-2.0f64..2.0, 4),
+                proptest::collection::vec(-2.0f64..2.0, 2),
+            ),
+            1..16,
+        ),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[4, 7, 3], &mut rng);
+        let two = TwoStageNet::new(4, 2, 9, 3, &mut rng);
+        let (structural, statistics): (Vec<Vec<f64>>, Vec<Vec<f64>>) =
+            raw.into_iter().unzip();
+
+        let mlp_logits = mlp.forward_batch(&pack(&structural));
+        let two_logits = two.forward_batch(&pack(&structural), &pack(&statistics));
+        for i in 0..structural.len() {
+            prop_assert_eq!(mlp_logits.row(i), mlp.forward(&structural[i]).as_slice());
+            prop_assert_eq!(
+                two_logits.row(i),
+                two.forward(&structural[i], &statistics[i]).as_slice()
+            );
+        }
+    }
+
+    /// Same equivalence for the two-stage architecture, including gradient
+    /// flow through the mid-stage statistics injection.
+    #[test]
+    fn two_stage_batched_backprop_equals_per_sample(
+        seed in 0u64..1000,
+        raw in proptest::collection::vec(
+            (
+                proptest::collection::vec(-2.0f64..2.0, 4),
+                proptest::collection::vec(-2.0f64..2.0, 2),
+                0usize..3,
+            ),
+            1..24,
+        ),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = TwoStageNet::new(4, 2, 10, 3, &mut rng);
+        let mut structural = Vec::new();
+        let mut statistics = Vec::new();
+        let mut labels = Vec::new();
+        for (s, t, l) in raw {
+            structural.push(s);
+            statistics.push(t);
+            labels.push(l);
+        }
+
+        let mut per_sample = net.clone();
+        per_sample.zero_grad();
+        let mut want_losses = Vec::new();
+        for i in 0..labels.len() {
+            want_losses.push(per_sample.backprop(&structural[i], &statistics[i], labels[i]));
+        }
+
+        let mut batched = net;
+        batched.zero_grad();
+        let got_losses =
+            batched.backprop_batch(&pack(&structural), &pack(&statistics), &labels);
+
+        prop_assert_eq!(got_losses, want_losses);
+        prop_assert_eq!(batched, per_sample);
     }
 }

@@ -1,0 +1,311 @@
+//! Low-level dense kernels over flat row-major `f64` slices.
+//!
+//! These back [`crate::Matrix`]'s products and the batched MLP passes in
+//! `powerlens-mlp`. They share three properties:
+//!
+//! * **contiguous inner loops** — every inner loop walks two slices in
+//!   step, so the compiler can vectorize and the hardware prefetcher sees
+//!   unit stride;
+//! * **deterministic accumulation order** — for each output element the
+//!   reduction index `k` is always consumed in ascending order, regardless
+//!   of blocking, so results are bit-identical run to run (and identical to
+//!   the per-sample loops they replaced);
+//! * **no zero-skip branches** — dense data makes the branch nearly always
+//!   false, and mispredictions cost more than the multiply they save.
+//!
+//! All kernels panic (via `debug_assert!` on the hot path, argument asserts
+//! at the `Matrix` layer) rather than silently reading out of bounds; the
+//! slice indexing itself is bounds-checked in release builds.
+
+/// Cache-blocking depth for the `k` dimension of [`gemm`]. A 128-row panel
+/// of `B` (128 x n doubles) stays resident in L1/L2 while the panel is
+/// swept for every output row, which is what turns the naive triple loop
+/// into a cache-friendly one for matrices larger than the cache.
+pub const KC: usize = 128;
+
+/// `out = A · B` where `A` is `m x k`, `B` is `k x n`, all row-major.
+///
+/// Blocked over `k` in panels of [`KC`]; within each output element the
+/// `k` index ascends, so the result is independent of the blocking factor.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length");
+    assert_eq!(b.len(), k * n, "gemm: rhs length");
+    assert_eq!(out.len(), m * n, "gemm: out length");
+    out.fill(0.0);
+    for kk in (0..k).step_by(KC) {
+        let k_end = (kk + KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            // Register-block k four-wide: each output element is loaded and
+            // stored once per four multiply-adds instead of once per one.
+            // The updates stay left-associated, so the per-element sum
+            // order is still plain ascending k.
+            let mut kx = kk;
+            while kx + 4 <= k_end {
+                let (a0, a1, a2, a3) = (a_row[kx], a_row[kx + 1], a_row[kx + 2], a_row[kx + 3]);
+                let (b0, rest) = b[kx * n..(kx + 4) * n].split_at(n);
+                let (b1, rest) = rest.split_at(n);
+                let (b2, b3) = rest.split_at(n);
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                }
+                kx += 4;
+            }
+            for (kx, &aik) in a_row.iter().enumerate().take(k_end).skip(kx) {
+                let b_row = &b[kx * n..(kx + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Dot product of two equal-length slices (ascending index order).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `out = A · Bᵀ` where `A` is `m x k` and `B` is `n x k` (so `Bᵀ` is
+/// `k x n`), all row-major.
+///
+/// Because both operands are walked along rows, every inner product runs
+/// over two contiguous slices — the natural kernel when the right-hand
+/// side is already stored transposed (e.g. dense-layer weights, stored
+/// `out_dim x in_dim`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs length");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs length");
+    assert_eq!(out.len(), m * n, "gemm_nt: out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `out = A · Bᵀ + 1·biasᵀ`: like [`gemm_nt`] but each output row starts
+/// from `bias` instead of zero — the fused dense-layer forward pass.
+///
+/// Internally transposes `B` once and runs the ikj [`gemm`]: a per-element
+/// serial dot product is a floating-point dependency chain the compiler
+/// cannot vectorize, while the ikj form updates a whole output row per `k`
+/// step. The result is still bit-identical to
+/// `bias[j] + dot(a_row, b_row)` — the `k` index ascends either way, and
+/// IEEE-754 addition is commutative, so adding the bias after the
+/// accumulation instead of before produces the same bits.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_nt_bias(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    bias: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt_bias: lhs length");
+    assert_eq!(b.len(), n * k, "gemm_nt_bias: rhs length");
+    assert_eq!(bias.len(), n, "gemm_nt_bias: bias length");
+    assert_eq!(out.len(), m * n, "gemm_nt_bias: out length");
+    let mut bt = vec![0.0; k * n];
+    for j in 0..n {
+        let b_row = &b[j * k..(j + 1) * k];
+        for (s, &v) in b_row.iter().enumerate() {
+            bt[s * n + j] = v;
+        }
+    }
+    gemm(m, k, n, a, &bt, out);
+    for row in out.chunks_exact_mut(n) {
+        for (o, &bv) in row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+}
+
+/// `out += Aᵀ · B` where `A` is `k x m` and `B` is `k x n`, all row-major —
+/// the gradient accumulation `∂W += ∂Yᵀ·X` of a batched dense backward
+/// pass.
+///
+/// The reduction index `k` (the batch dimension) is the outer loop, so the
+/// accumulation order per output element equals a sample-by-sample loop.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_tn_acc(k: usize, m: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), k * m, "gemm_tn_acc: lhs length");
+    assert_eq!(b.len(), k * n, "gemm_tn_acc: rhs length");
+    assert_eq!(out.len(), m * n, "gemm_tn_acc: out length");
+    // Register-block the reduction (batch) dimension four-wide, as in
+    // [`gemm`]; the left-associated updates keep ascending sample order.
+    let mut s = 0;
+    while s + 4 <= k {
+        let (b0, rest) = b[s * n..(s + 4) * n].split_at(n);
+        let (b1, rest) = rest.split_at(n);
+        let (b2, b3) = rest.split_at(n);
+        for i in 0..m {
+            let (g0, g1, g2, g3) = (
+                a[s * m + i],
+                a[(s + 1) * m + i],
+                a[(s + 2) * m + i],
+                a[(s + 3) * m + i],
+            );
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o = (((*o + g0 * v0) + g1 * v1) + g2 * v2) + g3 * v3;
+            }
+        }
+        s += 4;
+    }
+    for s in s..k {
+        let a_row = &a[s * m..(s + 1) * m];
+        let b_row = &b[s * n..(s + 1) * n];
+        for (i, &g) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += g * bv;
+            }
+        }
+    }
+}
+
+/// `out = A · x` where `A` is `m x k` row-major and `x` has length `k`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matvec(m: usize, k: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "matvec: matrix length");
+    assert_eq!(x.len(), k, "matvec: vector length");
+    assert_eq!(out.len(), m, "matvec: out length");
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(&a[i * k..(i + 1) * k], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for s in 0..k {
+                    out[i * n + j] += a[i * k + s] * b[s * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn seq(len: usize, scale: f64) -> Vec<f64> {
+        (0..len).map(|i| (i as f64 * 0.37 - 1.0) * scale).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive_beyond_block_size() {
+        // k spans multiple KC panels to exercise the blocking.
+        let (m, k, n) = (3, 2 * KC + 7, 5);
+        let a = seq(m * k, 0.01);
+        let b = seq(k * n, 0.02);
+        let mut out = vec![1.0; m * n]; // pre-dirty: gemm must overwrite
+        gemm(m, k, n, &a, &b, &mut out);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_transposed_gemm() {
+        let (m, k, n) = (4, 6, 3);
+        let a = seq(m * k, 0.1);
+        let b = seq(n * k, 0.2); // n x k
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for s in 0..k {
+                bt[s * n + j] = b[j * k + s];
+            }
+        }
+        let mut got = vec![0.0; m * n];
+        gemm_nt(m, k, n, &a, &b, &mut got);
+        assert_eq!(got, naive(m, k, n, &a, &bt));
+    }
+
+    #[test]
+    fn gemm_nt_bias_adds_row_broadcast_bias() {
+        let (m, k, n) = (2, 3, 2);
+        let a = seq(m * k, 0.5);
+        let b = seq(n * k, 0.25);
+        let bias = [10.0, -20.0];
+        let mut plain = vec![0.0; m * n];
+        gemm_nt(m, k, n, &a, &b, &mut plain);
+        let mut with_bias = vec![0.0; m * n];
+        gemm_nt_bias(m, k, n, &a, &b, &bias, &mut with_bias);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(with_bias[i * n + j], bias[j] + plain[i * n + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_accumulates_transposed_product() {
+        let (k, m, n) = (5, 3, 4);
+        let a = seq(k * m, 0.3); // k x m
+        let b = seq(k * n, 0.7); // k x n
+        let mut at = vec![0.0; m * k];
+        for s in 0..k {
+            for i in 0..m {
+                at[i * k + s] = a[s * m + i];
+            }
+        }
+        let want = naive(m, k, n, &at, &b);
+        let mut out = vec![1.0; m * n]; // accumulate on top of ones
+        gemm_tn_acc(k, m, n, &a, &b, &mut out);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - 1.0 - y).abs() < 1e-12, "{x} vs 1 + {y}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_gemm_column() {
+        let (m, k) = (4, 7);
+        let a = seq(m * k, 0.11);
+        let x = seq(k, 0.9);
+        let mut got = vec![0.0; m];
+        matvec(m, k, &a, &x, &mut got);
+        let want = naive(m, k, 1, &a, &x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: lhs length")]
+    fn gemm_rejects_bad_lengths() {
+        let mut out = [0.0; 1];
+        gemm(1, 2, 1, &[1.0], &[1.0, 2.0], &mut out);
+    }
+}

@@ -24,13 +24,17 @@
 
 mod eigen;
 mod error;
+pub mod kernels;
 mod matrix;
 mod stats;
 
 pub use eigen::{jacobi_eigen, Eigen};
 pub use error::NumericError;
 pub use matrix::Matrix;
-pub use stats::{covariance, mahalanobis, mean_columns, pseudo_inverse, zscore_scale, Scaler};
+pub use stats::{
+    covariance, euclidean, mahalanobis, mean_columns, pseudo_inverse, zscore_scale, Scaler,
+    Whitener,
+};
 
 /// Convenience result alias for numeric operations.
 pub type Result<T> = std::result::Result<T, NumericError>;

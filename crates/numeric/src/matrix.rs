@@ -1,7 +1,17 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use crate::{NumericError, Result};
+use powerlens_obs as obs;
+
+use crate::{kernels, NumericError, Result};
+
+/// Feeds the `numeric.matmul.flops` counter (2·m·k·n flops per product).
+/// The `enabled` check keeps the untraced hot path free of atomic traffic.
+fn record_matmul_flops(m: usize, k: usize, n: usize) {
+    if obs::enabled() {
+        obs::counter("numeric.matmul.flops", (2 * m * k * n) as u64);
+    }
+}
 
 /// Dense row-major matrix of `f64` values.
 ///
@@ -143,6 +153,21 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably views the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Consumes the matrix and returns the underlying row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -161,10 +186,27 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Dispatches to the blocked GEMM kernel in [`crate::kernels`]; the
+    /// per-element accumulation order (ascending `k`) matches the former
+    /// naive triple loop, so results are bit-identical to the old code path.
+    ///
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs` written into a caller-provided matrix,
+    /// avoiding an allocation on repeated products (e.g. training loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != rhs.rows()`
+    /// or if `out` is not `self.rows() x rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(NumericError::DimensionMismatch {
                 op: "matmul",
@@ -172,18 +214,53 @@ impl Matrix {
                 right: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
-            }
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(NumericError::DimensionMismatch {
+                op: "matmul_into_out",
+                left: (self.rows, rhs.cols),
+                right: (out.rows, out.cols),
+            });
         }
+        kernels::gemm(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        record_matmul_flops(self.rows, self.cols, rhs.cols);
+        Ok(())
+    }
+
+    /// Matrix product `self * rhsᵀ` where `rhs` is stored row-major as
+    /// `n x k` (its transpose is never materialized).
+    ///
+    /// Both operands stream along contiguous rows, which makes this the
+    /// preferred form when the right-hand side is naturally kept transposed
+    /// (e.g. dense-layer weight matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(NumericError::DimensionMismatch {
+                op: "matmul_nt",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        kernels::gemm_nt(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        record_matmul_flops(self.rows, self.cols, rhs.rows);
         Ok(out)
     }
 
@@ -193,6 +270,19 @@ impl Matrix {
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != v.len()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v` written into a caller-provided
+    /// buffer, avoiding an allocation on repeated products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `self.cols() != v.len()`
+    /// or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.cols != v.len() {
             return Err(NumericError::DimensionMismatch {
                 op: "matvec",
@@ -200,9 +290,15 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        if out.len() != self.rows {
+            return Err(NumericError::DimensionMismatch {
+                op: "matvec_into_out",
+                left: (self.rows, 1),
+                right: (out.len(), 1),
+            });
+        }
+        kernels::matvec(self.rows, self.cols, &self.data, v, out);
+        Ok(())
     }
 
     /// Element-wise sum `self + rhs`.
@@ -411,6 +507,43 @@ mod tests {
     fn index_out_of_bounds_panics() {
         let m = Matrix::zeros(1, 1);
         let _ = m[(1, 0)];
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_checks_shape() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let mut out = Matrix::from_rows(&[vec![9.0, 9.0], vec![9.0, 9.0]]).unwrap();
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        let mut bad = Matrix::zeros(3, 2);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, 0.5, -1.0], vec![2.0, -2.0, 0.25]]).unwrap();
+        let via_t = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(a.matmul_nt(&b).unwrap(), via_t);
+        assert!(a.matmul_nt(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer_and_checks_shape() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut out = [9.0, 9.0];
+        a.matvec_into(&[1.0, 1.0], &mut out).unwrap();
+        assert_eq!(out, [3.0, 7.0]);
+        assert!(a.matvec_into(&[1.0, 1.0], &mut [0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn row_mut_and_as_mut_slice_write_through() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1)[0] = 5.0;
+        m.as_mut_slice()[1] = 7.0;
+        assert_eq!(m.as_slice(), &[0.0, 7.0, 5.0, 0.0]);
     }
 
     #[test]

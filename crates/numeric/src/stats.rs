@@ -1,3 +1,5 @@
+use serde::{Deserialize, Serialize};
+
 use crate::{jacobi_eigen, Matrix, NumericError, Result};
 
 /// Per-column mean of an `n x d` observation matrix.
@@ -125,6 +127,137 @@ pub fn mahalanobis(x: &[f64], y: &[f64], p: &Matrix) -> Result<f64> {
     Ok(q.max(0.0).sqrt())
 }
 
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_numeric::euclidean;
+/// assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+/// ```
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "euclidean: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Whitening transform factored from a positive semi-definite covariance
+/// matrix.
+///
+/// From the Jacobi eigendecomposition `C = V·diag(λ)·Vᵀ` the pseudo-inverse
+/// is `P = V·diag(1/λ)·Vᵀ` (eigenvalues at or below the numerical-rank
+/// tolerance dropped). Factoring `P = W·Wᵀ` with `W = V·diag(1/sqrt(λ))`
+/// turns the Mahalanobis quadratic form into a plain Euclidean norm over
+/// whitened coordinates:
+///
+/// `sqrt((x-y)ᵀ P (x-y)) = ‖(x-y)·W‖`
+///
+/// so an all-pairs Mahalanobis distance over `n` rows of dimension `d`
+/// costs O(n·d² + n²·d) after whitening each row once, instead of O(n²·d²)
+/// with a per-pair [`mahalanobis`] call.
+///
+/// The rank tolerance (`max|λ|·d·1e-12`) matches [`pseudo_inverse`], and
+/// eigenvalues of a PSD covariance matrix can only go negative through
+/// floating-point noise below that tolerance, so whitened distances agree
+/// with [`mahalanobis`] over `pseudo_inverse(C)` to within rounding error.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_numeric::{covariance, euclidean, mahalanobis, pseudo_inverse, Matrix, Whitener};
+/// let x = Matrix::from_rows(&[
+///     vec![1.0, 2.0],
+///     vec![2.0, 4.1],
+///     vec![3.0, 5.9],
+/// ]).unwrap();
+/// let cov = covariance(&x).unwrap();
+/// let wh = Whitener::from_covariance(&cov).unwrap();
+/// let z = wh.whiten(&x).unwrap();
+/// let p = pseudo_inverse(&cov).unwrap();
+/// let direct = mahalanobis(x.row(0), x.row(2), &p).unwrap();
+/// let via_whitening = euclidean(z.row(0), z.row(2));
+/// assert!((direct - via_whitening).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Whitener {
+    /// `d x r` factor with `r = rank(C)`; whitened rows are `x · w`.
+    w: Matrix,
+}
+
+impl Whitener {
+    /// Factors the whitening matrix from a symmetric PSD covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`jacobi_eigen`] (non-square, empty,
+    /// non-finite input or non-convergence).
+    pub fn from_covariance(cov: &Matrix) -> Result<Whitener> {
+        let eig = jacobi_eigen(cov)?;
+        let d = cov.rows();
+        let max_val = eig.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let tol = max_val * (d as f64) * 1e-12;
+        let kept: Vec<usize> = (0..d).filter(|&i| eig.values[i] > tol).collect();
+        let mut w = Matrix::zeros(d, kept.len());
+        for (c, &i) in kept.iter().enumerate() {
+            let inv_sqrt = 1.0 / eig.values[i].sqrt();
+            for r in 0..d {
+                w[(r, c)] = eig.vectors[(r, i)] * inv_sqrt;
+            }
+        }
+        Ok(Whitener { w })
+    }
+
+    /// Feature dimensionality `d` the whitener was fitted on.
+    pub fn dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Numerical rank `r` of the covariance matrix (whitened dimension).
+    pub fn rank(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Whitens every row of an `n x d` matrix, producing `n x r` whitened
+    /// coordinates whose pairwise Euclidean distances equal Mahalanobis
+    /// distances under the fitted covariance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.cols() != self.dim()`.
+    pub fn whiten(&self, x: &Matrix) -> Result<Matrix> {
+        x.matmul(&self.w)
+    }
+
+    /// Whitens a single feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != self.dim()`.
+    pub fn whiten_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.w.rows() {
+            return Err(NumericError::DimensionMismatch {
+                op: "whiten_vec",
+                left: (1, x.len()),
+                right: (self.w.rows(), self.w.cols()),
+            });
+        }
+        let mut out = vec![0.0; self.w.cols()];
+        for (r, &xv) in x.iter().enumerate() {
+            for (o, &wv) in out.iter_mut().zip(self.w.row(r)) {
+                *o += xv * wv;
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// Column-wise z-score scaler fitted on a training matrix.
 ///
 /// Columns with zero standard deviation are passed through centred but
@@ -140,7 +273,7 @@ pub fn mahalanobis(x: &[f64], y: &[f64], p: &Matrix) -> Result<f64> {
 /// assert!((scaled[(0, 0)] + scaled[(1, 0)]).abs() < 1e-12); // centred
 /// assert_eq!(scaled[(0, 1)], 0.0); // constant column centred to 0
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scaler {
     mean: Vec<f64>,
     std: Vec<f64>,
@@ -227,6 +360,29 @@ impl Scaler {
     /// The fitted per-column standard deviations (1.0 for constant columns).
     pub fn std(&self) -> &[f64] {
         &self.std
+    }
+
+    /// Reassembles a scaler from previously fitted parameters (e.g. loaded
+    /// from a serialized model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the lengths differ and
+    /// [`NumericError::Empty`] if both are empty.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Result<Scaler> {
+        if mean.is_empty() {
+            return Err(NumericError::Empty {
+                op: "scaler_from_parts",
+            });
+        }
+        if mean.len() != std.len() {
+            return Err(NumericError::DimensionMismatch {
+                op: "scaler_from_parts",
+                left: (1, mean.len()),
+                right: (1, std.len()),
+            });
+        }
+        Ok(Scaler { mean, std })
     }
 }
 
@@ -337,6 +493,87 @@ mod tests {
     fn mahalanobis_dim_mismatch() {
         let p = Matrix::identity(2);
         assert!(mahalanobis(&[1.0], &[1.0, 2.0], &p).is_err());
+    }
+
+    #[test]
+    fn euclidean_known_values() {
+        assert_eq!(euclidean(&[], &[]), 0.0);
+        assert!((euclidean(&[1.0, 1.0], &[4.0, 5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn euclidean_length_mismatch_panics() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn whitened_distance_matches_mahalanobis() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 10.0, 2.0],
+            vec![2.0, 20.0, 2.5],
+            vec![3.0, 35.0, 0.5],
+            vec![4.0, 38.0, 1.5],
+        ])
+        .unwrap();
+        let cov = covariance(&x).unwrap();
+        let p = pseudo_inverse(&cov).unwrap();
+        let wh = Whitener::from_covariance(&cov).unwrap();
+        assert_eq!(wh.dim(), 3);
+        let z = wh.whiten(&x).unwrap();
+        assert_eq!(z.cols(), wh.rank());
+        for i in 0..x.rows() {
+            for j in 0..x.rows() {
+                let direct = mahalanobis(x.row(i), x.row(j), &p).unwrap();
+                let fast = euclidean(z.row(i), z.row(j));
+                assert!(
+                    (direct - fast).abs() < 1e-9,
+                    "pair ({i},{j}): {direct} vs {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whitener_drops_null_directions_of_singular_covariance() {
+        // Two perfectly correlated columns: covariance has rank 1.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let cov = covariance(&x).unwrap();
+        let wh = Whitener::from_covariance(&cov).unwrap();
+        assert_eq!(wh.rank(), 1);
+        let p = pseudo_inverse(&cov).unwrap();
+        let z = wh.whiten(&x).unwrap();
+        let direct = mahalanobis(x.row(0), x.row(2), &p).unwrap();
+        assert!((euclidean(z.row(0), z.row(2)) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whitener_of_zero_covariance_has_rank_zero() {
+        let wh = Whitener::from_covariance(&Matrix::zeros(2, 2)).unwrap();
+        assert_eq!(wh.rank(), 0);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let z = wh.whiten(&x).unwrap();
+        assert_eq!((z.rows(), z.cols()), (2, 0));
+        assert_eq!(euclidean(z.row(0), z.row(1)), 0.0);
+    }
+
+    #[test]
+    fn whiten_vec_matches_matrix_whitening() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.1], vec![3.0, 5.9]]).unwrap();
+        let wh = Whitener::from_covariance(&covariance(&x).unwrap()).unwrap();
+        let z = wh.whiten(&x).unwrap();
+        let zv = wh.whiten_vec(x.row(1)).unwrap();
+        assert_eq!(zv.as_slice(), z.row(1));
+        assert!(wh.whiten_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn scaler_from_parts_validates() {
+        let s = Scaler::from_parts(vec![1.0, 2.0], vec![1.0, 0.5]).unwrap();
+        assert_eq!(s.transform_vec(&[1.0, 3.0]).unwrap(), vec![0.0, 2.0]);
+        assert!(Scaler::from_parts(vec![], vec![]).is_err());
+        assert!(Scaler::from_parts(vec![1.0], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

@@ -1,9 +1,42 @@
 //! Property-based tests for the numeric substrate.
 
 use powerlens_numeric::{
-    covariance, jacobi_eigen, mahalanobis, pseudo_inverse, zscore_scale, Matrix,
+    covariance, euclidean, jacobi_eigen, mahalanobis, pseudo_inverse, zscore_scale, Matrix,
+    Whitener,
 };
 use proptest::prelude::*;
+
+/// Reference product: the seed's naive ikj triple loop (zero-skip included),
+/// kept here as the ground truth the blocked kernel must reproduce.
+fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let v = a[(i, k)];
+            if v == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += v * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Strategy: a conformable matrix pair with shapes up to 24x24 — large
+/// enough to exercise non-trivial slab positions in the blocked kernel.
+fn matmul_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=24, 1usize..=24, 1usize..=24).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-100.0f64..100.0, m * k)
+                .prop_map(move |raw| Matrix::from_vec(m, k, raw).unwrap()),
+            proptest::collection::vec(-100.0f64..100.0, k * n)
+                .prop_map(move |raw| Matrix::from_vec(k, n, raw).unwrap()),
+        )
+    })
+}
 
 /// Strategy: a random symmetric matrix of size 1..=6 with bounded entries.
 fn symmetric_matrix() -> impl Strategy<Value = Matrix> {
@@ -120,5 +153,44 @@ proptest! {
     #[test]
     fn transpose_is_involution(x in observations()) {
         prop_assert_eq!(x.transpose().transpose(), x);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference(ops in matmul_operands()) {
+        let (a, b) = ops;
+        let fast = a.matmul(&b).unwrap();
+        let naive = matmul_naive(&a, &b);
+        // Same accumulation order per element => results are identical,
+        // not merely close. (The zero-skip branch in the reference adds
+        // exact zeros, which cannot change a finite sum.)
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive_on_transpose(ops in matmul_operands()) {
+        let (a, b) = ops;
+        let bt = b.transpose(); // b.rows() == a.cols(), so bt is n x k
+        let fast = a.matmul_nt(&bt).unwrap();
+        let naive = matmul_naive(&a, &b);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn whitened_euclidean_matches_mahalanobis(x in observations()) {
+        let c = covariance(&x).unwrap();
+        let p = pseudo_inverse(&c).unwrap();
+        let wh = Whitener::from_covariance(&c).unwrap();
+        let z = wh.whiten(&x).unwrap();
+        let scale = x.max_abs().max(1.0);
+        for i in 0..x.rows() {
+            for j in 0..x.rows() {
+                let direct = mahalanobis(x.row(i), x.row(j), &p).unwrap();
+                let fast = euclidean(z.row(i), z.row(j));
+                prop_assert!(
+                    (direct - fast).abs() < 1e-9 * scale,
+                    "pair ({}, {}): {} vs {}", i, j, direct, fast
+                );
+            }
+        }
     }
 }

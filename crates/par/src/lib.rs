@@ -1,0 +1,209 @@
+//! Scoped-thread data parallelism for PowerLens (std only).
+//!
+//! The offline phase fans out over *independent* units of work — distance
+//! matrix rows in clustering, random networks in dataset generation, layers
+//! in feature extraction. This crate provides the one primitive those paths
+//! share: a **deterministic parallel map** built on [`std::thread::scope`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** The output of [`map_slice`] / [`map_range`] is
+//!    *always* in input order and *always* identical to the sequential map,
+//!    regardless of the thread count. Workers own disjoint contiguous
+//!    chunks and results are stitched back in spawn order, so no
+//!    scheduling decision can ever reorder (or re-associate) a reduction.
+//!    This is what lets dataset generation and clustering promise
+//!    bit-identical outputs for a fixed seed on 1 or 64 threads.
+//! 2. **No runtime.** Threads are scoped to each call; there is no global
+//!    pool, no channels, and no `'static` bounds — closures may borrow the
+//!    caller's stack freely.
+//! 3. **Cheap degeneration.** With one resolved worker (or fewer items than
+//!    a small threshold) the map runs inline on the caller's thread — no
+//!    spawn cost for the tiny inputs that dominate unit tests.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = powerlens_par::map_range(5, 0, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//!
+//! let words = ["a", "bb", "ccc"];
+//! let lens = powerlens_par::map_slice(&words, 2, |_, w| w.len());
+//! assert_eq!(lens, vec![1, 2, 3]);
+//! ```
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a requested thread count: `0` means "all available cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Below this many items a parallel map runs inline: spawn cost would
+/// dominate for trivial per-item work, and callers with expensive items can
+/// always pass an explicit thread count via the chunking math themselves.
+const INLINE_THRESHOLD: usize = 2;
+
+/// Plans the fan-out for `items` units of work over `threads` requested
+/// workers (`0` = all cores): returns `(workers, chunk_len)`.
+///
+/// Workers are clamped to the item count so no worker is ever spawned with
+/// nothing to do, and `chunk_len` is the ceiling split so exactly `workers`
+/// contiguous chunks cover the input.
+pub fn plan(items: usize, threads: usize) -> (usize, usize) {
+    let workers = resolve_threads(threads).min(items).max(1);
+    (workers, items.div_ceil(workers).max(1))
+}
+
+/// Maps `f` over `items` in parallel, returning results **in input order**.
+///
+/// `f` receives `(index, &item)`. `threads == 0` uses all available cores.
+/// The result is element-for-element identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for any
+/// thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map_slice<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let (workers, chunk) = plan(items.len(), threads);
+    if workers == 1 || items.len() < INLINE_THRESHOLD {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut per_worker: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(w * chunk + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("powerlens-par worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for v in per_worker {
+        out.extend(v);
+    }
+    out
+}
+
+/// Maps `f` over `0..n` in parallel, returning results **in index order**.
+///
+/// The range analogue of [`map_slice`]; same determinism guarantee.
+pub fn map_range<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let (workers, chunk) = plan(n, threads);
+    if workers == 1 || n < INLINE_THRESHOLD {
+        return (0..n).map(f).collect();
+    }
+    let mut per_worker: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("powerlens-par worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for v in per_worker {
+        out.extend(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_means_all_cores() {
+        assert_eq!(resolve_threads(0), available_threads());
+        assert_eq!(resolve_threads(3), 3);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn plan_clamps_workers_to_items() {
+        assert_eq!(plan(1, 8), (1, 1));
+        assert_eq!(plan(3, 8), (3, 1));
+        assert_eq!(plan(12, 8), (8, 2));
+        assert_eq!(plan(12, 2), (2, 6));
+        assert_eq!(plan(0, 8), (1, 1));
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let got = map_slice(&items, threads, |i, &x| {
+                assert_eq!(i, x, "index must match item position");
+                x * 2
+            });
+            let want: Vec<usize> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_range_matches_sequential_for_any_thread_count() {
+        let want: Vec<usize> = (0..57).map(|i| i * i + 1).collect();
+        for threads in [0, 1, 2, 5, 64] {
+            assert_eq!(map_range(57, threads, |i| i * i + 1), want);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(map_range(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_range(1, 4, |i| i + 10), vec![10]);
+        let empty: [u8; 0] = [];
+        assert_eq!(map_slice(&empty, 4, |_, &b| b), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn closures_may_borrow_stack_data() {
+        let base = [100usize; 8];
+        let out = map_range(8, 2, |i| base[i] + i);
+        assert_eq!(out, vec![100, 101, 102, 103, 104, 105, 106, 107]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        map_range(64, 4, |i| {
+            assert!(i != 40, "boom");
+            i
+        });
+    }
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Runs the criterion bench suites and writes a machine-readable summary:
+# bench name -> median ns (plus baseline delta when a baseline file exists).
+#
+# Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
+#   -o OUTPUT    output JSON path            (default: BENCH_PR2.json)
+#   -b BASELINE  prior summary to diff against (default: results/bench_before_pr2.json)
+#   BENCH...     bench targets to run         (default: all [[bench]] targets)
+#
+# The JSON shape is {"<bench name>": {"median_ns": N[, "baseline_ns": M,
+# "speedup": S]}}. The perf trajectory across PRs compares these files.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR2.json"
+baseline="results/bench_before_pr2.json"
+while getopts "o:b:" opt; do
+    case "$opt" in
+        o) out="$OPTARG" ;;
+        b) baseline="$OPTARG" ;;
+        *) echo "usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]" >&2; exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+if [ "$#" -gt 0 ]; then
+    for b in "$@"; do
+        echo "==> cargo bench --bench $b"
+        cargo bench --bench "$b" | tee -a "$raw"
+    done
+else
+    echo "==> cargo bench (all suites)"
+    cargo bench | tee "$raw"
+fi
+
+# Criterion-shim lines look like:
+#   name/case    time: [1.234 µs 1.456 µs 1.789 µs]  (20 samples x 7 iters)
+# Field layout after splitting on '[' / ']': "v1 u1 v2 u2 v3 u3" — the
+# median is the second value/unit pair.
+awk -v out="$out" -v baseline="$baseline" '
+function to_ns(v, u) {
+    if (u == "s")  return v * 1e9
+    if (u == "ms") return v * 1e6
+    if (u == "ns") return v
+    return v * 1e3   # µs (the µ survives as an opaque byte sequence)
+}
+/time: \[/ {
+    name = $1
+    split($0, parts, /[][]/)
+    n = split(parts[2], f, /[ \t]+/)
+    if (n >= 4) {
+        ns[name] = to_ns(f[3], f[4])
+        order[++count] = name
+    }
+}
+END {
+    # Load baseline medians (same JSON shape) if present.
+    has_base = 0
+    while ((getline line < baseline) > 0) {
+        if (match(line, /"[^"]+": *\{ *"median_ns": *[0-9.]+/)) {
+            entry = substr(line, RSTART, RLENGTH)
+            match(entry, /"[^"]+"/)
+            bname = substr(entry, RSTART + 1, RLENGTH - 2)
+            match(entry, /[0-9.]+$/)
+            base[bname] = substr(entry, RSTART, RLENGTH)
+            has_base = 1
+        }
+    }
+    printf "{\n" > out
+    for (i = 1; i <= count; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"median_ns\": %.1f", name, ns[name] > out
+        if (has_base && (name in base) && base[name] + 0 > 0) {
+            printf ", \"baseline_ns\": %.1f, \"speedup\": %.2f", \
+                base[name], base[name] / ns[name] > out
+        }
+        printf "}%s\n", (i < count ? "," : "") > out
+    }
+    printf "}\n" > out
+    printf "wrote %s (%d benches%s)\n", out, count, \
+        has_base ? ", with baseline deltas" : ""
+}' "$raw"

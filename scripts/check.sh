@@ -23,6 +23,7 @@ run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$fast" -eq 0 ]; then
     run cargo test -q --workspace
 fi
+run cargo bench --no-run
 RUSTDOCFLAGS="-D warnings"
 export RUSTDOCFLAGS
 run cargo doc --no-deps --workspace
