@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks: the static analyzer, sized against the
+//! pipeline stages its debug gates ride on. `scripts/bench.sh` divides
+//! `lint_gate/*` by `lint_reference/*` to report the gate overhead
+//! (`lint_overhead` in the summary JSON) — the budget is <2%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens_cluster::{cluster_graph, ClusterParams};
+use powerlens_dnn::zoo;
+use powerlens_governors::oracle;
+use powerlens_lint::{lint_graph, lint_plan, lint_view, LintConfig, PlanContext};
+use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
+use powerlens_sim::{Engine, StaticController};
+use std::hint::black_box;
+
+/// The three packs in isolation, on the largest zoo model.
+fn bench_packs(c: &mut Criterion) {
+    let config = LintConfig::default();
+    let agx = Platform::agx();
+    let g = zoo::resnet152();
+    let view = cluster_graph(&g, &ClusterParams::default()).unwrap();
+    let points = view
+        .blocks()
+        .iter()
+        .map(|b| InstrumentationPoint {
+            layer: b.start,
+            gpu_level: 7,
+        })
+        .collect();
+    let plan = InstrumentationPlan::new(points, 0);
+
+    let mut group = c.benchmark_group("lint_gate");
+    group.bench_function("graph_pack_resnet152", |b| {
+        b.iter(|| lint_graph(black_box(&g), &config))
+    });
+    group.bench_function("view_plan_packs_resnet152", |b| {
+        b.iter(|| {
+            let mut r = lint_view(black_box(&view), Some(&g), &config);
+            r.merge(lint_plan(
+                &PlanContext {
+                    plan: &plan,
+                    platform: &agx,
+                    view: Some(&view),
+                    graph: Some(&g),
+                    oracle: None,
+                },
+                &config,
+            ));
+            r
+        })
+    });
+    group.finish();
+}
+
+/// The pipeline stages the gates attach to, for the overhead ratio:
+/// `sim::engine` lints the graph before a run, `core::pipeline` lints the
+/// view + plan (and cross-checks PL209) after clustering and deciding.
+fn bench_references(c: &mut Criterion) {
+    let agx = Platform::agx();
+    let g = zoo::resnet152();
+    let engine = Engine::new(&agx).with_batch(8);
+    let mut group = c.benchmark_group("lint_reference");
+    group.sample_size(20);
+    group.bench_function("engine_run_resnet152", |b| {
+        b.iter(|| {
+            let mut ctl = StaticController::new(7, 7);
+            engine.run(black_box(&g), &mut ctl, 8)
+        })
+    });
+    group.bench_function("cluster_and_decide_resnet152", |b| {
+        b.iter(|| {
+            let view = cluster_graph(black_box(&g), &ClusterParams::default()).unwrap();
+            let points: Vec<_> = view
+                .blocks()
+                .iter()
+                .map(|blk| InstrumentationPoint {
+                    layer: blk.start,
+                    gpu_level: oracle::best_level_for_range(
+                        &agx,
+                        &g,
+                        blk.start,
+                        blk.end,
+                        8,
+                        oracle::DEFAULT_SLACK,
+                    ),
+                })
+                .collect();
+            InstrumentationPlan::new(points, 0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packs, bench_references);
+criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! share: trained-model caching, the evaluation-model list, paper reference
 //! numbers, and table formatting.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::time::Instant;
 

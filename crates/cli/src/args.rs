@@ -12,6 +12,7 @@ pub const USAGE: &str = "usage:
   powerlens-cli compare  <model> [--platform P] [--batch N] [--images N] [--models PATH]
   powerlens-cli train    [--platform P] [--nets N] [--out PATH]
   powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
+  powerlens-cli lint     <model>|--all [--platform P] [--format human|json|sarif]
   powerlens-cli stats    [report.json]
 
 platforms: agx (default), tx2, cloud
@@ -35,6 +36,8 @@ pub struct Options {
     pub nets: usize,
     /// Output path for training.
     pub out: String,
+    /// Lint report format (`--format {human,json,sarif}`).
+    pub format: String,
     /// Observability mode (`--trace {off,log,json}`).
     pub trace: TraceMode,
 }
@@ -48,6 +51,7 @@ impl Default for Options {
             models: None,
             nets: 600,
             out: "powerlens_models.json".into(),
+            format: "human".into(),
             trace: TraceMode::Off,
         }
     }
@@ -70,6 +74,11 @@ pub enum Command {
     Train { opts: Options },
     /// Export a frequency/power trace CSV for a PowerLens run.
     Trace { model: String, opts: Options },
+    /// Static analysis of one model (or the whole zoo with `--all`).
+    Lint {
+        model: Option<String>,
+        opts: Options,
+    },
     /// Render the stats table from a saved `--trace json` report.
     Stats { path: Option<String> },
 }
@@ -125,6 +134,17 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
             "--nets" => opts.nets = parse_usize("--nets", &take_value("--nets", &mut it)?)?,
             "--models" => opts.models = Some(take_value("--models", &mut it)?),
             "--out" => opts.out = take_value("--out", &mut it)?,
+            "--format" => {
+                let v = take_value("--format", &mut it)?;
+                match v.as_str() {
+                    "human" | "text" | "json" | "sarif" => opts.format = v,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown lint format {other:?} (expected human, json or sarif)"
+                        )))
+                    }
+                }
+            }
             "--trace" => {
                 let v = take_value("--trace", &mut it)?;
                 opts.trace = TraceMode::parse(&v).ok_or_else(|| {
@@ -178,6 +198,24 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "train" => Ok(Command::Train {
             opts: parse_options(it)?,
         }),
+        "lint" => {
+            let first = it
+                .next()
+                .ok_or_else(|| ParseError("lint requires a model name or --all".into()))?;
+            let model = if first == "--all" {
+                None
+            } else if first.starts_with("--") {
+                return Err(ParseError(
+                    "lint requires a model name or --all before its options".into(),
+                ));
+            } else {
+                Some(first.clone())
+            };
+            Ok(Command::Lint {
+                model,
+                opts: parse_options(it)?,
+            })
+        }
         "stats" => {
             let path = it.next().cloned();
             if it.next().is_some() {
@@ -277,6 +315,29 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_lint() {
+        match parse(&v(&["lint", "alexnet", "--format", "sarif"])).unwrap() {
+            Command::Lint { model, opts } => {
+                assert_eq!(model.as_deref(), Some("alexnet"));
+                assert_eq!(opts.format, "sarif");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["lint", "--all", "--platform", "tx2"])).unwrap() {
+            Command::Lint { model, opts } => {
+                assert_eq!(model, None);
+                assert_eq!(opts.platform, "tx2");
+                assert_eq!(opts.format, "human"); // default preserved
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["lint"])).is_err());
+        assert!(parse(&v(&["lint", "--format", "json"])).is_err());
+        let err = parse(&v(&["lint", "alexnet", "--format", "xml"])).unwrap_err();
+        assert!(err.0.contains("unknown lint format"));
     }
 
     #[test]

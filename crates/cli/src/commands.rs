@@ -29,7 +29,8 @@ pub fn run(cmd: Command) -> CliResult {
         | Command::Plan { opts, .. }
         | Command::Compare { opts, .. }
         | Command::Train { opts }
-        | Command::Trace { opts, .. } => opts.trace,
+        | Command::Trace { opts, .. }
+        | Command::Lint { opts, .. } => opts.trace,
     };
     obs::init(trace);
     let result = match cmd {
@@ -40,6 +41,7 @@ pub fn run(cmd: Command) -> CliResult {
         Command::Compare { model, opts } => compare(&model, &opts),
         Command::Train { opts } => train(&opts),
         Command::Trace { model, opts } => trace_cmd(&model, &opts),
+        Command::Lint { model, opts } => lint_cmd(model.as_deref(), &opts),
         Command::Stats { path } => return stats(path.as_deref()),
     };
     report_stats(trace);
@@ -141,11 +143,7 @@ fn sweep(model: &str, opts: &Options) -> CliResult {
     let best = reports
         .iter()
         .enumerate()
-        .max_by(|a, b| {
-            a.1.energy_efficiency
-                .partial_cmp(&b.1.energy_efficiency)
-                .unwrap()
-        })
+        .max_by(|a, b| a.1.energy_efficiency.total_cmp(&b.1.energy_efficiency))
         .map(|(i, _)| i)
         .unwrap_or(0);
     for (level, r) in reports.iter().enumerate() {
@@ -283,6 +281,60 @@ fn trace_cmd(model: &str, opts: &Options) -> CliResult {
     Ok(())
 }
 
+/// Lints one model (or the whole zoo) end to end: graph pack, then the view
+/// produced by clustering, then an oracle-derived instrumentation plan with
+/// the `PL209` cross-check enabled. Exits non-zero when any error-severity
+/// finding fires — this is the gate `scripts/check.sh` runs in CI.
+fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
+    use powerlens_cluster::{cluster_graph, ClusterParams};
+    use powerlens_governors::oracle;
+    use powerlens_platform::InstrumentationPoint;
+
+    let platform = platform_for(opts);
+    let format = powerlens_lint::Format::parse(&opts.format)
+        .ok_or_else(|| format!("unknown lint format {:?}", opts.format))?;
+    let targets: Vec<Graph> = match model {
+        Some(name) => vec![model_for(name)?],
+        None => zoo::all_models().iter().map(|(_, build)| build()).collect(),
+    };
+
+    let config = powerlens_lint::LintConfig::default();
+    let mut reports = Vec::new();
+    for g in &targets {
+        let view = cluster_graph(g, &ClusterParams::default())
+            .map_err(|e| format!("clustering {} failed: {e}", g.name()))?;
+        let oracle_fn = |lo: usize, hi: usize| {
+            oracle::best_level_for_range(&platform, g, lo, hi, opts.batch, oracle::DEFAULT_SLACK)
+        };
+        let points = view
+            .blocks()
+            .iter()
+            .map(|b| InstrumentationPoint {
+                layer: b.start,
+                gpu_level: oracle_fn(b.start, b.end),
+            })
+            .collect();
+        let plan =
+            powerlens_platform::InstrumentationPlan::new(points, platform.cpu_table().max_level());
+        let report =
+            powerlens_lint::lint_pipeline(g, &view, &plan, &platform, Some(&oracle_fn), &config);
+        powerlens_lint::record_to_obs(&report);
+        reports.push(report);
+    }
+
+    print!("{}", powerlens_lint::render(&reports, format));
+    let errors: usize = reports.iter().map(|r| r.num_errors()).sum();
+    if errors > 0 {
+        let failed = reports.iter().filter(|r| r.has_errors()).count();
+        return Err(format!(
+            "lint found {errors} error(s) in {failed} of {} subject(s)",
+            reports.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// Reads a `--trace json` report back from disk and re-renders its stats
 /// table (default path matches what `--trace json` writes).
 fn stats(path: Option<&str>) -> CliResult {
@@ -409,6 +461,7 @@ mod tests {
                 .join("powerlens_cli_test.json")
                 .to_string_lossy()
                 .into_owned(),
+            format: "human".into(),
             trace: TraceMode::Off,
         }
     }
@@ -463,6 +516,30 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("t_start,"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_passes_on_zoo_model_and_rejects_bad_format() {
+        run(Command::Lint {
+            model: Some("alexnet".into()),
+            opts: opts(),
+        })
+        .unwrap();
+        let mut o = opts();
+        o.format = "sarif".into();
+        run(Command::Lint {
+            model: Some("alexnet".into()),
+            opts: o,
+        })
+        .unwrap();
+        let mut o = opts();
+        o.format = "xml".into();
+        let err = run(Command::Lint {
+            model: Some("alexnet".into()),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown lint format"));
     }
 
     #[test]

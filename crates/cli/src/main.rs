@@ -17,6 +17,8 @@
 //!   --out PATH                 output path for `train` (default powerlens_models.json)
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -35,6 +35,8 @@
 //! assert_eq!(view.blocks().last().unwrap().end, g.num_layers());
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use powerlens_dnn::Graph;
@@ -181,11 +183,18 @@ impl PowerView {
     }
 
     /// The block containing layer `id`, if in range.
-    pub fn block_of(&self, id: usize) -> Option<PowerBlock> {
-        self.blocks
-            .iter()
-            .copied()
-            .find(|b| b.start <= id && id < b.end)
+    pub fn block_of(&self, id: usize) -> Option<&PowerBlock> {
+        self.blocks.iter().find(|b| b.start <= id && id < b.end)
+    }
+
+    /// Builds a view **without validating** the partition.
+    ///
+    /// Intended for deserializers and for the `powerlens-lint` test suite,
+    /// which needs to construct overlapping / gapped views on purpose. Code
+    /// paths that accept views from outside [`process_clusters`] should run
+    /// the lint view pack over the result instead of trusting it.
+    pub fn from_blocks_unchecked(blocks: Vec<PowerBlock>, num_layers: usize) -> Self {
+        PowerView { blocks, num_layers }
     }
 }
 
@@ -440,7 +449,7 @@ mod tests {
         ]);
         assert_eq!(v.num_blocks(), 2);
         assert_eq!(v.num_layers(), 7);
-        assert_eq!(v.block_of(3), Some(PowerBlock { start: 3, end: 7 }));
+        assert_eq!(v.block_of(3), Some(&PowerBlock { start: 3, end: 7 }));
         assert_eq!(v.block_of(7), None);
     }
 

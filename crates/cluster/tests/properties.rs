@@ -60,8 +60,8 @@ proptest! {
         prop_assert_eq!(covered, g.num_layers());
         // block_of agrees with the tiling.
         for (i, b) in view.blocks().iter().enumerate() {
-            prop_assert_eq!(view.block_of(b.start), Some(*b), "block {}", i);
-            prop_assert_eq!(view.block_of(b.end - 1), Some(*b), "block {}", i);
+            prop_assert_eq!(view.block_of(b.start), Some(b), "block {}", i);
+            prop_assert_eq!(view.block_of(b.end - 1), Some(b), "block {}", i);
         }
     }
 

@@ -44,6 +44,8 @@
 //! assert!(report.energy_efficiency > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod dataset;
 mod evaluate;

@@ -255,6 +255,39 @@ impl<'p> PowerLens<'p> {
         InstrumentationPlan::new(points, self.platform.cpu_table().max_level())
     }
 
+    /// Debug-build gate: the lint view and plan packs run over every
+    /// planning outcome (with the exhaustive oracle as the `PL209`
+    /// cross-check), surface counts through the `lint.errors` /
+    /// `lint.warnings` obs counters, and refuse to emit an outcome with
+    /// error-severity findings. Compiled out of release builds (see
+    /// `docs/ARCHITECTURE.md`, "Lint gates").
+    #[cfg(debug_assertions)]
+    fn debug_lint_gate(&self, graph: &Graph, outcome: &PlanOutcome) {
+        let config = powerlens_lint::LintConfig {
+            max_blocks: self.config.max_blocks,
+            ..powerlens_lint::LintConfig::default()
+        };
+        let mut report = powerlens_lint::lint_view(&outcome.view, Some(graph), &config);
+        let oracle = |lo: usize, hi: usize| self.oracle_block_level(graph, lo, hi);
+        report.merge(powerlens_lint::lint_plan(
+            &powerlens_lint::PlanContext {
+                plan: &outcome.plan,
+                platform: self.platform,
+                view: Some(&outcome.view),
+                graph: Some(graph),
+                oracle: Some(&oracle),
+            },
+            &config,
+        ));
+        powerlens_lint::record_to_obs(&report);
+        assert!(
+            !report.has_errors(),
+            "plan for `{}` failed lint: {:?}",
+            graph.name(),
+            report.diagnostics
+        );
+    }
+
     /// Full model-driven workflow (§2.1.1 steps ①-⑤): global features →
     /// hyperparameter prediction → clustering → per-block decisions → plan.
     ///
@@ -310,12 +343,15 @@ impl<'p> PowerLens<'p> {
             obs::counter("plan.blocks", view.num_blocks() as u64);
         }
 
-        Ok(PlanOutcome {
+        let outcome = PlanOutcome {
             view,
             plan,
             scheme_index,
             timings,
-        })
+        };
+        #[cfg(debug_assertions)]
+        self.debug_lint_gate(graph, &outcome);
+        Ok(outcome)
     }
 
     /// Oracle-driven workflow: exhaustively scores every scheme (clustering +
@@ -388,12 +424,15 @@ impl<'p> PowerLens<'p> {
             obs::counter("plan.blocks", view.num_blocks() as u64);
         }
 
-        Ok(PlanOutcome {
+        let outcome = PlanOutcome {
             view,
             plan,
             scheme_index,
             timings,
-        })
+        };
+        #[cfg(debug_assertions)]
+        self.debug_lint_gate(graph, &outcome);
+        Ok(outcome)
     }
 }
 

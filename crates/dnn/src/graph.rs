@@ -32,6 +32,27 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Builds a graph **without validating** layer ids, shape threading, or
+    /// skip edges.
+    ///
+    /// Intended for deserializers and for the `powerlens-lint` test suite,
+    /// which needs to construct malformed graphs on purpose. Code paths that
+    /// accept graphs from outside [`GraphBuilder`] should run the lint graph
+    /// pack over the result instead of trusting it.
+    pub fn from_parts(
+        name: impl Into<String>,
+        input_shape: TensorShape,
+        layers: Vec<Layer>,
+        skip_edges: Vec<(LayerId, LayerId)>,
+    ) -> Self {
+        Graph {
+            name: name.into(),
+            input_shape,
+            layers,
+            skip_edges,
+        }
+    }
+
     /// The graph's name (model identifier, e.g. `"resnet34"`).
     pub fn name(&self) -> &str {
         &self.name

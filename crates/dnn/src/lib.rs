@@ -26,6 +26,8 @@
 //! assert!(stats.total_flops > 6.0e9 && stats.total_flops < 9.0e9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod graph;
 mod layer;
 mod op;

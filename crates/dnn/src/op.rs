@@ -138,7 +138,16 @@ impl OpKind {
     /// (e.g. convolution over a token sequence). Graph builders are expected
     /// to chain shapes correctly; [`crate::Graph`] validation relies on this.
     pub fn output_shape(&self, input: TensorShape) -> TensorShape {
-        match (*self, input) {
+        self.try_output_shape(input)
+            .unwrap_or_else(|| panic!("operator {self:?} cannot consume shape {input}"))
+    }
+
+    /// Non-panicking variant of [`OpKind::output_shape`]: `None` when the
+    /// input shape category is incompatible with the operator. This is the
+    /// entry point the `powerlens-lint` graph pack uses to diagnose
+    /// unsupported operator/shape combinations instead of crashing.
+    pub fn try_output_shape(&self, input: TensorShape) -> Option<TensorShape> {
+        Some(match (*self, input) {
             (
                 OpKind::Conv2d {
                     out_ch,
@@ -148,7 +157,7 @@ impl OpKind {
                     ..
                 },
                 TensorShape::Chw { h, w, .. },
-            ) => {
+            ) if stride > 0 => {
                 let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
                 let ow = (w + 2 * padding).saturating_sub(kernel) / stride + 1;
                 TensorShape::chw(out_ch, oh, ow)
@@ -166,7 +175,7 @@ impl OpKind {
                 },
                 TensorShape::Chw { c, .. },
             ) => TensorShape::chw(c, 1, 1),
-            (OpKind::Pool { kernel, stride, .. }, TensorShape::Chw { c, h, w }) => {
+            (OpKind::Pool { kernel, stride, .. }, TensorShape::Chw { c, h, w }) if stride > 0 => {
                 let oh = h.saturating_sub(kernel) / stride + 1;
                 let ow = w.saturating_sub(kernel) / stride + 1;
                 TensorShape::chw(c, oh.max(1), ow.max(1))
@@ -188,9 +197,11 @@ impl OpKind {
                     ..
                 },
                 TensorShape::Chw { h, w, .. },
-            ) => TensorShape::tokens((h / patch) * (w / patch) + extra_tokens, embed_dim),
-            (op, shape) => panic!("operator {op:?} cannot consume shape {shape}"),
-        }
+            ) if patch > 0 => {
+                TensorShape::tokens((h / patch) * (w / patch) + extra_tokens, embed_dim)
+            }
+            _ => return None,
+        })
     }
 
     /// Floating-point operations for one sample of the given input shape.

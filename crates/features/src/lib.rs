@@ -35,6 +35,8 @@
 //! assert_eq!(gf.statistics.len(), GlobalFeatures::STATISTICS_DIM);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use powerlens_dnn::{Graph, Layer, OpKind};
 use powerlens_numeric::Matrix;
 use powerlens_par as par;

@@ -30,6 +30,8 @@
 //! assert!(report.energy_efficiency > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bim;
 mod fpg;
 pub mod oracle;

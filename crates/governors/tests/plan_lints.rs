@@ -1,0 +1,190 @@
+//! Governor coverage asserted through the `powerlens-lint` plan pack:
+//! degenerate plans, single-block views, and (via a recording shim around
+//! the reactive baselines) out-of-range frequency requests.
+
+use powerlens_cluster::{PowerBlock, PowerView};
+use powerlens_dnn::{zoo, Graph, LayerId};
+use powerlens_governors::{oracle, Bim, FpgCg, FpgG};
+use powerlens_lint::{lint_plan, lint_view, LintConfig, PlanContext};
+use powerlens_platform::{
+    FreqLevel, InstrumentationPlan, InstrumentationPoint, Platform, Telemetry,
+};
+use powerlens_sim::{Controller, Engine, FreqRequest};
+
+fn plan_report(plan: &InstrumentationPlan, platform: &Platform) -> powerlens_lint::LintReport {
+    lint_plan(
+        &PlanContext {
+            plan,
+            platform,
+            view: None,
+            graph: None,
+            oracle: None,
+        },
+        &LintConfig::default(),
+    )
+}
+
+#[test]
+fn empty_plan_fires_pl201() {
+    let report = plan_report(
+        &InstrumentationPlan::from_points_unchecked(vec![], 0),
+        &Platform::agx(),
+    );
+    assert!(report.fired("PL201"));
+    assert!(report.has_errors());
+}
+
+#[test]
+fn out_of_range_levels_fire_pl203_and_pl204() {
+    // AGX exposes 14 GPU levels, TX2 only 13: level 13 is valid on one
+    // board and an error on the other — exactly the mistake PL203 guards.
+    let agx = Platform::agx();
+    let tx2 = Platform::tx2();
+    let plan = InstrumentationPlan::new(
+        vec![InstrumentationPoint {
+            layer: 0,
+            gpu_level: 13,
+        }],
+        0,
+    );
+    assert!(!plan_report(&plan, &agx).fired("PL203"));
+    let report = plan_report(&plan, &tx2);
+    assert!(report.fired("PL203"), "{:?}", report.diagnostics);
+
+    let bad_cpu = InstrumentationPlan::new(
+        vec![InstrumentationPoint {
+            layer: 0,
+            gpu_level: 0,
+        }],
+        tx2.cpu_levels() + 5,
+    );
+    assert!(plan_report(&bad_cpu, &tx2).fired("PL204"));
+}
+
+#[test]
+fn single_block_view_with_oracle_plan_lints_clean() {
+    // The degenerate one-block view (whole network at one frequency) is a
+    // legal PowerLens output; the oracle's pick for it must satisfy the
+    // whole plan pack, including the PL209 self-cross-check.
+    let agx = Platform::agx();
+    let g = zoo::alexnet();
+    let view = PowerView::new(vec![PowerBlock {
+        start: 0,
+        end: g.num_layers(),
+    }]);
+    let config = LintConfig::default();
+    let vr = lint_view(&view, Some(&g), &config);
+    assert!(!vr.has_errors(), "{:?}", vr.diagnostics);
+
+    let best = |lo: usize, hi: usize| {
+        oracle::best_level_for_range(&agx, &g, lo, hi, 1, oracle::DEFAULT_SLACK)
+    };
+    let plan = InstrumentationPlan::new(
+        vec![InstrumentationPoint {
+            layer: 0,
+            gpu_level: best(0, g.num_layers()),
+        }],
+        agx.cpu_levels() - 1,
+    );
+    let report = lint_plan(
+        &PlanContext {
+            plan: &plan,
+            platform: &agx,
+            view: Some(&view),
+            graph: Some(&g),
+            oracle: Some(&best),
+        },
+        &config,
+    );
+    assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    assert!(!report.fired("PL209"));
+}
+
+/// Wraps a reactive controller and transcribes its first-batch frequency
+/// requests into instrumentation points, so the trajectory can be linted
+/// like a proactive plan.
+struct Recorder {
+    inner: Box<dyn Controller>,
+    points: Vec<InstrumentationPoint>,
+    cpu: FreqLevel,
+    last_layer: Option<LayerId>,
+    done: bool,
+}
+
+impl Recorder {
+    fn new(inner: Box<dyn Controller>) -> Self {
+        Recorder {
+            inner,
+            points: Vec::new(),
+            cpu: 0,
+            last_layer: None,
+            done: false,
+        }
+    }
+
+    fn into_plan(self) -> InstrumentationPlan {
+        InstrumentationPlan::from_points_unchecked(self.points, self.cpu)
+    }
+}
+
+impl Controller for Recorder {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_task_start(&mut self, graph: &Graph) {
+        self.inner.on_task_start(graph);
+    }
+
+    fn before_layer(
+        &mut self,
+        graph: &Graph,
+        layer: LayerId,
+        telemetry: &Telemetry,
+        gpu_level: FreqLevel,
+        cpu_level: FreqLevel,
+    ) -> FreqRequest {
+        let req = self
+            .inner
+            .before_layer(graph, layer, telemetry, gpu_level, cpu_level);
+        // Record the first batch only: a second pass over the layers would
+        // produce non-ascending points (which is what PL202 rejects).
+        if self.last_layer.is_some_and(|prev| layer <= prev) {
+            self.done = true;
+        }
+        self.last_layer = Some(layer);
+        if !self.done {
+            let level = req.gpu.unwrap_or(gpu_level);
+            if self.points.is_empty() || self.points.last().unwrap().gpu_level != level {
+                self.points.push(InstrumentationPoint {
+                    layer,
+                    gpu_level: level,
+                });
+            }
+            self.cpu = req.cpu.unwrap_or(cpu_level);
+        }
+        req
+    }
+}
+
+#[test]
+fn reactive_governor_trajectories_stay_in_range() {
+    // BiM / FPG-G / FPG-CG must only ever request levels the board exposes;
+    // linting their recorded first-batch trajectory as a plan proves it
+    // (PL202 ordering, PL203 GPU range, PL204 CPU range, PL208 coverage).
+    let platform = Platform::tx2();
+    let g = zoo::resnet34();
+    let engine = Engine::new(&platform).with_batch(4);
+    let recorders: Vec<(&str, Recorder)> = vec![
+        ("bim", Recorder::new(Box::new(Bim::new(&platform)))),
+        ("fpg-g", Recorder::new(Box::new(FpgG::new(&platform)))),
+        ("fpg-cg", Recorder::new(Box::new(FpgCg::new(&platform)))),
+    ];
+    for (name, mut rec) in recorders {
+        engine.run(&g, &mut rec, 8);
+        let plan = rec.into_plan();
+        assert!(plan.num_blocks() >= 1, "{name} recorded no points");
+        let report = plan_report(&plan, &platform);
+        assert!(!report.has_errors(), "{name}: {:?}", report.diagnostics);
+    }
+}

@@ -1,0 +1,190 @@
+//! Static analysis for PowerLens artifacts: graphs, power views, DVFS plans.
+//!
+//! PowerLens' correctness hinges on structural invariants the paper states
+//! but code elsewhere only spot-checks: power views must tile the layer
+//! sequence contiguously and without overlap (Algorithm 1 post-processing),
+//! DVFS instrumentation points must be preset *before* each block at a
+//! frequency level the platform actually exposes (the 13/14-level Jetson
+//! tables), and graphs must thread activation shapes consistently so the
+//! depthwise features mean what the predictors assume. This crate turns
+//! those invariants into a rule engine with stable error codes
+//! (`PL001`-`PL2xx`), severities, source locations, and machine-readable
+//! output (human text, JSON, SARIF 2.1.0) — the offline-position analog of
+//! NeuralPower/DSO-style static model validation.
+//!
+//! Three rule packs:
+//!
+//! * **graph** ([`lint_graph`]): shape-inference consistency, dangling or
+//!   cyclic skip edges, degenerate operator hyperparameters, stale cost
+//!   caches, zero-FLOP layers;
+//! * **view** ([`lint_view`]): contiguity, non-overlap, full coverage,
+//!   minimum block length, block/layer count agreement;
+//! * **plan** ([`lint_plan`]): frequency levels exist on the target
+//!   [`Platform`], points precede their blocks in monotone order, no-op
+//!   transitions, oracle cross-checks.
+//!
+//! The catalog lives in `docs/LINTS.md`; gates run in the `lint` CLI
+//! subcommand, in debug builds of `core::pipeline` / `sim::engine`, and in
+//! `scripts/check.sh` over every zoo model.
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_lint::{lint_graph, LintConfig};
+//! use powerlens_dnn::zoo;
+//!
+//! let report = lint_graph(&zoo::resnet34(), &LintConfig::default());
+//! assert!(!report.has_errors());
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod diag;
+mod graph_rules;
+mod output;
+mod plan_rules;
+mod rules;
+mod view_rules;
+
+use powerlens_cluster::PowerView;
+use powerlens_dnn::Graph;
+use powerlens_obs as obs;
+use powerlens_platform::{FreqLevel, InstrumentationPlan, Platform};
+
+pub use diag::{Diagnostic, LintReport, Location, Severity};
+pub use output::{render, to_json, to_sarif, Format};
+pub use plan_rules::PlanContext;
+pub use rules::{all_rules, rule_by_code, Pack, RuleInfo};
+
+/// Tunables of the analyzer; rule *logic* is fixed, thresholds are not.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Blocks shorter than this trigger `PL106` (warning).
+    pub min_block_len: usize,
+    /// Views with more blocks than this trigger `PL107` (info).
+    pub max_blocks: usize,
+    /// `PL209` fires when a block's level differs from the oracle's by more
+    /// than this many frequency steps.
+    pub oracle_tolerance: usize,
+    /// Rule codes to suppress entirely (e.g. `["PL011"]`).
+    pub disabled: Vec<String>,
+}
+
+impl Default for LintConfig {
+    /// Thresholds matching the pipeline defaults (`PowerLensConfig`):
+    /// min block length 2, at most 8 blocks, oracle tolerance 2 levels.
+    fn default() -> Self {
+        LintConfig {
+            min_block_len: 2,
+            max_blocks: 8,
+            oracle_tolerance: 2,
+            disabled: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// `true` unless `code` is in the disabled list.
+    pub fn enabled(&self, code: &str) -> bool {
+        !self.disabled.iter().any(|c| c == code)
+    }
+}
+
+/// Runs the **graph pack** over a graph.
+pub fn lint_graph(graph: &Graph, config: &LintConfig) -> LintReport {
+    let _span = obs::span("lint.graph");
+    let mut report = LintReport::new(graph.name());
+    graph_rules::check(graph, config, &mut report);
+    report
+}
+
+/// Runs the **view pack** over a power view; pass the source graph to also
+/// check coverage (`PL104`).
+pub fn lint_view(view: &PowerView, graph: Option<&Graph>, config: &LintConfig) -> LintReport {
+    let _span = obs::span("lint.view");
+    let subject = graph.map_or_else(|| "power-view".to_string(), |g| g.name().to_string());
+    let mut report = LintReport::new(subject);
+    view_rules::check(view, graph, config, &mut report);
+    report
+}
+
+/// Runs the **plan pack** over a DVFS plan in its deployment context (target
+/// platform, and optionally the source view/graph and an oracle callback).
+pub fn lint_plan(ctx: &PlanContext<'_>, config: &LintConfig) -> LintReport {
+    let _span = obs::span("lint.plan");
+    let subject = ctx
+        .graph
+        .map_or_else(|| "dvfs-plan".to_string(), |g| g.name().to_string());
+    let mut report = LintReport::new(subject);
+    plan_rules::check(ctx, config, &mut report);
+    report
+}
+
+/// Runs all three packs over a full pipeline output and merges the findings.
+pub fn lint_pipeline(
+    graph: &Graph,
+    view: &PowerView,
+    plan: &InstrumentationPlan,
+    platform: &Platform,
+    oracle: Option<&dyn Fn(usize, usize) -> FreqLevel>,
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = lint_graph(graph, config);
+    report.merge(lint_view(view, Some(graph), config));
+    report.merge(lint_plan(
+        &PlanContext {
+            plan,
+            platform,
+            view: Some(view),
+            graph: Some(graph),
+            oracle,
+        },
+        config,
+    ));
+    report
+}
+
+/// Surfaces a report's counts through the observability layer as the
+/// `lint.errors` / `lint.warnings` counters (no-op when tracing is off).
+pub fn record_to_obs(report: &LintReport) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter("lint.errors", report.num_errors() as u64);
+    obs::counter("lint.warnings", report.num_warnings() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_dnn::zoo;
+
+    #[test]
+    fn default_config_enables_everything() {
+        let c = LintConfig::default();
+        assert!(c.enabled("PL001"));
+        assert!(c.enabled("PL209"));
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let mut c = LintConfig::default();
+        c.disabled.push("PL011".to_string());
+        let g = zoo::resnet34();
+        let r = lint_graph(&g, &c);
+        assert!(!r.fired("PL011"));
+        let r_on = lint_graph(&g, &LintConfig::default());
+        assert!(
+            r_on.fired("PL011"),
+            "resnet34 has zero-FLOP flatten/add-free layers"
+        );
+    }
+
+    #[test]
+    fn zoo_models_are_error_free() {
+        for (name, build) in zoo::all_models() {
+            let r = lint_graph(&build(), &LintConfig::default());
+            assert!(!r.has_errors(), "{name}: {:?}", r.diagnostics);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Report rendering: human text, plain JSON, and SARIF 2.1.0 for CI.
+
+use std::fmt::Write as _;
+
+use serde::Value;
+
+use crate::diag::{LintReport, Severity};
+use crate::rules::{all_rules, RuleInfo};
+
+/// Output format of the `lint` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One finding per line, with a per-subject summary.
+    Human,
+    /// Plain JSON report tree.
+    Json,
+    /// SARIF 2.1.0 static-analysis interchange format.
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "human" | "text" => Some(Format::Human),
+            "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Renders reports in the requested format.
+pub fn render(reports: &[LintReport], format: Format) -> String {
+    match format {
+        Format::Human => render_human(reports),
+        Format::Json => {
+            serde_json::to_string_pretty(&to_json(reports)).expect("value tree always serializes")
+        }
+        Format::Sarif => {
+            serde_json::to_string_pretty(&to_sarif(reports)).expect("value tree always serializes")
+        }
+    }
+}
+
+fn render_human(reports: &[LintReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        if r.diagnostics.is_empty() {
+            let _ = writeln!(out, "{}: clean", r.subject);
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} error(s), {} warning(s), {} note(s)",
+            r.subject,
+            r.num_errors(),
+            r.num_warnings(),
+            r.count(Severity::Info)
+        );
+        for d in &r.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+    }
+    out
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(x: impl Into<String>) -> Value {
+    Value::Str(x.into())
+}
+
+fn n(x: usize) -> Value {
+    Value::Num(x as f64)
+}
+
+/// Plain JSON tree: one entry per report with per-finding code, severity,
+/// location, and message.
+pub fn to_json(reports: &[LintReport]) -> Value {
+    let reports = reports
+        .iter()
+        .map(|r| {
+            let diagnostics = r
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    obj(vec![
+                        ("code", s(d.rule.code)),
+                        ("rule", s(d.rule.name)),
+                        ("severity", s(d.rule.severity.label())),
+                        ("location", s(d.location.to_string())),
+                        ("message", s(d.message.clone())),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("subject", s(r.subject.clone())),
+                ("errors", n(r.num_errors())),
+                ("warnings", n(r.num_warnings())),
+                ("diagnostics", Value::Array(diagnostics)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("tool", s("powerlens-lint")),
+        ("reports", Value::Array(reports)),
+    ])
+}
+
+fn sarif_rule(r: &RuleInfo) -> Value {
+    obj(vec![
+        ("id", s(r.code)),
+        ("name", s(r.name)),
+        ("shortDescription", obj(vec![("text", s(r.invariant))])),
+        (
+            "help",
+            obj(vec![(
+                "text",
+                s(format!("{} (paper: {})", r.invariant, r.paper_ref)),
+            )]),
+        ),
+        (
+            "defaultConfiguration",
+            obj(vec![("level", s(r.severity.sarif_level()))]),
+        ),
+    ])
+}
+
+/// SARIF 2.1.0 log: one run, the full rule catalog in the tool driver, one
+/// result per finding with a logical location
+/// (`<subject>/<layer|block|step>`).
+pub fn to_sarif(reports: &[LintReport]) -> Value {
+    let rules = all_rules();
+    let rule_index =
+        |code: &str| -> usize { rules.iter().position(|r| r.code == code).unwrap_or(0) };
+    let mut results = Vec::new();
+    for r in reports {
+        for d in &r.diagnostics {
+            results.push(obj(vec![
+                ("ruleId", s(d.rule.code)),
+                ("ruleIndex", n(rule_index(d.rule.code))),
+                ("level", s(d.rule.severity.sarif_level())),
+                ("message", obj(vec![("text", s(d.message.clone()))])),
+                (
+                    "locations",
+                    Value::Array(vec![obj(vec![(
+                        "logicalLocations",
+                        Value::Array(vec![obj(vec![
+                            ("name", s(d.location.to_string())),
+                            (
+                                "fullyQualifiedName",
+                                s(format!("{}/{}", r.subject, d.location)),
+                            ),
+                            ("kind", s(d.location.kind())),
+                        ])]),
+                    )])]),
+                ),
+            ]));
+        }
+    }
+    let driver = obj(vec![
+        ("name", s("powerlens-lint")),
+        ("version", s(env!("CARGO_PKG_VERSION"))),
+        (
+            "informationUri",
+            s("https://example.com/powerlens/docs/LINTS.md"),
+        ),
+        (
+            "rules",
+            Value::Array(rules.iter().map(|r| sarif_rule(r)).collect()),
+        ),
+    ]);
+    obj(vec![
+        (
+            "$schema",
+            s("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                ("tool", obj(vec![("driver", driver)])),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Location;
+    use crate::rules;
+
+    fn sample() -> Vec<LintReport> {
+        let mut r = LintReport::new("resnet34");
+        r.push(
+            &rules::VIEW_NOT_CONTIGUOUS,
+            Location::Block(2),
+            "gap: block starts at layer 9 but the previous block ended at 7".to_string(),
+        );
+        r.push(
+            &rules::PLAN_NOOP_TRANSITION,
+            Location::PlanStep(1),
+            "transition at layer 4 re-requests the active gpu level 5".to_string(),
+        );
+        vec![r, LintReport::new("alexnet")]
+    }
+
+    #[test]
+    fn human_output_lists_findings_and_clean_subjects() {
+        let out = render(&sample(), Format::Human);
+        assert!(out.contains("resnet34: 1 error(s), 1 warning(s)"));
+        assert!(out.contains("PL103"));
+        assert!(out.contains("block 2"));
+        assert!(out.contains("alexnet: clean"));
+    }
+
+    #[test]
+    fn json_output_round_trips_through_shim() {
+        let text = render(&sample(), Format::Json);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let reports = match v.field("reports").unwrap() {
+            Value::Array(a) => a,
+            other => panic!("expected array, got {}", other.kind()),
+        };
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].field("errors").unwrap(), &Value::Num(1.0));
+    }
+
+    #[test]
+    fn sarif_output_has_2_1_0_shape() {
+        let v = to_sarif(&sample());
+        assert_eq!(v.field("version").unwrap(), &Value::Str("2.1.0".into()));
+        assert!(
+            matches!(v.field("$schema").unwrap(), Value::Str(u) if u.contains("sarif-schema-2.1.0"))
+        );
+        let runs = match v.field("runs").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("runs must be an array"),
+        };
+        let driver = runs[0].field("tool").unwrap().field("driver").unwrap();
+        assert_eq!(
+            driver.field("name").unwrap(),
+            &Value::Str("powerlens-lint".into())
+        );
+        let rules_arr = match driver.field("rules").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("rules must be an array"),
+        };
+        assert_eq!(rules_arr.len(), all_rules().len());
+        let results = match runs[0].field("results").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("results must be an array"),
+        };
+        assert_eq!(results.len(), 2);
+        let first = &results[0];
+        assert_eq!(first.field("ruleId").unwrap(), &Value::Str("PL103".into()));
+        assert_eq!(first.field("level").unwrap(), &Value::Str("error".into()));
+        // ruleIndex points back into the catalog.
+        let idx = match first.field("ruleIndex").unwrap() {
+            Value::Num(x) => *x as usize,
+            _ => panic!("ruleIndex must be a number"),
+        };
+        assert_eq!(all_rules()[idx].code, "PL103");
+        // Logical locations carry the subject-qualified name.
+        let loc = first.field("locations").unwrap();
+        let txt = serde_json::to_string(loc).unwrap();
+        assert!(txt.contains("resnet34/block 2"));
+    }
+}

@@ -1,0 +1,217 @@
+//! The rule registry: stable codes, severities, invariants, paper references.
+//!
+//! Codes are permanent once shipped: `PL0xx` graph rules, `PL1xx` view rules,
+//! `PL2xx` plan rules. New rules append; retired rules leave a hole.
+
+use crate::diag::Severity;
+
+/// Which artifact a rule inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pack {
+    /// Operator graphs (`powerlens_dnn::Graph`).
+    Graph,
+    /// Power views (`powerlens_cluster::PowerView`).
+    View,
+    /// DVFS plans (`powerlens_platform::InstrumentationPlan`).
+    Plan,
+}
+
+impl Pack {
+    /// Lower-case pack name for output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pack::Graph => "graph",
+            Pack::View => "view",
+            Pack::Plan => "plan",
+        }
+    }
+}
+
+/// Static metadata of one lint rule.
+#[derive(Debug)]
+pub struct RuleInfo {
+    /// Stable code, e.g. `"PL103"`.
+    pub code: &'static str,
+    /// Short kebab-case rule name, e.g. `"view-not-contiguous"`.
+    pub name: &'static str,
+    /// Severity of every finding this rule emits.
+    pub severity: Severity,
+    /// The pack the rule belongs to.
+    pub pack: Pack,
+    /// The invariant the rule enforces, in one sentence.
+    pub invariant: &'static str,
+    /// Where the paper states or implies the invariant.
+    pub paper_ref: &'static str,
+}
+
+macro_rules! rules {
+    ($($ident:ident = $code:literal, $name:literal, $sev:ident, $pack:ident,
+        $invariant:literal, $paper:literal;)*) => {
+        $(
+            #[doc = concat!("`", $code, "` (", $name, ")")]
+            pub static $ident: RuleInfo = RuleInfo {
+                code: $code,
+                name: $name,
+                severity: Severity::$sev,
+                pack: Pack::$pack,
+                invariant: $invariant,
+                paper_ref: $paper,
+            };
+        )*
+
+        /// Every registered rule, ordered by code.
+        pub fn all_rules() -> &'static [&'static RuleInfo] {
+            static ALL: &[&RuleInfo] = &[$(&$ident,)*];
+            ALL
+        }
+    };
+}
+
+rules! {
+    // ---- graph pack -----------------------------------------------------
+    GRAPH_EMPTY = "PL001", "graph-empty", Error, Graph,
+        "a graph must contain at least one layer",
+        "§2.1.1 (models are non-empty operator sequences)";
+    LAYER_ID_ORDER = "PL002", "layer-id-order", Error, Graph,
+        "layer ids must equal their execution-order index",
+        "§2.1.3 (spacing term |i-j| assumes positional ids)";
+    OP_SHAPE_INCOMPATIBLE = "PL003", "op-shape-incompatible", Error, Graph,
+        "every operator must be able to consume its input shape \
+         (category and channel/feature arity)",
+        "§2.1.2 (depthwise features require resolvable shapes)";
+    SHAPE_CACHE_MISMATCH = "PL004", "shape-cache-mismatch", Error, Graph,
+        "a layer's stored output shape must equal the shape its operator \
+         infers from the input shape",
+        "§2.1.2 (shape-derived features feed the predictors)";
+    SHAPE_CHAIN_BROKEN = "PL005", "shape-chain-broken", Error, Graph,
+        "each layer's input shape must be the graph input or an earlier \
+         layer's output (flattened token embeddings allowed)",
+        "§2.1.1 (execution order is the layer order)";
+    SKIP_EDGE_INVALID = "PL006", "skip-edge-invalid", Error, Graph,
+        "skip edges must point forward to an existing layer (no dangling \
+         or cyclic edges)",
+        "§2.1.2 (residual counts come from well-formed edges)";
+    OP_DEGENERATE_PARAMS = "PL007", "op-degenerate-params", Error, Graph,
+        "operator hyperparameters must be non-degenerate (no zero strides, \
+         kernels, channels, heads, or indivisible groupings)",
+        "§2.1.2 (analytical cost model divides by these)";
+    ZERO_ELEMENT_ACTIVATION = "PL008", "zero-element-activation", Warning, Graph,
+        "no activation tensor should have zero elements",
+        "§2.1.2 (zero-size tensors break per-layer cost accounting)";
+    COST_CACHE_STALE = "PL009", "cost-cache-stale", Warning, Graph,
+        "cached layer costs (FLOPs, params, memory) must match a recompute \
+         from the operator and input shape, and be finite",
+        "§2.1.2 (depthwise features are read from these caches)";
+    SKIP_TARGET_NOT_MERGE = "PL010", "skip-target-not-merge", Warning, Graph,
+        "skip edges should terminate at a merge operator (add or concat)",
+        "§2.1.2 (macro features count residual/branch constructs)";
+    ZERO_FLOP_LAYER = "PL011", "zero-flop-layer", Info, Graph,
+        "layers with zero FLOPs (reshapes, concats) contribute no compute \
+         signal to clustering",
+        "§2.1.3 (power behaviour is compute/memory driven)";
+
+    // ---- view pack ------------------------------------------------------
+    VIEW_EMPTY = "PL101", "view-empty", Error, View,
+        "a power view must contain at least one block",
+        "Algorithm 1 (processClusters returns a partition)";
+    BLOCK_EMPTY = "PL102", "block-empty", Error, View,
+        "every power block must span at least one layer",
+        "Algorithm 1 (blocks are non-empty layer ranges)";
+    VIEW_NOT_CONTIGUOUS = "PL103", "view-not-contiguous", Error, View,
+        "blocks must tile the layer range contiguously, starting at layer 0, \
+         without gaps or overlaps",
+        "§2.1.3 (blocks are contiguous and non-overlapping)";
+    VIEW_COVERAGE = "PL104", "view-coverage", Error, View,
+        "the view must cover exactly the source graph's layers",
+        "§2.1.3 (the power view spans the whole network)";
+    VIEW_COUNT_MISMATCH = "PL105", "view-count-mismatch", Error, View,
+        "the view's recorded layer count must equal the sum of its block \
+         lengths",
+        "§2.1.3 (internal consistency of the intermediate representation)";
+    BLOCK_TOO_SHORT = "PL106", "block-too-short", Warning, View,
+        "blocks shorter than the configured minimum amortize DVFS switching \
+         poorly",
+        "§3.3 (50 ms transition cost motivates long blocks)";
+    VIEW_MANY_BLOCKS = "PL107", "view-many-blocks", Info, View,
+        "views with more blocks than the configured maximum incur frequent \
+         transitions",
+        "Table 1 (real models cluster into a handful of blocks)";
+
+    // ---- plan pack ------------------------------------------------------
+    PLAN_EMPTY = "PL201", "plan-empty", Error, Plan,
+        "a plan must contain at least one instrumentation point",
+        "§2.1.4 (every block gets a preset point)";
+    PLAN_NOT_ASCENDING = "PL202", "plan-not-ascending", Error, Plan,
+        "instrumentation points must be strictly ascending by layer id",
+        "§2.1.4 (points are preset before each block, in block order)";
+    PLAN_GPU_LEVEL_INVALID = "PL203", "plan-gpu-level-invalid", Error, Plan,
+        "every requested GPU level must exist in the target platform's \
+         frequency table",
+        "§3.1 (AGX exposes 14 GPU levels, TX2 exposes 13)";
+    PLAN_CPU_LEVEL_INVALID = "PL204", "plan-cpu-level-invalid", Error, Plan,
+        "the fixed CPU level must exist in the target platform's frequency \
+         table",
+        "§3.2.1 (the CPU stays on a valid default level)";
+    PLAN_POINT_BEYOND_GRAPH = "PL205", "plan-point-beyond-graph", Error, Plan,
+        "instrumentation points must reference layers inside the graph",
+        "§2.1.4 (points are preset before existing layers)";
+    PLAN_VIEW_MISALIGNED = "PL206", "plan-view-misaligned", Error, Plan,
+        "each instrumentation point must precede its power block: one point \
+         per block, at the block's first layer",
+        "§2.1.4 (points are preset *before* each power block)";
+    PLAN_NOOP_TRANSITION = "PL207", "plan-noop-transition", Warning, Plan,
+        "consecutive points with identical GPU levels schedule a transition \
+         that changes nothing yet still costs the DVFS latency check",
+        "§3.3 (transitions cost 50 ms; avoid gratuitous ones)";
+    PLAN_UNCONTROLLED_PREFIX = "PL208", "plan-uncontrolled-prefix", Warning, Plan,
+        "the first instrumentation point should be at layer 0, otherwise the \
+         leading layers run at an inherited, unplanned frequency",
+        "§2.1.4 (the plan governs the whole inference pass)";
+    PLAN_ORACLE_DIVERGENCE = "PL209", "plan-oracle-divergence", Info, Plan,
+        "per-block levels should stay close to the exhaustive-search oracle's \
+         choice for the same block",
+        "§3.2.2 (PowerLens tracks the oracle within a few levels)";
+}
+
+/// Looks up a rule by its stable code.
+pub fn rule_by_code(code: &str) -> Option<&'static RuleInfo> {
+    all_rules().iter().copied().find(|r| r.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted_by_pack() {
+        let rules = all_rules();
+        assert!(rules.len() >= 12, "need at least 12 rules");
+        for w in rules.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+        for r in rules {
+            let prefix = match r.pack {
+                Pack::Graph => "PL0",
+                Pack::View => "PL1",
+                Pack::Plan => "PL2",
+            };
+            assert!(r.code.starts_with(prefix), "{} in wrong band", r.code);
+            assert!(!r.invariant.is_empty() && !r.paper_ref.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_pack_has_error_rules() {
+        for pack in [Pack::Graph, Pack::View, Pack::Plan] {
+            assert!(all_rules()
+                .iter()
+                .any(|r| r.pack == pack && r.severity == Severity::Error));
+        }
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(rule_by_code("PL103").unwrap().name, "view-not-contiguous");
+        assert!(rule_by_code("PL999").is_none());
+    }
+}

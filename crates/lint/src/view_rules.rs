@@ -1,0 +1,209 @@
+//! View pack: partition rules over [`powerlens_cluster::PowerView`].
+
+use powerlens_cluster::PowerView;
+use powerlens_dnn::Graph;
+
+use crate::diag::{LintReport, Location};
+use crate::rules;
+use crate::LintConfig;
+
+/// Runs every view rule, appending findings to `report`. Coverage against
+/// the source graph (`PL104`) only runs when `graph` is provided.
+pub fn check(
+    view: &PowerView,
+    graph: Option<&Graph>,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    if view.num_blocks() == 0 {
+        if config.enabled(rules::VIEW_EMPTY.code) {
+            report.push(
+                &rules::VIEW_EMPTY,
+                Location::Model,
+                "power view contains no blocks".to_string(),
+            );
+        }
+        return; // the remaining rules assume at least one block
+    }
+
+    let mut expected_start = 0;
+    let mut covered = 0usize;
+    for (i, b) in view.blocks().iter().enumerate() {
+        let loc = Location::Block(i);
+        if b.is_empty() {
+            if config.enabled(rules::BLOCK_EMPTY.code) {
+                report.push(
+                    &rules::BLOCK_EMPTY,
+                    loc,
+                    format!("block spans no layers ({}..{})", b.start, b.end),
+                );
+            }
+            // A degenerate block makes the tiling check meaningless from
+            // here on; re-anchor on its start.
+            expected_start = b.start;
+            continue;
+        }
+        if b.start != expected_start && config.enabled(rules::VIEW_NOT_CONTIGUOUS.code) {
+            let kind = if b.start > expected_start {
+                "gap"
+            } else {
+                "overlap"
+            };
+            report.push(
+                &rules::VIEW_NOT_CONTIGUOUS,
+                loc,
+                format!(
+                    "{kind}: block starts at layer {} but the previous block ended at {}",
+                    b.start, expected_start
+                ),
+            );
+        }
+        if b.len() < config.min_block_len && config.enabled(rules::BLOCK_TOO_SHORT.code) {
+            report.push(
+                &rules::BLOCK_TOO_SHORT,
+                loc,
+                format!(
+                    "block spans {} layer(s), below the minimum of {}",
+                    b.len(),
+                    config.min_block_len
+                ),
+            );
+        }
+        covered += b.len();
+        expected_start = b.end;
+    }
+
+    if view.num_layers() != covered && config.enabled(rules::VIEW_COUNT_MISMATCH.code) {
+        report.push(
+            &rules::VIEW_COUNT_MISMATCH,
+            Location::Model,
+            format!(
+                "view records {} layers but its blocks span {}",
+                view.num_layers(),
+                covered
+            ),
+        );
+    }
+
+    if view.num_blocks() > config.max_blocks && config.enabled(rules::VIEW_MANY_BLOCKS.code) {
+        report.push(
+            &rules::VIEW_MANY_BLOCKS,
+            Location::Model,
+            format!(
+                "{} blocks exceed the configured maximum of {}",
+                view.num_blocks(),
+                config.max_blocks
+            ),
+        );
+    }
+
+    if let Some(g) = graph {
+        let end = view.blocks().last().map_or(0, |b| b.end);
+        if end != g.num_layers() && config.enabled(rules::VIEW_COVERAGE.code) {
+            report.push(
+                &rules::VIEW_COVERAGE,
+                Location::Model,
+                format!(
+                    "view ends at layer {} but graph `{}` has {} layers",
+                    end,
+                    g.name(),
+                    g.num_layers()
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_cluster::{cluster_graph, ClusterParams, PowerBlock, PowerView};
+    use powerlens_dnn::zoo;
+
+    fn lint(view: &PowerView, graph: Option<&Graph>) -> LintReport {
+        let mut r = LintReport::new("t");
+        check(view, graph, &LintConfig::default(), &mut r);
+        r
+    }
+
+    fn blocks(spec: &[(usize, usize)]) -> Vec<PowerBlock> {
+        spec.iter()
+            .map(|&(start, end)| PowerBlock { start, end })
+            .collect()
+    }
+
+    #[test]
+    fn clustered_zoo_views_are_error_free() {
+        for (name, build) in zoo::all_models() {
+            let g = build();
+            let v = cluster_graph(&g, &ClusterParams::default()).unwrap();
+            let r = lint(&v, Some(&g));
+            assert!(!r.has_errors(), "{name}: {:?}", r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn empty_view_fires_pl101() {
+        let v = PowerView::from_blocks_unchecked(vec![], 0);
+        let r = lint(&v, None);
+        assert!(r.fired("PL101"));
+        assert_eq!(r.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn empty_block_fires_pl102() {
+        let v = PowerView::from_blocks_unchecked(blocks(&[(0, 3), (3, 3), (3, 6)]), 6);
+        let r = lint(&v, None);
+        assert!(r.fired("PL102"));
+        assert!(!r.fired("PL103"), "re-anchoring avoids a cascade");
+    }
+
+    #[test]
+    fn gap_and_overlap_fire_pl103() {
+        let gap = PowerView::from_blocks_unchecked(blocks(&[(0, 3), (4, 8)]), 7);
+        assert!(lint(&gap, None).fired("PL103"));
+        let overlap = PowerView::from_blocks_unchecked(blocks(&[(0, 4), (3, 8)]), 9);
+        assert!(lint(&overlap, None).fired("PL103"));
+        let shifted = PowerView::from_blocks_unchecked(blocks(&[(1, 8)]), 7);
+        assert!(lint(&shifted, None).fired("PL103"), "must start at layer 0");
+        let good = PowerView::new(blocks(&[(0, 4), (4, 8)]));
+        assert!(!lint(&good, None).fired("PL103"));
+    }
+
+    #[test]
+    fn coverage_mismatch_fires_pl104() {
+        let g = zoo::alexnet();
+        let v = PowerView::new(blocks(&[(0, g.num_layers() - 1)]));
+        assert!(lint(&v, Some(&g)).fired("PL104"));
+        let full = PowerView::new(blocks(&[(0, g.num_layers())]));
+        assert!(!lint(&full, Some(&g)).fired("PL104"));
+    }
+
+    #[test]
+    fn count_mismatch_fires_pl105() {
+        let v = PowerView::from_blocks_unchecked(blocks(&[(0, 4)]), 11);
+        assert!(lint(&v, None).fired("PL105"));
+        let ok = PowerView::new(blocks(&[(0, 4)]));
+        assert!(!lint(&ok, None).fired("PL105"));
+    }
+
+    #[test]
+    fn short_block_fires_pl106_warning() {
+        let v = PowerView::new(blocks(&[(0, 1), (1, 5)]));
+        let r = lint(&v, None);
+        assert!(r.fired("PL106"));
+        assert_eq!(r.num_errors(), 0);
+    }
+
+    #[test]
+    fn many_blocks_fire_pl107_info() {
+        let spec: Vec<(usize, usize)> = (0..12).map(|i| (2 * i, 2 * i + 2)).collect();
+        let v = PowerView::new(blocks(&spec));
+        let r = lint(&v, None);
+        assert!(r.fired("PL107"));
+        assert_eq!(r.num_errors(), 0);
+        assert_eq!(r.num_warnings(), 0);
+        let few = PowerView::new(blocks(&[(0, 4), (4, 8)]));
+        assert!(!lint(&few, None).fired("PL107"));
+    }
+}

@@ -30,6 +30,8 @@
 //! assert!(stats.final_train_accuracy > 0.95);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adam;
 mod dense;
 mod loss;

@@ -22,6 +22,11 @@
 //! assert_eq!(pinv.rows(), 2);
 //! ```
 
+// No unsafe today; if SIMD/FFI kernels ever need it, each block must
+// carry a `// SAFETY:` comment (and drop the forbid for a deny).
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 mod eigen;
 mod error;
 pub mod kernels;

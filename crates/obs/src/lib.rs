@@ -52,6 +52,8 @@
 //! assert!(snap.spans.contains_key("plan/clustering"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod registry;
 mod snapshot;
 mod span;

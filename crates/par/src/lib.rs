@@ -32,6 +32,11 @@
 //! assert_eq!(lens, vec![1, 2, 3]);
 //! ```
 
+// No unsafe today; if SIMD/FFI kernels ever need it, each block must
+// carry a `// SAFETY:` comment (and drop the forbid for a deny).
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())

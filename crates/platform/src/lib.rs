@@ -33,10 +33,13 @@
 //! assert!(t_slow > t_fast);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod board;
 mod builder;
 mod dvfs;
 mod freq;
+mod plan;
 mod power;
 mod sensor;
 
@@ -44,5 +47,6 @@ pub use board::{LayerTiming, Platform};
 pub use builder::PlatformBuilder;
 pub use dvfs::DvfsActuator;
 pub use freq::{FreqLevel, FrequencyTable};
+pub use plan::{InstrumentationPlan, InstrumentationPoint};
 pub use power::PowerDomainModel;
 pub use sensor::{PowerSample, Telemetry, WindowStats};

@@ -1,0 +1,149 @@
+//! Proactive DVFS schedules: instrumentation points and plans.
+//!
+//! These types are the *interface contract* between the offline PowerLens
+//! pipeline (which emits a plan) and the execution layer (which applies it):
+//! "DVFS instrumentation points are preset *before* each power block at a
+//! frequency level the platform actually exposes" (paper §2.1.4). They live
+//! in the platform crate — below both the simulator and the static analyzer
+//! — so that `powerlens-lint` can validate plans against a
+//! [`crate::Platform`] without depending on the simulator.
+
+use powerlens_dnn::LayerId;
+
+use crate::FreqLevel;
+
+/// One DVFS instrumentation point: "before layer `layer`, set the GPU to
+/// `gpu_level`" (paper §2.1.4: points are preset *before each power block*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentationPoint {
+    /// First layer of the power block.
+    pub layer: LayerId,
+    /// Target GPU frequency level for the block.
+    pub gpu_level: FreqLevel,
+}
+
+/// A complete proactive DVFS schedule for one graph: the output of the
+/// PowerLens pipeline (power view + per-block decisions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrumentationPlan {
+    points: Vec<InstrumentationPoint>,
+    cpu_level: FreqLevel,
+}
+
+impl InstrumentationPlan {
+    /// Builds a plan from instrumentation points (sorted by layer id) and a
+    /// fixed CPU level (PowerLens configures GPU frequency only; the CPU
+    /// stays on its default — §3.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not strictly ascending in layer id.
+    pub fn new(points: Vec<InstrumentationPoint>, cpu_level: FreqLevel) -> Self {
+        assert!(!points.is_empty(), "plan needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].layer < w[1].layer),
+            "instrumentation points must be strictly ascending by layer"
+        );
+        InstrumentationPlan { points, cpu_level }
+    }
+
+    /// Builds a plan **without validating** the point list.
+    ///
+    /// Intended for deserializers and for the `powerlens-lint` test suite,
+    /// which needs to construct malformed plans on purpose. Code paths that
+    /// accept plans from outside the pipeline should run the lint plan pack
+    /// over the result instead of trusting it.
+    pub fn from_points_unchecked(points: Vec<InstrumentationPoint>, cpu_level: FreqLevel) -> Self {
+        InstrumentationPlan { points, cpu_level }
+    }
+
+    /// The instrumentation points, ascending by layer.
+    pub fn points(&self) -> &[InstrumentationPoint] {
+        &self.points
+    }
+
+    /// Number of power blocks (the paper's Table 1 "Block" column).
+    pub fn num_blocks(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The fixed CPU level.
+    pub fn cpu_level(&self) -> FreqLevel {
+        self.cpu_level
+    }
+
+    /// The GPU level active at `layer` under this plan.
+    pub fn level_at(&self, layer: LayerId) -> FreqLevel {
+        let mut level = self.points[0].gpu_level;
+        for p in &self.points {
+            if p.layer <= layer {
+                level = p.gpu_level;
+            } else {
+                break;
+            }
+        }
+        level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> InstrumentationPlan {
+        InstrumentationPlan::new(
+            vec![
+                InstrumentationPoint {
+                    layer: 0,
+                    gpu_level: 10,
+                },
+                InstrumentationPoint {
+                    layer: 5,
+                    gpu_level: 3,
+                },
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn level_at_follows_blocks() {
+        let p = plan();
+        assert_eq!(p.level_at(0), 10);
+        assert_eq!(p.level_at(4), 10);
+        assert_eq!(p.level_at(5), 3);
+        assert_eq!(p.level_at(100), 3);
+        assert_eq!(p.num_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn plan_rejects_unsorted_points() {
+        InstrumentationPlan::new(
+            vec![
+                InstrumentationPoint {
+                    layer: 5,
+                    gpu_level: 1,
+                },
+                InstrumentationPoint {
+                    layer: 0,
+                    gpu_level: 2,
+                },
+            ],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn plan_rejects_empty() {
+        InstrumentationPlan::new(vec![], 0);
+    }
+
+    #[test]
+    fn unchecked_constructor_accepts_anything() {
+        let p = InstrumentationPlan::from_points_unchecked(vec![], 3);
+        assert_eq!(p.num_blocks(), 0);
+        assert_eq!(p.cpu_level(), 3);
+    }
+}

@@ -1,6 +1,8 @@
 use powerlens_dnn::{Graph, LayerId};
 use powerlens_platform::{FreqLevel, Telemetry};
 
+pub use powerlens_platform::{InstrumentationPlan, InstrumentationPoint};
+
 /// A frequency-change request issued by a controller before a layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FreqRequest {
@@ -93,70 +95,6 @@ impl Controller for StaticController {
     }
 }
 
-/// One DVFS instrumentation point: "before layer `layer`, set the GPU to
-/// `gpu_level`" (paper §2.1.4: points are preset *before each power block*).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InstrumentationPoint {
-    /// First layer of the power block.
-    pub layer: LayerId,
-    /// Target GPU frequency level for the block.
-    pub gpu_level: FreqLevel,
-}
-
-/// A complete proactive DVFS schedule for one graph: the output of the
-/// PowerLens pipeline (power view + per-block decisions).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InstrumentationPlan {
-    points: Vec<InstrumentationPoint>,
-    cpu_level: FreqLevel,
-}
-
-impl InstrumentationPlan {
-    /// Builds a plan from instrumentation points (sorted by layer id) and a
-    /// fixed CPU level (PowerLens configures GPU frequency only; the CPU
-    /// stays on its default — §3.2.1).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `points` is empty or not strictly ascending in layer id.
-    pub fn new(points: Vec<InstrumentationPoint>, cpu_level: FreqLevel) -> Self {
-        assert!(!points.is_empty(), "plan needs at least one point");
-        assert!(
-            points.windows(2).all(|w| w[0].layer < w[1].layer),
-            "instrumentation points must be strictly ascending by layer"
-        );
-        InstrumentationPlan { points, cpu_level }
-    }
-
-    /// The instrumentation points, ascending by layer.
-    pub fn points(&self) -> &[InstrumentationPoint] {
-        &self.points
-    }
-
-    /// Number of power blocks (the paper's Table 1 "Block" column).
-    pub fn num_blocks(&self) -> usize {
-        self.points.len()
-    }
-
-    /// The fixed CPU level.
-    pub fn cpu_level(&self) -> FreqLevel {
-        self.cpu_level
-    }
-
-    /// The GPU level active at `layer` under this plan.
-    pub fn level_at(&self, layer: LayerId) -> FreqLevel {
-        let mut level = self.points[0].gpu_level;
-        for p in &self.points {
-            if p.layer <= layer {
-                level = p.gpu_level;
-            } else {
-                break;
-            }
-        }
-        level
-    }
-}
-
 /// Executes an [`InstrumentationPlan`]: issues the preset GPU level at each
 /// instrumentation point and pins the CPU.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,40 +162,6 @@ mod tests {
             ],
             7,
         )
-    }
-
-    #[test]
-    fn level_at_follows_blocks() {
-        let p = plan();
-        assert_eq!(p.level_at(0), 10);
-        assert_eq!(p.level_at(4), 10);
-        assert_eq!(p.level_at(5), 3);
-        assert_eq!(p.level_at(100), 3);
-        assert_eq!(p.num_blocks(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "strictly ascending")]
-    fn plan_rejects_unsorted_points() {
-        InstrumentationPlan::new(
-            vec![
-                InstrumentationPoint {
-                    layer: 5,
-                    gpu_level: 1,
-                },
-                InstrumentationPoint {
-                    layer: 0,
-                    gpu_level: 2,
-                },
-            ],
-            0,
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one point")]
-    fn plan_rejects_empty() {
-        InstrumentationPlan::new(vec![], 0);
     }
 
     #[test]

@@ -122,6 +122,22 @@ impl<'p> Engine<'p> {
         self.report(state, graph, controller, images)
     }
 
+    /// Debug-build gate: runs the lint graph pack before executing, surfaces
+    /// counts through the `lint.errors` / `lint.warnings` obs counters, and
+    /// refuses to simulate a graph with error-severity findings. Compiled
+    /// out of release builds (see `docs/ARCHITECTURE.md`, "Lint gates").
+    #[cfg(debug_assertions)]
+    fn debug_lint_gate(&self, graph: &Graph) {
+        let report = powerlens_lint::lint_graph(graph, &powerlens_lint::LintConfig::default());
+        powerlens_lint::record_to_obs(&report);
+        assert!(
+            !report.has_errors(),
+            "graph `{}` failed lint: {:?}",
+            graph.name(),
+            report.diagnostics
+        );
+    }
+
     pub(crate) fn run_into(
         &self,
         state: &mut RunState,
@@ -129,6 +145,8 @@ impl<'p> Engine<'p> {
         controller: &mut dyn Controller,
         images: usize,
     ) {
+        #[cfg(debug_assertions)]
+        self.debug_lint_gate(graph);
         let mut remaining = images;
         while remaining > 0 {
             let batch = remaining.min(self.batch);

@@ -26,6 +26,8 @@
 //! assert!(report.energy_efficiency > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod controller;
 mod engine;
 mod export;

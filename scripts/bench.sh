@@ -3,18 +3,21 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR2.json)
-#   -b BASELINE  prior summary to diff against (default: results/bench_before_pr2.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR3.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR2.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
 # The JSON shape is {"<bench name>": {"median_ns": N[, "baseline_ns": M,
-# "speedup": S]}}. The perf trajectory across PRs compares these files.
+# "speedup": S]}}. When the bench_lint suite ran, a trailing
+# "lint_overhead" entry reports each debug lint gate's cost as a fraction
+# of the pipeline stage it rides on (budget: <0.02). The perf trajectory
+# across PRs compares these files.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR2.json"
-baseline="results/bench_before_pr2.json"
+out="BENCH_PR3.json"
+baseline="BENCH_PR2.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -79,6 +82,20 @@ END {
                 base[name], base[name] / ns[name] > out
         }
         printf "}%s\n", (i < count ? "," : "") > out
+    }
+    # Debug lint-gate overhead: each gate (sim::engine lints the graph,
+    # core::pipeline lints the view + plan) as a fraction of the planning
+    # pipeline stage (clustering + per-block decisions). Budget: < 0.02.
+    g_gate = "lint_gate/graph_pack_resnet152"
+    v_gate = "lint_gate/view_plan_packs_resnet152"
+    pipe   = "lint_reference/cluster_and_decide_resnet152"
+    if ((g_gate in ns) && (v_gate in ns) && (pipe in ns)) {
+        printf ",\n  \"lint_overhead\": {\"engine_gate\": %.5f, \"pipeline_gate\": %.5f, \"total\": %.5f, \"budget\": 0.02}\n", \
+            ns[g_gate] / ns[pipe], ns[v_gate] / ns[pipe], \
+            (ns[g_gate] + ns[v_gate]) / ns[pipe] > out
+        printf "lint overhead vs pipeline: engine gate %.3f%%, pipeline gate %.3f%%, total %.3f%% (budget 2%%)\n", \
+            100 * ns[g_gate] / ns[pipe], 100 * ns[v_gate] / ns[pipe], \
+            100 * (ns[g_gate] + ns[v_gate]) / ns[pipe]
     }
     printf "}\n" > out
     printf "wrote %s (%d benches%s)\n", out, count, \

@@ -23,6 +23,10 @@ run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$fast" -eq 0 ]; then
     run cargo test -q --workspace
 fi
+# Static-analysis gate: every zoo model must lint clean (error severity
+# fails the command; rule catalog in docs/LINTS.md).
+run cargo build -q --release -p powerlens-cli
+run ./target/release/powerlens-cli lint --all
 run cargo bench --no-run
 RUSTDOCFLAGS="-D warnings"
 export RUSTDOCFLAGS
