@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: the content-addressed plan cache. The point
+//! of the store is that a warm lookup costs key hashing plus a sharded map
+//! clone instead of a full oracle search, so `scripts/bench.sh` compares
+//! `store/plan_cold` against `store/plan_warm` — the acceptance floor is a
+//! 20x speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens::{PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use powerlens_store::{cache_key, CacheMode, PlanStore};
+use std::hint::black_box;
+
+fn bench_store(c: &mut Criterion) {
+    let agx = Platform::agx();
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let g = zoo::alexnet();
+
+    let mut group = c.benchmark_group("store");
+    // Cold planning is the expensive side; keep the sample count small.
+    group.sample_size(10);
+    group.bench_function("plan_cold", |b| {
+        // `Off` bypasses both tiers, so every iteration is a real plan.
+        let store = PlanStore::new(CacheMode::Off, 16, None).unwrap();
+        b.iter(|| store.get_or_plan(black_box(&pl), black_box(&g)).unwrap())
+    });
+    group.bench_function("plan_warm", |b| {
+        let store = PlanStore::new(CacheMode::Mem, 16, None).unwrap();
+        store.get_or_plan(&pl, &g).unwrap(); // pre-warm
+        b.iter(|| store.get_or_plan(black_box(&pl), black_box(&g)).unwrap())
+    });
+    group.bench_function("cache_key_alexnet", |b| {
+        b.iter(|| cache_key(black_box(&pl), black_box(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

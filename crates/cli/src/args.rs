@@ -9,6 +9,8 @@ pub const USAGE: &str = "usage:
   powerlens-cli inspect  <model>
   powerlens-cli sweep    <model> [--platform P] [--batch N] [--images N]
   powerlens-cli plan     <model> [--platform P] [--batch N] [--images N] [--models PATH]
+  powerlens-cli plan-batch [model...] [--platform P] [--batch N] [--models PATH]
+                           [--threads N]
   powerlens-cli compare  <model> [--platform P] [--batch N] [--images N] [--models PATH]
   powerlens-cli train    [--platform P] [--nets N] [--out PATH]
   powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
@@ -16,6 +18,14 @@ pub const USAGE: &str = "usage:
   powerlens-cli stats    [report.json]
 
 platforms: agx (default), tx2, cloud
+
+plan-batch plans every named model (default: the whole zoo) through the
+content-addressed plan cache with parallel workers.
+
+planning subcommands accept --cache {off,mem,disk} [--cache-dir DIR]: reuse
+plan outcomes keyed by graph+config+models+platform; `mem` caches within the
+process, `disk` also persists one JSON entry per key under DIR (default:
+results/plan-cache).
 
 every subcommand also accepts --trace {off,log,json}: profile the run with
 the observability layer; `log` streams events to stderr, `json` writes
@@ -40,6 +50,12 @@ pub struct Options {
     pub format: String,
     /// Observability mode (`--trace {off,log,json}`).
     pub trace: TraceMode,
+    /// Plan-cache mode (`--cache {off,mem,disk}`).
+    pub cache: String,
+    /// Plan-cache directory for `--cache disk`.
+    pub cache_dir: String,
+    /// Worker threads for batch planning (`0` = all cores).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -53,6 +69,9 @@ impl Default for Options {
             out: "powerlens_models.json".into(),
             format: "human".into(),
             trace: TraceMode::Off,
+            cache: "off".into(),
+            cache_dir: "results/plan-cache".into(),
+            threads: 0,
         }
     }
 }
@@ -68,6 +87,12 @@ pub enum Command {
     Sweep { model: String, opts: Options },
     /// Power view + instrumentation plan.
     Plan { model: String, opts: Options },
+    /// Plan many models through the cache with parallel workers.
+    PlanBatch {
+        /// Models to plan; empty means the whole zoo.
+        models: Vec<String>,
+        opts: Options,
+    },
     /// Compare against the baselines.
     Compare { model: String, opts: Options },
     /// Train the prediction models.
@@ -153,6 +178,25 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
                     ))
                 })?;
             }
+            "--cache" => {
+                let v = take_value("--cache", &mut it)?;
+                match v.as_str() {
+                    "off" | "mem" | "disk" => opts.cache = v,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown cache mode {other:?} (expected off, mem or disk)"
+                        )))
+                    }
+                }
+            }
+            "--cache-dir" => opts.cache_dir = take_value("--cache-dir", &mut it)?,
+            "--threads" => {
+                // `0` is valid here: "use all available cores".
+                let v = take_value("--threads", &mut it)?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--threads: {v:?} is not an integer")))?;
+            }
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -194,6 +238,16 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 "trace" => Command::Trace { model, opts },
                 _ => Command::Compare { model, opts },
             })
+        }
+        "plan-batch" => {
+            let rest: Vec<&String> = it.collect();
+            let split = rest
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .unwrap_or(rest.len());
+            let models = rest[..split].iter().map(|s| (*s).clone()).collect();
+            let opts = parse_options(rest[split..].iter().copied())?;
+            Ok(Command::PlanBatch { models, opts })
         }
         "train" => Ok(Command::Train {
             opts: parse_options(it)?,
@@ -290,6 +344,60 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        match parse(&v(&[
+            "plan",
+            "alexnet",
+            "--cache",
+            "disk",
+            "--cache-dir",
+            "/tmp/pc",
+        ]))
+        .unwrap()
+        {
+            Command::Plan { opts, .. } => {
+                assert_eq!(opts.cache, "disk");
+                assert_eq!(opts.cache_dir, "/tmp/pc");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["sweep", "alexnet", "--cache", "mem"])).unwrap() {
+            Command::Sweep { opts, .. } => {
+                assert_eq!(opts.cache, "mem");
+                assert_eq!(opts.cache_dir, "results/plan-cache"); // default preserved
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&v(&["plan", "alexnet", "--cache", "ram"])).unwrap_err();
+        assert!(err.0.contains("unknown cache mode"));
+    }
+
+    #[test]
+    fn parses_plan_batch() {
+        match parse(&v(&["plan-batch", "alexnet", "vgg19", "--cache", "mem"])).unwrap() {
+            Command::PlanBatch { models, opts } => {
+                assert_eq!(models, vec!["alexnet".to_string(), "vgg19".to_string()]);
+                assert_eq!(opts.cache, "mem");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // No models: the whole zoo, with default options.
+        match parse(&v(&["plan-batch"])).unwrap() {
+            Command::PlanBatch { models, opts } => {
+                assert!(models.is_empty());
+                assert_eq!(opts.cache, "off");
+                assert_eq!(opts.threads, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["plan-batch", "--threads", "2"])).unwrap() {
+            Command::PlanBatch { opts, .. } => assert_eq!(opts.threads, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["plan-batch", "--threads", "x"])).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use powerlens_obs as obs;
 use powerlens_obs::TraceMode;
 use powerlens_platform::Platform;
 use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+use powerlens_store::{CacheMode, PlanStore};
 
 use crate::args::{Command, Options};
 
@@ -27,6 +28,7 @@ pub fn run(cmd: Command) -> CliResult {
         Command::Zoo | Command::Inspect { .. } | Command::Stats { .. } => TraceMode::Off,
         Command::Sweep { opts, .. }
         | Command::Plan { opts, .. }
+        | Command::PlanBatch { opts, .. }
         | Command::Compare { opts, .. }
         | Command::Train { opts }
         | Command::Trace { opts, .. }
@@ -38,6 +40,7 @@ pub fn run(cmd: Command) -> CliResult {
         Command::Inspect { model } => inspect(&model),
         Command::Sweep { model, opts } => sweep(&model, &opts),
         Command::Plan { model, opts } => plan(&model, &opts),
+        Command::PlanBatch { models, opts } => plan_batch_cmd(&models, &opts),
         Command::Compare { model, opts } => compare(&model, &opts),
         Command::Train { opts } => train(&opts),
         Command::Trace { model, opts } => trace_cmd(&model, &opts),
@@ -89,6 +92,24 @@ fn planner<'p>(platform: &'p Platform, opts: &Options) -> Result<PowerLens<'p>, 
         }
         None => PowerLens::untrained(platform, config),
     })
+}
+
+/// Builds the plan store described by `--cache` / `--cache-dir`.
+fn store_for(opts: &Options) -> Result<PlanStore, Box<dyn Error>> {
+    let mode = CacheMode::parse(&opts.cache)
+        .ok_or_else(|| format!("unknown cache mode {:?}", opts.cache))?;
+    let dir = (mode == CacheMode::Disk).then(|| Path::new(&opts.cache_dir));
+    Ok(PlanStore::new(mode, 128, dir)?)
+}
+
+/// Plans `graph` through the configured cache (model-driven when models are
+/// loaded, exhaustive oracle search otherwise).
+fn plan_cached(
+    pl: &PowerLens<'_>,
+    graph: &Graph,
+    opts: &Options,
+) -> Result<powerlens::PlanOutcome, Box<dyn Error>> {
+    Ok(store_for(opts)?.get_or_plan(pl, graph)?)
 }
 
 fn zoo_cmd() -> CliResult {
@@ -164,11 +185,7 @@ fn plan(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let g = model_for(model)?;
     let pl = planner(&platform, opts)?;
-    let outcome = if pl.models().is_some() {
-        pl.plan(&g)?
-    } else {
-        pl.plan_oracle(&g)?
-    };
+    let outcome = plan_cached(&pl, &g, opts)?;
     println!(
         "{model} on {}: {} power block(s), scheme #{}",
         platform.name(),
@@ -199,15 +216,72 @@ fn plan(model: &str, opts: &Options) -> CliResult {
     Ok(())
 }
 
+/// Plans a list of models (default: the whole zoo) through one shared plan
+/// store, fanning the work out over worker threads. Repeated graphs are
+/// planned once and served from cache afterwards.
+fn plan_batch_cmd(models: &[String], opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let (names, graphs): (Vec<String>, Vec<Graph>) = if models.is_empty() {
+        zoo::all_models()
+            .iter()
+            .map(|(name, build)| ((*name).to_string(), build()))
+            .unzip()
+    } else {
+        let mut names = Vec::with_capacity(models.len());
+        let mut graphs = Vec::with_capacity(models.len());
+        for name in models {
+            names.push(name.clone());
+            graphs.push(model_for(name)?);
+        }
+        (names, graphs)
+    };
+
+    let pl = planner(&platform, opts)?;
+    let store = store_for(opts)?;
+    let started = std::time::Instant::now();
+    let results = powerlens_store::plan_batch(&store, &pl, &graphs, opts.threads);
+    let elapsed = started.elapsed();
+
+    println!(
+        "planning {} model(s) on {} (cache {}, batch {})",
+        names.len(),
+        platform.name(),
+        store.mode(),
+        opts.batch
+    );
+    println!("{:<16} {:>7} {:>7}  outcome", "model", "blocks", "scheme");
+    let mut failures = 0usize;
+    for (name, result) in names.iter().zip(&results) {
+        match result {
+            Ok(outcome) => println!(
+                "{:<16} {:>7} {:>7}  ok",
+                name,
+                outcome.plan.num_blocks(),
+                outcome.scheme_index
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("{name:<16} {:>7} {:>7}  error: {e}", "-", "-");
+            }
+        }
+    }
+    println!(
+        "planned {} model(s) in {:.3} s ({} resident in memory tier)",
+        names.len() - failures,
+        elapsed.as_secs_f64(),
+        store.resident()
+    );
+    if failures > 0 {
+        return Err(format!("{failures} of {} plan(s) failed", names.len()).into());
+    }
+    Ok(())
+}
+
 fn compare(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let g = model_for(model)?;
     let pl = planner(&platform, opts)?;
-    let outcome = if pl.models().is_some() {
-        pl.plan(&g)?
-    } else {
-        pl.plan_oracle(&g)?
-    };
+    let outcome = plan_cached(&pl, &g, opts)?;
 
     let engine = Engine::new(&platform).with_batch(opts.batch);
     let tasks: Vec<TaskSpec<'_>> = (0..10)
@@ -258,11 +332,7 @@ fn trace_cmd(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let g = model_for(model)?;
     let pl = planner(&platform, opts)?;
-    let outcome = if pl.models().is_some() {
-        pl.plan(&g)?
-    } else {
-        pl.plan_oracle(&g)?
-    };
+    let outcome = plan_cached(&pl, &g, opts)?;
     let engine = Engine::new(&platform).with_batch(opts.batch);
     let mut ctl = PlanController::new(outcome.plan);
     let report = engine.run(&g, &mut ctl, opts.images);
@@ -463,6 +533,12 @@ mod tests {
                 .into_owned(),
             format: "human".into(),
             trace: TraceMode::Off,
+            cache: "off".into(),
+            cache_dir: std::env::temp_dir()
+                .join("powerlens_cli_test_cache")
+                .to_string_lossy()
+                .into_owned(),
+            threads: 2,
         }
     }
 
@@ -549,6 +625,64 @@ mod tests {
         let models = TrainedModels::load(Path::new(&o.out)).unwrap();
         assert!(models.report.num_hyper_samples >= 4);
         std::fs::remove_file(&o.out).ok();
+    }
+
+    #[test]
+    fn plan_batch_runs_named_models_through_the_mem_cache() {
+        let mut o = opts();
+        o.cache = "mem".into();
+        // A duplicate guarantees at least one cache hit inside the run.
+        run(Command::PlanBatch {
+            models: vec!["alexnet".into(), "mobilenet_v3".into(), "alexnet".into()],
+            opts: o,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn plan_batch_reports_unknown_models() {
+        let err = run(Command::PlanBatch {
+            models: vec!["nope".into()],
+            opts: opts(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown model"));
+    }
+
+    #[test]
+    fn plan_with_disk_cache_populates_the_cache_dir() {
+        let dir = std::env::temp_dir().join(format!("powerlens_cli_disk_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut o = opts();
+        o.cache = "disk".into();
+        o.cache_dir = dir.to_string_lossy().into_owned();
+        // Twice: the second run must hit the entry the first one persisted.
+        for _ in 0..2 {
+            run(Command::Plan {
+                model: "alexnet".into(),
+                opts: o.clone(),
+            })
+            .unwrap();
+        }
+        let entries = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count();
+        assert_eq!(entries, 1, "one cached plan on disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_cache_mode_is_reported() {
+        let mut o = opts();
+        o.cache = "ram".into();
+        let err = run(Command::Plan {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown cache mode"));
     }
 
     #[test]

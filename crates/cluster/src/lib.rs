@@ -87,6 +87,12 @@ impl Default for ClusterParams {
 /// Averages each row of `x` with its neighbours within `radius` rows
 /// (truncated at the matrix edges). `radius == 0` returns `x` unchanged.
 ///
+/// Edge windows are renormalized by their **actual** size `hi - lo`, not
+/// the full `2·radius + 1`, so the first/last `radius` rows are true local
+/// means rather than being biased toward zero — a constant input stays
+/// constant everywhere, including the edges (see the edge-preservation
+/// regression test).
+///
 /// Implemented as a column prefix-sum sliding window: each window sum is
 /// the difference of two prefix values, so the cost is O(n·d) regardless
 /// of the radius (the naive per-row rescan is O(n·d·radius)).
@@ -303,6 +309,13 @@ pub fn power_distance_matrix_reference(
 ///
 /// Returns one label per point: `Some(cluster)` or `None` for noise.
 ///
+/// Boundary semantics match standard DBSCAN (and the paper's Algorithm 1):
+/// the ε-neighbourhood `N(p) = {q : dist(p, q) ≤ ε}` **includes `p`
+/// itself** (the diagonal is zero), and `p` is a core point iff
+/// `|N(p)| ≥ minPts` — so a point with exactly `minPts - 1` *other*
+/// neighbours is core, and one with `minPts - 2` others is not (see the
+/// `min_pts` boundary regression tests).
+///
 /// # Panics
 ///
 /// Panics if `dist` is not square.
@@ -496,6 +509,63 @@ mod tests {
         let labels = dbscan(&d, 1.0, 2);
         assert!(labels[3].is_none());
         assert!(labels[0].is_some());
+    }
+
+    #[test]
+    fn dbscan_core_at_exactly_min_pts_neighbours() {
+        // Boundary semantics: N(p) includes p itself. With min_pts = 3,
+        // a point with exactly 2 *other* in-range neighbours (|N| = 3) is
+        // core; a point with only 1 other (|N| = 2) is not.
+        let mut d = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i == j {
+                    continue;
+                }
+                // {0,1,2} mutually close; {3,4} a close pair far from the rest.
+                let same = (i < 3) == (j < 3);
+                d[(i, j)] = if same { 0.1 } else { 10.0 };
+            }
+        }
+        let labels = dbscan(&d, 0.5, 3);
+        // |N| = 3 = min_pts exactly: core, clustered.
+        assert!(labels[0].is_some() && labels[1].is_some() && labels[2].is_some());
+        assert_eq!(labels[0], labels[2]);
+        // |N| = 2 < min_pts: not core, not adopted by anything -> noise.
+        assert!(labels[3].is_none() && labels[4].is_none());
+    }
+
+    #[test]
+    fn dbscan_singleton_core_when_min_pts_one() {
+        // min_pts = 1: every point's neighbourhood (itself) suffices.
+        let mut d = Matrix::zeros(2, 2);
+        d[(0, 1)] = 9.0;
+        d[(1, 0)] = 9.0;
+        let labels = dbscan(&d, 0.5, 1);
+        assert!(labels[0].is_some() && labels[1].is_some());
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn smoothing_preserves_constant_input_at_edges() {
+        // Renormalizing by the actual (truncated) window size means a
+        // constant signal passes through exactly — including the first and
+        // last `radius` rows, which would shrink toward zero if the window
+        // were divided by the full 2r+1.
+        let x = Matrix::from_rows(&vec![vec![3.5, -2.0, 0.25]; 9]).unwrap();
+        for radius in [1, 2, 4, 20] {
+            let s = smooth_features(&x, radius);
+            for i in 0..x.rows() {
+                for j in 0..x.cols() {
+                    assert!(
+                        (s[(i, j)] - x[(i, j)]).abs() < 1e-12,
+                        "radius {radius} row {i} col {j}: {} vs {}",
+                        s[(i, j)],
+                        x[(i, j)]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

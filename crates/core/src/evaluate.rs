@@ -1,14 +1,17 @@
 use powerlens_dnn::Graph;
-use powerlens_governors::oracle;
-use powerlens_platform::Platform;
-use powerlens_sim::InstrumentationPlan;
+use powerlens_platform::{FreqLevel, Platform};
+use powerlens_sim::{InstrumentationPlan, InstrumentationPoint};
 
 /// Analytic quality estimate of an instrumentation plan.
 ///
-/// Mirrors the simulator's accounting (block execution at the preset levels
-/// plus DVFS transition stalls) without paying the full per-layer event
-/// loop — the inner metric of dataset labelling, evaluated once per
-/// (network, scheme) pair.
+/// Mirrors the simulator's accounting *exactly* — same per-layer roofline
+/// queries, same boot state (both domains at max), same cross-batch wrap
+/// (the GPU stays at the last block's level between batches), same partial
+/// final batch, same transition stalls — without paying the per-layer event
+/// loop over every batch. This is the inner metric of dataset labelling,
+/// evaluated once per (network, scheme) pair, so any drift against
+/// `sim::Engine` poisons the training labels; the differential property
+/// test in this module pins the two together.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanEval {
     /// Wall-clock seconds for all images (including transition stalls).
@@ -17,12 +20,77 @@ pub struct PlanEval {
     pub energy: f64,
     /// Images per joule.
     pub energy_efficiency: f64,
-    /// Actual DVFS level changes performed.
+    /// Actual GPU DVFS level changes performed (equals the simulator's
+    /// `num_gpu_switches`; the single CPU retarget is charged to time and
+    /// energy but not counted here).
     pub num_switches: usize,
+}
+
+/// Time and energy to run layers `[start, end)` once at fixed levels, in
+/// the simulator's per-layer summation order.
+fn segment(
+    platform: &Platform,
+    graph: &Graph,
+    start: usize,
+    end: usize,
+    batch: usize,
+    gpu: FreqLevel,
+    cpu: FreqLevel,
+) -> (f64, f64) {
+    let mut time = 0.0;
+    let mut energy = 0.0;
+    for layer in &graph.layers()[start..end] {
+        let t = platform.layer_timing(layer, batch, gpu, cpu);
+        time += t.total;
+        energy += platform.layer_power(&t, gpu, cpu) * t.total;
+    }
+    (time, energy)
+}
+
+/// Time and energy for one whole batch of size `batch`: the prefix before
+/// the first instrumentation point runs at `prefix_gpu` (the boot level in
+/// batch one, the wrapped-around last-block level afterwards), every block
+/// at its preset level, all layers at the plan's CPU level.
+fn batch_cost(
+    platform: &Platform,
+    graph: &Graph,
+    points: &[InstrumentationPoint],
+    batch: usize,
+    prefix_gpu: FreqLevel,
+    cpu: FreqLevel,
+) -> (f64, f64) {
+    let n = graph.num_layers();
+    let first = points.first().map_or(n, |p| p.layer);
+    let (mut time, mut energy) = segment(platform, graph, 0, first, batch, prefix_gpu, cpu);
+    for (i, p) in points.iter().enumerate() {
+        let end = points.get(i + 1).map_or(n, |q| q.layer);
+        let (t, e) = segment(platform, graph, p.layer, end, batch, p.gpu_level, cpu);
+        time += t;
+        energy += e;
+    }
+    (time, energy)
+}
+
+/// Number of actual GPU level changes one batch performs when it starts
+/// with the GPU at `from` (the actuator only pays for real changes).
+fn switches_per_batch(points: &[InstrumentationPoint], from: FreqLevel) -> usize {
+    let mut current = from;
+    let mut switches = 0;
+    for p in points {
+        if p.gpu_level != current {
+            current = p.gpu_level;
+            switches += 1;
+        }
+    }
+    switches
 }
 
 /// Evaluates `plan` for `images` inferences of `graph` on `platform` with
 /// the given batch size.
+///
+/// Switch counts are bit-identical to a `sim::Engine` run of the same plan;
+/// time and energy agree up to floating-point summation order (relative
+/// error well below 1e-9).
 ///
 /// # Panics
 ///
@@ -43,44 +111,48 @@ pub fn evaluate_plan(
         "instrumentation point outside graph"
     );
 
-    // Block boundaries: each point opens a block that runs to the next point
-    // (or the end). Layers before the first point run at the boot (max)
-    // level — planners always place a point at layer 0.
-    let mut per_batch_time = 0.0;
-    let mut per_batch_energy = 0.0;
-    let mut levels_seq = Vec::with_capacity(points.len());
-    for (i, p) in points.iter().enumerate() {
-        let end = points.get(i + 1).map_or(n, |q| q.layer);
-        if p.layer >= end {
-            continue;
-        }
-        let eval = oracle::eval_range(platform, graph, p.layer, end, batch, p.gpu_level);
-        per_batch_time += eval.time;
-        per_batch_energy += eval.energy;
-        levels_seq.push(p.gpu_level);
+    // MAXN boots both domains at their maximum level (sim::Engine::fresh_state).
+    let gpu_boot = platform.gpu_table().max_level();
+    let cpu_boot = platform.cpu_table().max_level();
+    let cpu = plan.cpu_level();
+    // Between batches the GPU keeps the last block's level — the wrap. A
+    // plan with no points never moves it off the boot level.
+    let gpu_wrap = points.last().map_or(gpu_boot, |p| p.gpu_level);
+
+    let full_batches = images / batch;
+    let remainder = images % batch;
+    let num_batches = full_batches + usize::from(remainder > 0);
+
+    // Batch one pays the boot-level prefix; later batches the wrapped
+    // prefix; the simulator shrinks the final batch to the remainder.
+    let first_size = if full_batches > 0 { batch } else { remainder };
+    let (mut time, mut energy) = batch_cost(platform, graph, points, first_size, gpu_boot, cpu);
+    if full_batches > 1 {
+        let (t, e) = batch_cost(platform, graph, points, batch, gpu_wrap, cpu);
+        let reps = (full_batches - 1) as f64;
+        time += t * reps;
+        energy += e * reps;
+    }
+    if remainder > 0 && full_batches > 0 {
+        let (t, e) = batch_cost(platform, graph, points, remainder, gpu_wrap, cpu);
+        time += t;
+        energy += e;
     }
 
-    let num_batches = images.div_ceil(batch);
-    let mut time = per_batch_time * num_batches as f64;
-    let mut energy = per_batch_energy * num_batches as f64;
-
-    // Transition stalls: the board boots at max level; within a batch the
-    // plan walks `levels_seq`; across batches it wraps from the last block
-    // back to the first.
-    let mut current = platform.gpu_table().max_level();
-    let mut switches = 0;
+    // Transition stalls: batch one walks the points from the boot level,
+    // every later batch from the wrapped level; the CPU is retargeted once
+    // at the first layer iff the plan's level differs from boot.
+    let gpu_switches = switches_per_batch(points, gpu_boot)
+        + (num_batches - 1) * switches_per_batch(points, gpu_wrap);
+    let cpu_switches = usize::from(cpu != cpu_boot);
     let stall = platform.dvfs_transition_cost();
-    let idle = platform.idle_power(current, platform.cpu_table().max_level());
-    for _ in 0..num_batches {
-        for &l in &levels_seq {
-            if l != current {
-                current = l;
-                switches += 1;
-            }
-        }
-    }
-    time += switches as f64 * stall;
-    energy += switches as f64 * stall * idle;
+    // The board sits near idle while the pipeline drains; `idle_power` is
+    // level-independent, so charging every stall at one operating point
+    // matches the simulator's per-transition records.
+    let idle = platform.idle_power(gpu_boot, cpu_boot);
+    let total_stall = (gpu_switches + cpu_switches) as f64 * stall;
+    time += total_stall;
+    energy += total_stall * idle;
 
     PlanEval {
         time,
@@ -90,7 +162,7 @@ pub fn evaluate_plan(
         } else {
             0.0
         },
-        num_switches: switches,
+        num_switches: gpu_switches,
     }
 }
 
@@ -98,7 +170,10 @@ pub fn evaluate_plan(
 mod tests {
     use super::*;
     use powerlens_dnn::zoo;
-    use powerlens_sim::{Engine, InstrumentationPoint, PlanController};
+    use powerlens_sim::{Engine, PlanController};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn two_block_plan(n: usize, max: usize) -> InstrumentationPlan {
         InstrumentationPlan::new(
@@ -116,25 +191,99 @@ mod tests {
         )
     }
 
+    /// Runs the same plan through the simulator and returns its report.
+    fn simulate(
+        platform: &Platform,
+        graph: &Graph,
+        plan: &InstrumentationPlan,
+        batch: usize,
+        images: usize,
+    ) -> powerlens_sim::RunReport {
+        let engine = Engine::new(platform).with_batch(batch);
+        let mut ctl = PlanController::new(plan.clone());
+        engine.run(graph, &mut ctl, images)
+    }
+
+    fn assert_matches_sim(
+        platform: &Platform,
+        graph: &Graph,
+        plan: &InstrumentationPlan,
+        batch: usize,
+        images: usize,
+    ) {
+        let analytic = evaluate_plan(platform, graph, plan, batch, images);
+        let sim = simulate(platform, graph, plan, batch, images);
+        assert_eq!(
+            analytic.num_switches,
+            sim.num_gpu_switches,
+            "switch count drift ({} b{batch} i{images})",
+            graph.name()
+        );
+        let rel_t = (analytic.time - sim.total_time).abs() / sim.total_time;
+        let rel_e = (analytic.energy - sim.total_energy).abs() / sim.total_energy;
+        assert!(rel_t < 1e-9, "time mismatch {rel_t}");
+        assert!(rel_e < 1e-9, "energy mismatch {rel_e}");
+    }
+
     #[test]
     fn analytic_matches_simulator_closely() {
         let p = Platform::agx();
         let g = zoo::resnet34();
         let plan = two_block_plan(g.num_layers(), p.gpu_table().max_level());
-        let analytic = evaluate_plan(&p, &g, &plan, 8, 16);
+        assert_matches_sim(&p, &g, &plan, 8, 16);
+    }
 
-        let engine = Engine::new(&p).with_batch(8);
-        let mut ctl = PlanController::new(InstrumentationPlan::new(
-            plan.points().to_vec(),
+    #[test]
+    fn partial_final_batch_matches_simulator() {
+        // 19 images at batch 8: two full batches plus a 3-image tail, which
+        // the simulator runs at the smaller (cheaper) batch size.
+        let p = Platform::agx();
+        let g = zoo::alexnet();
+        let plan = two_block_plan(g.num_layers(), 9);
+        assert_matches_sim(&p, &g, &plan, 8, 19);
+    }
+
+    #[test]
+    fn prefix_before_first_point_matches_simulator() {
+        // First point deep in the graph: the prefix runs at boot max in
+        // batch one and at the *last* block's level after the wrap.
+        let p = Platform::tx2();
+        let g = zoo::alexnet();
+        let plan = InstrumentationPlan::new(
+            vec![
+                InstrumentationPoint {
+                    layer: 4,
+                    gpu_level: 6,
+                },
+                InstrumentationPoint {
+                    layer: 9,
+                    gpu_level: 2,
+                },
+            ],
             p.cpu_table().max_level(),
-        ));
-        let sim = engine.run(&g, &mut ctl, 16);
+        );
+        assert_matches_sim(&p, &g, &plan, 4, 12);
+    }
 
-        let rel_t = (analytic.time - sim.total_time).abs() / sim.total_time;
-        let rel_e = (analytic.energy - sim.total_energy).abs() / sim.total_energy;
-        assert!(rel_t < 0.02, "time mismatch {rel_t}");
-        assert!(rel_e < 0.02, "energy mismatch {rel_e}");
-        assert_eq!(analytic.num_switches, sim.num_gpu_switches);
+    #[test]
+    fn non_max_cpu_level_matches_simulator() {
+        let p = Platform::agx();
+        let g = zoo::alexnet();
+        let n = g.num_layers();
+        let plan = InstrumentationPlan::new(
+            vec![
+                InstrumentationPoint {
+                    layer: 0,
+                    gpu_level: 11,
+                },
+                InstrumentationPoint {
+                    layer: n / 3,
+                    gpu_level: 4,
+                },
+            ],
+            1,
+        );
+        assert_matches_sim(&p, &g, &plan, 8, 16);
     }
 
     #[test]
@@ -176,5 +325,55 @@ mod tests {
             0,
         );
         evaluate_plan(&p, &g, &plan, 1, 1);
+    }
+
+    /// Draws a valid random plan: 1–5 strictly ascending points at random
+    /// layers/levels, random CPU level.
+    fn random_plan(graph: &Graph, platform: &Platform, seed: u64) -> InstrumentationPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = graph.num_layers();
+        let num_points = rng.gen_range(1..=5.min(n));
+        let mut layers: Vec<usize> = Vec::new();
+        while layers.len() < num_points {
+            let l = rng.gen_range(0..n);
+            if !layers.contains(&l) {
+                layers.push(l);
+            }
+        }
+        layers.sort_unstable();
+        let points = layers
+            .into_iter()
+            .map(|layer| InstrumentationPoint {
+                layer,
+                gpu_level: rng.gen_range(0..platform.gpu_levels()),
+            })
+            .collect();
+        InstrumentationPlan::new(points, rng.gen_range(0..platform.cpu_levels()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Differential test: for random plans, batch sizes and image
+        /// counts, the analytic evaluator reproduces the simulator's switch
+        /// counts exactly and its time/energy to < 1e-9 relative error.
+        #[test]
+        fn random_plans_match_simulator(
+            seed in 0u64..5000,
+            pi in 0usize..2,
+            batch in 1usize..9,
+            images in 1usize..25,
+        ) {
+            let platform = if pi == 0 { Platform::agx() } else { Platform::tx2() };
+            let graph = if seed % 2 == 0 { zoo::alexnet() } else { zoo::mobilenet_v3() };
+            let plan = random_plan(&graph, &platform, seed);
+            let analytic = evaluate_plan(&platform, &graph, &plan, batch, images);
+            let sim = simulate(&platform, &graph, &plan, batch, images);
+            prop_assert_eq!(analytic.num_switches, sim.num_gpu_switches);
+            let rel_t = (analytic.time - sim.total_time).abs() / sim.total_time;
+            let rel_e = (analytic.energy - sim.total_energy).abs() / sim.total_energy;
+            prop_assert!(rel_t < 1e-9, "time mismatch {}", rel_t);
+            prop_assert!(rel_e < 1e-9, "energy mismatch {}", rel_e);
+        }
     }
 }

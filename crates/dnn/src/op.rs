@@ -335,6 +335,64 @@ impl OpKind {
     /// Number of distinct [`OpKind::type_code`] values.
     pub const NUM_TYPE_CODES: usize = 13;
 
+    /// Canonical word encoding of the operator for [`crate::Graph`]
+    /// fingerprinting: a discriminant distinguishing every variant, followed
+    /// by all hyperparameters (zero-padded). Two operators encode equal iff
+    /// they are equal, and the encoding never depends on process state or
+    /// compiler layout — the fingerprint must be stable across runs.
+    pub(crate) fn fingerprint_words(&self) -> [u64; 7] {
+        match *self {
+            OpKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => [
+                0,
+                in_ch as u64,
+                out_ch as u64,
+                kernel as u64,
+                stride as u64,
+                padding as u64,
+                groups as u64,
+            ],
+            OpKind::Linear {
+                in_features,
+                out_features,
+            } => [1, in_features as u64, out_features as u64, 0, 0, 0, 0],
+            OpKind::Pool {
+                kind,
+                kernel,
+                stride,
+            } => [2, kind as u64, kernel as u64, stride as u64, 0, 0, 0],
+            OpKind::BatchNorm => [3, 0, 0, 0, 0, 0, 0],
+            OpKind::LayerNorm => [4, 0, 0, 0, 0, 0, 0],
+            OpKind::Activation(a) => [5, a as u64, 0, 0, 0, 0, 0],
+            OpKind::Attention { embed_dim, heads } => {
+                [6, embed_dim as u64, heads as u64, 0, 0, 0, 0]
+            }
+            OpKind::Add => [7, 0, 0, 0, 0, 0, 0],
+            OpKind::Concat { extra_ch } => [8, extra_ch as u64, 0, 0, 0, 0, 0],
+            OpKind::Flatten => [9, 0, 0, 0, 0, 0, 0],
+            OpKind::PatchEmbed {
+                in_ch,
+                embed_dim,
+                patch,
+                extra_tokens,
+            } => [
+                10,
+                in_ch as u64,
+                embed_dim as u64,
+                patch as u64,
+                extra_tokens as u64,
+                0,
+                0,
+            ],
+        }
+    }
+
     /// Short human-readable operator name.
     pub fn name(&self) -> &'static str {
         match *self {

@@ -44,6 +44,7 @@ mod graph_rules;
 mod output;
 mod plan_rules;
 mod rules;
+mod store_rules;
 mod view_rules;
 
 use powerlens_cluster::PowerView;
@@ -55,6 +56,7 @@ pub use diag::{Diagnostic, LintReport, Location, Severity};
 pub use output::{render, to_json, to_sarif, Format};
 pub use plan_rules::PlanContext;
 pub use rules::{all_rules, rule_by_code, Pack, RuleInfo};
+pub use store_rules::{platform_signature, CachedPlanContext};
 
 /// Tunables of the analyzer; rule *logic* is fixed, thresholds are not.
 #[derive(Debug, Clone)]
@@ -120,6 +122,29 @@ pub fn lint_plan(ctx: &PlanContext<'_>, config: &LintConfig) -> LintReport {
     report
 }
 
+/// Runs the **store pack** plus the plan pack over a plan deserialized from
+/// the content-addressed plan cache. This is the load-time gate: a plan that
+/// was valid when written may no longer be deployable — the entry may have
+/// been written for a different platform (`PL301`), under an older schema
+/// (`PL302`), or corrupted into levels the current frequency tables do not
+/// expose (plan pack).
+pub fn lint_cached_plan(ctx: &CachedPlanContext<'_>, config: &LintConfig) -> LintReport {
+    let _span = obs::span("lint.store");
+    let mut report = LintReport::new("cached-plan");
+    store_rules::check(ctx, config, &mut report);
+    report.merge(lint_plan(
+        &PlanContext {
+            plan: ctx.plan,
+            platform: ctx.platform,
+            view: None,
+            graph: None,
+            oracle: None,
+        },
+        config,
+    ));
+    report
+}
+
 /// Runs all three packs over a full pipeline output and merges the findings.
 pub fn lint_pipeline(
     graph: &Graph,
@@ -178,6 +203,85 @@ mod tests {
             r_on.fired("PL011"),
             "resnet34 has zero-FLOP flatten/add-free layers"
         );
+    }
+
+    #[test]
+    fn cached_plan_gate_catches_drift_and_schema() {
+        use powerlens_platform::{InstrumentationPoint, Platform};
+
+        let agx = Platform::agx();
+        let plan = InstrumentationPlan::new(
+            vec![InstrumentationPoint {
+                layer: 0,
+                gpu_level: 3,
+            }],
+            agx.cpu_table().max_level(),
+        );
+        let sig = platform_signature(&agx);
+        let config = LintConfig::default();
+
+        let clean = lint_cached_plan(
+            &CachedPlanContext {
+                plan: &plan,
+                platform: &agx,
+                entry_platform: &sig,
+                entry_schema: 7,
+                expected_schema: 7,
+            },
+            &config,
+        );
+        assert!(!clean.has_errors(), "{:?}", clean.diagnostics);
+
+        let drifted = lint_cached_plan(
+            &CachedPlanContext {
+                plan: &plan,
+                platform: &agx,
+                entry_platform: &platform_signature(&Platform::tx2()),
+                entry_schema: 7,
+                expected_schema: 7,
+            },
+            &config,
+        );
+        assert!(drifted.fired("PL301") && drifted.has_errors());
+
+        let outdated = lint_cached_plan(
+            &CachedPlanContext {
+                plan: &plan,
+                platform: &agx,
+                entry_platform: &sig,
+                entry_schema: 6,
+                expected_schema: 7,
+            },
+            &config,
+        );
+        assert!(outdated.fired("PL302") && outdated.has_errors());
+    }
+
+    #[test]
+    fn cached_plan_gate_runs_the_plan_pack() {
+        use powerlens_platform::{InstrumentationPoint, Platform};
+
+        let agx = Platform::agx();
+        let sig = platform_signature(&agx);
+        // A level beyond the AGX table: corrupt or hand-edited entry.
+        let plan = InstrumentationPlan::from_points_unchecked(
+            vec![InstrumentationPoint {
+                layer: 0,
+                gpu_level: 999,
+            }],
+            agx.cpu_table().max_level(),
+        );
+        let report = lint_cached_plan(
+            &CachedPlanContext {
+                plan: &plan,
+                platform: &agx,
+                entry_platform: &sig,
+                entry_schema: 7,
+                expected_schema: 7,
+            },
+            &LintConfig::default(),
+        );
+        assert!(report.fired("PL203") && report.has_errors());
     }
 
     #[test]

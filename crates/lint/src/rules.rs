@@ -1,7 +1,8 @@
 //! The rule registry: stable codes, severities, invariants, paper references.
 //!
 //! Codes are permanent once shipped: `PL0xx` graph rules, `PL1xx` view rules,
-//! `PL2xx` plan rules. New rules append; retired rules leave a hole.
+//! `PL2xx` plan rules, `PL3xx` store rules. New rules append; retired rules
+//! leave a hole.
 
 use crate::diag::Severity;
 
@@ -14,6 +15,8 @@ pub enum Pack {
     View,
     /// DVFS plans (`powerlens_platform::InstrumentationPlan`).
     Plan,
+    /// Cached plan-store entries (deserialized `PlanOutcome`s).
+    Store,
 }
 
 impl Pack {
@@ -23,6 +26,7 @@ impl Pack {
             Pack::Graph => "graph",
             Pack::View => "view",
             Pack::Plan => "plan",
+            Pack::Store => "store",
         }
     }
 }
@@ -171,6 +175,16 @@ rules! {
         "per-block levels should stay close to the exhaustive-search oracle's \
          choice for the same block",
         "§3.2.2 (PowerLens tracks the oracle within a few levels)";
+
+    // ---- store pack -----------------------------------------------------
+    STORE_PLATFORM_DRIFT = "PL301", "store-platform-drift", Error, Store,
+        "a cached plan may only be deployed on a platform whose signature \
+         (name and frequency-table sizes) matches the one it was planned for",
+        "§3.1 (frequency levels are only meaningful per platform table)";
+    STORE_SCHEMA_OUTDATED = "PL302", "store-schema-outdated", Error, Store,
+        "a cached entry's schema version must match the version this build \
+         writes; older or newer entries must be re-planned, not trusted",
+        "§2.1.4 (plans are an interface contract, not an opaque blob)";
 }
 
 /// Looks up a rule by its stable code.
@@ -194,6 +208,7 @@ mod tests {
                 Pack::Graph => "PL0",
                 Pack::View => "PL1",
                 Pack::Plan => "PL2",
+                Pack::Store => "PL3",
             };
             assert!(r.code.starts_with(prefix), "{} in wrong band", r.code);
             assert!(!r.invariant.is_empty() && !r.paper_ref.is_empty());
@@ -202,7 +217,7 @@ mod tests {
 
     #[test]
     fn every_pack_has_error_rules() {
-        for pack in [Pack::Graph, Pack::View, Pack::Plan] {
+        for pack in [Pack::Graph, Pack::View, Pack::Plan, Pack::Store] {
             assert!(all_rules()
                 .iter()
                 .any(|r| r.pack == pack && r.severity == Severity::Error));

@@ -4,8 +4,8 @@
 use powerlens_cluster::{cluster_graph, ClusterParams, PowerBlock, PowerView};
 use powerlens_dnn::{zoo, Graph, OpKind, TensorShape};
 use powerlens_lint::{
-    all_rules, lint_graph, lint_plan, lint_view, render, to_sarif, Format, LintConfig, LintReport,
-    Pack, PlanContext, Severity,
+    all_rules, lint_cached_plan, lint_graph, lint_plan, lint_view, platform_signature, render,
+    to_sarif, CachedPlanContext, Format, LintConfig, LintReport, Pack, PlanContext, Severity,
 };
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 
@@ -192,6 +192,27 @@ fn seed_fault(code: &str) -> LintReport {
                 &config,
             )
         }
+        // ---- store faults ----
+        "PL301" => lint_cached_plan(
+            &CachedPlanContext {
+                plan: &InstrumentationPlan::new(vec![point(0, 3)], 0),
+                platform: &agx,
+                entry_platform: &platform_signature(&Platform::tx2()),
+                entry_schema: 1,
+                expected_schema: 1,
+            },
+            &config,
+        ),
+        "PL302" => lint_cached_plan(
+            &CachedPlanContext {
+                plan: &InstrumentationPlan::new(vec![point(0, 3)], 0),
+                platform: &agx,
+                entry_platform: &platform_signature(&agx),
+                entry_schema: 0,
+                expected_schema: 1,
+            },
+            &config,
+        ),
         other => panic!("no fault injector for {other}"),
     }
 }
@@ -214,12 +235,13 @@ fn every_error_rule_fires_on_its_seeded_fault() {
 }
 
 #[test]
-fn catalog_spans_all_three_packs_with_enough_rules() {
+fn catalog_spans_all_packs_with_enough_rules() {
     let rules = all_rules();
     assert!(rules.len() >= 12);
     for pack in [Pack::Graph, Pack::View, Pack::Plan] {
         assert!(rules.iter().filter(|r| r.pack == pack).count() >= 5);
     }
+    assert!(rules.iter().filter(|r| r.pack == Pack::Store).count() >= 2);
 }
 
 #[test]

@@ -56,13 +56,25 @@ impl DenseLayer {
     ///
     /// Panics if `x.len() != in_dim`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free forward pass: writes the output into `y`, reusing its
+    /// capacity. Bit-identical to [`DenseLayer::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward_into(&self, x: &[f64], y: &mut Vec<f64>) {
         assert_eq!(x.len(), self.in_dim, "dense forward dim mismatch");
-        let mut y = self.b.clone();
+        y.clear();
+        y.extend_from_slice(&self.b);
         for (o, out) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             *out += row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         }
-        y
     }
 
     /// Accumulates gradients for one sample and returns the gradient with
@@ -72,9 +84,23 @@ impl DenseLayer {
     ///
     /// Panics on dimension mismatches.
     pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        let mut dx = Vec::new();
+        self.backward_into(x, dy, &mut dx);
+        dx
+    }
+
+    /// Allocation-free backward pass: accumulates gradients and writes the
+    /// input gradient into `dx`, reusing its capacity. Bit-identical to
+    /// [`DenseLayer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward_into(&mut self, x: &[f64], dy: &[f64], dx: &mut Vec<f64>) {
         assert_eq!(x.len(), self.in_dim, "dense backward input mismatch");
         assert_eq!(dy.len(), self.out_dim, "dense backward output mismatch");
-        let mut dx = vec![0.0; self.in_dim];
+        dx.clear();
+        dx.resize(self.in_dim, 0.0);
         for (o, &g) in dy.iter().enumerate() {
             self.grad_b[o] += g;
             let row = o * self.in_dim;
@@ -83,7 +109,6 @@ impl DenseLayer {
                 dx[i] += self.w[row + i] * g;
             }
         }
-        dx
     }
 
     /// Forward pass for a whole mini-batch: `x` is `batch x in_dim`, the
@@ -181,12 +206,17 @@ impl DenseLayer {
 
 /// Applies ReLU in place and returns the result.
 pub(crate) fn relu(mut v: Vec<f64>) -> Vec<f64> {
-    for x in &mut v {
+    relu_slice(&mut v);
+    v
+}
+
+/// Applies ReLU in place over a slice.
+pub(crate) fn relu_slice(v: &mut [f64]) {
+    for x in v {
         if *x < 0.0 {
             *x = 0.0;
         }
     }
-    v
 }
 
 /// Backpropagates through ReLU: zeroes gradient where the activation was

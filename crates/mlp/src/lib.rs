@@ -41,7 +41,9 @@ mod two_stage;
 
 pub use adam::Adam;
 pub use dense::DenseLayer;
-pub use loss::{softmax, softmax_cross_entropy, softmax_cross_entropy_batch};
+pub use loss::{
+    softmax, softmax_cross_entropy, softmax_cross_entropy_batch, softmax_cross_entropy_into,
+};
 pub use network::Mlp;
 pub use train::{
     accuracy_mlp, accuracy_two_stage, train_mlp, train_two_stage, Sample, TrainConfig, TrainStats,

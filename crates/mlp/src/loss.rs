@@ -20,12 +20,30 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `label >= logits.len()`.
 pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
-    assert!(label < logits.len(), "label {label} out of range");
-    let probs = softmax(logits);
-    let loss = -(probs[label].max(1e-300)).ln();
-    let mut grad = probs;
-    grad[label] -= 1.0;
+    let mut grad = Vec::new();
+    let loss = softmax_cross_entropy_into(logits, label, &mut grad);
     (loss, grad)
+}
+
+/// Allocation-free [`softmax_cross_entropy`]: writes the logit gradient into
+/// `grad`, reusing its capacity, and returns the loss. Bit-identical to the
+/// allocating form.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()`.
+pub fn softmax_cross_entropy_into(logits: &[f64], label: usize, grad: &mut Vec<f64>) -> f64 {
+    assert!(label < logits.len(), "label {label} out of range");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    grad.clear();
+    grad.extend(logits.iter().map(|l| (l - max).exp()));
+    let sum: f64 = grad.iter().sum();
+    for p in grad.iter_mut() {
+        *p /= sum;
+    }
+    let loss = -(grad[label].max(1e-300)).ln();
+    grad[label] -= 1.0;
+    loss
 }
 
 /// Softmax cross-entropy over a batch of logit rows; returns per-sample

@@ -2,15 +2,36 @@ use powerlens_numeric::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::dense::{relu, relu_backward, relu_backward_matrix, relu_matrix};
-use crate::{softmax_cross_entropy, softmax_cross_entropy_batch, Adam, DenseLayer};
+use crate::dense::{relu_backward, relu_backward_matrix, relu_matrix, relu_slice};
+use crate::loss::softmax_cross_entropy_into;
+use crate::{softmax_cross_entropy_batch, Adam, DenseLayer};
 
 /// A plain multi-layer perceptron classifier with ReLU activations between
 /// layers and raw logits at the output — the architecture of the paper's
 /// target-frequency decision model (Figure 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Per-sample backprop reuses internal scratch buffers across calls, so a
+/// training step performs no per-call heap allocation after warm-up; the
+/// buffers are excluded from serialization and equality (two MLPs are equal
+/// iff their layers are).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<DenseLayer>,
+    /// Cached activations (`acts[0]` = input, `acts[n]` = logits).
+    #[serde(skip)]
+    acts: Vec<Vec<f64>>,
+    /// Gradient flowing backwards through the layers.
+    #[serde(skip)]
+    grad: Vec<f64>,
+    /// Spare buffer swapped with `grad` at each layer.
+    #[serde(skip)]
+    spare: Vec<f64>,
+}
+
+impl PartialEq for Mlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.layers == other.layers
+    }
 }
 
 impl Mlp {
@@ -26,7 +47,12 @@ impl Mlp {
             .windows(2)
             .map(|w| DenseLayer::new(w[0], w[1], rng))
             .collect();
-        Mlp { layers }
+        Mlp {
+            layers,
+            acts: Vec::new(),
+            grad: Vec::new(),
+            spare: Vec::new(),
+        }
     }
 
     /// Input dimensionality.
@@ -48,11 +74,13 @@ impl Mlp {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         let n = self.layers.len();
         let mut h = x.to_vec();
+        let mut next = Vec::new();
         for (i, l) in self.layers.iter().enumerate() {
-            h = l.forward(&h);
+            l.forward_into(&h, &mut next);
             if i + 1 < n {
-                h = relu(h);
+                relu_slice(&mut next);
             }
+            std::mem::swap(&mut h, &mut next);
         }
         h
     }
@@ -92,25 +120,37 @@ impl Mlp {
 
     /// Forward + backward for one labelled sample; accumulates gradients and
     /// returns the loss.
+    ///
+    /// All intermediate buffers live on the network and are reused across
+    /// calls — the hot path of per-sample training allocates nothing once
+    /// warm.
     pub fn backprop(&mut self, x: &[f64], label: usize) -> f64 {
         let n = self.layers.len();
+        let Mlp {
+            layers,
+            acts,
+            grad,
+            spare,
+        } = self;
         // Forward with caches.
-        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-        acts.push(x.to_vec());
-        for (i, l) in self.layers.iter().enumerate() {
-            let mut h = l.forward(acts.last().expect("non-empty"));
+        acts.resize_with(n + 1, Vec::new);
+        acts[0].clear();
+        acts[0].extend_from_slice(x);
+        for i in 0..n {
+            let (prev, rest) = acts.split_at_mut(i + 1);
+            layers[i].forward_into(&prev[i], &mut rest[0]);
             if i + 1 < n {
-                h = relu(h);
+                relu_slice(&mut rest[0]);
             }
-            acts.push(h);
         }
-        let (loss, mut grad) = softmax_cross_entropy(&acts[n], label);
+        let loss = softmax_cross_entropy_into(&acts[n], label, grad);
         // Backward.
         for i in (0..n).rev() {
             if i + 1 < n {
-                relu_backward(&mut grad, &acts[i + 1]);
+                relu_backward(grad, &acts[i + 1]);
             }
-            grad = self.layers[i].backward(&acts[i], &grad);
+            layers[i].backward_into(&acts[i], grad, spare);
+            std::mem::swap(grad, spare);
         }
         loss
     }

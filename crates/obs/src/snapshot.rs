@@ -230,6 +230,22 @@ impl Snapshot {
             for (name, v) in &self.counters {
                 let _ = writeln!(out, "  {name:<w$}  {v}");
             }
+            // Derived line for the plan store: hits/(hits+misses). Either
+            // counter alone implies the other is zero.
+            let hits = self.counters.get("store.hits").copied();
+            let misses = self.counters.get("store.misses").copied();
+            if hits.is_some() || misses.is_some() {
+                let hits = hits.unwrap_or(0);
+                let total = hits + misses.unwrap_or(0);
+                if total > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {:<w$}  {:.1}% ({hits}/{total})",
+                        "store.hit_rate",
+                        100.0 * hits as f64 / total as f64,
+                    );
+                }
+            }
         }
         if !self.gauges.is_empty() {
             out.push_str("gauges:\n");
@@ -316,6 +332,25 @@ mod tests {
         let mut s = Snapshot::default();
         s.gauges.insert("bad".into(), f64::NAN);
         assert!(s.to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn table_derives_store_hit_rate() {
+        let mut s = Snapshot::default();
+        s.counters.insert("store.hits".into(), 3);
+        s.counters.insert("store.misses".into(), 1);
+        let t = s.render_table();
+        assert!(t.contains("store.hit_rate"), "{t}");
+        assert!(t.contains("75.0% (3/4)"), "{t}");
+
+        // Misses only: a 0% line, not a division by zero.
+        let mut s = Snapshot::default();
+        s.counters.insert("store.misses".into(), 2);
+        assert!(s.render_table().contains("0.0% (0/2)"));
+
+        // No store traffic: no derived line.
+        let t = sample().render_table();
+        assert!(!t.contains("store.hit_rate"));
     }
 
     #[test]

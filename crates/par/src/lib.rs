@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![deny(clippy::undocumented_unsafe_blocks)]
 
+mod sharded;
+
+pub use sharded::Sharded;
+
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())

@@ -1,0 +1,129 @@
+//! Key-sharded mutual exclusion (std only).
+//!
+//! The plan store's in-memory tier is hit concurrently by `map_slice`
+//! workers; a single mutex around the whole map would serialize them. A
+//! [`Sharded<T>`] splits the state into `S` independently locked shards and
+//! routes each key to one shard, so contention only occurs between workers
+//! that happen to touch the same shard — the standard sharded-lock design,
+//! built on `std::sync::Mutex` because the workspace is std-only.
+
+use std::sync::{Mutex, PoisonError};
+
+/// `S` independently locked copies of `T`, with deterministic key routing.
+///
+/// Routing is stable: the same key always reaches the same shard, for any
+/// shard it was created with, so per-key invariants (e.g. "an LRU entry
+/// lives in exactly one shard") hold without cross-shard coordination.
+///
+/// # Example
+///
+/// ```
+/// use powerlens_par::Sharded;
+///
+/// let counters: Sharded<u64> = Sharded::new(8, || 0);
+/// counters.with(42, |c| *c += 1);
+/// counters.with(42, |c| assert_eq!(*c, 1));
+/// assert_eq!(counters.fold(0, |acc, c| acc + *c), 1);
+/// ```
+#[derive(Debug)]
+pub struct Sharded<T> {
+    shards: Vec<Mutex<T>>,
+}
+
+impl<T> Sharded<T> {
+    /// Creates `num_shards` shards, each initialized by `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn new(num_shards: usize, mut init: impl FnMut() -> T) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        Sharded {
+            shards: (0..num_shards).map(|_| Mutex::new(init())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to (Fibonacci multiplicative spreading,
+    /// so sequential or low-entropy keys still distribute evenly).
+    pub fn shard_for(&self, key: u64) -> usize {
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.shards.len()
+    }
+
+    /// Locks the shard for `key` and runs `f` on its state.
+    ///
+    /// A poisoned shard (a previous holder panicked) is recovered rather
+    /// than propagated: the store's state is a cache, always safe to read
+    /// in whatever consistent-per-entry state the panicking writer left.
+    pub fn with<R>(&self, key: u64, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.shards[self.shard_for(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Locks each shard in index order and folds `f` over its state —
+    /// shard-by-shard (never holding two locks), so it cannot deadlock
+    /// against concurrent [`Sharded::with`] callers.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &mut T) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            acc = f(acc, &mut guard);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let s: Sharded<u32> = Sharded::new(7, || 0);
+        for key in 0..1000u64 {
+            let idx = s.shard_for(key);
+            assert!(idx < 7);
+            assert_eq!(idx, s.shard_for(key));
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_shards() {
+        let s: Sharded<u32> = Sharded::new(8, || 0);
+        let mut seen = [false; 8];
+        for key in 0..64u64 {
+            seen[s.shard_for(key)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "some shard never hit: {seen:?}");
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let s: Sharded<u64> = Sharded::new(4, || 0);
+        crate::map_range(64, 8, |i| {
+            for k in 0..16u64 {
+                s.with(i as u64 * 17 + k, |c| *c += 1);
+            }
+        });
+        assert_eq!(s.fold(0, |acc, c| acc + *c), 64 * 16);
+    }
+
+    #[test]
+    fn fold_visits_every_shard() {
+        let s: Sharded<u64> = Sharded::new(5, || 2);
+        assert_eq!(s.fold(0, |acc, c| acc + *c), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _: Sharded<u8> = Sharded::new(0, || 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The on-disk tier: one JSON file per key, written atomically, read
+//! defensively.
+//!
+//! Writes go to a `.tmp` sibling first and are moved into place with
+//! `rename`, so a crash mid-write can never leave a half-entry under the
+//! final name and concurrent writers of the same key settle on one complete
+//! file. Reads never trust the bytes: anything that fails to parse, or
+//! whose recorded key disagrees with its file name, is *quarantined* —
+//! renamed to `<name>.quarantine` so it stops being offered and a human can
+//! inspect it — and reported as a miss.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use powerlens_obs as obs;
+
+use crate::entry::StoredEntry;
+use crate::key::CacheKey;
+
+/// A cache directory holding one `<key-hex>.json` per entry.
+#[derive(Debug, Clone)]
+pub struct DiskTier {
+    dir: PathBuf,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskTier {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this tier stores entries under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an entry for `key` lives in.
+    pub fn path_for(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Loads the entry for `key`. Absent files return `None`; present but
+    /// unreadable, unparsable, or mis-keyed files are quarantined and also
+    /// return `None`.
+    pub fn load(&self, key: CacheKey) -> Option<StoredEntry> {
+        let path = self.path_for(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.quarantine(&path);
+                return None;
+            }
+        };
+        match serde_json::from_str::<StoredEntry>(&text) {
+            Ok(entry) if entry.key == key.hex() => Some(entry),
+            _ => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists an entry under its key (atomic tmp+rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn store(&self, key: CacheKey, entry: &StoredEntry) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(entry).map_err(io::Error::other)?;
+        let tmp = self.dir.join(format!("{}.json.tmp", key.hex()));
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, self.path_for(key))
+    }
+
+    /// Quarantines the file a bad entry was read from. Removal (rather than
+    /// quarantine) of an already-vanished file is fine; other rename
+    /// failures only cost a retry on the next load.
+    pub fn quarantine(&self, path: &Path) {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".quarantine");
+        if fs::rename(path, &target).is_ok() {
+            obs::counter("store.quarantined", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{StoredBlock, StoredPoint, StoredTimings, SCHEMA_VERSION};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("powerlens_store_disk_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry_for(key: CacheKey) -> StoredEntry {
+        StoredEntry {
+            schema_version: SCHEMA_VERSION,
+            key: key.hex(),
+            platform: "agx:g14:c14".into(),
+            model: "sample".into(),
+            graph_fingerprint: format!("{:016x}", 99),
+            num_layers: 2,
+            blocks: vec![StoredBlock { start: 0, end: 2 }],
+            points: vec![StoredPoint {
+                layer: 0,
+                gpu_level: 1,
+            }],
+            cpu_level: 0,
+            scheme_index: 0,
+            timings: StoredTimings {
+                feature_extraction_ns: 1,
+                hyperparameter_prediction_ns: 2,
+                clustering_ns: 3,
+                decision_ns: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let tier = DiskTier::new(&dir).unwrap();
+        let key = CacheKey(0xabcd);
+        assert!(tier.load(key).is_none());
+        let entry = entry_for(key);
+        tier.store(key, &entry).unwrap();
+        assert_eq!(tier.load(key).unwrap(), entry);
+        // No stray tmp file left behind.
+        assert!(!tier.dir().join(format!("{}.json.tmp", key.hex())).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined_not_fatal() {
+        let dir = temp_dir("corrupt");
+        let tier = DiskTier::new(&dir).unwrap();
+        let key = CacheKey(0x1234);
+        fs::write(tier.path_for(key), "{ this is not json").unwrap();
+        assert!(tier.load(key).is_none());
+        assert!(!tier.path_for(key).exists(), "corrupt file moved aside");
+        let quarantined = dir.join(format!("{}.json.quarantine", key.hex()));
+        assert!(quarantined.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mis_keyed_file_is_quarantined() {
+        let dir = temp_dir("miskey");
+        let tier = DiskTier::new(&dir).unwrap();
+        let key = CacheKey(0x10);
+        // Valid JSON, but recorded under a different key: a renamed or
+        // colliding file must not be served.
+        tier.store(key, &entry_for(CacheKey(0x20))).unwrap();
+        assert!(tier.load(key).is_none());
+        assert!(!tier.path_for(key).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,222 @@
+//! The on-disk entry format: a serde mirror of [`PlanOutcome`].
+//!
+//! `PlanOutcome` and its parts live in crates that deliberately do not
+//! depend on serde (`PowerView` and `InstrumentationPlan` validate their
+//! invariants in constructors instead). The mirror structs here are the
+//! serialization boundary: reading them back uses the `*_unchecked`
+//! constructors, and the *store lint gate* — not the type system — decides
+//! whether the result may be used (see [`crate::PlanStore`]).
+
+use std::time::Duration;
+
+use powerlens::{PlanOutcome, WorkflowTimings};
+use powerlens_cluster::{PowerBlock, PowerView};
+use powerlens_platform::{InstrumentationPlan, InstrumentationPoint};
+use serde::{Deserialize, Serialize};
+
+use crate::key::CacheKey;
+
+/// Version of the entry format. Bump on any field change: old files then
+/// fail the `PL302` gate and are quarantined rather than misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One power block (`PowerBlock` mirror).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredBlock {
+    /// First layer id (inclusive).
+    pub start: usize,
+    /// One past the last layer id (exclusive).
+    pub end: usize,
+}
+
+/// One instrumentation point (`InstrumentationPoint` mirror).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredPoint {
+    /// First layer of the block.
+    pub layer: usize,
+    /// Target GPU frequency level.
+    pub gpu_level: usize,
+}
+
+/// Offline stage timings in integer nanoseconds (`WorkflowTimings` mirror;
+/// `Duration` itself has no stable JSON form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredTimings {
+    /// Feature-extraction time (ns).
+    pub feature_extraction_ns: u64,
+    /// Hyperparameter-prediction / scheme-search time (ns).
+    pub hyperparameter_prediction_ns: u64,
+    /// Clustering time (ns).
+    pub clustering_ns: u64,
+    /// Per-block decision time (ns).
+    pub decision_ns: u64,
+}
+
+/// A complete cache entry: provenance (key, platform signature, graph
+/// fingerprint, schema version) plus the mirrored [`PlanOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredEntry {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// The content address, as 16 hex digits (must match the file stem).
+    pub key: String,
+    /// Platform signature at write time (`PL301` input).
+    pub platform: String,
+    /// Graph name, for humans browsing the cache directory.
+    pub model: String,
+    /// `Graph::fingerprint()` of the planned graph, as 16 hex digits (the
+    /// JSON shim models numbers as `f64`, which cannot carry 64 bits).
+    pub graph_fingerprint: String,
+    /// Total layers covered by the power view.
+    pub num_layers: usize,
+    /// The power view's blocks, in layer order.
+    pub blocks: Vec<StoredBlock>,
+    /// The plan's instrumentation points, ascending by layer.
+    pub points: Vec<StoredPoint>,
+    /// The plan's fixed CPU level.
+    pub cpu_level: usize,
+    /// Index of the selected hyperparameter scheme.
+    pub scheme_index: usize,
+    /// Offline stage timings.
+    pub timings: StoredTimings,
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl StoredEntry {
+    /// Mirrors an outcome for serialization, stamping provenance.
+    pub fn from_outcome(
+        key: CacheKey,
+        platform_signature: &str,
+        model: &str,
+        graph_fingerprint: u64,
+        outcome: &PlanOutcome,
+    ) -> Self {
+        StoredEntry {
+            schema_version: SCHEMA_VERSION,
+            key: key.hex(),
+            platform: platform_signature.to_string(),
+            model: model.to_string(),
+            graph_fingerprint: format!("{graph_fingerprint:016x}"),
+            num_layers: outcome.view.num_layers(),
+            blocks: outcome
+                .view
+                .blocks()
+                .iter()
+                .map(|b| StoredBlock {
+                    start: b.start,
+                    end: b.end,
+                })
+                .collect(),
+            points: outcome
+                .plan
+                .points()
+                .iter()
+                .map(|p| StoredPoint {
+                    layer: p.layer,
+                    gpu_level: p.gpu_level,
+                })
+                .collect(),
+            cpu_level: outcome.plan.cpu_level(),
+            scheme_index: outcome.scheme_index,
+            timings: StoredTimings {
+                feature_extraction_ns: duration_ns(outcome.timings.feature_extraction),
+                hyperparameter_prediction_ns: duration_ns(
+                    outcome.timings.hyperparameter_prediction,
+                ),
+                clustering_ns: duration_ns(outcome.timings.clustering),
+                decision_ns: duration_ns(outcome.timings.decision),
+            },
+        }
+    }
+
+    /// Reconstructs the outcome **without validation** — the caller must run
+    /// the store lint gate on the result before using it.
+    pub fn to_outcome(&self) -> PlanOutcome {
+        PlanOutcome {
+            view: PowerView::from_blocks_unchecked(
+                self.blocks
+                    .iter()
+                    .map(|b| PowerBlock {
+                        start: b.start,
+                        end: b.end,
+                    })
+                    .collect(),
+                self.num_layers,
+            ),
+            plan: InstrumentationPlan::from_points_unchecked(
+                self.points
+                    .iter()
+                    .map(|p| InstrumentationPoint {
+                        layer: p.layer,
+                        gpu_level: p.gpu_level,
+                    })
+                    .collect(),
+                self.cpu_level,
+            ),
+            scheme_index: self.scheme_index,
+            timings: WorkflowTimings {
+                feature_extraction: Duration::from_nanos(self.timings.feature_extraction_ns),
+                hyperparameter_prediction: Duration::from_nanos(
+                    self.timings.hyperparameter_prediction_ns,
+                ),
+                clustering: Duration::from_nanos(self.timings.clustering_ns),
+                decision: Duration::from_nanos(self.timings.decision_ns),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> PlanOutcome {
+        PlanOutcome {
+            view: PowerView::new(vec![
+                PowerBlock { start: 0, end: 3 },
+                PowerBlock { start: 3, end: 8 },
+            ]),
+            plan: InstrumentationPlan::new(
+                vec![
+                    InstrumentationPoint {
+                        layer: 0,
+                        gpu_level: 5,
+                    },
+                    InstrumentationPoint {
+                        layer: 3,
+                        gpu_level: 9,
+                    },
+                ],
+                2,
+            ),
+            scheme_index: 4,
+            timings: WorkflowTimings {
+                feature_extraction: Duration::from_micros(120),
+                hyperparameter_prediction: Duration::from_micros(40),
+                clustering: Duration::from_micros(300),
+                decision: Duration::from_micros(70),
+            },
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json() {
+        let outcome = sample_outcome();
+        let entry = StoredEntry::from_outcome(
+            crate::CacheKey(0xdead_beef),
+            "agx:g14:c14",
+            "sample",
+            42,
+            &outcome,
+        );
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: StoredEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entry);
+        assert_eq!(back.to_outcome(), outcome);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.key, "00000000deadbeef");
+    }
+}

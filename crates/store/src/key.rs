@@ -1,0 +1,164 @@
+//! Content addressing: one stable 64-bit key per (graph, config, models,
+//! platform) quadruple.
+//!
+//! The key must be reproducible across processes and builds, so every
+//! component is hashed with the same explicit FNV-1a walk the graph
+//! fingerprint uses — never `std::hash`, whose output is unspecified across
+//! releases. Floats enter via their IEEE bit patterns: two configs hash
+//! equal iff they compare equal field-for-field.
+
+use std::fmt;
+
+use powerlens::{PowerLens, PowerLensConfig};
+use powerlens_dnn::Graph;
+use powerlens_lint::platform_signature;
+
+/// The content address of one plan outcome. Rendered as 16 lower-case hex
+/// digits (the disk tier's file stem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// The key as a fixed-width hex string, e.g. `"00c3a2f41b9e77d0"`.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 64-bit FNV-1a, fed `u64` words byte-wise (little-endian) — the same
+/// construction as `Graph::fingerprint`, duplicated here because the hasher
+/// is an implementation detail of each crate's stable encoding, not API.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable hash of every config field that influences a plan outcome.
+pub fn config_hash(config: &PowerLensConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(config.batch as u64);
+    h.write_f64(config.slack);
+    h.write_u64(config.label_images as u64);
+    h.write_u64(config.max_blocks as u64);
+    h.write_u64(config.schemes.len() as u64);
+    for i in 0..config.schemes.len() {
+        let s = config.schemes.get(i);
+        h.write_f64(s.epsilon);
+        h.write_u64(s.min_pts as u64);
+        h.write_f64(s.alpha);
+        h.write_f64(s.lambda);
+        h.write_u64(s.smooth_radius as u64);
+    }
+    h.finish()
+}
+
+/// Version hash of the planner's decision source: the serialized trained
+/// models (any weight change → new hash), or a fixed `oracle` tag for the
+/// exhaustive-search planner. Serialization failures fall back to a
+/// distinct tag — a key that never matches is a cache miss, not a wrong
+/// answer.
+pub fn models_hash(pl: &PowerLens<'_>) -> u64 {
+    let mut h = Fnv1a::new();
+    match pl.models() {
+        None => h.write_bytes(b"oracle"),
+        Some(models) => match models.to_json() {
+            Ok(json) => h.write_bytes(json.as_bytes()),
+            Err(_) => h.write_bytes(b"unserializable-models"),
+        },
+    }
+    h.finish()
+}
+
+/// Hash of the full planning context (everything except the graph): config,
+/// model version, and platform signature.
+pub fn context_hash(pl: &PowerLens<'_>) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(config_hash(pl.config()));
+    h.write_u64(models_hash(pl));
+    h.write_bytes(platform_signature(pl.platform()).as_bytes());
+    h.finish()
+}
+
+/// The content address for planning `graph` with `pl`.
+pub fn cache_key(pl: &PowerLens<'_>, graph: &Graph) -> CacheKey {
+    let mut h = Fnv1a::new();
+    h.write_u64(graph.fingerprint());
+    h.write_u64(context_hash(pl));
+    CacheKey(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_dnn::zoo;
+    use powerlens_platform::Platform;
+
+    #[test]
+    fn key_is_stable_for_equal_inputs() {
+        let platform = Platform::agx();
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        let g = zoo::alexnet();
+        assert_eq!(cache_key(&pl, &g), cache_key(&pl, &g));
+        assert_eq!(cache_key(&pl, &g).hex().len(), 16);
+    }
+
+    #[test]
+    fn key_separates_graphs_configs_and_platforms() {
+        let agx = Platform::agx();
+        let tx2 = Platform::tx2();
+        let base = PowerLens::untrained(&agx, PowerLensConfig::default());
+        let g = zoo::alexnet();
+        let k = cache_key(&base, &g);
+
+        assert_ne!(k, cache_key(&base, &zoo::mobilenet_v3()));
+
+        let mut cfg = PowerLensConfig::default();
+        cfg.batch += 1;
+        assert_ne!(k, cache_key(&PowerLens::untrained(&agx, cfg), &g));
+
+        // The default slack is infinite (`+=` would be a no-op); pin a
+        // finite one instead.
+        let cfg = PowerLensConfig {
+            slack: 1.5,
+            ..PowerLensConfig::default()
+        };
+        assert_ne!(k, cache_key(&PowerLens::untrained(&agx, cfg), &g));
+
+        let other = PowerLens::untrained(&tx2, PowerLensConfig::default());
+        assert_ne!(k, cache_key(&other, &g));
+    }
+}

@@ -3,21 +3,23 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR3.json)
-#   -b BASELINE  prior summary to diff against (default: BENCH_PR2.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR4.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR3.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
 # The JSON shape is {"<bench name>": {"median_ns": N[, "baseline_ns": M,
 # "speedup": S]}}. When the bench_lint suite ran, a trailing
 # "lint_overhead" entry reports each debug lint gate's cost as a fraction
-# of the pipeline stage it rides on (budget: <0.02). The perf trajectory
-# across PRs compares these files.
+# of the pipeline stage it rides on (budget: <0.02). When the bench_store
+# suite ran, a "store_speedup" entry reports warm-cache plan lookups vs
+# cold planning (floor: >= 20x). The perf trajectory across PRs compares
+# these files.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR3.json"
-baseline="BENCH_PR2.json"
+out="BENCH_PR4.json"
+baseline="BENCH_PR3.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -96,6 +98,16 @@ END {
         printf "lint overhead vs pipeline: engine gate %.3f%%, pipeline gate %.3f%%, total %.3f%% (budget 2%%)\n", \
             100 * ns[g_gate] / ns[pipe], 100 * ns[v_gate] / ns[pipe], \
             100 * (ns[g_gate] + ns[v_gate]) / ns[pipe]
+    }
+    # Plan-store payoff: a warm (memory-tier) lookup vs a cold planning
+    # run. Floor: >= 20x.
+    cold = "store/plan_cold"
+    warm = "store/plan_warm"
+    if ((cold in ns) && (warm in ns) && ns[warm] > 0) {
+        printf ",\n  \"store_speedup\": {\"warm_vs_cold\": %.1f, \"floor\": 20}\n", \
+            ns[cold] / ns[warm] > out
+        printf "plan store: warm lookup %.1fx faster than cold plan (floor 20x)\n", \
+            ns[cold] / ns[warm]
     }
     printf "}\n" > out
     printf "wrote %s (%d benches%s)\n", out, count, \

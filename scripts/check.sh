@@ -27,6 +27,8 @@ fi
 # fails the command; rule catalog in docs/LINTS.md).
 run cargo build -q --release -p powerlens-cli
 run ./target/release/powerlens-cli lint --all
+# Plan-store smoke: the whole zoo through the in-memory cache.
+run ./target/release/powerlens-cli plan-batch --cache mem
 run cargo bench --no-run
 RUSTDOCFLAGS="-D warnings"
 export RUSTDOCFLAGS
