@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn bench_actuator(c: &mut Criterion) {
     c.bench_function("dvfs_actuator_toggle", |b| {
-        let mut act = DvfsActuator::new(0, 0.0005);
+        let mut act = DvfsActuator::new(0, 0.0005, 14);
         let mut level = 0;
         b.iter(|| {
             level = (level + 1) % 14;

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the fault-injection layer: what a clean
+//! run costs, what carrying an inert (zero-probability) fault plan adds on
+//! top of it, and what a 20% switch-failure storm costs end to end.
+//!
+//! `scripts/bench.sh` derives the `faults_overhead` metric from the
+//! zero-plan / clean ratio: the price of *threading* the fault machinery
+//! through the engine when nothing is injected.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens::{PlanController, PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_faults::FaultPlan;
+use powerlens_governors::Bim;
+use powerlens_platform::Platform;
+use powerlens_sim::{Degraded, Engine};
+use std::hint::black_box;
+
+const IMAGES: usize = 16;
+
+fn bench_engine_under_faults(c: &mut Criterion) {
+    let p = Platform::agx();
+    let g = zoo::alexnet();
+    let pl = PowerLens::untrained(&p, PowerLensConfig::default());
+    let plan = pl.plan_oracle(&g).unwrap().plan;
+
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(30);
+
+    let clean = Engine::new(&p).with_batch(8);
+    group.bench_function("engine_clean_alexnet", |b| {
+        b.iter(|| {
+            let mut ctl = PlanController::new(plan.clone());
+            black_box(clean.run(&g, &mut ctl, IMAGES))
+        })
+    });
+
+    let zero = Engine::new(&p)
+        .with_batch(8)
+        .with_faults(FaultPlan::default());
+    group.bench_function("engine_zero_plan_alexnet", |b| {
+        b.iter(|| {
+            let mut ctl = PlanController::new(plan.clone());
+            black_box(zero.run(&g, &mut ctl, IMAGES))
+        })
+    });
+
+    let storm = FaultPlan::parse("switch_fail=0.2,drop=0.05,noise=0.05").unwrap();
+    let faulted = Engine::new(&p).with_batch(8).with_faults(storm);
+    group.bench_function("engine_faulted_alexnet", |b| {
+        b.iter(|| {
+            let mut ctl = PlanController::new(plan.clone());
+            black_box(faulted.run(&g, &mut ctl, IMAGES))
+        })
+    });
+
+    group.bench_function("engine_degraded_faulted_alexnet", |b| {
+        b.iter(|| {
+            let mut ctl = Degraded::new(PlanController::new(plan.clone()), Bim::new(&p));
+            black_box(faulted.run(&g, &mut ctl, IMAGES))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_under_faults);
+criterion_main!(benches);

@@ -23,6 +23,7 @@ fn main() {
         let mut actuator = DvfsActuator::new(
             platform.gpu_table().max_level(),
             platform.dvfs_transition_cost(),
+            platform.gpu_levels(),
         );
         let mut rng = StdRng::seed_from_u64(42);
         let mut total_settle = 0.0;

@@ -14,10 +14,21 @@ pub const USAGE: &str = "usage:
   powerlens-cli compare  <model> [--platform P] [--batch N] [--images N] [--models PATH]
   powerlens-cli train    [--platform P] [--nets N] [--out PATH]
   powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
+  powerlens-cli faultsim <model> [--platform P] [--batch N] [--images N]
+                         [--faults SPEC] [--fault-seed N]
   powerlens-cli lint     <model>|--all [--platform P] [--format human|json|sarif]
   powerlens-cli stats    [report.json]
 
 platforms: agx (default), tx2, cloud
+
+faultsim runs a robustness report: each controller (PowerLens plan, its
+degraded wrapper falling back to BiM, and BiM itself) runs once clean and
+once under the seeded fault plan, and the report prints energy-efficiency
+retention per controller. `compare` and `trace` also accept
+--faults SPEC [--fault-seed N]: SPEC is comma-separated key=value pairs
+(switch_fail, gpu_switch_fail, cpu_switch_fail, jitter, cap, drop, noise,
+perturb, perturb_sigma, retries, backoff, seed); plans are linted (PL4xx)
+before any fault is injected
 
 plan-batch plans every named model (default: the whole zoo) through the
 content-addressed plan cache with parallel workers.
@@ -56,6 +67,11 @@ pub struct Options {
     pub cache_dir: String,
     /// Worker threads for batch planning (`0` = all cores).
     pub threads: usize,
+    /// Fault-injection spec (`--faults key=value,...`), `None` = clean run.
+    pub faults: Option<String>,
+    /// Seed override for the fault streams (`--fault-seed N`); when absent
+    /// the spec's own `seed=` (default 42) applies.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for Options {
@@ -72,6 +88,8 @@ impl Default for Options {
             cache: "off".into(),
             cache_dir: "results/plan-cache".into(),
             threads: 0,
+            faults: None,
+            fault_seed: None,
         }
     }
 }
@@ -99,6 +117,8 @@ pub enum Command {
     Train { opts: Options },
     /// Export a frequency/power trace CSV for a PowerLens run.
     Trace { model: String, opts: Options },
+    /// Robustness report: clean vs faulted runs across controllers.
+    FaultSim { model: String, opts: Options },
     /// Static analysis of one model (or the whole zoo with `--all`).
     Lint {
         model: Option<String>,
@@ -190,6 +210,14 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
                 }
             }
             "--cache-dir" => opts.cache_dir = take_value("--cache-dir", &mut it)?,
+            "--faults" => opts.faults = Some(take_value("--faults", &mut it)?),
+            "--fault-seed" => {
+                let v = take_value("--fault-seed", &mut it)?;
+                let seed: u64 = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--fault-seed: {v:?} is not an integer")))?;
+                opts.fault_seed = Some(seed);
+            }
             "--threads" => {
                 // `0` is valid here: "use all available cores".
                 let v = take_value("--threads", &mut it)?;
@@ -226,7 +254,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Inspect { model })
         }
-        "sweep" | "plan" | "compare" | "trace" => {
+        "sweep" | "plan" | "compare" | "trace" | "faultsim" => {
             let model = it
                 .next()
                 .cloned()
@@ -236,6 +264,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 "sweep" => Command::Sweep { model, opts },
                 "plan" => Command::Plan { model, opts },
                 "trace" => Command::Trace { model, opts },
+                "faultsim" => Command::FaultSim { model, opts },
                 _ => Command::Compare { model, opts },
             })
         }
@@ -423,6 +452,46 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_faultsim_and_fault_flags() {
+        match parse(&v(&[
+            "faultsim",
+            "alexnet",
+            "--faults",
+            "switch_fail=0.2,drop=0.1",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap()
+        {
+            Command::FaultSim { model, opts } => {
+                assert_eq!(model, "alexnet");
+                assert_eq!(opts.faults.as_deref(), Some("switch_fail=0.2,drop=0.1"));
+                assert_eq!(opts.fault_seed, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // faultsim without a spec is valid: it uses the default sweep.
+        match parse(&v(&["faultsim", "resnet34"])).unwrap() {
+            Command::FaultSim { model, opts } => {
+                assert_eq!(model, "resnet34");
+                assert_eq!(opts.faults, None);
+                assert_eq!(opts.fault_seed, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // compare and trace accept the same flags.
+        match parse(&v(&["compare", "alexnet", "--faults", "switch_fail=0.5"])).unwrap() {
+            Command::Compare { opts, .. } => {
+                assert_eq!(opts.faults.as_deref(), Some("switch_fail=0.5"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["faultsim"])).is_err());
+        let err = parse(&v(&["faultsim", "alexnet", "--fault-seed", "x"])).unwrap_err();
+        assert!(err.0.contains("not an integer"));
     }
 
     #[test]

@@ -7,11 +7,12 @@ use powerlens::dataset::{self, DatasetConfig};
 use powerlens::training::{train_models, TrainingConfig};
 use powerlens::{PlanController, PowerLens, PowerLensConfig, TrainedModels};
 use powerlens_dnn::{zoo, Graph};
+use powerlens_faults::FaultPlan;
 use powerlens_governors::{Bim, FpgCg, FpgG};
 use powerlens_obs as obs;
 use powerlens_obs::TraceMode;
 use powerlens_platform::Platform;
-use powerlens_sim::{run_taskflow, Controller, Engine, TaskSpec};
+use powerlens_sim::{run_taskflow, Controller, Degraded, Engine, TaskFlowReport, TaskSpec};
 use powerlens_store::{CacheMode, PlanStore};
 
 use crate::args::{Command, Options};
@@ -32,6 +33,7 @@ pub fn run(cmd: Command) -> CliResult {
         | Command::Compare { opts, .. }
         | Command::Train { opts }
         | Command::Trace { opts, .. }
+        | Command::FaultSim { opts, .. }
         | Command::Lint { opts, .. } => opts.trace,
     };
     obs::init(trace);
@@ -44,6 +46,7 @@ pub fn run(cmd: Command) -> CliResult {
         Command::Compare { model, opts } => compare(&model, &opts),
         Command::Train { opts } => train(&opts),
         Command::Trace { model, opts } => trace_cmd(&model, &opts),
+        Command::FaultSim { model, opts } => faultsim(&model, &opts),
         Command::Lint { model, opts } => lint_cmd(model.as_deref(), &opts),
         Command::Stats { path } => return stats(path.as_deref()),
     };
@@ -92,6 +95,43 @@ fn planner<'p>(platform: &'p Platform, opts: &Options) -> Result<PowerLens<'p>, 
         }
         None => PowerLens::untrained(platform, config),
     })
+}
+
+/// Builds the fault plan described by `--faults` / `--fault-seed`, gated
+/// through the lint faults pack (PL4xx): error findings abort before a
+/// single fault is injected, warnings print to stderr. `None` when the
+/// command runs clean.
+fn fault_plan_for(
+    opts: &Options,
+    platform: &Platform,
+) -> Result<Option<FaultPlan>, Box<dyn Error>> {
+    let Some(spec) = &opts.faults else {
+        return Ok(None);
+    };
+    let mut plan = FaultPlan::parse(spec)?;
+    if let Some(seed) = opts.fault_seed {
+        plan = plan.with_seed(seed);
+    }
+    let report = powerlens_lint::lint_fault_plan(
+        &plan,
+        Some(platform),
+        &powerlens_lint::LintConfig::default(),
+    );
+    for d in &report.diagnostics {
+        if d.rule.severity != powerlens_lint::Severity::Error {
+            eprintln!("warning[{}]: {}", d.rule.code, d.message);
+        }
+    }
+    if report.has_errors() {
+        let msgs: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule.severity == powerlens_lint::Severity::Error)
+            .map(|d| format!("{}: {}", d.rule.code, d.message))
+            .collect();
+        return Err(format!("invalid fault plan: {}", msgs.join("; ")).into());
+    }
+    Ok(Some(plan))
 }
 
 /// Builds the plan store described by `--cache` / `--cache-dir`.
@@ -282,20 +322,29 @@ fn compare(model: &str, opts: &Options) -> CliResult {
     let g = model_for(model)?;
     let pl = planner(&platform, opts)?;
     let outcome = plan_cached(&pl, &g, opts)?;
+    let fault_plan = fault_plan_for(opts, &platform)?;
 
-    let engine = Engine::new(&platform).with_batch(opts.batch);
+    let mut engine = Engine::new(&platform).with_batch(opts.batch);
+    if let Some(plan) = &fault_plan {
+        engine = engine.with_faults(plan.clone());
+    }
     let tasks: Vec<TaskSpec<'_>> = (0..10)
         .map(|_| TaskSpec {
             graph: &g,
             images: opts.images,
         })
         .collect();
-    let mut plan_ctl = PlanController::new(outcome.plan);
+    let mut plan_ctl = PlanController::new(outcome.plan.clone());
+    let mut degraded = Degraded::new(PlanController::new(outcome.plan), Bim::new(&platform));
     let mut bim = Bim::new(&platform);
     let mut fpg_g = FpgG::new(&platform);
     let mut fpg_cg = FpgCg::new(&platform);
-    let controllers: Vec<&mut dyn Controller> =
+    let mut controllers: Vec<&mut dyn Controller> =
         vec![&mut plan_ctl, &mut fpg_cg, &mut fpg_g, &mut bim];
+    if fault_plan.is_some() {
+        // Under faults, also race the graceful-degradation wrapper.
+        controllers.push(&mut degraded);
+    }
 
     println!(
         "{model} on {} (10 x {} images, batch {}):",
@@ -303,6 +352,9 @@ fn compare(model: &str, opts: &Options) -> CliResult {
         opts.images,
         opts.batch
     );
+    if let Some(plan) = &fault_plan {
+        println!("faults: {plan}");
+    }
     println!(
         "{:<22} {:>11} {:>9} {:>11} {:>9}",
         "method", "energy (J)", "time (s)", "EE (img/J)", "switches"
@@ -333,7 +385,11 @@ fn trace_cmd(model: &str, opts: &Options) -> CliResult {
     let g = model_for(model)?;
     let pl = planner(&platform, opts)?;
     let outcome = plan_cached(&pl, &g, opts)?;
-    let engine = Engine::new(&platform).with_batch(opts.batch);
+    let mut engine = Engine::new(&platform).with_batch(opts.batch);
+    if let Some(plan) = fault_plan_for(opts, &platform)? {
+        println!("faults: {plan}");
+        engine = engine.with_faults(plan);
+    }
     let mut ctl = PlanController::new(outcome.plan);
     let report = engine.run(&g, &mut ctl, opts.images);
     let path = if opts.out == "powerlens_models.json" {
@@ -348,6 +404,137 @@ fn trace_cmd(model: &str, opts: &Options) -> CliResult {
         report.telemetry.samples().len(),
         report.energy_efficiency
     );
+    Ok(())
+}
+
+/// Fault spec `faultsim` sweeps when `--faults` is not given: a 20%
+/// switch-failure storm with sensor dropout and measurement noise.
+const DEFAULT_FAULTSIM_SPEC: &str = "switch_fail=0.2,retries=1,drop=0.05,noise=0.05";
+
+/// Tasks per faultsim leg: enough repeated plan executions that the
+/// per-switch fault streams are actually exercised.
+const FAULTSIM_TASKS: usize = 8;
+
+/// Robustness report: runs the PowerLens plan, its degraded wrapper
+/// (falling back to BiM), and BiM itself — each through an 8-task flow,
+/// once clean and once under the seeded fault plan — and reports how much
+/// energy efficiency each controller retains. The
+/// `ee_retention <controller> <value>` lines are stable output consumed by
+/// `scripts/bench.sh`.
+fn faultsim(model: &str, opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let g = model_for(model)?;
+    let pl = planner(&platform, opts)?;
+    let outcome = plan_cached(&pl, &g, opts)?;
+
+    let mut spec_opts = opts.clone();
+    if spec_opts.faults.is_none() {
+        spec_opts.faults = Some(DEFAULT_FAULTSIM_SPEC.to_string());
+    }
+    let fault_plan =
+        fault_plan_for(&spec_opts, &platform)?.expect("faultsim always has a fault spec");
+
+    let clean = Engine::new(&platform).with_batch(opts.batch);
+    let faulted = Engine::new(&platform)
+        .with_batch(opts.batch)
+        .with_faults(fault_plan.clone());
+    let tasks: Vec<TaskSpec<'_>> = (0..FAULTSIM_TASKS)
+        .map(|_| TaskSpec {
+            graph: &g,
+            images: opts.images,
+        })
+        .collect();
+
+    // Each row runs fresh controllers so no state leaks between legs; the
+    // degraded row additionally reports how often the fallback tripped.
+    type Row = (&'static str, TaskFlowReport, TaskFlowReport, Option<usize>);
+    let plan_for_row = outcome.plan;
+    let mut rows: Vec<Row> = Vec::new();
+    {
+        let mut leg = PlanController::new(plan_for_row.clone());
+        let c = run_taskflow(&clean, &tasks, &mut leg);
+        let mut leg = PlanController::new(plan_for_row.clone());
+        let f = run_taskflow(&faulted, &tasks, &mut leg);
+        rows.push(("powerlens", c, f, None));
+    }
+    {
+        let mut leg = Degraded::new(
+            PlanController::new(plan_for_row.clone()),
+            Bim::new(&platform),
+        );
+        let c = run_taskflow(&clean, &tasks, &mut leg);
+        let mut leg = Degraded::new(PlanController::new(plan_for_row), Bim::new(&platform));
+        let f = run_taskflow(&faulted, &tasks, &mut leg);
+        rows.push(("degraded", c, f, Some(leg.num_fallbacks())));
+    }
+    {
+        let mut leg = Bim::new(&platform);
+        let c = run_taskflow(&clean, &tasks, &mut leg);
+        let mut leg = Bim::new(&platform);
+        let f = run_taskflow(&faulted, &tasks, &mut leg);
+        rows.push(("bim", c, f, None));
+    }
+
+    println!(
+        "{model} on {} ({FAULTSIM_TASKS} x {} images, batch {})",
+        platform.name(),
+        opts.images,
+        opts.batch
+    );
+    println!("faults: {fault_plan}");
+    println!(
+        "{:<22} {:>11} {:>11} {:>10} {:>9} {:>7} {:>9} {:>9}",
+        "controller",
+        "clean img/J",
+        "fault img/J",
+        "retention",
+        "switches",
+        "failed",
+        "injected",
+        "fallbacks"
+    );
+
+    let mut retentions: Vec<(String, f64)> = Vec::new();
+    for (which, c, f, fallbacks) in rows {
+        let retention = if c.energy_efficiency > 0.0 {
+            f.energy_efficiency / c.energy_efficiency
+        } else {
+            0.0
+        };
+        println!(
+            "{:<22} {:>11.4} {:>11.4} {:>9.1}% {:>9} {:>7} {:>9} {:>9}",
+            which,
+            c.energy_efficiency,
+            f.energy_efficiency,
+            retention * 100.0,
+            f.num_switches,
+            f.num_failed_switches,
+            f.faults_injected,
+            fallbacks.map_or_else(|| "-".to_string(), |n| n.to_string()),
+        );
+        retentions.push((which.to_string(), retention));
+    }
+
+    // Greppable summary lines (consumed by scripts/bench.sh).
+    for (name, retention) in &retentions {
+        println!("ee_retention {name} {retention:.4}");
+    }
+    let bim_floor = retentions
+        .iter()
+        .find(|(n, _)| n == "bim")
+        .map_or(0.0, |(_, r)| *r);
+    let degraded_r = retentions
+        .iter()
+        .find(|(n, _)| n == "degraded")
+        .map_or(0.0, |(_, r)| *r);
+    if degraded_r + 1e-9 >= bim_floor * 0.9 {
+        println!("robustness: degraded controller holds the BiM floor");
+    } else {
+        println!(
+            "robustness: WARNING degraded retention {degraded_r:.3} fell below \
+             90% of the BiM floor {bim_floor:.3}"
+        );
+    }
     Ok(())
 }
 
@@ -539,6 +726,8 @@ mod tests {
                 .to_string_lossy()
                 .into_owned(),
             threads: 2,
+            faults: None,
+            fault_seed: None,
         }
     }
 
@@ -591,6 +780,69 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("t_start,"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faultsim_runs_with_default_and_custom_specs() {
+        run(Command::FaultSim {
+            model: "alexnet".into(),
+            opts: opts(),
+        })
+        .unwrap();
+        let mut o = opts();
+        o.faults = Some("switch_fail=0.5,retries=0".into());
+        o.fault_seed = Some(7);
+        run(Command::FaultSim {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_fault_spec_is_rejected_by_the_lint_gate() {
+        let mut o = opts();
+        o.faults = Some("switch_fail=1.5".into());
+        let err = run(Command::FaultSim {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid fault plan"));
+        assert!(err.to_string().contains("PL401"));
+
+        let mut o = opts();
+        o.faults = Some("frobnicate=1".into());
+        let err = run(Command::Compare {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown fault spec key"));
+    }
+
+    #[test]
+    fn compare_and_trace_accept_fault_flags() {
+        let mut o = opts();
+        o.faults = Some("switch_fail=0.2".into());
+        run(Command::Compare {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap();
+        let mut o = opts();
+        o.faults = Some("drop=0.2,noise=0.1".into());
+        let path = std::env::temp_dir().join("powerlens_cli_fault_trace.csv");
+        o.out = path.to_string_lossy().into_owned();
+        run(Command::Trace {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("t_start,"));
         std::fs::remove_file(&path).ok();
     }
 

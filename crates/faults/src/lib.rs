@@ -1,0 +1,531 @@
+//! Deterministic, seeded fault injection for PowerLens.
+//!
+//! The paper's deployment story is *proactive*: instrumentation points are
+//! preset before each power block and the run assumes every frequency switch
+//! lands instantly and every telemetry sample is trustworthy. On real Jetson
+//! boards neither holds — DVFS transitions have variable latency and
+//! occasionally fail or clamp (thermal/EDP caps), and tegrastats-style
+//! sensors drop or mis-time samples. This crate models those imperfections
+//! as a declarative [`FaultPlan`] plus a runtime [`FaultSession`] that the
+//! platform actuator and the simulator consult.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Determinism.** Every fault decision is drawn from a stream forked
+//!   off one seed via [`stream_seed`], one independent stream per concern
+//!   (GPU switches, CPU switches, sensor, power model). Re-running the same
+//!   plan with the same seed replays the exact same faults, regardless of
+//!   how the individual streams interleave.
+//! * **Inertness at zero.** A plan whose probabilities and magnitudes are
+//!   all zero injects *nothing*: every fault application is gated on a
+//!   nonzero parameter, so a zero plan never draws from its RNG streams and
+//!   a faulted run is bit-identical to a clean one (the differential test
+//!   in `powerlens-sim` pins this).
+//!
+//! # Example
+//!
+//! ```
+//! use powerlens_faults::FaultPlan;
+//!
+//! let plan = FaultPlan::parse("switch_fail=0.2,jitter=0.01,drop=0.05").unwrap();
+//! assert_eq!(plan.gpu_switch_fail_p, 0.2);
+//! assert!(!plan.is_inert());
+//! assert!(FaultPlan::default().is_inert());
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hard ceiling on the per-switch retry budget; plans above it fail the
+/// `PL403` lint (an unbounded retry loop turns one flaky switch into an
+/// unbounded stall).
+pub const MAX_RETRY_BUDGET: usize = 16;
+
+/// Derives a child seed for a named stream from a base seed.
+///
+/// FNV-1a over the label folded into a SplitMix64-finalized base seed, so
+/// streams are independent of each other and of the order they are created
+/// in. The same `(seed, label)` pair always yields the same stream.
+pub fn stream_seed(seed: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finalizer over seed ^ label-hash: avalanches both inputs.
+    let mut z = seed ^ h;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Declarative description of the faults to inject into a run.
+///
+/// All fields default to "no fault"; [`FaultPlan::default`] is the inert
+/// plan. Probabilities are per *attempt* (switch failures) or per *sample*
+/// (sensor dropout, power perturbation); magnitudes are in seconds
+/// (jitter, backoff) or relative fractions (noise sigmas).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that one GPU DVFS switch attempt fails.
+    pub gpu_switch_fail_p: f64,
+    /// Probability that one CPU DVFS switch attempt fails.
+    pub cpu_switch_fail_p: f64,
+    /// Maximum extra latency added to each switch attempt, drawn uniformly
+    /// from `[0, switch_jitter_s]` (seconds).
+    pub switch_jitter_s: f64,
+    /// Thermal/EDP-style clamp: GPU level requests above this are capped.
+    pub gpu_level_cap: Option<usize>,
+    /// Probability that a telemetry sample is dropped (the span still
+    /// elapses, the sensor just misses it).
+    pub sensor_drop_p: f64,
+    /// Multiplicative noise sigma on the power reading of each surviving
+    /// telemetry sample (`power * (1 + sigma * U(-1,1))`, clamped to
+    /// `[0.5, 1.5]` of the true value).
+    pub sensor_noise_sigma: f64,
+    /// Probability that a layer's *actual* power draw is transiently
+    /// perturbed (background interference, shared-rail activity).
+    pub power_perturb_p: f64,
+    /// Magnitude of the transient power perturbation when it fires
+    /// (`power * (1 + sigma * U(-1,1))`, clamped to `[0.5, 1.5]`).
+    pub power_perturb_sigma: f64,
+    /// Retry budget after a failed switch attempt (0 = no retries).
+    pub max_retries: usize,
+    /// Extra stall charged per retry attempt (seconds).
+    pub retry_backoff_s: f64,
+    /// Seed all fault streams are forked from.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            gpu_switch_fail_p: 0.0,
+            cpu_switch_fail_p: 0.0,
+            switch_jitter_s: 0.0,
+            gpu_level_cap: None,
+            sensor_drop_p: 0.0,
+            sensor_noise_sigma: 0.0,
+            power_perturb_p: 0.0,
+            power_perturb_sigma: 0.0,
+            max_retries: 2,
+            retry_backoff_s: 0.005,
+            seed: 42,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "switch_fail=g{:.3}/c{:.3} jitter={:.4}s drop={:.3} noise={:.3} \
+             perturb={:.3}@{:.3} retries={} backoff={:.4}s seed={}",
+            self.gpu_switch_fail_p,
+            self.cpu_switch_fail_p,
+            self.switch_jitter_s,
+            self.sensor_drop_p,
+            self.sensor_noise_sigma,
+            self.power_perturb_p,
+            self.power_perturb_sigma,
+            self.max_retries,
+            self.retry_backoff_s,
+            self.seed,
+        )?;
+        if let Some(cap) = self.gpu_level_cap {
+            write!(f, " cap={cap}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing (all probabilities and
+    /// magnitudes zero, no clamp). Retry budget and seed do not matter for
+    /// inertness — with no failures they are never consulted.
+    pub fn is_inert(&self) -> bool {
+        self.gpu_switch_fail_p == 0.0
+            && self.cpu_switch_fail_p == 0.0
+            && self.switch_jitter_s == 0.0
+            && self.gpu_level_cap.is_none()
+            && self.sensor_drop_p == 0.0
+            && self.sensor_noise_sigma == 0.0
+            && (self.power_perturb_p == 0.0 || self.power_perturb_sigma == 0.0)
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Parses the compact CLI spec: comma-separated `key=value` pairs.
+    ///
+    /// Keys: `switch_fail` (sets both domains), `gpu_switch_fail`,
+    /// `cpu_switch_fail`, `jitter`, `cap`, `drop`, `noise`, `perturb`,
+    /// `perturb_sigma`, `retries`, `backoff`, `seed`. Unknown keys and
+    /// malformed numbers are errors; *semantic* validity (ranges) is the
+    /// lint pack's job (`PL401`–`PL405`).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {part:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let num = || -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("fault spec {key}: {value:?} is not a number"))
+            };
+            let int = || -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault spec {key}: {value:?} is not an integer"))
+            };
+            match key {
+                "switch_fail" => {
+                    let p = num()?;
+                    plan.gpu_switch_fail_p = p;
+                    plan.cpu_switch_fail_p = p;
+                }
+                "gpu_switch_fail" => plan.gpu_switch_fail_p = num()?,
+                "cpu_switch_fail" => plan.cpu_switch_fail_p = num()?,
+                "jitter" => plan.switch_jitter_s = num()?,
+                "cap" => plan.gpu_level_cap = Some(int()? as usize),
+                "drop" => plan.sensor_drop_p = num()?,
+                "noise" => plan.sensor_noise_sigma = num()?,
+                "perturb" => {
+                    plan.power_perturb_p = num()?;
+                    if plan.power_perturb_sigma == 0.0 {
+                        plan.power_perturb_sigma = 0.1;
+                    }
+                }
+                "perturb_sigma" => plan.power_perturb_sigma = num()?,
+                "retries" => plan.max_retries = int()? as usize,
+                "backoff" => plan.retry_backoff_s = num()?,
+                "seed" => plan.seed = int()?,
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-clock-domain fault state handed to `DvfsActuator::try_set_level`.
+#[derive(Debug, Clone)]
+pub struct DomainFaults {
+    /// Probability one switch attempt fails.
+    pub fail_p: f64,
+    /// Max uniform extra latency per attempt (seconds).
+    pub jitter_s: f64,
+    /// Level requests above this are capped (thermal/EDP clamp).
+    pub level_cap: Option<usize>,
+    /// Retry budget after the first failed attempt.
+    pub max_retries: usize,
+    /// Extra stall per retry (seconds).
+    pub retry_backoff_s: f64,
+    /// Faults this domain has injected (failed attempts + capped requests
+    /// + jittered switches).
+    pub injected: usize,
+    rng: StdRng,
+}
+
+impl DomainFaults {
+    fn new(plan: &FaultPlan, fail_p: f64, label: &str) -> Self {
+        DomainFaults {
+            fail_p,
+            jitter_s: plan.switch_jitter_s,
+            level_cap: plan.gpu_level_cap.filter(|_| label == "gpu"),
+            max_retries: plan.max_retries,
+            retry_backoff_s: plan.retry_backoff_s,
+            injected: 0,
+            rng: StdRng::seed_from_u64(stream_seed(plan.seed, label)),
+        }
+    }
+
+    /// Draws whether one switch attempt fails. Never consults the RNG when
+    /// the failure probability is zero.
+    pub fn attempt_fails(&mut self) -> bool {
+        if self.fail_p <= 0.0 {
+            return false;
+        }
+        let failed = self.rng.gen_bool(self.fail_p.min(1.0));
+        if failed {
+            self.injected += 1;
+        }
+        failed
+    }
+
+    /// Draws the extra latency for one switch attempt (0 when jitter is
+    /// disabled; the RNG is not consulted in that case).
+    pub fn draw_jitter(&mut self) -> f64 {
+        if self.jitter_s <= 0.0 {
+            return 0.0;
+        }
+        self.injected += 1;
+        self.rng.gen_range(0.0..self.jitter_s)
+    }
+
+    /// Applies the domain's level clamp to a request; counts an injection
+    /// when the clamp actually bites.
+    pub fn clamp(&mut self, level: usize) -> usize {
+        match self.level_cap {
+            Some(cap) if level > cap => {
+                self.injected += 1;
+                cap
+            }
+            _ => level,
+        }
+    }
+}
+
+/// Sensor-path fault state: telemetry dropout and measurement noise.
+#[derive(Debug, Clone)]
+pub struct SensorFaults {
+    /// Probability a sample is dropped.
+    pub drop_p: f64,
+    /// Multiplicative noise sigma on surviving power readings.
+    pub noise_sigma: f64,
+    /// Samples dropped so far.
+    pub dropped: usize,
+    /// Samples noised so far.
+    pub noised: usize,
+    rng: StdRng,
+}
+
+impl SensorFaults {
+    fn new(plan: &FaultPlan) -> Self {
+        SensorFaults {
+            drop_p: plan.sensor_drop_p,
+            noise_sigma: plan.sensor_noise_sigma,
+            dropped: 0,
+            noised: 0,
+            rng: StdRng::seed_from_u64(stream_seed(plan.seed, "sensor")),
+        }
+    }
+
+    /// Draws whether the next telemetry sample is dropped.
+    pub fn drops_sample(&mut self) -> bool {
+        if self.drop_p <= 0.0 {
+            return false;
+        }
+        let dropped = self.rng.gen_bool(self.drop_p.min(1.0));
+        if dropped {
+            self.dropped += 1;
+        }
+        dropped
+    }
+
+    /// Multiplicative factor applied to a surviving power reading, clamped
+    /// to `[0.5, 1.5]` (a sensor does not report negative watts). Returns
+    /// exactly `1.0` without touching the RNG when noise is disabled.
+    pub fn noise_factor(&mut self) -> f64 {
+        if self.noise_sigma <= 0.0 {
+            return 1.0;
+        }
+        self.noised += 1;
+        (1.0 + self.noise_sigma * self.rng.gen_range(-1.0..1.0)).clamp(0.5, 1.5)
+    }
+}
+
+/// Power-model fault state: transient perturbation of the *actual* draw.
+#[derive(Debug, Clone)]
+pub struct PowerFaults {
+    /// Probability one layer's power draw is perturbed.
+    pub perturb_p: f64,
+    /// Perturbation magnitude when it fires.
+    pub perturb_sigma: f64,
+    /// Perturbations injected so far.
+    pub injected: usize,
+    rng: StdRng,
+}
+
+impl PowerFaults {
+    fn new(plan: &FaultPlan) -> Self {
+        PowerFaults {
+            perturb_p: plan.power_perturb_p,
+            perturb_sigma: plan.power_perturb_sigma,
+            injected: 0,
+            rng: StdRng::seed_from_u64(stream_seed(plan.seed, "power")),
+        }
+    }
+
+    /// Multiplicative factor on one layer's true power draw (clamped to
+    /// `[0.5, 1.5]`); `1.0` without an RNG draw when perturbation is off.
+    pub fn factor(&mut self) -> f64 {
+        if self.perturb_p <= 0.0 || self.perturb_sigma <= 0.0 {
+            return 1.0;
+        }
+        if !self.rng.gen_bool(self.perturb_p.min(1.0)) {
+            return 1.0;
+        }
+        self.injected += 1;
+        (1.0 + self.perturb_sigma * self.rng.gen_range(-1.0..1.0)).clamp(0.5, 1.5)
+    }
+}
+
+/// The runtime half of a [`FaultPlan`]: independent forked RNG streams per
+/// concern, plus injection counters for the robustness report.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    /// GPU-domain switch faults.
+    pub gpu: DomainFaults,
+    /// CPU-domain switch faults.
+    pub cpu: DomainFaults,
+    /// Telemetry faults.
+    pub sensor: SensorFaults,
+    /// Power-model faults.
+    pub power: PowerFaults,
+}
+
+impl FaultSession {
+    /// Instantiates the streams for `plan`.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultSession {
+            gpu: DomainFaults::new(plan, plan.gpu_switch_fail_p, "gpu"),
+            cpu: DomainFaults::new(plan, plan.cpu_switch_fail_p, "cpu"),
+            sensor: SensorFaults::new(plan),
+            power: PowerFaults::new(plan),
+        }
+    }
+
+    /// Total faults injected across all streams so far (the
+    /// `faults.injected` obs counter).
+    pub fn injected_total(&self) -> usize {
+        self.gpu.injected
+            + self.cpu.injected
+            + self.sensor.dropped
+            + self.sensor.noised
+            + self.power.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(FaultPlan::default().is_inert());
+        let p = FaultPlan {
+            sensor_drop_p: 0.1,
+            ..FaultPlan::default()
+        };
+        assert!(!p.is_inert());
+    }
+
+    #[test]
+    fn parse_round_trips_keys() {
+        let p = FaultPlan::parse(
+            "switch_fail=0.2,jitter=0.01,cap=9,drop=0.05,noise=0.02,\
+             perturb=0.1,perturb_sigma=0.2,retries=3,backoff=0.002,seed=7",
+        )
+        .unwrap();
+        assert_eq!(p.gpu_switch_fail_p, 0.2);
+        assert_eq!(p.cpu_switch_fail_p, 0.2);
+        assert_eq!(p.switch_jitter_s, 0.01);
+        assert_eq!(p.gpu_level_cap, Some(9));
+        assert_eq!(p.sensor_drop_p, 0.05);
+        assert_eq!(p.sensor_noise_sigma, 0.02);
+        assert_eq!(p.power_perturb_p, 0.1);
+        assert_eq!(p.power_perturb_sigma, 0.2);
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.retry_backoff_s, 0.002);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=x").is_err());
+        assert!(FaultPlan::parse("retries=1.5").is_err());
+        // Empty spec is the inert default.
+        assert!(FaultPlan::parse("").unwrap().is_inert());
+    }
+
+    #[test]
+    fn gpu_cap_only_applies_to_gpu_domain() {
+        let plan = FaultPlan::parse("cap=5").unwrap();
+        let mut s = FaultSession::new(&plan);
+        assert_eq!(s.gpu.clamp(9), 5);
+        assert_eq!(s.gpu.clamp(3), 3);
+        assert_eq!(s.cpu.clamp(9), 9, "cap is a GPU thermal clamp");
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let plan = FaultPlan::parse("switch_fail=0.5,drop=0.5")
+            .unwrap()
+            .with_seed(9);
+        let mut a = FaultSession::new(&plan);
+        let mut b = FaultSession::new(&plan);
+        let fa: Vec<bool> = (0..64).map(|_| a.gpu.attempt_fails()).collect();
+        // Interleave sensor draws in b: the gpu stream must not notice.
+        let fb: Vec<bool> = (0..64)
+            .map(|_| {
+                b.sensor.drops_sample();
+                b.gpu.attempt_fails()
+            })
+            .collect();
+        assert_eq!(fa, fb, "streams must be independent");
+        assert!(fa.iter().any(|&f| f) && fa.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p1 = FaultPlan::parse("switch_fail=0.5").unwrap().with_seed(1);
+        let p2 = FaultPlan::parse("switch_fail=0.5").unwrap().with_seed(2);
+        let draw = |p: &FaultPlan| -> Vec<bool> {
+            let mut s = FaultSession::new(p);
+            (0..64).map(|_| s.gpu.attempt_fails()).collect()
+        };
+        assert_ne!(draw(&p1), draw(&p2));
+        assert_ne!(
+            stream_seed(1, "gpu"),
+            stream_seed(1, "cpu"),
+            "labels must separate streams"
+        );
+    }
+
+    #[test]
+    fn zero_probability_streams_never_fire() {
+        let mut s = FaultSession::new(&FaultPlan::default());
+        for _ in 0..100 {
+            assert!(!s.gpu.attempt_fails());
+            assert_eq!(s.gpu.draw_jitter(), 0.0);
+            assert!(!s.sensor.drops_sample());
+            assert_eq!(s.sensor.noise_factor(), 1.0);
+            assert_eq!(s.power.factor(), 1.0);
+        }
+        assert_eq!(s.injected_total(), 0);
+    }
+
+    #[test]
+    fn injection_counters_accumulate() {
+        let plan = FaultPlan::parse("switch_fail=1,drop=1,noise=0.1").unwrap();
+        let mut s = FaultSession::new(&plan);
+        assert!(s.gpu.attempt_fails());
+        assert!(s.sensor.drops_sample());
+        s.sensor.noise_factor();
+        assert_eq!(s.injected_total(), 3);
+    }
+
+    #[test]
+    fn noise_factors_stay_bounded() {
+        let plan = FaultPlan::parse("noise=5,perturb=1,perturb_sigma=5").unwrap();
+        let mut s = FaultSession::new(&plan);
+        for _ in 0..1000 {
+            let f = s.sensor.noise_factor();
+            assert!((0.5..=1.5).contains(&f));
+            let p = s.power.factor();
+            assert!((0.5..=1.5).contains(&p));
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub struct Bim {
     up_threshold: f64,
     target_load: f64,
     next_decision: f64,
+    decisions: usize,
     max_level: FreqLevel,
     freqs_hz: Vec<f64>,
 }
@@ -36,6 +37,7 @@ impl Bim {
             up_threshold: 0.80,
             target_load: 0.63,
             next_decision: 0.0,
+            decisions: 0,
             max_level: t.max_level(),
             freqs_hz: (0..t.num_levels()).map(|l| t.freq_hz(l)).collect(),
         }
@@ -45,6 +47,16 @@ impl Bim {
     pub fn with_window(mut self, seconds: f64) -> Self {
         self.window = seconds;
         self
+    }
+
+    /// Number of decisions taken so far (windows actually evaluated).
+    pub fn num_decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// The sampling window (seconds).
+    pub fn window(&self) -> f64 {
+        self.window
     }
 
     fn level_for_freq(&self, hz: f64) -> FreqLevel {
@@ -80,7 +92,19 @@ impl Controller for Bim {
         if now < self.next_decision {
             return FreqRequest::none();
         }
-        self.next_decision = now + self.window;
+        // Re-anchor on the fixed window grid rather than `now + window`:
+        // a long layer that overshoots the deadline must not phase-shift
+        // every subsequent decision (the drift let sustained overshoot
+        // stretch the effective sampling period well past the window).
+        // Skip whole windows the run slept through, then arm the next
+        // grid point strictly after `now`.
+        let behind = ((now - self.next_decision) / self.window).floor().max(0.0);
+        self.next_decision += (1.0 + behind) * self.window;
+        if self.next_decision <= now {
+            // Guard against `now` sitting exactly on a grid point.
+            self.next_decision += self.window;
+        }
+        self.decisions += 1;
         let Some(w) = telemetry.window_stats(self.window) else {
             return FreqRequest::none();
         };
@@ -167,6 +191,42 @@ mod tests {
         // switches must stay far below the layer count.
         let layers = zoo::alexnet().num_layers() * 64 / 4;
         assert!(r.num_gpu_switches < layers / 4);
+        // The decision clock is phase-locked to the window grid: the number
+        // of decisions tracks duration / window, not the (drifting)
+        // overshoot-stretched period the old `now + window` re-arm produced.
+        let expected = r.total_time / 0.05;
+        let decisions = bim.num_decisions() as f64;
+        assert!(
+            decisions <= expected + 2.0,
+            "{decisions} decisions for {expected:.1} windows"
+        );
+        assert!(
+            decisions >= expected * 0.5,
+            "{decisions} decisions for {expected:.1} windows"
+        );
+    }
+
+    #[test]
+    fn decision_clock_reanchors_after_overshoot() {
+        let p = Platform::tx2();
+        let mut bim = Bim::new(&p).with_window(0.05);
+        let g = zoo::alexnet();
+        let mut t = Telemetry::new();
+        // First decision at t = 0 arms the 50 ms grid.
+        bim.before_layer(&g, 0, &t, 5, 0);
+        assert_eq!(bim.num_decisions(), 1);
+        // A long layer overshoots past two grid points (now = 0.12).
+        t.record(0.12, 10.0, 1.0, 1.0, 0.1, 5);
+        bim.before_layer(&g, 1, &t, 5, 0);
+        assert_eq!(bim.num_decisions(), 2);
+        // The next deadline is the 0.15 grid point — not 0.17 (= now +
+        // window), which is what the pre-fix drifting clock armed.
+        t.record(0.02, 10.0, 1.0, 1.0, 0.1, 5); // now = 0.14
+        bim.before_layer(&g, 2, &t, 5, 0);
+        assert_eq!(bim.num_decisions(), 2, "0.14 < 0.15: deadline not reached");
+        t.record(0.011, 10.0, 1.0, 1.0, 0.1, 5); // now = 0.151
+        bim.before_layer(&g, 3, &t, 5, 0);
+        assert_eq!(bim.num_decisions(), 3, "fires at the 0.15 grid point");
     }
 
     #[test]

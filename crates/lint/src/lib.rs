@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 mod diag;
+mod fault_rules;
 mod graph_rules;
 mod output;
 mod plan_rules;
@@ -49,10 +50,12 @@ mod view_rules;
 
 use powerlens_cluster::PowerView;
 use powerlens_dnn::Graph;
+use powerlens_faults::FaultPlan;
 use powerlens_obs as obs;
 use powerlens_platform::{FreqLevel, InstrumentationPlan, Platform};
 
 pub use diag::{Diagnostic, LintReport, Location, Severity};
+pub use fault_rules::MAX_REASONABLE_SIGMA;
 pub use output::{render, to_json, to_sarif, Format};
 pub use plan_rules::PlanContext;
 pub use rules::{all_rules, rule_by_code, Pack, RuleInfo};
@@ -142,6 +145,21 @@ pub fn lint_cached_plan(ctx: &CachedPlanContext<'_>, config: &LintConfig) -> Lin
         },
         config,
     ));
+    report
+}
+
+/// Runs the **faults pack** over a fault-injection plan. Pass the target
+/// platform to also validate the GPU level cap against its frequency table
+/// (`PL405`). This is the entry gate of the `faultsim` subcommand and the
+/// `--faults` flag: a plan with error-severity findings never injects.
+pub fn lint_fault_plan(
+    plan: &FaultPlan,
+    platform: Option<&Platform>,
+    config: &LintConfig,
+) -> LintReport {
+    let _span = obs::span("lint.faults");
+    let mut report = LintReport::new("fault-plan");
+    fault_rules::check(plan, platform, config, &mut report);
     report
 }
 

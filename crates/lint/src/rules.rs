@@ -1,8 +1,8 @@
 //! The rule registry: stable codes, severities, invariants, paper references.
 //!
 //! Codes are permanent once shipped: `PL0xx` graph rules, `PL1xx` view rules,
-//! `PL2xx` plan rules, `PL3xx` store rules. New rules append; retired rules
-//! leave a hole.
+//! `PL2xx` plan rules, `PL3xx` store rules, `PL4xx` fault-plan rules. New
+//! rules append; retired rules leave a hole.
 
 use crate::diag::Severity;
 
@@ -17,6 +17,8 @@ pub enum Pack {
     Plan,
     /// Cached plan-store entries (deserialized `PlanOutcome`s).
     Store,
+    /// Fault-injection plans (`powerlens_faults::FaultPlan`).
+    Faults,
 }
 
 impl Pack {
@@ -27,6 +29,7 @@ impl Pack {
             Pack::View => "view",
             Pack::Plan => "plan",
             Pack::Store => "store",
+            Pack::Faults => "faults",
         }
     }
 }
@@ -185,6 +188,28 @@ rules! {
         "a cached entry's schema version must match the version this build \
          writes; older or newer entries must be re-planned, not trusted",
         "§2.1.4 (plans are an interface contract, not an opaque blob)";
+
+    // ---- faults pack ----------------------------------------------------
+    FAULT_PROBABILITY_RANGE = "PL401", "fault-probability-out-of-range", Error, Faults,
+        "every fault probability (switch failure, sensor dropout, power \
+         perturbation) must be a finite value in [0, 1]",
+        "§3.3 (fault rates parameterize the robustness sweep)";
+    FAULT_MAGNITUDE_INVALID = "PL402", "fault-magnitude-invalid", Error, Faults,
+        "fault magnitudes (switch jitter, retry backoff, noise and \
+         perturbation sigmas) must be finite and non-negative",
+        "§3.3 (transition overheads are measured, non-negative durations)";
+    FAULT_RETRY_UNBOUNDED = "PL403", "fault-retry-unbounded", Error, Faults,
+        "the per-switch retry budget must not exceed the hard ceiling; an \
+         unbounded retry loop turns one flaky switch into an unbounded stall",
+        "§3.3 (the 50 ms switch cost bounds tolerable retry stalls)";
+    FAULT_SIGMA_EXCESSIVE = "PL404", "fault-sigma-excessive", Warning, Faults,
+        "noise and perturbation sigmas above 0.5 saturate the [0.5, 1.5] \
+         clamp and stop behaving like the configured distribution",
+        "§2.2 (measurement noise is a small relative perturbation)";
+    FAULT_CAP_ABOVE_TABLE = "PL405", "fault-cap-above-table", Warning, Faults,
+        "a GPU level cap at or above the platform's table top clamps \
+         nothing; the fault plan does not do what it appears to",
+        "§3.1 (AGX exposes 14 GPU levels, TX2 exposes 13)";
 }
 
 /// Looks up a rule by its stable code.
@@ -209,6 +234,7 @@ mod tests {
                 Pack::View => "PL1",
                 Pack::Plan => "PL2",
                 Pack::Store => "PL3",
+                Pack::Faults => "PL4",
             };
             assert!(r.code.starts_with(prefix), "{} in wrong band", r.code);
             assert!(!r.invariant.is_empty() && !r.paper_ref.is_empty());
@@ -217,7 +243,13 @@ mod tests {
 
     #[test]
     fn every_pack_has_error_rules() {
-        for pack in [Pack::Graph, Pack::View, Pack::Plan, Pack::Store] {
+        for pack in [
+            Pack::Graph,
+            Pack::View,
+            Pack::Plan,
+            Pack::Store,
+            Pack::Faults,
+        ] {
             assert!(all_rules()
                 .iter()
                 .any(|r| r.pack == pack && r.severity == Severity::Error));

@@ -3,9 +3,11 @@
 
 use powerlens_cluster::{cluster_graph, ClusterParams, PowerBlock, PowerView};
 use powerlens_dnn::{zoo, Graph, OpKind, TensorShape};
+use powerlens_faults::{FaultPlan, MAX_RETRY_BUDGET};
 use powerlens_lint::{
-    all_rules, lint_cached_plan, lint_graph, lint_plan, lint_view, platform_signature, render,
-    to_sarif, CachedPlanContext, Format, LintConfig, LintReport, Pack, PlanContext, Severity,
+    all_rules, lint_cached_plan, lint_fault_plan, lint_graph, lint_plan, lint_view,
+    platform_signature, render, to_sarif, CachedPlanContext, Format, LintConfig, LintReport, Pack,
+    PlanContext, Severity,
 };
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 
@@ -213,6 +215,31 @@ fn seed_fault(code: &str) -> LintReport {
             },
             &config,
         ),
+        // ---- fault-plan faults ----
+        "PL401" => lint_fault_plan(
+            &FaultPlan {
+                sensor_drop_p: 1.5,
+                ..FaultPlan::default()
+            },
+            Some(&agx),
+            &config,
+        ),
+        "PL402" => lint_fault_plan(
+            &FaultPlan {
+                switch_jitter_s: -0.01,
+                ..FaultPlan::default()
+            },
+            Some(&agx),
+            &config,
+        ),
+        "PL403" => lint_fault_plan(
+            &FaultPlan {
+                max_retries: MAX_RETRY_BUDGET + 1,
+                ..FaultPlan::default()
+            },
+            Some(&agx),
+            &config,
+        ),
         other => panic!("no fault injector for {other}"),
     }
 }
@@ -242,6 +269,7 @@ fn catalog_spans_all_packs_with_enough_rules() {
         assert!(rules.iter().filter(|r| r.pack == pack).count() >= 5);
     }
     assert!(rules.iter().filter(|r| r.pack == Pack::Store).count() >= 2);
+    assert!(rules.iter().filter(|r| r.pack == Pack::Faults).count() >= 5);
 }
 
 #[test]

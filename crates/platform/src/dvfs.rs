@@ -1,52 +1,176 @@
 use crate::FreqLevel;
+use powerlens_faults::DomainFaults;
+
+/// Which clock domain an actuator (or a switch outcome) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// The GPU clock domain.
+    Gpu,
+    /// The CPU cluster clock domain.
+    Cpu,
+}
+
+/// What one [`DvfsActuator::try_set_level`] request actually did.
+///
+/// The never-trust posture of the store crate applies to actuation too: a
+/// caller must not assume the requested level landed — it reads the level
+/// back from the outcome (or [`DvfsActuator::level`]) and reacts to
+/// `failed` / `clamped` instead of silently running at the wrong level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchOutcome {
+    /// The level actually active after the request (the readback).
+    pub level: FreqLevel,
+    /// Wall-clock stall the request cost (seconds), including retries,
+    /// jitter and backoff.
+    pub stall: f64,
+    /// Failed attempts that were retried.
+    pub retries: usize,
+    /// `true` when the request was clamped (out-of-range or a fault-plan
+    /// level cap) and a different level than requested was targeted.
+    pub clamped: bool,
+    /// `true` when every attempt failed and the level did not change.
+    pub failed: bool,
+    /// `true` when the level actually changed.
+    pub switched: bool,
+}
 
 /// Stateful DVFS actuator for one clock domain.
 ///
 /// Tracks the current level and charges the platform's transition cost for
 /// every *actual* change (setting the already-active level is free — this is
 /// what lets a well-clustered plan amortize instrumentation while a
-/// ping-ponging reactive governor pays repeatedly).
+/// ping-ponging reactive governor pays repeatedly). Requests outside the
+/// domain's frequency table are clamped to the nearest valid level, never
+/// silently applied.
 ///
 /// # Example
 ///
 /// ```
 /// use powerlens_platform::DvfsActuator;
 ///
-/// let mut a = DvfsActuator::new(13, 0.050);
+/// let mut a = DvfsActuator::new(13, 0.050, 14);
 /// assert_eq!(a.set_level(13), 0.0);      // no-op: already there
 /// assert_eq!(a.set_level(5), 0.050);     // pays the transition
 /// assert_eq!(a.num_switches(), 1);
+/// a.set_level(99);                       // out of range: clamped to 13
+/// assert_eq!(a.level(), 13);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DvfsActuator {
     current: FreqLevel,
     transition_cost: f64,
+    num_levels: usize,
     num_switches: usize,
     total_overhead: f64,
+    num_retries: usize,
+    num_failed: usize,
+    num_clamped: usize,
 }
 
 impl DvfsActuator {
     /// Creates an actuator starting at `initial` with the given per-switch
-    /// wall-clock cost in seconds.
-    pub fn new(initial: FreqLevel, transition_cost: f64) -> Self {
+    /// wall-clock cost in seconds, over a table of `num_levels` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_levels` is zero or `initial` is outside the table.
+    pub fn new(initial: FreqLevel, transition_cost: f64, num_levels: usize) -> Self {
+        assert!(num_levels > 0, "frequency table must be non-empty");
+        assert!(
+            initial < num_levels,
+            "initial level {initial} outside table of {num_levels} levels"
+        );
         DvfsActuator {
             current: initial,
             transition_cost,
+            num_levels,
             num_switches: 0,
             total_overhead: 0.0,
+            num_retries: 0,
+            num_failed: 0,
+            num_clamped: 0,
         }
     }
 
-    /// Requests `level`; returns the wall-clock stall incurred (0 if the
-    /// level is already active).
+    /// Requests `level` on the infallible path; returns the wall-clock
+    /// stall incurred (0 if the level is already active). Out-of-range
+    /// requests are clamped to the table's top level.
     pub fn set_level(&mut self, level: FreqLevel) -> f64 {
-        if level == self.current {
-            return 0.0;
+        self.try_set_level(level, None).stall
+    }
+
+    /// Requests `level` on the fallible path: the request is validated and
+    /// clamped against the table (and the fault plan's level cap), then
+    /// attempted up to `1 + max_retries` times under the fault plan's
+    /// per-attempt failure probability, paying transition cost plus jitter
+    /// per attempt and backoff per retry. With `faults: None` this is a
+    /// single always-successful attempt at exactly the transition cost —
+    /// identical to the historical `set_level` behaviour.
+    pub fn try_set_level(
+        &mut self,
+        level: FreqLevel,
+        mut faults: Option<&mut DomainFaults>,
+    ) -> SwitchOutcome {
+        let mut target = level;
+        let mut clamped = false;
+        if target >= self.num_levels {
+            target = self.num_levels - 1;
+            clamped = true;
         }
-        self.current = level;
-        self.num_switches += 1;
-        self.total_overhead += self.transition_cost;
-        self.transition_cost
+        if let Some(f) = faults.as_deref_mut() {
+            let capped = f.clamp(target);
+            clamped |= capped != target;
+            target = capped;
+        }
+        if clamped {
+            self.num_clamped += 1;
+        }
+        if target == self.current {
+            return SwitchOutcome {
+                level: self.current,
+                stall: 0.0,
+                retries: 0,
+                clamped,
+                failed: false,
+                switched: false,
+            };
+        }
+
+        let budget = faults.as_deref().map_or(0, |f| f.max_retries);
+        let mut stall = 0.0;
+        let mut retries = 0;
+        let mut failed = false;
+        loop {
+            stall += self.transition_cost;
+            if let Some(f) = faults.as_deref_mut() {
+                stall += f.draw_jitter();
+                if f.attempt_fails() {
+                    if retries < budget {
+                        retries += 1;
+                        stall += f.retry_backoff_s;
+                        continue;
+                    }
+                    failed = true;
+                }
+            }
+            break;
+        }
+        self.num_retries += retries;
+        self.total_overhead += stall;
+        if failed {
+            self.num_failed += 1;
+        } else {
+            self.current = target;
+            self.num_switches += 1;
+        }
+        SwitchOutcome {
+            level: self.current,
+            stall,
+            retries,
+            clamped,
+            failed,
+            switched: !failed,
+        }
     }
 
     /// Currently active level.
@@ -54,24 +178,46 @@ impl DvfsActuator {
         self.current
     }
 
+    /// Number of levels in the domain's frequency table.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
     /// Number of actual level changes performed.
     pub fn num_switches(&self) -> usize {
         self.num_switches
     }
 
-    /// Total wall-clock overhead paid for switches so far (seconds).
+    /// Total wall-clock overhead paid for switches so far (seconds),
+    /// including failed attempts, retries, jitter and backoff.
     pub fn total_overhead(&self) -> f64 {
         self.total_overhead
+    }
+
+    /// Failed attempts that were retried.
+    pub fn num_retries(&self) -> usize {
+        self.num_retries
+    }
+
+    /// Requests whose every attempt failed (level unchanged).
+    pub fn num_failed(&self) -> usize {
+        self.num_failed
+    }
+
+    /// Requests that were clamped (out-of-range or level-capped).
+    pub fn num_clamped(&self) -> usize {
+        self.num_clamped
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use powerlens_faults::{FaultPlan, FaultSession};
 
     #[test]
     fn repeated_set_same_level_is_free() {
-        let mut a = DvfsActuator::new(3, 0.05);
+        let mut a = DvfsActuator::new(3, 0.05, 14);
         for _ in 0..10 {
             assert_eq!(a.set_level(3), 0.0);
         }
@@ -81,7 +227,7 @@ mod tests {
 
     #[test]
     fn ping_pong_accumulates_overhead() {
-        let mut a = DvfsActuator::new(0, 0.05);
+        let mut a = DvfsActuator::new(0, 0.05, 14);
         for i in 0..10 {
             a.set_level(if i % 2 == 0 { 5 } else { 0 });
         }
@@ -91,8 +237,97 @@ mod tests {
 
     #[test]
     fn level_tracks_latest() {
-        let mut a = DvfsActuator::new(0, 0.05);
+        let mut a = DvfsActuator::new(0, 0.05, 14);
         a.set_level(7);
         assert_eq!(a.level(), 7);
+    }
+
+    #[test]
+    fn out_of_range_request_is_never_silently_applied() {
+        let mut a = DvfsActuator::new(0, 0.05, 14);
+        let out = a.try_set_level(99, None);
+        assert!(out.clamped);
+        assert_eq!(out.level, 13, "clamped to the table's top level");
+        assert_eq!(a.level(), 13);
+        assert_eq!(a.num_clamped(), 1);
+        // A clamped re-request of the same out-of-range level is a no-op.
+        let again = a.try_set_level(99, None);
+        assert!(again.clamped && !again.switched);
+        assert_eq!(a.num_switches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside table")]
+    fn initial_level_is_validated() {
+        let _ = DvfsActuator::new(14, 0.05, 14);
+    }
+
+    #[test]
+    fn clean_try_set_level_matches_set_level() {
+        let mut a = DvfsActuator::new(0, 0.05, 14);
+        let out = a.try_set_level(5, None);
+        assert_eq!(out.stall, 0.05);
+        assert!(out.switched && !out.failed && !out.clamped);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.level, 5);
+    }
+
+    #[test]
+    fn certain_failure_exhausts_the_retry_budget() {
+        let plan = FaultPlan::parse("switch_fail=1,retries=3,backoff=0.01").unwrap();
+        let mut s = FaultSession::new(&plan);
+        let mut a = DvfsActuator::new(0, 0.05, 14);
+        let out = a.try_set_level(5, Some(&mut s.gpu));
+        assert!(out.failed && !out.switched);
+        assert_eq!(out.retries, 3);
+        assert_eq!(out.level, 0, "level unchanged after total failure");
+        assert_eq!(a.num_failed(), 1);
+        assert_eq!(a.num_retries(), 3);
+        // 4 attempts x 0.05 + 3 retries x 0.01 backoff.
+        assert!((out.stall - (4.0 * 0.05 + 3.0 * 0.01)).abs() < 1e-12);
+        assert_eq!(a.num_switches(), 0);
+    }
+
+    #[test]
+    fn level_cap_clamps_gpu_requests() {
+        let plan = FaultPlan::parse("cap=6").unwrap();
+        let mut s = FaultSession::new(&plan);
+        let mut a = DvfsActuator::new(0, 0.05, 14);
+        let out = a.try_set_level(12, Some(&mut s.gpu));
+        assert!(out.clamped && out.switched);
+        assert_eq!(out.level, 6);
+        assert_eq!(a.level(), 6);
+    }
+
+    #[test]
+    fn jitter_extends_the_stall_deterministically() {
+        let plan = FaultPlan::parse("jitter=0.02").unwrap().with_seed(3);
+        let run = || {
+            let mut s = FaultSession::new(&plan);
+            let mut a = DvfsActuator::new(0, 0.05, 14);
+            a.try_set_level(5, Some(&mut s.gpu)).stall
+        };
+        let (s1, s2) = (run(), run());
+        assert_eq!(s1, s2, "same seed, same jitter");
+        assert!((0.05..0.07).contains(&s1));
+    }
+
+    #[test]
+    fn retry_can_succeed_within_budget() {
+        // With p = 0.5 and a generous budget, some request in a series must
+        // retry at least once and still land.
+        let plan = FaultPlan::parse("switch_fail=0.5,retries=8")
+            .unwrap()
+            .with_seed(11);
+        let mut s = FaultSession::new(&plan);
+        let mut a = DvfsActuator::new(0, 0.05, 14);
+        let mut saw_retry_success = false;
+        for i in 1..40 {
+            let out = a.try_set_level(i % 14, Some(&mut s.gpu));
+            if out.switched && out.retries > 0 {
+                saw_retry_success = true;
+            }
+        }
+        assert!(saw_retry_success);
     }
 }

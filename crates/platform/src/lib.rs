@@ -45,7 +45,7 @@ mod sensor;
 
 pub use board::{LayerTiming, Platform};
 pub use builder::PlatformBuilder;
-pub use dvfs::DvfsActuator;
+pub use dvfs::{Domain, DvfsActuator, SwitchOutcome};
 pub use freq::{FreqLevel, FrequencyTable};
 pub use plan::{InstrumentationPlan, InstrumentationPoint};
 pub use power::PowerDomainModel;

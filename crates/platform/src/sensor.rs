@@ -53,6 +53,8 @@ pub struct WindowStats {
 pub struct Telemetry {
     samples: Vec<PowerSample>,
     now: f64,
+    dropped_samples: usize,
+    dropped_time: f64,
 }
 
 impl Telemetry {
@@ -86,6 +88,31 @@ impl Telemetry {
         self.now += duration;
     }
 
+    /// Advances time by `duration` seconds *without* recording a sample —
+    /// the span elapsed but the sensor missed it (tegrastats dropout).
+    /// Subsequent samples keep correct absolute `t_start`s, and trailing
+    /// windows that land entirely inside a gap report `None`, which is the
+    /// staleness signal reactive governors and the `Degraded` fallback key
+    /// off.
+    pub fn record_gap(&mut self, duration: f64) {
+        if duration <= 0.0 {
+            return;
+        }
+        self.now += duration;
+        self.dropped_samples += 1;
+        self.dropped_time += duration;
+    }
+
+    /// Number of samples lost to sensor dropout ([`Telemetry::record_gap`]).
+    pub fn dropped_samples(&self) -> usize {
+        self.dropped_samples
+    }
+
+    /// Total time covered by dropped samples (seconds).
+    pub fn dropped_time(&self) -> f64 {
+        self.dropped_time
+    }
+
     /// Current simulated time (seconds since start).
     pub fn now(&self) -> f64 {
         self.now
@@ -111,7 +138,16 @@ impl Telemetry {
     }
 
     /// Time-weighted aggregates over the trailing `window` seconds; `None`
-    /// if nothing has been recorded yet.
+    /// if nothing has been recorded yet, or if the whole trailing window
+    /// falls inside dropped-sample gaps (stale telemetry).
+    ///
+    /// The weighting is *exactly* time-proportional at both window edges: a
+    /// sample half-inside the window contributes half its duration, and a
+    /// window at least as long as the recorded history averages over the
+    /// full history (normalised by *observed* time, so dropout gaps do not
+    /// dilute the averages). The regression tests below pin this to
+    /// `1e-15`-scale tolerances — both BiM's decision rule and the
+    /// `Degraded` staleness detector key off these numbers.
     pub fn window_stats(&self, window: f64) -> Option<WindowStats> {
         if self.samples.is_empty() {
             return None;
@@ -187,6 +223,102 @@ mod tests {
         t.record(0.5, 12.0, 0.5, 0.6, 0.2, 2);
         let w = t.window_stats(100.0).unwrap();
         assert!((w.power_w - 12.0).abs() < 1e-12);
+    }
+
+    // ---- regression pins for the trailing-window math --------------------
+    // Audit result (PR 5): the left-edge partial weighting and the
+    // `window >= total duration` path are exactly time-weighted; these
+    // tests pin that so a future rewrite cannot reintroduce bias.
+
+    #[test]
+    fn left_edge_half_sample_contributes_exactly_half() {
+        let mut t = Telemetry::new();
+        t.record(2.0, 10.0, 0.0, 0.0, 0.0, 0); // [0, 2)
+        t.record(1.0, 40.0, 1.0, 1.0, 1.0, 1); // [2, 3)
+                                               // Window of 2 s over [1, 3): exactly half of the first sample.
+        let w = t.window_stats(2.0).unwrap();
+        assert_eq!(w.power_w, (1.0 * 10.0 + 1.0 * 40.0) / 2.0);
+        assert_eq!(w.gpu_util, 0.5);
+    }
+
+    #[test]
+    fn window_equal_to_history_matches_whole_run_average() {
+        let mut t = Telemetry::new();
+        t.record(0.25, 8.0, 0.1, 0.2, 0.3, 0);
+        t.record(0.5, 16.0, 0.4, 0.5, 0.6, 1);
+        t.record(0.25, 32.0, 0.7, 0.8, 0.9, 2);
+        let w = t.window_stats(t.now()).unwrap();
+        assert!((w.power_w - t.avg_power()).abs() < 1e-15);
+        let w_larger = t.window_stats(100.0).unwrap();
+        assert_eq!(w, w_larger, "window beyond history = whole-run stats");
+    }
+
+    #[test]
+    fn window_boundary_on_sample_edge_excludes_the_older_sample() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 100.0, 1.0, 1.0, 1.0, 0); // [0, 1)
+        t.record(1.0, 20.0, 0.0, 0.5, 0.0, 1); // [1, 2)
+                                               // A 1 s window covers exactly the second sample; the first ends
+                                               // exactly on the boundary and must contribute nothing.
+        let w = t.window_stats(1.0).unwrap();
+        assert_eq!(w.power_w, 20.0);
+        assert_eq!(w.busy_util, 0.5);
+    }
+
+    #[test]
+    fn many_sample_accumulation_stays_exact() {
+        // 1000 spans of 1 ms each; the trailing 100 covering [0.9, 1.0)
+        // must average exactly over those spans despite accumulated float
+        // error in t_start.
+        let mut t = Telemetry::new();
+        for i in 0..1000 {
+            t.record(0.001, i as f64, 0.5, 0.5, 0.5, 0);
+        }
+        let w = t.window_stats(0.1).unwrap();
+        let expect: f64 = (900..1000).map(|i| i as f64).sum::<f64>() / 100.0;
+        assert!(
+            (w.power_w - expect).abs() / expect < 1e-9,
+            "got {} want {expect}",
+            w.power_w
+        );
+    }
+
+    #[test]
+    fn gap_advances_time_without_a_sample() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 10.0, 0.5, 0.5, 0.5, 0);
+        t.record_gap(1.0);
+        assert_eq!(t.samples().len(), 1);
+        assert_eq!(t.dropped_samples(), 1);
+        assert!((t.now() - 2.0).abs() < 1e-15);
+        assert!((t.dropped_time() - 1.0).abs() < 1e-15);
+        // Energy accounting only sees observed samples.
+        assert!((t.total_energy() - 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn window_inside_a_gap_is_stale() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 10.0, 0.5, 0.5, 0.5, 0); // [0, 1)
+        t.record_gap(2.0); // [1, 3): dropped
+        assert!(t.window_stats(1.5).is_none(), "all-dropped window is stale");
+        // A wider window reaches back into observed history and averages
+        // over the observed overlap only (0.5 s of the first sample).
+        let w = t.window_stats(2.5).unwrap();
+        assert_eq!(w.power_w, 10.0);
+        // Samples after the gap keep absolute timestamps.
+        t.record(1.0, 30.0, 1.0, 1.0, 1.0, 1); // [3, 4)
+        assert_eq!(t.samples()[1].t_start, 3.0);
+        let w2 = t.window_stats(1.0).unwrap();
+        assert_eq!(w2.power_w, 30.0);
+    }
+
+    #[test]
+    fn zero_duration_gap_ignored() {
+        let mut t = Telemetry::new();
+        t.record_gap(0.0);
+        assert_eq!(t.dropped_samples(), 0);
+        assert_eq!(t.now(), 0.0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use powerlens_dnn::{Graph, LayerId};
-use powerlens_platform::{FreqLevel, Telemetry};
+use powerlens_platform::{Domain, FreqLevel, SwitchOutcome, Telemetry};
 
 pub use powerlens_platform::{InstrumentationPlan, InstrumentationPoint};
 
@@ -53,6 +53,18 @@ pub trait Controller {
         gpu_level: FreqLevel,
         cpu_level: FreqLevel,
     ) -> FreqRequest;
+
+    /// Called after every frequency-change request with what the actuator
+    /// actually did (never-trust readback). The default ignores it —
+    /// open-loop controllers assume success, exactly the failure mode the
+    /// [`crate::Degraded`] wrapper exists to catch.
+    fn on_switch_outcome(
+        &mut self,
+        _domain: Domain,
+        _requested: FreqLevel,
+        _outcome: &SwitchOutcome,
+    ) {
+    }
 }
 
 /// Pins both domains to fixed levels — used for exhaustive frequency sweeps

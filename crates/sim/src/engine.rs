@@ -1,6 +1,7 @@
 use powerlens_dnn::Graph;
+use powerlens_faults::{FaultPlan, FaultSession};
 use powerlens_obs as obs;
-use powerlens_platform::{DvfsActuator, Platform, Telemetry};
+use powerlens_platform::{Domain, DvfsActuator, Platform, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,6 +33,12 @@ pub struct RunReport {
     pub num_cpu_switches: usize,
     /// Wall-clock time lost to DVFS transitions (seconds).
     pub dvfs_overhead_time: f64,
+    /// DVFS requests whose every attempt failed (level unchanged).
+    pub num_failed_switches: usize,
+    /// Failed switch attempts that were retried.
+    pub num_dvfs_retries: usize,
+    /// Total faults injected by the run's [`FaultPlan`] (0 for clean runs).
+    pub faults_injected: usize,
     /// Full telemetry stream (frequency/power trace over time).
     pub telemetry: Telemetry,
 }
@@ -42,6 +49,43 @@ pub(crate) struct RunState {
     pub gpu: DvfsActuator,
     pub cpu: DvfsActuator,
     pub rng: Option<(StdRng, f64)>,
+    pub faults: Option<FaultSession>,
+    /// Physical energy in joules, accumulated span by span. Equals the
+    /// telemetry stream's energy on clean runs (same fold order, so the two
+    /// are bit-identical); under sensor faults it keeps the ground truth
+    /// while the telemetry stream only holds what the sensor observed.
+    pub true_energy: f64,
+}
+
+impl RunState {
+    /// Records one executed span: physical energy always accrues; the
+    /// telemetry sample passes through the sensor-fault stage (dropout
+    /// turns it into a gap, noise scales the observed power).
+    fn record_span(
+        &mut self,
+        duration: f64,
+        power: f64,
+        gpu_util: f64,
+        busy_util: f64,
+        cpu_util: f64,
+    ) {
+        let level = self.gpu.level();
+        self.true_energy += power * duration;
+        match self.faults.as_mut() {
+            Some(f) => {
+                if f.sensor.drops_sample() {
+                    self.telemetry.record_gap(duration);
+                } else {
+                    let observed = power * f.sensor.noise_factor();
+                    self.telemetry
+                        .record(duration, observed, gpu_util, busy_util, cpu_util, level);
+                }
+            }
+            None => self
+                .telemetry
+                .record(duration, power, gpu_util, busy_util, cpu_util, level),
+        }
+    }
 }
 
 /// The inference simulator: executes graphs on a platform under a
@@ -51,6 +95,7 @@ pub struct Engine<'p> {
     platform: &'p Platform,
     batch: usize,
     noise: Option<(u64, f64)>,
+    faults: Option<FaultPlan>,
 }
 
 impl<'p> Engine<'p> {
@@ -60,6 +105,7 @@ impl<'p> Engine<'p> {
             platform,
             batch: 1,
             noise: None,
+            faults: None,
         }
     }
 
@@ -82,6 +128,22 @@ impl<'p> Engine<'p> {
         self
     }
 
+    /// Runs all subsequent simulations under a seeded [`FaultPlan`]. Every
+    /// `run` / task flow builds a fresh [`FaultSession`] from the plan, so
+    /// repeated runs replay the exact same fault trace. An inert plan (all
+    /// probabilities zero) builds no session at all, so it is bit-identical
+    /// to a clean run by construction — pinned by the zero-fault
+    /// differential test in `tests/faults_differential.rs`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The configured fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// The platform being simulated.
     pub fn platform(&self) -> &Platform {
         self.platform
@@ -99,14 +161,22 @@ impl<'p> Engine<'p> {
             gpu: DvfsActuator::new(
                 self.platform.gpu_table().max_level(),
                 self.platform.dvfs_transition_cost(),
+                self.platform.gpu_levels(),
             ),
             cpu: DvfsActuator::new(
                 self.platform.cpu_table().max_level(),
                 self.platform.dvfs_transition_cost(),
+                self.platform.cpu_levels(),
             ),
             rng: self
                 .noise
                 .map(|(seed, sigma)| (StdRng::seed_from_u64(seed), sigma)),
+            faults: self
+                .faults
+                .as_ref()
+                .filter(|plan| !plan.is_inert())
+                .map(FaultSession::new),
+            true_energy: 0.0,
         }
     }
 
@@ -160,10 +230,18 @@ impl<'p> Engine<'p> {
                 );
                 let mut stall = 0.0;
                 if let Some(g) = req.gpu {
-                    stall += state.gpu.set_level(g);
+                    let out = state
+                        .gpu
+                        .try_set_level(g, state.faults.as_mut().map(|f| &mut f.gpu));
+                    stall += out.stall;
+                    controller.on_switch_outcome(Domain::Gpu, g, &out);
                 }
                 if let Some(c) = req.cpu {
-                    stall += state.cpu.set_level(c);
+                    let out = state
+                        .cpu
+                        .try_set_level(c, state.faults.as_mut().map(|f| &mut f.cpu));
+                    stall += out.stall;
+                    controller.on_switch_outcome(Domain::Cpu, c, &out);
                 }
                 if stall > 0.0 {
                     // During a transition the pipeline drains; the board sits
@@ -171,29 +249,25 @@ impl<'p> Engine<'p> {
                     let p_idle = self
                         .platform
                         .idle_power(state.gpu.level(), state.cpu.level());
-                    state
-                        .telemetry
-                        .record(stall, p_idle, 0.0, 0.0, 0.05, state.gpu.level());
+                    state.record_span(stall, p_idle, 0.0, 0.0, 0.05);
                 }
                 let timing =
                     self.platform
                         .layer_timing(layer, batch, state.gpu.level(), state.cpu.level());
-                let power =
+                let mut power =
                     self.platform
                         .layer_power(&timing, state.gpu.level(), state.cpu.level());
+                if let Some(f) = state.faults.as_mut() {
+                    // Transient interference perturbs the physical power draw
+                    // itself, not just the sensor reading.
+                    power *= f.power.factor();
+                }
                 let mut t = timing.total;
                 if let Some((rng, sigma)) = state.rng.as_mut() {
                     let factor = 1.0 + *sigma * rng.gen_range(-1.0..1.0);
                     t *= factor.clamp(0.8, 1.2);
                 }
-                state.telemetry.record(
-                    t,
-                    power,
-                    timing.gpu_util,
-                    timing.busy_util,
-                    timing.cpu_util,
-                    state.gpu.level(),
-                );
+                state.record_span(t, power, timing.gpu_util, timing.busy_util, timing.cpu_util);
             }
             remaining -= batch;
         }
@@ -207,7 +281,12 @@ impl<'p> Engine<'p> {
         images: usize,
     ) -> RunReport {
         let total_time = state.telemetry.now();
-        let total_energy = state.telemetry.total_energy();
+        // Physical energy: bit-identical to the telemetry fold on clean runs,
+        // ground truth under sensor faults (see `RunState::true_energy`).
+        let total_energy = state.true_energy;
+        let num_failed = state.gpu.num_failed() + state.cpu.num_failed();
+        let num_retries = state.gpu.num_retries() + state.cpu.num_retries();
+        let faults_injected = state.faults.as_ref().map_or(0, |f| f.injected_total());
         if obs::enabled() {
             obs::counter("sim.images", images as u64);
             obs::counter("sim.dvfs.gpu_switches", state.gpu.num_switches() as u64);
@@ -217,6 +296,21 @@ impl<'p> Engine<'p> {
                 "sim.dvfs.overhead_s",
                 state.gpu.total_overhead() + state.cpu.total_overhead(),
             );
+            if num_retries > 0 {
+                obs::counter("dvfs.retries", num_retries as u64);
+            }
+            if num_failed > 0 {
+                obs::counter("dvfs.failed_switches", num_failed as u64);
+            }
+            if state.telemetry.dropped_samples() > 0 {
+                obs::counter(
+                    "telemetry.dropped",
+                    state.telemetry.dropped_samples() as u64,
+                );
+            }
+            if faults_injected > 0 {
+                obs::counter("faults.injected", faults_injected as u64);
+            }
         }
         RunReport {
             controller: controller.name().to_string(),
@@ -224,7 +318,11 @@ impl<'p> Engine<'p> {
             images,
             total_time,
             total_energy,
-            avg_power: state.telemetry.avg_power(),
+            avg_power: if total_time > 0.0 {
+                total_energy / total_time
+            } else {
+                0.0
+            },
             fps: if total_time > 0.0 {
                 images as f64 / total_time
             } else {
@@ -238,6 +336,9 @@ impl<'p> Engine<'p> {
             num_gpu_switches: state.gpu.num_switches(),
             num_cpu_switches: state.cpu.num_switches(),
             dvfs_overhead_time: state.gpu.total_overhead() + state.cpu.total_overhead(),
+            num_failed_switches: num_failed,
+            num_dvfs_retries: num_retries,
+            faults_injected,
             telemetry: state.telemetry,
         }
     }

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 mod controller;
+mod degraded;
 mod engine;
 mod export;
 mod taskflow;
@@ -37,6 +38,7 @@ pub use controller::{
     Controller, FreqRequest, InstrumentationPlan, InstrumentationPoint, PlanController,
     StaticController,
 };
+pub use degraded::{Degraded, DEFAULT_FAILURE_THRESHOLD, DEFAULT_STALE_WINDOW};
 pub use engine::{Engine, RunReport};
 pub use export::{write_summary_csv, write_trace_csv};
 pub use taskflow::{run_taskflow, TaskFlowReport, TaskSpec};

@@ -32,6 +32,10 @@ pub struct TaskFlowReport {
     pub energy_efficiency: f64,
     /// Total actual DVFS level changes (GPU + CPU).
     pub num_switches: usize,
+    /// DVFS requests whose every attempt failed (level unchanged).
+    pub num_failed_switches: usize,
+    /// Total faults injected over the flow (0 for clean runs).
+    pub faults_injected: usize,
 }
 
 /// Runs a sequence of tasks back-to-back under one controller. Board state
@@ -50,20 +54,27 @@ pub fn run_taskflow(
         total_images += task.images;
     }
     let total_time = state.telemetry.now();
-    let total_energy = state.telemetry.total_energy();
+    // Physical energy; equals the telemetry fold bit-for-bit on clean runs.
+    let total_energy = state.true_energy;
     TaskFlowReport {
         controller: controller.name().to_string(),
         num_tasks: tasks.len(),
         total_images,
         total_time,
         total_energy,
-        avg_power: state.telemetry.avg_power(),
+        avg_power: if total_time > 0.0 {
+            total_energy / total_time
+        } else {
+            0.0
+        },
         energy_efficiency: if total_energy > 0.0 {
             total_images as f64 / total_energy
         } else {
             0.0
         },
         num_switches: state.gpu.num_switches() + state.cpu.num_switches(),
+        num_failed_switches: state.gpu.num_failed() + state.cpu.num_failed(),
+        faults_injected: state.faults.as_ref().map_or(0, |f| f.injected_total()),
     }
 }
 

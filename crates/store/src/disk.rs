@@ -4,10 +4,12 @@
 //! Writes go to a `.tmp` sibling first and are moved into place with
 //! `rename`, so a crash mid-write can never leave a half-entry under the
 //! final name and concurrent writers of the same key settle on one complete
-//! file. Reads never trust the bytes: anything that fails to parse, or
+//! file. Opening a tier sweeps any `.tmp` files a crashed writer left
+//! behind. Reads never trust the bytes: anything that fails to parse, or
 //! whose recorded key disagrees with its file name, is *quarantined* —
-//! renamed to `<name>.quarantine` so it stops being offered and a human can
-//! inspect it — and reported as a miss.
+//! renamed to `<name>.quarantine` (suffixed `.quarantine.1`, `.2`, … when
+//! that name is taken, so repeat offenders never clobber earlier evidence)
+//! — and reported as a miss.
 
 use std::fs;
 use std::io;
@@ -25,16 +27,40 @@ pub struct DiskTier {
 }
 
 impl DiskTier {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory, sweeping any stale
+    /// `.tmp` files left by writers that crashed mid-write. A tmp file is
+    /// garbage by construction — the rename that would have published it
+    /// never happened — so removal is always safe.
     ///
     /// # Errors
     ///
-    /// Propagates directory-creation failures.
+    /// Propagates directory-creation failures. Sweep failures (e.g. a tmp
+    /// file vanishing concurrently) are ignored; the file was unreachable
+    /// by any load path anyway.
     pub fn new(dir: &Path) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        Ok(DiskTier {
+        let tier = DiskTier {
             dir: dir.to_path_buf(),
-        })
+        };
+        tier.sweep_stale_tmp();
+        Ok(tier)
+    }
+
+    fn sweep_stale_tmp(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut swept = 0u64;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_tmp = path.extension().is_some_and(|e| e == "tmp");
+            if is_tmp && path.is_file() && fs::remove_file(&path).is_ok() {
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            obs::counter("store.tmp_swept", swept);
+        }
     }
 
     /// The directory this tier stores entries under.
@@ -81,12 +107,31 @@ impl DiskTier {
         fs::rename(&tmp, self.path_for(key))
     }
 
-    /// Quarantines the file a bad entry was read from. Removal (rather than
-    /// quarantine) of an already-vanished file is fine; other rename
-    /// failures only cost a retry on the next load.
+    /// Quarantines the file a bad entry was read from. When the quarantine
+    /// name is already taken (the same key went bad before), a numeric
+    /// suffix is appended instead of overwriting the earlier evidence.
+    /// Removal (rather than quarantine) of an already-vanished file is
+    /// fine; other rename failures only cost a retry on the next load.
     pub fn quarantine(&self, path: &Path) {
-        let mut target = path.as_os_str().to_owned();
-        target.push(".quarantine");
+        let base = {
+            let mut t = path.as_os_str().to_owned();
+            t.push(".quarantine");
+            PathBuf::from(t)
+        };
+        let mut target = base.clone();
+        let mut suffix = 0u32;
+        while target.exists() {
+            suffix += 1;
+            if suffix > 10_000 {
+                // Pathological collision storm; give up on preserving more
+                // evidence and reuse the base name.
+                target = base;
+                break;
+            }
+            let mut t = base.as_os_str().to_owned();
+            t.push(format!(".{suffix}"));
+            target = PathBuf::from(t);
+        }
         if fs::rename(path, &target).is_ok() {
             obs::counter("store.quarantined", 1);
         }
@@ -166,6 +211,94 @@ mod tests {
         tier.store(key, &entry_for(CacheKey(0x20))).unwrap();
         assert!(tier.load(key).is_none());
         assert!(!tier.path_for(key).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_collisions_do_not_clobber_earlier_evidence() {
+        let dir = temp_dir("collide");
+        let tier = DiskTier::new(&dir).unwrap();
+        let key = CacheKey(0x77);
+        for round in 0..3 {
+            fs::write(tier.path_for(key), format!("bad payload round {round}")).unwrap();
+            assert!(tier.load(key).is_none());
+        }
+        let base = dir.join(format!("{}.json.quarantine", key.hex()));
+        let s1 = dir.join(format!("{}.json.quarantine.1", key.hex()));
+        let s2 = dir.join(format!("{}.json.quarantine.2", key.hex()));
+        assert!(base.exists() && s1.exists() && s2.exists());
+        // Each quarantine file preserved its own round's payload.
+        assert_eq!(fs::read_to_string(&base).unwrap(), "bad payload round 0");
+        assert_eq!(fs::read_to_string(&s2).unwrap(), "bad payload round 2");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        // Simulate crashed writers: tmp files written but never renamed.
+        for i in 0..4 {
+            fs::write(dir.join(format!("{i:016x}.json.tmp")), "half-written").unwrap();
+        }
+        let tier = DiskTier::new(&dir).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "stale tmp files must be swept on open"
+        );
+        // A healthy entry written after the sweep is untouched.
+        let key = CacheKey(0x5a);
+        tier.store(key, &entry_for(key)).unwrap();
+        assert!(tier.load(key).is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seeded_crash_injection_never_loses_published_entries() {
+        // Reuse the fault layer's seeded stream to decide which writes
+        // "crash" (tmp written, rename skipped). Published entries must
+        // survive a reopen; crashed ones are swept, reported as misses,
+        // and never served half-written.
+        use powerlens_faults::stream_seed;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let dir = temp_dir("crashes");
+        let tier = DiskTier::new(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(stream_seed(2024, "store-crash"));
+        let mut published = Vec::new();
+        let mut crashed = Vec::new();
+        for i in 0..32u64 {
+            let key = CacheKey(0x9000 + i);
+            let entry = entry_for(key);
+            if rng.gen_bool(0.3) {
+                // Crash mid-write: the tmp file exists, the rename never ran.
+                let json = serde_json::to_string_pretty(&entry).unwrap();
+                fs::write(dir.join(format!("{}.json.tmp", key.hex())), json).unwrap();
+                crashed.push(key);
+            } else {
+                tier.store(key, &entry).unwrap();
+                published.push(key);
+            }
+        }
+        assert!(!published.is_empty() && !crashed.is_empty());
+
+        let reopened = DiskTier::new(&dir).unwrap();
+        for key in &published {
+            assert!(reopened.load(*key).is_some(), "published entry lost");
+        }
+        for key in &crashed {
+            assert!(reopened.load(*key).is_none(), "crashed write must miss");
+            assert!(
+                !dir.join(format!("{}.json.tmp", key.hex())).exists(),
+                "crashed tmp must be swept on reopen"
+            );
+        }
         fs::remove_dir_all(&dir).ok();
     }
 }

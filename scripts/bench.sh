@@ -3,8 +3,8 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR4.json)
-#   -b BASELINE  prior summary to diff against (default: BENCH_PR3.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR5.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR4.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
 # The JSON shape is {"<bench name>": {"median_ns": N[, "baseline_ns": M,
@@ -12,14 +12,18 @@
 # "lint_overhead" entry reports each debug lint gate's cost as a fraction
 # of the pipeline stage it rides on (budget: <0.02). When the bench_store
 # suite ran, a "store_speedup" entry reports warm-cache plan lookups vs
-# cold planning (floor: >= 20x). The perf trajectory across PRs compares
-# these files.
+# cold planning (floor: >= 20x). When the bench_faults suite ran, a
+# "faults_overhead" entry reports what carrying an inert fault plan costs
+# relative to a clean engine run (budget: <= 1.05x), and an "ee_retention"
+# entry records the faultsim robustness report (energy efficiency retained
+# under the default fault sweep, per controller). The perf trajectory
+# across PRs compares these files.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR4.json"
-baseline="BENCH_PR3.json"
+out="BENCH_PR5.json"
+baseline="BENCH_PR4.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -30,7 +34,8 @@ done
 shift $((OPTIND - 1))
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+ret=$(mktemp)
+trap 'rm -f "$raw" "$ret"' EXIT
 
 if [ "$#" -gt 0 ]; then
     for b in "$@"; do
@@ -42,11 +47,18 @@ else
     cargo bench | tee "$raw"
 fi
 
+# Robustness sweep: the faultsim report prints greppable
+# "ee_retention <controller> <value>" lines for the JSON summary.
+echo "==> faultsim robustness sweep (alexnet, default fault spec)"
+cargo build -q --release -p powerlens-cli
+./target/release/powerlens-cli faultsim alexnet --batch 8 --images 16 \
+    | tee /dev/stderr | grep '^ee_retention ' > "$ret" || true
+
 # Criterion-shim lines look like:
 #   name/case    time: [1.234 µs 1.456 µs 1.789 µs]  (20 samples x 7 iters)
 # Field layout after splitting on '[' / ']': "v1 u1 v2 u2 v3 u3" — the
 # median is the second value/unit pair.
-awk -v out="$out" -v baseline="$baseline" '
+awk -v out="$out" -v baseline="$baseline" -v retfile="$ret" '
 function to_ns(v, u) {
     if (u == "s")  return v * 1e9
     if (u == "ms") return v * 1e6
@@ -108,6 +120,39 @@ END {
             ns[cold] / ns[warm] > out
         printf "plan store: warm lookup %.1fx faster than cold plan (floor 20x)\n", \
             ns[cold] / ns[warm]
+    }
+    # Fault-layer overhead: carrying an inert (zero-probability) fault plan
+    # vs a clean engine run. Budget: <= 1.05x.
+    fclean = "faults/engine_clean_alexnet"
+    fzero  = "faults/engine_zero_plan_alexnet"
+    ffault = "faults/engine_faulted_alexnet"
+    if ((fclean in ns) && (fzero in ns) && ns[fclean] > 0) {
+        printf ",\n  \"faults_overhead\": {\"zero_plan_vs_clean\": %.3f, \"budget\": 1.05", \
+            ns[fzero] / ns[fclean] > out
+        if (ffault in ns)
+            printf ", \"storm_vs_clean\": %.3f", ns[ffault] / ns[fclean] > out
+        printf "}\n" > out
+        printf "fault layer: inert plan costs %+.1f%% vs clean (budget +5%%)\n", \
+            100 * (ns[fzero] / ns[fclean] - 1)
+    }
+    # Energy-efficiency retention under the default fault sweep, from the
+    # faultsim robustness report. Floor: degraded >= 0.9 x bim.
+    nret = 0
+    while ((getline line < retfile) > 0) {
+        n = split(line, rf, /[ \t]+/)
+        if (n >= 3 && rf[1] == "ee_retention") {
+            rname[++nret] = rf[2]
+            rval[nret] = rf[3]
+        }
+    }
+    if (nret > 0) {
+        printf ",\n  \"ee_retention\": {" > out
+        for (j = 1; j <= nret; j++)
+            printf "%s\"%s\": %s", (j > 1 ? ", " : ""), rname[j], rval[j] > out
+        printf ", \"floor\": \"degraded >= 0.9 * bim\"}\n" > out
+        printf "ee retention under faults:"
+        for (j = 1; j <= nret; j++) printf " %s %s", rname[j], rval[j]
+        printf "\n"
     }
     printf "}\n" > out
     printf "wrote %s (%d benches%s)\n", out, count, \

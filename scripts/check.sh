@@ -29,6 +29,11 @@ run cargo build -q --release -p powerlens-cli
 run ./target/release/powerlens-cli lint --all
 # Plan-store smoke: the whole zoo through the in-memory cache.
 run ./target/release/powerlens-cli plan-batch --cache mem
+# Fault-injection smoke: the robustness report must complete under the
+# default 20% switch-failure sweep, and zero-probability fault plans must
+# stay bit-identical to clean runs (the differential suite).
+run ./target/release/powerlens-cli faultsim alexnet --batch 4 --images 8
+run cargo test -q -p powerlens-sim --test faults_differential
 run cargo bench --no-run
 RUSTDOCFLAGS="-D warnings"
 export RUSTDOCFLAGS

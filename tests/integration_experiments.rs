@@ -93,7 +93,7 @@ fn dvfs_overhead_measurement_matches_platform_constants() {
     // §3.3: 100 level changes; each pays the transition stall, and the
     // advertised settle latency reproduces the paper's ~50 ms figure.
     let platform = Platform::agx();
-    let mut act = DvfsActuator::new(0, platform.dvfs_transition_cost());
+    let mut act = DvfsActuator::new(0, platform.dvfs_transition_cost(), platform.gpu_levels());
     for i in 0..100 {
         act.set_level((i % 2) + 1);
     }
