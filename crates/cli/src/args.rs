@@ -18,6 +18,9 @@ pub const USAGE: &str = "usage:
                          [--faults SPEC] [--fault-seed N]
   powerlens-cli lint     <model>|--all [--platform P] [--format human|json|sarif]
   powerlens-cli stats    [report.json]
+  powerlens-cli serve    [--addr A] [--port N] [--threads N] [--queue-depth N]
+                         [--shards N] [--platform P] [--batch N] [--images N]
+                         [--cache MODE] [--cache-dir DIR] [--models PATH]
 
 platforms: agx (default), tx2, cloud
 
@@ -40,7 +43,14 @@ results/plan-cache).
 
 every subcommand also accepts --trace {off,log,json}: profile the run with
 the observability layer; `log` streams events to stderr, `json` writes
-results/trace.json; both print a stats summary at the end";
+results/trace.json; both print a stats summary at the end
+
+serve runs the planning-as-a-service daemon (see docs/SERVING.md): POST
+/plan, /compare and /lint over HTTP, GET /metrics and /healthz, POST
+/shutdown. --port 0 picks an ephemeral port (printed on startup);
+--threads sets the worker count (0 = all cores); --queue-depth bounds the
+admission queue (beyond it clients get 429); --shards splits the
+in-memory plan cache";
 
 /// Shared options across subcommands.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +82,14 @@ pub struct Options {
     /// Seed override for the fault streams (`--fault-seed N`); when absent
     /// the spec's own `seed=` (default 42) applies.
     pub fault_seed: Option<u64>,
+    /// Interface the `serve` daemon binds (`--addr A`).
+    pub addr: String,
+    /// Port for the `serve` daemon (`--port N`; `0` = ephemeral).
+    pub port: u16,
+    /// Admission-queue depth for the `serve` daemon (`--queue-depth N`).
+    pub queue_depth: usize,
+    /// Plan-cache shards for the `serve` daemon (`--shards N`).
+    pub shards: usize,
 }
 
 impl Default for Options {
@@ -90,6 +108,10 @@ impl Default for Options {
             threads: 0,
             faults: None,
             fault_seed: None,
+            addr: "127.0.0.1".into(),
+            port: 8780,
+            queue_depth: 64,
+            shards: 8,
         }
     }
 }
@@ -126,6 +148,8 @@ pub enum Command {
     },
     /// Render the stats table from a saved `--trace json` report.
     Stats { path: Option<String> },
+    /// Run the planning-as-a-service daemon.
+    Serve { opts: Options },
 }
 
 /// Parse error with a human-readable message.
@@ -225,6 +249,19 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
                     .parse()
                     .map_err(|_| ParseError(format!("--threads: {v:?} is not an integer")))?;
             }
+            "--addr" => opts.addr = take_value("--addr", &mut it)?,
+            "--port" => {
+                // `0` is valid here: "pick an ephemeral port".
+                let v = take_value("--port", &mut it)?;
+                opts.port = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--port: {v:?} is not a port number")))?;
+            }
+            "--queue-depth" => {
+                opts.queue_depth =
+                    parse_usize("--queue-depth", &take_value("--queue-depth", &mut it)?)?
+            }
+            "--shards" => opts.shards = parse_usize("--shards", &take_value("--shards", &mut it)?)?,
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -279,6 +316,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             Ok(Command::PlanBatch { models, opts })
         }
         "train" => Ok(Command::Train {
+            opts: parse_options(it)?,
+        }),
+        "serve" => Ok(Command::Serve {
             opts: parse_options(it)?,
         }),
         "lint" => {
@@ -515,6 +555,46 @@ mod tests {
         assert!(parse(&v(&["lint", "--format", "json"])).is_err());
         let err = parse(&v(&["lint", "alexnet", "--format", "xml"])).unwrap_err();
         assert!(err.0.contains("unknown lint format"));
+    }
+
+    #[test]
+    fn parses_serve() {
+        match parse(&v(&["serve"])).unwrap() {
+            Command::Serve { opts } => {
+                assert_eq!(opts.addr, "127.0.0.1");
+                assert_eq!(opts.port, 8780);
+                assert_eq!(opts.queue_depth, 64);
+                assert_eq!(opts.shards, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&[
+            "serve",
+            "--port",
+            "0",
+            "--queue-depth",
+            "4",
+            "--shards",
+            "2",
+            "--threads",
+            "3",
+            "--cache",
+            "mem",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { opts } => {
+                assert_eq!(opts.port, 0); // ephemeral is allowed
+                assert_eq!(opts.queue_depth, 4);
+                assert_eq!(opts.shards, 2);
+                assert_eq!(opts.threads, 3);
+                assert_eq!(opts.cache, "mem");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["serve", "--port", "x"])).is_err());
+        assert!(parse(&v(&["serve", "--queue-depth", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--shards", "0"])).is_err());
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! Subcommand implementations.
+//!
+//! The CLI is a thin frontend: the actual plan/compare/lint logic lives in
+//! [`powerlens_serve::ops`], shared with the serving daemon, and the
+//! functions here only parse options, call into `ops`, and render tables.
 
 use std::error::Error;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use powerlens::dataset::{self, DatasetConfig};
 use powerlens::training::{train_models, TrainingConfig};
 use powerlens::{PlanController, PowerLens, PowerLensConfig, TrainedModels};
 use powerlens_dnn::{zoo, Graph};
 use powerlens_faults::FaultPlan;
-use powerlens_governors::{Bim, FpgCg, FpgG};
+use powerlens_governors::Bim;
 use powerlens_obs as obs;
 use powerlens_obs::TraceMode;
 use powerlens_platform::Platform;
-use powerlens_sim::{run_taskflow, Controller, Degraded, Engine, TaskFlowReport, TaskSpec};
+use powerlens_serve::{ops, ServeConfig, Server};
+use powerlens_sim::{run_taskflow, Degraded, Engine, TaskFlowReport, TaskSpec};
 use powerlens_store::{CacheMode, PlanStore};
 
 use crate::args::{Command, Options};
@@ -34,7 +39,8 @@ pub fn run(cmd: Command) -> CliResult {
         | Command::Train { opts }
         | Command::Trace { opts, .. }
         | Command::FaultSim { opts, .. }
-        | Command::Lint { opts, .. } => opts.trace,
+        | Command::Lint { opts, .. }
+        | Command::Serve { opts } => opts.trace,
     };
     obs::init(trace);
     let result = match cmd {
@@ -49,6 +55,7 @@ pub fn run(cmd: Command) -> CliResult {
         Command::FaultSim { model, opts } => faultsim(&model, &opts),
         Command::Lint { model, opts } => lint_cmd(model.as_deref(), &opts),
         Command::Stats { path } => return stats(path.as_deref()),
+        Command::Serve { opts } => serve_cmd(&opts),
     };
     report_stats(trace);
     result
@@ -69,32 +76,27 @@ fn report_stats(trace: TraceMode) {
 }
 
 fn platform_for(opts: &Options) -> Platform {
-    match opts.platform.as_str() {
-        "tx2" => Platform::tx2(),
-        "cloud" => Platform::cloud_v100(),
-        _ => Platform::agx(),
-    }
+    // The parser already validated the name; default to AGX defensively.
+    ops::platform_by_name(&opts.platform).unwrap_or_else(Platform::agx)
 }
 
 fn model_for(name: &str) -> Result<Graph, Box<dyn Error>> {
-    zoo::by_name(name).ok_or_else(|| {
-        format!("unknown model {name:?}; run `powerlens zoo` for the available names").into()
-    })
+    Ok(ops::graph_by_name(name)?)
+}
+
+fn trained_models_for(opts: &Options) -> Result<Option<TrainedModels>, Box<dyn Error>> {
+    match &opts.models {
+        Some(path) => Ok(Some(ops::load_models(Path::new(path))?)),
+        None => Ok(None),
+    }
 }
 
 fn planner<'p>(platform: &'p Platform, opts: &Options) -> Result<PowerLens<'p>, Box<dyn Error>> {
-    let config = PowerLensConfig {
-        batch: opts.batch,
-        ..PowerLensConfig::default()
-    };
-    Ok(match &opts.models {
-        Some(path) => {
-            let models = TrainedModels::load(Path::new(path))
-                .map_err(|e| format!("cannot load models from {path}: {e}"))?;
-            PowerLens::with_models(platform, config, models)
-        }
-        None => PowerLens::untrained(platform, config),
-    })
+    Ok(ops::make_planner(
+        platform,
+        opts.batch,
+        trained_models_for(opts)?,
+    ))
 }
 
 /// Builds the fault plan described by `--faults` / `--fault-seed`, gated
@@ -317,6 +319,9 @@ fn plan_batch_cmd(models: &[String], opts: &Options) -> CliResult {
     Ok(())
 }
 
+/// Tasks per comparison flow (the paper's Figure 5 uses 10-task queues).
+const COMPARE_TASKS: usize = 10;
+
 fn compare(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let g = model_for(model)?;
@@ -324,30 +329,8 @@ fn compare(model: &str, opts: &Options) -> CliResult {
     let outcome = plan_cached(&pl, &g, opts)?;
     let fault_plan = fault_plan_for(opts, &platform)?;
 
-    let mut engine = Engine::new(&platform).with_batch(opts.batch);
-    if let Some(plan) = &fault_plan {
-        engine = engine.with_faults(plan.clone());
-    }
-    let tasks: Vec<TaskSpec<'_>> = (0..10)
-        .map(|_| TaskSpec {
-            graph: &g,
-            images: opts.images,
-        })
-        .collect();
-    let mut plan_ctl = PlanController::new(outcome.plan.clone());
-    let mut degraded = Degraded::new(PlanController::new(outcome.plan), Bim::new(&platform));
-    let mut bim = Bim::new(&platform);
-    let mut fpg_g = FpgG::new(&platform);
-    let mut fpg_cg = FpgCg::new(&platform);
-    let mut controllers: Vec<&mut dyn Controller> =
-        vec![&mut plan_ctl, &mut fpg_cg, &mut fpg_g, &mut bim];
-    if fault_plan.is_some() {
-        // Under faults, also race the graceful-degradation wrapper.
-        controllers.push(&mut degraded);
-    }
-
     println!(
-        "{model} on {} (10 x {} images, batch {}):",
+        "{model} on {} ({COMPARE_TASKS} x {} images, batch {}):",
         platform.name(),
         opts.images,
         opts.batch
@@ -359,9 +342,17 @@ fn compare(model: &str, opts: &Options) -> CliResult {
         "{:<22} {:>11} {:>9} {:>11} {:>9}",
         "method", "energy (J)", "time (s)", "EE (img/J)", "switches"
     );
+    let rows = ops::compare_controllers(
+        &platform,
+        &g,
+        &outcome.plan,
+        opts.batch,
+        opts.images,
+        COMPARE_TASKS,
+        fault_plan.as_ref(),
+    );
     let mut base = None;
-    for ctl in controllers {
-        let r = run_taskflow(&engine, &tasks, ctl);
+    for r in rows {
         let note = match base {
             None => {
                 base = Some(r.energy_efficiency);
@@ -374,7 +365,7 @@ fn compare(model: &str, opts: &Options) -> CliResult {
         };
         println!(
             "{:<22} {:>11.1} {:>9.2} {:>11.4} {:>9}{}",
-            r.controller, r.total_energy, r.total_time, r.energy_efficiency, r.num_switches, note
+            r.method, r.energy_j, r.time_s, r.energy_efficiency, r.switches, note
         );
     }
     Ok(())
@@ -543,10 +534,6 @@ fn faultsim(model: &str, opts: &Options) -> CliResult {
 /// the `PL209` cross-check enabled. Exits non-zero when any error-severity
 /// finding fires — this is the gate `scripts/check.sh` runs in CI.
 fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
-    use powerlens_cluster::{cluster_graph, ClusterParams};
-    use powerlens_governors::oracle;
-    use powerlens_platform::InstrumentationPoint;
-
     let platform = platform_for(opts);
     let format = powerlens_lint::Format::parse(&opts.format)
         .ok_or_else(|| format!("unknown lint format {:?}", opts.format))?;
@@ -555,28 +542,9 @@ fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
         None => zoo::all_models().iter().map(|(_, build)| build()).collect(),
     };
 
-    let config = powerlens_lint::LintConfig::default();
     let mut reports = Vec::new();
     for g in &targets {
-        let view = cluster_graph(g, &ClusterParams::default())
-            .map_err(|e| format!("clustering {} failed: {e}", g.name()))?;
-        let oracle_fn = |lo: usize, hi: usize| {
-            oracle::best_level_for_range(&platform, g, lo, hi, opts.batch, oracle::DEFAULT_SLACK)
-        };
-        let points = view
-            .blocks()
-            .iter()
-            .map(|b| InstrumentationPoint {
-                layer: b.start,
-                gpu_level: oracle_fn(b.start, b.end),
-            })
-            .collect();
-        let plan =
-            powerlens_platform::InstrumentationPlan::new(points, platform.cpu_table().max_level());
-        let report =
-            powerlens_lint::lint_pipeline(g, &view, &plan, &platform, Some(&oracle_fn), &config);
-        powerlens_lint::record_to_obs(&report);
-        reports.push(report);
+        reports.push(ops::lint_model(&platform, g, opts.batch)?);
     }
 
     print!("{}", powerlens_lint::render(&reports, format));
@@ -661,6 +629,44 @@ fn stats(path: Option<&str>) -> CliResult {
     Ok(())
 }
 
+/// Runs the planning-as-a-service daemon until `POST /shutdown`.
+///
+/// Thin frontend over [`powerlens_serve::Server`]: maps the CLI options
+/// onto a [`ServeConfig`], prints the bound address (`--port 0` picks an
+/// ephemeral port, so scripts parse this line), and reports the final
+/// tallies after a graceful shutdown.
+fn serve_cmd(opts: &Options) -> CliResult {
+    let cache = CacheMode::parse(&opts.cache)
+        .ok_or_else(|| format!("unknown cache mode {:?}", opts.cache))?;
+    let cfg = ServeConfig {
+        addr: opts.addr.clone(),
+        port: opts.port,
+        workers: opts.threads,
+        queue_depth: opts.queue_depth,
+        shards: opts.shards,
+        cache,
+        cache_dir: (cache == CacheMode::Disk).then(|| PathBuf::from(&opts.cache_dir)),
+        platform: opts.platform.clone(),
+        batch: opts.batch,
+        images: opts.images,
+        models: trained_models_for(opts)?,
+        ..ServeConfig::default()
+    };
+    let queue_depth = cfg.queue_depth;
+    let server = Server::bind(cfg)?;
+    println!("listening on {}", server.local_addr());
+    println!(
+        "endpoints: POST /plan /compare /lint /shutdown, GET /metrics /healthz \
+         (queue depth {queue_depth}; POST /shutdown to stop)"
+    );
+    let report = server.run()?;
+    println!(
+        "served {} request(s), shed {}, degraded {}",
+        report.requests, report.rejected, report.degraded
+    );
+    Ok(())
+}
+
 fn train(opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let config = PowerLensConfig::default();
@@ -728,6 +734,10 @@ mod tests {
             threads: 2,
             faults: None,
             fault_seed: None,
+            addr: "127.0.0.1".into(),
+            port: 0,
+            queue_depth: 8,
+            shards: 2,
         }
     }
 

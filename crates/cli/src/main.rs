@@ -7,6 +7,7 @@
 //! powerlens-cli plan     <model> [opts]     power view + instrumentation plan
 //! powerlens-cli compare  <model> [opts]     PowerLens vs BiM / FPG-G / FPG-CG
 //! powerlens-cli train    [opts]             train + save prediction models
+//! powerlens-cli serve    [opts]             planning-as-a-service HTTP daemon
 //!
 //! options:
 //!   --platform agx|tx2|cloud   target board            (default agx)

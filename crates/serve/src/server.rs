@@ -1,0 +1,661 @@
+//! The daemon: admission control, worker pool, routing, degradation
+//! ladder, metrics, and graceful shutdown.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use powerlens::{PlanOutcome, PowerLens, TrainedModels};
+use powerlens_dnn::Graph;
+use powerlens_obs as obs;
+use powerlens_platform::Platform;
+use powerlens_store::{CacheMode, PlanStore};
+use serde::Serialize;
+
+use crate::http::{read_request, write_response, Request};
+use crate::ops;
+use crate::proto::{
+    CompareRequest, CompareResponse, CompareRowBody, ErrorResponse, LintRequest, LintResponse,
+    PlanBatchResponse, PlanBlock, PlanPoint, PlanRequest, PlanResponse,
+};
+
+/// How long a worker waits on a socket read or write before giving up on
+/// the client.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Capacity and behaviour knobs for [`Server`].
+///
+/// The defaults are sized for a development box: an ephemeral-capable
+/// port, one worker per core, a 64-deep queue, and a 256-plan in-memory
+/// cache over 8 shards.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind (`127.0.0.1` by default).
+    pub addr: String,
+    /// TCP port; `0` picks an ephemeral port (printed via
+    /// [`Server::local_addr`]).
+    pub port: u16,
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bounded admission queue depth; connections beyond it are answered
+    /// `429` immediately.
+    pub queue_depth: usize,
+    /// Shards in the in-memory plan cache.
+    pub shards: usize,
+    /// Capacity (entries) of the in-memory plan cache.
+    pub capacity: usize,
+    /// Cache mode for the shared [`PlanStore`].
+    pub cache: CacheMode,
+    /// Disk-tier directory when `cache` includes the disk tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Default platform for requests that do not name one.
+    pub platform: String,
+    /// Default inference batch size.
+    pub batch: usize,
+    /// Default images per comparison task.
+    pub images: usize,
+    /// Default tasks per comparison flow.
+    pub tasks: usize,
+    /// Trained prediction models; `None` plans with the exhaustive oracle.
+    pub models: Option<TrainedModels>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 0,
+            queue_depth: 64,
+            shards: 8,
+            capacity: 256,
+            cache: CacheMode::Mem,
+            cache_dir: None,
+            platform: "agx".to_string(),
+            batch: 8,
+            images: 16,
+            tasks: 3,
+            models: None,
+        }
+    }
+}
+
+/// Final tallies returned by [`Server::run`] after shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeReport {
+    /// Requests handled to completion (any status except shed).
+    pub requests: u64,
+    /// Connections shed with `429` before queueing.
+    pub rejected: u64,
+    /// Responses answered from the BiM-heuristic rung of the ladder.
+    pub degraded: u64,
+}
+
+/// A bound, not-yet-running daemon. Created by [`Server::bind`]; consumed
+/// by [`Server::run`], which blocks until `POST /shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    store: PlanStore,
+    default_platform: Platform,
+}
+
+/// State shared between the accept loop and the worker pool.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared plan store.
+    ///
+    /// If the obs layer is not already initialised, it is switched on in
+    /// JSON mode with a [`obs::NullSubscriber`] so counters and gauges
+    /// accumulate silently for `/metrics` without spamming stderr.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound, the cache directory cannot
+    /// be created, or `cfg.platform` names an unknown platform.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let default_platform = ops::platform_by_name(&cfg.platform).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown platform {:?}", cfg.platform),
+            )
+        })?;
+        if !obs::enabled() {
+            obs::init(obs::TraceMode::Json);
+            obs::set_subscriber(Arc::new(obs::NullSubscriber));
+        }
+        let store = PlanStore::with_shards(
+            cfg.cache,
+            cfg.capacity,
+            cfg.shards,
+            cfg.cache_dir.as_deref(),
+        )?;
+        let listener = TcpListener::bind((cfg.addr.as_str(), cfg.port))?;
+        Ok(Server {
+            listener,
+            cfg,
+            store,
+            default_platform,
+        })
+    }
+
+    /// The bound address, e.g. `127.0.0.1:41873`. With `port: 0` this is
+    /// where the ephemeral port shows up.
+    pub fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string())
+    }
+
+    /// Serves until a `POST /shutdown` arrives, then drains the queue and
+    /// returns the final tallies.
+    ///
+    /// The accept loop sheds connections with `429` once the queue is
+    /// full; queued connections are handled by `cfg.workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on listener-level I/O errors; per-connection errors are
+    /// answered on that connection (or logged and dropped) without taking
+    /// the daemon down.
+    pub fn run(self) -> io::Result<ServeReport> {
+        let workers = powerlens_par::resolve_threads(self.cfg.workers);
+        obs::gauge("serve.workers", workers as f64);
+        let shared = Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        };
+        self.listener.set_nonblocking(true)?;
+
+        thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker_loop(&shared));
+            }
+            // Accept loop. Nonblocking so the shutdown flag is observed
+            // promptly even when no clients connect.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => self.admit(stream, &shared),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.available.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+            // Idle drain: workers finish the queue, then observe the flag
+            // and exit; the scope joins them.
+            shared.available.notify_all();
+            Ok(())
+        })?;
+
+        Ok(ServeReport {
+            requests: shared.requests.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+            degraded: shared.degraded.load(Ordering::SeqCst),
+        })
+    }
+
+    /// Queues a connection, or sheds it with `429` when the queue is full.
+    fn admit(&self, mut stream: TcpStream, shared: &Shared) {
+        // Accepted sockets inherit the listener's nonblocking mode on some
+        // platforms; the workers want plain blocking reads with timeouts.
+        let _ = stream.set_nonblocking(false);
+        let mut q = shared.queue.lock().unwrap();
+        if q.len() >= self.cfg.queue_depth {
+            drop(q);
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            obs::counter("serve.rejected", 1);
+            // Drain the request before answering: closing a socket with
+            // unread data raises RST and destroys the in-flight 429. A
+            // short timeout bounds how long a slow sender can hold the
+            // accept loop.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            let _ = read_request(&mut stream);
+            let _ = json_response(
+                &mut stream,
+                429,
+                &ErrorResponse {
+                    error: "admission queue full; retry with backoff".to_string(),
+                },
+            );
+            return;
+        }
+        q.push_back(stream);
+        obs::gauge("serve.queue_depth", q.len() as f64);
+        drop(q);
+        shared.available.notify_one();
+    }
+
+    fn worker_loop(&self, shared: &Shared) {
+        loop {
+            let stream = {
+                let mut q = shared.queue.lock().unwrap();
+                loop {
+                    if let Some(s) = q.pop_front() {
+                        obs::gauge("serve.queue_depth", q.len() as f64);
+                        break Some(s);
+                    }
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (guard, _) = shared
+                        .available
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .unwrap();
+                    q = guard;
+                }
+            };
+            let Some(mut stream) = stream else { return };
+            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            match read_request(&mut stream) {
+                Ok(req) => {
+                    self.handle(&mut stream, &req, shared);
+                    shared.requests.fetch_add(1, Ordering::SeqCst);
+                    obs::counter("serve.requests", 1);
+                }
+                Err(_) => {
+                    // Malformed or timed-out request; best-effort error.
+                    let _ = json_response(
+                        &mut stream,
+                        400,
+                        &ErrorResponse {
+                            error: "malformed request".to_string(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Routes one parsed request. Every branch writes exactly one
+    /// response; write failures are ignored (the client is gone).
+    fn handle(&self, stream: &mut TcpStream, req: &Request, shared: &Shared) {
+        let outcome = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => json_response(stream, 200, &ok_body()),
+            ("GET", "/metrics") => {
+                let body = self.render_metrics(shared);
+                write_response(stream, 200, "text/plain; charset=utf-8", &body)
+            }
+            ("POST", "/shutdown") => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                json_response(stream, 200, &ok_body())
+            }
+            ("POST", "/plan") => self.endpoint_plan(stream, &req.body, shared),
+            ("POST", "/compare") => self.endpoint_compare(stream, &req.body, shared),
+            ("POST", "/lint") => self.endpoint_lint(stream, &req.body),
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/plan" | "/compare" | "/lint") => {
+                json_response(
+                    stream,
+                    405,
+                    &ErrorResponse {
+                        error: format!("method {} not allowed for {}", req.method, req.path),
+                    },
+                )
+            }
+            ("GET" | "POST", _) => json_response(
+                stream,
+                404,
+                &ErrorResponse {
+                    error: format!("no such endpoint: {}", req.path),
+                },
+            ),
+            _ => json_response(
+                stream,
+                405,
+                &ErrorResponse {
+                    error: format!("method {} not allowed", req.method),
+                },
+            ),
+        };
+        let _ = outcome;
+    }
+
+    /// `true` once the queue is at least half full — the cached-only rung
+    /// of the degradation ladder.
+    fn under_pressure(&self, shared: &Shared) -> bool {
+        let len = shared.queue.lock().unwrap().len();
+        len * 2 >= self.cfg.queue_depth.max(1)
+    }
+
+    /// Resolves the request's platform override, falling back to the
+    /// daemon default.
+    fn platform_for(&self, name: Option<&str>) -> Result<Platform, String> {
+        match name {
+            None => Ok(self.default_platform.clone()),
+            Some(n) => ops::platform_by_name(n).ok_or_else(|| format!("unknown platform {n:?}")),
+        }
+    }
+
+    /// Plans one graph through the degradation ladder. Returns the
+    /// outcome plus `(cached, degraded)` flags.
+    fn plan_via_ladder(
+        &self,
+        pl: &PowerLens<'_>,
+        platform: &Platform,
+        graph: &Graph,
+        tenant: Option<&str>,
+        pressured: bool,
+        shared: &Shared,
+    ) -> Result<(PlanOutcome, bool, bool), String> {
+        if pressured {
+            // Cached-only rung: serve hits, answer misses heuristically.
+            if let Some(outcome) = self.store.get_cached(pl, graph, tenant) {
+                return Ok((outcome, true, false));
+            }
+            shared.degraded.fetch_add(1, Ordering::SeqCst);
+            obs::counter("serve.degraded", 1);
+            return Ok((ops::bim_heuristic_outcome(platform, graph), false, true));
+        }
+        let (outcome, cached) = self
+            .store
+            .lookup_or_plan(pl, graph, tenant)
+            .map_err(|e| format!("planning {} failed: {e}", graph.name()))?;
+        Ok((outcome, cached, false))
+    }
+
+    fn endpoint_plan(&self, stream: &mut TcpStream, body: &str, shared: &Shared) -> io::Result<()> {
+        let req: PlanRequest = match parse_body(body) {
+            Ok(r) => r,
+            Err(resp) => return json_response(stream, 400, &resp),
+        };
+        let platform = match self.platform_for(req.platform.as_deref()) {
+            Ok(p) => p,
+            Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+        };
+        let batch = req.batch.unwrap_or(self.cfg.batch);
+        let tenant = req.tenant.as_deref();
+        let pl = ops::make_planner(&platform, batch, self.cfg.models.clone());
+        let pressured = self.under_pressure(shared);
+
+        let names: Vec<String> = match (&req.model, &req.models) {
+            (Some(_), Some(_)) => {
+                return json_response(
+                    stream,
+                    400,
+                    &ErrorResponse {
+                        error: "specify either `model` or `models`, not both".to_string(),
+                    },
+                )
+            }
+            (Some(m), None) => vec![m.clone()],
+            (None, Some(ms)) if !ms.is_empty() => ms.clone(),
+            _ => {
+                return json_response(
+                    stream,
+                    400,
+                    &ErrorResponse {
+                        error: "request needs a `model` or a non-empty `models` array".to_string(),
+                    },
+                )
+            }
+        };
+        let mut graphs = Vec::with_capacity(names.len());
+        for name in &names {
+            match ops::graph_by_name(name) {
+                Ok(g) => graphs.push(g),
+                Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+            }
+        }
+
+        // Batch requests fan out over the same worker budget the daemon
+        // itself was given; a single model plans inline.
+        let planned: Vec<Result<(PlanOutcome, bool, bool), String>> = if graphs.len() == 1 {
+            vec![self.plan_via_ladder(&pl, &platform, &graphs[0], tenant, pressured, shared)]
+        } else {
+            powerlens_par::map_slice(&graphs, self.cfg.workers, |_, g| {
+                self.plan_via_ladder(&pl, &platform, g, tenant, pressured, shared)
+            })
+        };
+
+        let mut plans = Vec::with_capacity(planned.len());
+        for (graph, result) in graphs.iter().zip(planned) {
+            match result {
+                Ok((outcome, cached, degraded)) => plans.push(plan_response(
+                    graph,
+                    &platform,
+                    &self.cfg.platform,
+                    req.platform.as_deref(),
+                    batch,
+                    tenant,
+                    &outcome,
+                    cached,
+                    degraded,
+                )),
+                Err(e) => return json_response(stream, 500, &ErrorResponse { error: e }),
+            }
+        }
+        if req.models.is_some() {
+            json_response(stream, 200, &PlanBatchResponse { plans })
+        } else {
+            json_response(stream, 200, &plans.remove(0))
+        }
+    }
+
+    fn endpoint_compare(
+        &self,
+        stream: &mut TcpStream,
+        body: &str,
+        shared: &Shared,
+    ) -> io::Result<()> {
+        let req: CompareRequest = match parse_body(body) {
+            Ok(r) => r,
+            Err(resp) => return json_response(stream, 400, &resp),
+        };
+        let Some(model) = req.model.as_deref() else {
+            return json_response(
+                stream,
+                400,
+                &ErrorResponse {
+                    error: "compare request needs a `model`".to_string(),
+                },
+            );
+        };
+        let platform = match self.platform_for(req.platform.as_deref()) {
+            Ok(p) => p,
+            Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+        };
+        let graph = match ops::graph_by_name(model) {
+            Ok(g) => g,
+            Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+        };
+        let batch = req.batch.unwrap_or(self.cfg.batch);
+        let pl = ops::make_planner(&platform, batch, self.cfg.models.clone());
+        let pressured = self.under_pressure(shared);
+        let (outcome, _, degraded) = match self.plan_via_ladder(
+            &pl,
+            &platform,
+            &graph,
+            req.tenant.as_deref(),
+            pressured,
+            shared,
+        ) {
+            Ok(r) => r,
+            Err(e) => return json_response(stream, 500, &ErrorResponse { error: e }),
+        };
+        let rows = ops::compare_controllers(
+            &platform,
+            &graph,
+            &outcome.plan,
+            batch,
+            req.images.unwrap_or(self.cfg.images),
+            req.tasks.unwrap_or(self.cfg.tasks),
+            None,
+        );
+        let resp = CompareResponse {
+            model: graph.name().to_string(),
+            platform: req
+                .platform
+                .clone()
+                .unwrap_or_else(|| self.cfg.platform.clone()),
+            degraded,
+            rows: rows
+                .into_iter()
+                .map(|r| CompareRowBody {
+                    method: r.method,
+                    energy_j: r.energy_j,
+                    time_s: r.time_s,
+                    energy_efficiency: r.energy_efficiency,
+                    switches: r.switches,
+                })
+                .collect(),
+        };
+        json_response(stream, 200, &resp)
+    }
+
+    fn endpoint_lint(&self, stream: &mut TcpStream, body: &str) -> io::Result<()> {
+        let req: LintRequest = match parse_body(body) {
+            Ok(r) => r,
+            Err(resp) => return json_response(stream, 400, &resp),
+        };
+        let Some(model) = req.model.as_deref() else {
+            return json_response(
+                stream,
+                400,
+                &ErrorResponse {
+                    error: "lint request needs a `model`".to_string(),
+                },
+            );
+        };
+        let platform = match self.platform_for(req.platform.as_deref()) {
+            Ok(p) => p,
+            Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+        };
+        let graph = match ops::graph_by_name(model) {
+            Ok(g) => g,
+            Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+        };
+        let report = match ops::lint_model(&platform, &graph, req.batch.unwrap_or(self.cfg.batch)) {
+            Ok(r) => r,
+            Err(e) => return json_response(stream, 500, &ErrorResponse { error: e }),
+        };
+        let resp = LintResponse {
+            model: graph.name().to_string(),
+            errors: report.num_errors(),
+            warnings: report.num_warnings(),
+            report: powerlens_lint::to_json(&[report]),
+        };
+        json_response(stream, 200, &resp)
+    }
+
+    /// Renders `/metrics` as `name value` lines: live serve gauges, every
+    /// obs counter/gauge/histogram mean, and per-tenant store stats.
+    fn render_metrics(&self, shared: &Shared) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(
+            out,
+            "serve.queue_len {}",
+            shared.queue.lock().unwrap().len()
+        );
+        let _ = writeln!(out, "serve.queue_cap {}", self.cfg.queue_depth);
+        let snap = obs::snapshot();
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "{name}.count {}", h.count);
+            let _ = writeln!(out, "{name}.mean {}", h.mean());
+        }
+        for (tenant, stats) in self.store.tenant_stats() {
+            let _ = writeln!(out, "store.tenant.{tenant}.hits {}", stats.hits);
+            let _ = writeln!(out, "store.tenant.{tenant}.misses {}", stats.misses);
+        }
+        out
+    }
+}
+
+/// Parses a JSON request body, mapping failure to a 400 payload.
+fn parse_body<T: serde::Deserialize>(body: &str) -> Result<T, ErrorResponse> {
+    let text = if body.trim().is_empty() { "{}" } else { body };
+    serde_json::from_str(text).map_err(|e| ErrorResponse {
+        error: format!("bad request body: {e}"),
+    })
+}
+
+/// Serializes `payload` and writes it with the given status.
+fn json_response<T: Serialize>(stream: &mut TcpStream, status: u16, payload: &T) -> io::Result<()> {
+    let body = serde_json::to_string(payload)
+        .unwrap_or_else(|_| r#"{"error":"serialization failure"}"#.to_string());
+    write_response(stream, status, "application/json", &body)
+}
+
+fn ok_body() -> serde::Value {
+    serde::Value::Object(vec![("ok".to_string(), serde::Value::Bool(true))])
+}
+
+/// Builds the JSON view of one planned model.
+#[allow(clippy::too_many_arguments)]
+fn plan_response(
+    graph: &Graph,
+    platform: &Platform,
+    default_platform_name: &str,
+    requested_platform: Option<&str>,
+    batch: usize,
+    tenant: Option<&str>,
+    outcome: &PlanOutcome,
+    cached: bool,
+    degraded: bool,
+) -> PlanResponse {
+    PlanResponse {
+        model: graph.name().to_string(),
+        platform: requested_platform
+            .unwrap_or(default_platform_name)
+            .to_string(),
+        batch,
+        tenant: tenant.unwrap_or("").to_string(),
+        cached,
+        degraded,
+        scheme_index: outcome.scheme_index,
+        cpu_level: outcome.plan.cpu_level(),
+        blocks: outcome
+            .view
+            .blocks()
+            .iter()
+            .map(|b| PlanBlock {
+                start: b.start,
+                end: b.end,
+            })
+            .collect(),
+        points: outcome
+            .plan
+            .points()
+            .iter()
+            .map(|p| PlanPoint {
+                layer: p.layer,
+                gpu_level: p.gpu_level,
+                freq_mhz: platform.gpu_table().freq_mhz(p.gpu_level),
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,179 @@
+//! Drives a live daemon over real TCP sockets: concurrent mixed traffic,
+//! cache warm-up across requests, overload shedding, and clean shutdown.
+//!
+//! The obs registry is process-global and shared across parallel tests,
+//! so all counter assertions here are on *deltas* between two `/metrics`
+//! scrapes, never on absolute values.
+
+use std::thread;
+use std::time::Instant;
+
+use powerlens_serve::http::request;
+use powerlens_serve::{ServeConfig, ServeReport, Server};
+use serde::Value;
+
+/// Binds a daemon with `cfg`, runs it on a background thread, and returns
+/// its address plus the join handle that yields the final report.
+fn spawn_daemon(cfg: ServeConfig) -> (String, thread::JoinHandle<ServeReport>) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("run"));
+    (addr, handle)
+}
+
+fn metric(metrics_body: &str, name: &str) -> Option<f64> {
+    metrics_body.lines().find_map(|line| {
+        let (n, v) = line.split_once(' ')?;
+        (n == name).then(|| v.parse().ok())?
+    })
+}
+
+fn field<'v>(v: &'v Value, name: &str) -> &'v Value {
+    v.field(name)
+        .unwrap_or_else(|_| panic!("missing field {name}"))
+}
+
+#[test]
+fn serves_concurrent_mixed_traffic_with_cache_reuse_and_clean_shutdown() {
+    let (addr, handle) = spawn_daemon(ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        batch: 4,
+        images: 8,
+        tasks: 2,
+        ..ServeConfig::default()
+    });
+
+    let (status, body) = request(&addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200, "healthz: {body}");
+
+    // Nine concurrent clients mixing the three POST endpoints.
+    let kinds = [
+        ("/plan", r#"{"model": "alexnet", "tenant": "mix-a"}"#),
+        ("/compare", r#"{"model": "alexnet", "tenant": "mix-b"}"#),
+        ("/lint", r#"{"model": "alexnet"}"#),
+    ];
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..9)
+            .map(|i| {
+                let (path, body) = kinds[i % kinds.len()];
+                let addr = addr.clone();
+                s.spawn(move || request(&addr, "POST", path, body).unwrap())
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200, "client {i} ({}): {body}", kinds[i % 3].0);
+            let v: Value = serde_json::from_str(&body).unwrap();
+            match i % 3 {
+                0 => assert!(matches!(field(&v, "points"), Value::Array(a) if !a.is_empty())),
+                1 => assert!(matches!(field(&v, "rows"), Value::Array(a) if a.len() >= 4)),
+                _ => assert_eq!(field(&v, "errors"), &Value::Num(0.0)),
+            }
+        }
+    });
+
+    // Cold plan, then the identical request again: the second must be a
+    // store hit (flagged on the response, visible in /metrics, and warmer
+    // than the cold one). A unique tenant isolates this from other tests.
+    let tenant_req = r#"{"model": "mobilenet_v3", "tenant": "warmth-probe"}"#;
+    let (_, before) = request(&addr, "GET", "/metrics", "").unwrap();
+    let hits_before = metric(&before, "store.hits").unwrap_or(0.0);
+
+    let t0 = Instant::now();
+    let (status, cold_body) = request(&addr, "POST", "/plan", tenant_req).unwrap();
+    let cold = t0.elapsed();
+    assert_eq!(status, 200, "{cold_body}");
+    let cold_v: Value = serde_json::from_str(&cold_body).unwrap();
+    assert_eq!(field(&cold_v, "cached"), &Value::Bool(false));
+    assert_eq!(field(&cold_v, "degraded"), &Value::Bool(false));
+
+    let t1 = Instant::now();
+    let (status, warm_body) = request(&addr, "POST", "/plan", tenant_req).unwrap();
+    let warm = t1.elapsed();
+    assert_eq!(status, 200);
+    let warm_v: Value = serde_json::from_str(&warm_body).unwrap();
+    assert_eq!(field(&warm_v, "cached"), &Value::Bool(true));
+    assert_eq!(field(&warm_v, "points"), field(&cold_v, "points"));
+    assert!(
+        warm < cold,
+        "warm request ({warm:?}) should beat the cold one ({cold:?})"
+    );
+
+    let (_, after) = request(&addr, "GET", "/metrics", "").unwrap();
+    let hits_after = metric(&after, "store.hits").unwrap_or(0.0);
+    assert!(
+        hits_after >= hits_before + 1.0,
+        "store.hits {hits_before} -> {hits_after}: warm request must register a hit"
+    );
+    assert!(metric(&after, "serve.requests").unwrap_or(0.0) >= 1.0);
+    assert!(metric(&after, "store.tenant.warmth-probe.hits") >= Some(1.0));
+
+    let (status, _) = request(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    let report = handle.join().unwrap();
+    // healthz + 9 mixed + 2 metrics scrapes + cold + warm + shutdown
+    assert!(
+        report.requests >= 15,
+        "expected >= 15 handled requests, got {}",
+        report.requests
+    );
+}
+
+#[test]
+fn overload_degrades_or_sheds_instead_of_hanging() {
+    // One worker and a 2-deep queue: a burst of 8 slow planning requests
+    // (distinct tenants force real cache misses) must overflow admission.
+    let (addr, handle) = spawn_daemon(ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        batch: 4,
+        ..ServeConfig::default()
+    });
+
+    let responses: Vec<(u16, String)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let body = format!(r#"{{"model": "resnet34", "tenant": "burst-{i}"}}"#);
+                    request(&addr, "POST", "/plan", &body).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut shed = 0u64;
+    let mut degraded = 0u64;
+    let mut full = 0u64;
+    for (status, body) in &responses {
+        match status {
+            429 => shed += 1,
+            200 => {
+                let v: Value = serde_json::from_str(body).unwrap();
+                if field(&v, "degraded") == &Value::Bool(true) {
+                    degraded += 1;
+                } else {
+                    full += 1;
+                }
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(shed + degraded + full, 8, "every client got an answer");
+    assert!(
+        shed + degraded >= 1,
+        "a 1-worker/2-deep daemon must shed or degrade under an 8-burst \
+         (shed={shed} degraded={degraded} full={full})"
+    );
+
+    let (status, _) = request(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    let report = handle.join().unwrap();
+    assert_eq!(
+        shed, report.rejected,
+        "shed responses and the report must agree"
+    );
+    assert!(report.degraded >= degraded.min(1));
+}

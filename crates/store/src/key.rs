@@ -121,6 +121,39 @@ pub fn cache_key(pl: &PowerLens<'_>, graph: &Graph) -> CacheKey {
     CacheKey(h.finish())
 }
 
+/// Stable hash of a tenant namespace label.
+///
+/// The label is length-prefixed before hashing so `"ab"` + `"c"` and
+/// `"a"` + `"bc"` can never collide through concatenation tricks, and the
+/// empty string hashes to a value distinct from "no tenant at all".
+pub fn tenant_hash(tenant: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(tenant.len() as u64);
+    h.write_bytes(tenant.as_bytes());
+    h.finish()
+}
+
+/// The content address for planning `graph` with `pl` inside a tenant
+/// namespace.
+///
+/// `None` reproduces [`cache_key`] exactly — existing cache directories
+/// written before tenancy existed keep hitting. `Some(t)` folds
+/// [`tenant_hash`] into the address, so two tenants planning the same graph
+/// under the same configuration get distinct entries (and therefore
+/// distinct disk files, eviction slots, and hit/miss accounting).
+pub fn cache_key_for(pl: &PowerLens<'_>, graph: &Graph, tenant: Option<&str>) -> CacheKey {
+    let base = cache_key(pl, graph);
+    match tenant {
+        None => base,
+        Some(t) => {
+            let mut h = Fnv1a::new();
+            h.write_u64(base.0);
+            h.write_u64(tenant_hash(t));
+            CacheKey(h.finish())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +167,30 @@ mod tests {
         let g = zoo::alexnet();
         assert_eq!(cache_key(&pl, &g), cache_key(&pl, &g));
         assert_eq!(cache_key(&pl, &g).hex().len(), 16);
+    }
+
+    #[test]
+    fn tenant_namespacing_separates_keys_and_preserves_the_legacy_key() {
+        let platform = Platform::agx();
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        let g = zoo::alexnet();
+        let legacy = cache_key(&pl, &g);
+        assert_eq!(cache_key_for(&pl, &g, None), legacy);
+        let a = cache_key_for(&pl, &g, Some("acme"));
+        let b = cache_key_for(&pl, &g, Some("globex"));
+        let empty = cache_key_for(&pl, &g, Some(""));
+        assert_ne!(a, b);
+        assert_ne!(a, legacy);
+        assert_ne!(b, legacy);
+        assert_ne!(empty, legacy, "explicit empty tenant is its own namespace");
+        // Deterministic across calls.
+        assert_eq!(a, cache_key_for(&pl, &g, Some("acme")));
+    }
+
+    #[test]
+    fn tenant_hash_is_length_prefixed() {
+        assert_ne!(tenant_hash("ab"), tenant_hash("a"));
+        assert_ne!(tenant_hash(""), 0);
     }
 
     #[test]

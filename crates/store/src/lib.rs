@@ -51,6 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod disk;
 mod entry;
@@ -60,6 +61,8 @@ mod service;
 
 pub use disk::DiskTier;
 pub use entry::{StoredEntry, SCHEMA_VERSION};
-pub use key::{cache_key, config_hash, context_hash, models_hash, CacheKey};
+pub use key::{
+    cache_key, cache_key_for, config_hash, context_hash, models_hash, tenant_hash, CacheKey,
+};
 pub use mem::MemTier;
-pub use service::{plan_batch, CacheMode, PlanStore};
+pub use service::{plan_batch, CacheMode, PlanStore, TenantStats};

@@ -1,7 +1,9 @@
 //! The front end: cache-through planning, single and batch.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use powerlens::{PlanOutcome, PowerLens, PowerLensError};
@@ -14,7 +16,7 @@ use powerlens_par as par;
 
 use crate::disk::DiskTier;
 use crate::entry::{StoredEntry, SCHEMA_VERSION};
-use crate::key::{cache_key, CacheKey};
+use crate::key::{cache_key_for, CacheKey};
 use crate::mem::MemTier;
 
 /// Which tiers a [`PlanStore`] consults.
@@ -53,7 +55,7 @@ impl std::fmt::Display for CacheMode {
 
 /// A content-addressed cache of [`PlanOutcome`]s in front of the planner.
 ///
-/// Lookups are keyed by [`cache_key`] — graph fingerprint + configuration +
+/// Lookups are keyed by [`crate::cache_key`] — graph fingerprint + configuration +
 /// model version + platform signature — so a hit is only ever returned for
 /// byte-equivalent planning inputs, and any input change transparently
 /// becomes a miss. Concurrent callers are safe (the memory tier is sharded;
@@ -65,6 +67,21 @@ pub struct PlanStore {
     mode: CacheMode,
     mem: MemTier,
     disk: Option<DiskTier>,
+    tenants: Mutex<HashMap<String, TenantStats>>,
+}
+
+/// Per-tenant cache accounting, tracked by [`PlanStore`] for lookups made
+/// through a tenant namespace (see [`PlanStore::lookup_or_plan`]).
+///
+/// `hits + misses` always equals the number of namespaced lookups that
+/// tenant has issued — [`PlanStore::get_cached`] misses count too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Lookups served from a cache tier.
+    pub hits: u64,
+    /// Lookups that had to plan (or, for cached-only lookups, found
+    /// nothing).
+    pub misses: u64,
 }
 
 impl PlanStore {
@@ -76,6 +93,26 @@ impl PlanStore {
     /// `InvalidInput` when disk mode is requested without a directory;
     /// directory-creation failures otherwise.
     pub fn new(mode: CacheMode, capacity: usize, dir: Option<&Path>) -> io::Result<Self> {
+        Self::build(mode, MemTier::new(capacity), dir)
+    }
+
+    /// Creates a store with an explicit memory-tier shard count (the
+    /// `powerlens-serve` daemon sizes this to its worker pool; see
+    /// `docs/SERVING.md`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanStore::new`].
+    pub fn with_shards(
+        mode: CacheMode,
+        capacity: usize,
+        shards: usize,
+        dir: Option<&Path>,
+    ) -> io::Result<Self> {
+        Self::build(mode, MemTier::with_shards(capacity, shards), dir)
+    }
+
+    fn build(mode: CacheMode, mem: MemTier, dir: Option<&Path>) -> io::Result<Self> {
         let disk = match mode {
             CacheMode::Disk => {
                 let dir = dir.ok_or_else(|| {
@@ -90,8 +127,9 @@ impl PlanStore {
         };
         Ok(PlanStore {
             mode,
-            mem: MemTier::new(capacity),
+            mem,
             disk,
+            tenants: Mutex::new(HashMap::new()),
         })
     }
 
@@ -107,10 +145,8 @@ impl PlanStore {
 
     /// Returns the plan for `graph`, from cache when possible.
     ///
-    /// Tier order: memory, then disk (lint-gated; bad entries are
-    /// quarantined and treated as misses), then a real planning run whose
-    /// outcome back-fills both tiers. Counts `store.hits` / `store.misses`
-    /// and records disk-load latency in the `store.load_ms` histogram.
+    /// Equivalent to [`PlanStore::lookup_or_plan`] with no tenant,
+    /// discarding the hit flag.
     ///
     /// # Errors
     ///
@@ -120,25 +156,47 @@ impl PlanStore {
         pl: &PowerLens<'_>,
         graph: &Graph,
     ) -> Result<PlanOutcome, PowerLensError> {
+        self.lookup_or_plan(pl, graph, None).map(|(o, _)| o)
+    }
+
+    /// Returns the plan for `graph` in the given tenant namespace, plus
+    /// whether a cache tier served it (`true` = hit).
+    ///
+    /// Tier order: memory, then disk (lint-gated; bad entries are
+    /// quarantined and treated as misses), then a real planning run whose
+    /// outcome back-fills both tiers. Counts `store.hits` / `store.misses`
+    /// and records disk-load latency in the `store.load_ms` histogram;
+    /// namespaced lookups additionally update that tenant's
+    /// [`TenantStats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner errors on a miss.
+    pub fn lookup_or_plan(
+        &self,
+        pl: &PowerLens<'_>,
+        graph: &Graph,
+        tenant: Option<&str>,
+    ) -> Result<(PlanOutcome, bool), PowerLensError> {
         if self.mode == CacheMode::Off {
-            return plan_uncached(pl, graph);
+            return plan_uncached(pl, graph).map(|o| (o, false));
         }
-        let key = cache_key(pl, graph);
+        let key = cache_key_for(pl, graph, tenant);
         if let Some(hit) = self.mem.get(key.0) {
-            obs::counter("store.hits", 1);
-            return Ok(hit);
+            self.count(tenant, true);
+            return Ok((hit, true));
         }
         if let Some(disk) = &self.disk {
             let start = Instant::now();
             let loaded = self.load_gated(disk, key, pl, graph);
             obs::histogram("store.load_ms", start.elapsed().as_secs_f64() * 1e3);
             if let Some(outcome) = loaded {
-                obs::counter("store.hits", 1);
+                self.count(tenant, true);
                 self.mem.insert(key.0, outcome.clone());
-                return Ok(outcome);
+                return Ok((outcome, true));
             }
         }
-        obs::counter("store.misses", 1);
+        self.count(tenant, false);
         let outcome = plan_uncached(pl, graph)?;
         self.mem.insert(key.0, outcome.clone());
         if let Some(disk) = &self.disk {
@@ -155,7 +213,54 @@ impl PlanStore {
                 eprintln!("store: failed to persist entry {key}: {e}");
             }
         }
-        Ok(outcome)
+        Ok((outcome, false))
+    }
+
+    /// Cached-only lookup: memory tier, no disk I/O and **no planning**.
+    ///
+    /// This is the degraded tier of the serving ladder (`docs/SERVING.md`):
+    /// under load the daemon answers from whatever is already resident
+    /// rather than queueing an expensive planning run. Counts the same
+    /// hit/miss accounting as [`PlanStore::lookup_or_plan`].
+    pub fn get_cached(
+        &self,
+        pl: &PowerLens<'_>,
+        graph: &Graph,
+        tenant: Option<&str>,
+    ) -> Option<PlanOutcome> {
+        if self.mode == CacheMode::Off {
+            return None;
+        }
+        let key = cache_key_for(pl, graph, tenant);
+        let hit = self.mem.get(key.0);
+        self.count(tenant, hit.is_some());
+        hit
+    }
+
+    /// Records one lookup in the global obs counters and, when namespaced,
+    /// in the tenant's stats.
+    fn count(&self, tenant: Option<&str>, hit: bool) {
+        obs::counter(if hit { "store.hits" } else { "store.misses" }, 1);
+        if let Some(t) = tenant {
+            let mut map = self.tenants.lock().expect("tenant stats poisoned");
+            let stats = map.entry(t.to_string()).or_default();
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+        }
+    }
+
+    /// Per-tenant hit/miss accounting, sorted by tenant name (served by the
+    /// daemon's `/metrics` endpoint). Tenants appear after their first
+    /// namespaced lookup.
+    pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        let map = self.tenants.lock().expect("tenant stats poisoned");
+        let mut out: Vec<(String, TenantStats)> =
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Loads and lint-gates a disk entry. Entries that fail the gate —
@@ -225,6 +330,7 @@ pub fn plan_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::key::cache_key;
     use powerlens::PowerLensConfig;
     use powerlens_dnn::zoo;
     use powerlens_platform::Platform;

@@ -1,0 +1,177 @@
+//! Multi-tenant namespacing under concurrency and eviction pressure.
+//!
+//! The serving daemon (`powerlens-serve`) folds a tenant label into every
+//! cache key, so one shared store can serve a fleet without one tenant's
+//! traffic aliasing another's entries. These tests pin the two properties
+//! that makes safe:
+//!
+//! 1. distinct tenants never alias a `CacheKey` (not for any graph,
+//!    config, or platform combination we can construct), and
+//! 2. per-tenant hit/miss counters stay consistent — every namespaced
+//!    lookup lands in exactly one bucket, even under concurrent traffic
+//!    and LRU eviction.
+
+use std::collections::HashSet;
+
+use powerlens::{PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use powerlens_store::{cache_key, cache_key_for, CacheMode, PlanStore};
+
+#[test]
+fn distinct_tenants_never_alias_a_cache_key() {
+    let agx = Platform::agx();
+    let tx2 = Platform::tx2();
+    let pl_agx = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let pl_tx2 = PowerLens::untrained(&tx2, PowerLensConfig::default());
+    let graphs = [zoo::alexnet(), zoo::mobilenet_v3()];
+
+    let mut seen = HashSet::new();
+    for pl in [&pl_agx, &pl_tx2] {
+        for g in &graphs {
+            // The un-namespaced key is its own namespace too.
+            assert!(seen.insert(cache_key(pl, g).0));
+            for i in 0..100 {
+                let tenant = format!("tenant-{i}");
+                let key = cache_key_for(pl, g, Some(&tenant));
+                assert!(
+                    seen.insert(key.0),
+                    "tenant {tenant} aliased an existing key for {}",
+                    g.name()
+                );
+            }
+        }
+    }
+    // 2 platforms x 2 graphs x (1 legacy + 100 tenants)
+    assert_eq!(seen.len(), 2 * 2 * 101);
+}
+
+#[test]
+fn tenant_keys_are_stable_but_namespace_sensitive() {
+    let agx = Platform::agx();
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let g = zoo::alexnet();
+    assert_eq!(
+        cache_key_for(&pl, &g, Some("acme")),
+        cache_key_for(&pl, &g, Some("acme"))
+    );
+    assert_ne!(
+        cache_key_for(&pl, &g, Some("acme")),
+        cache_key_for(&pl, &g, Some("acm")),
+    );
+    assert_ne!(
+        cache_key_for(&pl, &g, Some("")),
+        cache_key_for(&pl, &g, None),
+    );
+}
+
+#[test]
+fn concurrent_multi_tenant_traffic_keeps_per_tenant_counters_consistent() {
+    let agx = Platform::agx();
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    // Capacity below the working set (3 tenants x 2 graphs = 6 distinct
+    // keys) forces LRU eviction while the lookups are in flight.
+    let store = PlanStore::with_shards(CacheMode::Mem, 4, 1, None).unwrap();
+    let tenants = ["acme", "globex", "initech"];
+    let graphs = [zoo::alexnet(), zoo::mobilenet_v3()];
+
+    const ROUNDS: usize = 4;
+    let total = tenants.len() * graphs.len() * ROUNDS;
+    let results = powerlens_par::map_range(total, 4, |i| {
+        let tenant = tenants[i % tenants.len()];
+        let graph = &graphs[(i / tenants.len()) % graphs.len()];
+        let (outcome, cached) = store.lookup_or_plan(&pl, graph, Some(tenant)).unwrap();
+        (tenant, graph.name().to_string(), outcome, cached)
+    });
+
+    // Every lookup of the same (tenant, graph) pair converged on the same
+    // deterministic artifacts, eviction or not.
+    for (tenant, model, outcome, _) in &results {
+        for (t2, m2, o2, _) in &results {
+            if tenant == t2 && model == m2 {
+                assert_eq!(outcome.plan, o2.plan, "{tenant}/{model} diverged");
+                assert_eq!(outcome.view, o2.view);
+            }
+        }
+    }
+
+    // The store never exceeded its capacity, so evictions happened (six
+    // distinct keys competed for four slots).
+    assert!(store.resident() <= 4, "resident {} > cap", store.resident());
+
+    // Per-tenant accounting: hits + misses per tenant equals that tenant's
+    // lookup count exactly — nothing double-counted, nothing dropped.
+    let stats = store.tenant_stats();
+    assert_eq!(stats.len(), tenants.len());
+    for (tenant, s) in &stats {
+        let issued = results.iter().filter(|(t, ..)| t == tenant).count() as u64;
+        assert_eq!(
+            s.hits + s.misses,
+            issued,
+            "tenant {tenant}: {} hits + {} misses != {issued} lookups",
+            s.hits,
+            s.misses
+        );
+        assert!(s.misses >= 1, "tenant {tenant} must miss at least once");
+    }
+
+    // The flags returned to callers agree with the per-tenant buckets.
+    for tenant in tenants {
+        let hit_flags = results
+            .iter()
+            .filter(|(t, _, _, cached)| *t == tenant && *cached)
+            .count() as u64;
+        let s = stats.iter().find(|(t, _)| t == tenant).unwrap().1;
+        assert_eq!(s.hits, hit_flags, "tenant {tenant} hit flags vs stats");
+    }
+}
+
+#[test]
+fn tenants_get_distinct_disk_entries_for_the_same_graph() {
+    let dir = std::env::temp_dir().join(format!("powerlens_tenants_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let agx = Platform::agx();
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let g = zoo::alexnet();
+
+    let store = PlanStore::new(CacheMode::Disk, 16, Some(&dir)).unwrap();
+    let (a, a_hit) = store.lookup_or_plan(&pl, &g, Some("acme")).unwrap();
+    let (b, _) = store.lookup_or_plan(&pl, &g, Some("globex")).unwrap();
+    assert!(!a_hit);
+    // Same graph, same platform: identical artifacts, separate entries.
+    assert_eq!(a.plan, b.plan);
+    let entries = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .count();
+    assert_eq!(entries, 2, "one disk entry per tenant namespace");
+
+    // A fresh store instance hits each tenant's entry from disk.
+    let fresh = PlanStore::new(CacheMode::Disk, 16, Some(&dir)).unwrap();
+    let (_, warm) = fresh.lookup_or_plan(&pl, &g, Some("acme")).unwrap();
+    assert!(warm, "tenant entry survives process restart");
+    let (_, cold) = fresh.lookup_or_plan(&pl, &g, Some("hooli")).unwrap();
+    assert!(!cold, "unseen tenant is a miss even with a warm sibling");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cached_only_lookup_never_plans_and_counts_misses() {
+    let agx = Platform::agx();
+    let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+    let store = PlanStore::new(CacheMode::Mem, 16, None).unwrap();
+    let g = zoo::alexnet();
+
+    assert!(store.get_cached(&pl, &g, Some("acme")).is_none());
+    store.lookup_or_plan(&pl, &g, Some("acme")).unwrap();
+    assert!(store.get_cached(&pl, &g, Some("acme")).is_some());
+    // Another tenant cannot see acme's entry through the cached-only path.
+    assert!(store.get_cached(&pl, &g, Some("globex")).is_none());
+
+    let stats = store.tenant_stats();
+    let acme = stats.iter().find(|(t, _)| t == "acme").unwrap().1;
+    assert_eq!((acme.hits, acme.misses), (1, 2));
+    let globex = stats.iter().find(|(t, _)| t == "globex").unwrap().1;
+    assert_eq!((globex.hits, globex.misses), (0, 1));
+}

@@ -3,12 +3,27 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR5.json)
-#   -b BASELINE  prior summary to diff against (default: BENCH_PR4.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR6.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR5.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
-# The JSON shape is {"<bench name>": {"median_ns": N[, "baseline_ns": M,
-# "speedup": S]}}. When the bench_lint suite ran, a trailing
+# The JSON shape is {"<bench name>": {"median_ns": N[, "ratio_vs_ref": R]
+# [, "baseline_ns": M, "speedup": S, "speedup_normalized": SN]}}.
+#
+# Raw medians from different machines (or the same machine under
+# different load) are not comparable, so every run re-measures one
+# pinned REFERENCE workload — lint_reference/cluster_and_decide_resnet152,
+# the planning pipeline's clustering + per-block decision stage — and
+# reports each bench as "ratio_vs_ref": median / reference-median, a
+# dimensionless number stable across hosts. "speedup" stays the raw
+# baseline_ns / median_ns; "speedup_normalized" divides out machine
+# drift via the two reference measurements:
+#   (baseline_ns / baseline_ref_ns) / (median_ns / ref_ns)
+# Trust speedup_normalized when comparing summaries recorded on
+# different days; a normalized value near 1.0 with a raw value far
+# from it means the machine moved, not the code.
+#
+# When the bench_lint suite ran, a trailing
 # "lint_overhead" entry reports each debug lint gate's cost as a fraction
 # of the pipeline stage it rides on (budget: <0.02). When the bench_store
 # suite ran, a "store_speedup" entry reports warm-cache plan lookups vs
@@ -22,8 +37,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR5.json"
-baseline="BENCH_PR4.json"
+out="BENCH_PR6.json"
+baseline="BENCH_PR5.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -87,13 +102,31 @@ END {
             has_base = 1
         }
     }
+    # Pinned reference workload, re-measured every run: ratios against it
+    # are comparable across machines; raw medians are not.
+    refname = "lint_reference/cluster_and_decide_resnet152"
+    ref = (refname in ns) ? ns[refname] : 0
+    base_ref = (refname in base) ? base[refname] + 0 : 0
+    if (ref > 0) {
+        drift = (base_ref > 0) \
+            ? sprintf(" (baseline %.1f ms, machine drift %.2fx)", \
+                base_ref / 1e6, ref / base_ref) : ""
+        printf "reference workload %s: %.1f ms this run%s\n", refname, \
+            ref / 1e6, drift
+    } else
+        printf "warning: reference %s not in this run; ratios omitted\n", refname
     printf "{\n" > out
     for (i = 1; i <= count; i++) {
         name = order[i]
         printf "  \"%s\": {\"median_ns\": %.1f", name, ns[name] > out
+        if (ref > 0)
+            printf ", \"ratio_vs_ref\": %.6f", ns[name] / ref > out
         if (has_base && (name in base) && base[name] + 0 > 0) {
             printf ", \"baseline_ns\": %.1f, \"speedup\": %.2f", \
                 base[name], base[name] / ns[name] > out
+            if (ref > 0 && base_ref > 0)
+                printf ", \"speedup_normalized\": %.2f", \
+                    (base[name] / base_ref) / (ns[name] / ref) > out
         }
         printf "}%s\n", (i < count ? "," : "") > out
     }

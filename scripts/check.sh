@@ -34,6 +34,43 @@ run ./target/release/powerlens-cli plan-batch --cache mem
 # stay bit-identical to clean runs (the differential suite).
 run ./target/release/powerlens-cli faultsim alexnet --batch 4 --images 8
 run cargo test -q -p powerlens-sim --test faults_differential
+# Serving smoke: a live daemon on an ephemeral port must answer an HTTP
+# plan, expose /metrics, and shut down cleanly on request.
+echo "==> serve smoke (ephemeral port)"
+serve_log=$(mktemp)
+./target/release/powerlens-cli serve --port 0 --cache mem --threads 2 --batch 4 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve smoke: daemon never reported an address" >&2; \
+    cat "$serve_log" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+serve_fail() {
+    echo "serve smoke: $1" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null
+    exit 1
+}
+plan=$(curl -sf -X POST "http://$addr/plan" -d '{"model": "alexnet"}') \
+    || serve_fail "POST /plan failed"
+case "$plan" in
+    *'"points"'*) ;;
+    *) serve_fail "plan response missing points: $plan" ;;
+esac
+metrics=$(curl -sf "http://$addr/metrics") || serve_fail "GET /metrics failed"
+case "$metrics" in
+    *'serve.requests'*) ;;
+    *) serve_fail "metrics missing serve.requests: $metrics" ;;
+esac
+curl -sf -X POST "http://$addr/shutdown" > /dev/null \
+    || serve_fail "POST /shutdown failed"
+wait "$serve_pid" || serve_fail "daemon exited non-zero"
+rm -f "$serve_log"
+echo "serve smoke: plan + metrics + shutdown ok on $addr"
 run cargo bench --no-run
 RUSTDOCFLAGS="-D warnings"
 export RUSTDOCFLAGS
