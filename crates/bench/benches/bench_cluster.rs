@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use powerlens_cluster::{
     cluster_graph, dbscan, power_distance_matrix, power_distance_matrix_reference, ClusterParams,
+    DistanceCache,
 };
 use powerlens_dnn::zoo;
 use powerlens_features::depthwise_features;
@@ -48,10 +49,43 @@ fn bench_full_algorithm1(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_incremental(c: &mut Criterion) {
+    // The sweep-incrementality bar: re-thresholding a 15-point ε×minPts
+    // grid through one DistanceCache should cost less than 2x a single
+    // from-scratch `cluster_graph` call, because the distance matrix (the
+    // dominant cost) is paid once and DBSCAN is cheap.
+    let g = zoo::resnet152();
+    let shape = ClusterParams::default();
+    let mut group = c.benchmark_group("cluster_sweep");
+    group.sample_size(10);
+    group.bench_function("from_scratch_single", |b| {
+        b.iter(|| cluster_graph(black_box(&g), &shape).unwrap())
+    });
+    group.bench_function("cached_15_point_sweep", |b| {
+        b.iter(|| {
+            let cache = DistanceCache::build(black_box(&g), &shape).unwrap();
+            let mut blocks = 0usize;
+            for eps in [0.05, 0.10, 0.15, 0.25, 0.40] {
+                for min_pts in [2usize, 4, 6] {
+                    let params = ClusterParams {
+                        epsilon: eps,
+                        min_pts,
+                        ..shape
+                    };
+                    blocks += cache.cluster(&params).num_blocks();
+                }
+            }
+            blocks
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_distance_matrix,
     bench_dbscan,
-    bench_full_algorithm1
+    bench_full_algorithm1,
+    bench_sweep_incremental
 );
 criterion_main!(benches);

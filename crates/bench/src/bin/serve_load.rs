@@ -1,0 +1,244 @@
+//! Plans/sec concurrent-load harness for the `powerlens-serve` daemon.
+//!
+//! Binds an in-process daemon per traffic mix, drives its admission queue
+//! with N worker clients over real TCP sockets, and reports throughput
+//! (plans/sec), latency percentiles (p50/p99), and the shed/degraded rates
+//! the admission queue produced. Three mixes:
+//!
+//! * **cold_heavy** — 80% unique-tenant requests, so almost every plan is a
+//!   full cache-miss planning run (the store's tenant namespacing makes a
+//!   fresh tenant a guaranteed miss);
+//! * **warm_heavy** — a small tenant pool is pre-warmed before timing, then
+//!   80% of requests repeat those keys (memory-tier hits);
+//! * **degraded_burst** — a deliberately under-provisioned daemon (one
+//!   worker, 2-deep queue) under the cold-heavy stream, exercising the
+//!   shed (429) and degraded (BiM-heuristic answer) paths.
+//!
+//! Each mix prints one greppable summary line consumed by
+//! `scripts/bench.sh` into the `serve_load` section of the bench JSON:
+//!
+//! ```text
+//! serve_load <mix> plans_per_sec <v> p50_ms <v> p99_ms <v> shed_rate <v> degraded_rate <v>
+//! ```
+//!
+//! ```text
+//! cargo run --release -p powerlens-bench --bin serve_load [-- --profile smoke|full]
+//! ```
+
+use std::thread;
+use std::time::Instant;
+
+use powerlens_serve::http::request;
+use powerlens_serve::{ServeConfig, ServeReport, Server};
+
+/// Scale of one mix run.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    clients: usize,
+    requests_per_client: usize,
+}
+
+const SMOKE: Profile = Profile {
+    clients: 4,
+    requests_per_client: 12,
+};
+const FULL: Profile = Profile {
+    clients: 8,
+    requests_per_client: 40,
+};
+
+/// Cheap zoo models: the harness measures the serving layer, not planning
+/// cost, so the per-plan work is kept small and uniform.
+const MODELS: [&str; 2] = ["alexnet", "mobilenet_v3"];
+
+/// Tenants the warm-heavy mix pre-plans before the timed window.
+const WARM_POOL: usize = 4;
+
+/// One client's observation of one request.
+struct Sample {
+    status: u16,
+    latency_ms: f64,
+    degraded: bool,
+}
+
+/// Aggregated outcome of one mix.
+struct MixResult {
+    plans_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed_rate: f64,
+    degraded_rate: f64,
+    total: usize,
+    report: ServeReport,
+}
+
+fn spawn_daemon(cfg: ServeConfig) -> (String, thread::JoinHandle<ServeReport>) {
+    let server = Server::bind(cfg).expect("bind daemon");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("daemon run"));
+    (addr, handle)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx]
+}
+
+/// The request body for client `client`, request `r` under `mix`.
+///
+/// `warm_fraction` of requests (deterministically interleaved) reuse a
+/// small shared tenant pool; the rest mint a unique tenant, which the
+/// store's tenant namespacing turns into a guaranteed planning miss.
+fn body_for(mix: &str, client: usize, r: usize, warm_fraction_pct: usize) -> String {
+    let seq = client * 7919 + r; // spread clients over the modulus
+    let model = MODELS[seq % MODELS.len()];
+    if seq % 100 < warm_fraction_pct {
+        let t = seq % WARM_POOL;
+        format!(r#"{{"model": "{model}", "tenant": "{mix}-warm-{t}"}}"#)
+    } else {
+        format!(r#"{{"model": "{model}", "tenant": "{mix}-cold-{client}-{r}"}}"#)
+    }
+}
+
+/// Runs one mix against a fresh daemon and aggregates the samples.
+fn run_mix(mix: &str, cfg: ServeConfig, profile: Profile, warm_fraction_pct: usize) -> MixResult {
+    let (addr, handle) = spawn_daemon(cfg);
+
+    // Pre-warm the shared tenant pool outside the timed window so the
+    // warm-heavy mix measures hits, not first-touch planning.
+    if warm_fraction_pct > 50 {
+        for t in 0..WARM_POOL {
+            for model in MODELS {
+                let body = format!(r#"{{"model": "{model}", "tenant": "{mix}-warm-{t}"}}"#);
+                let (status, _) = request(&addr, "POST", "/plan", &body).expect("pre-warm");
+                assert_eq!(status, 200, "pre-warm must plan");
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let samples: Vec<Sample> = thread::scope(|s| {
+        let workers: Vec<_> = (0..profile.clients)
+            .map(|client| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(profile.requests_per_client);
+                    for r in 0..profile.requests_per_client {
+                        let body = body_for(mix, client, r, warm_fraction_pct);
+                        let t0 = Instant::now();
+                        let (status, resp) =
+                            request(&addr, "POST", "/plan", &body).expect("request");
+                        out.push(Sample {
+                            status,
+                            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            degraded: status == 200
+                                && (resp.contains("\"degraded\": true")
+                                    || resp.contains("\"degraded\":true")),
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let (status, _) = request(&addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    let report = handle.join().expect("daemon report");
+
+    let total = samples.len();
+    let shed = samples.iter().filter(|s| s.status == 429).count();
+    let degraded = samples.iter().filter(|s| s.degraded).count();
+    let mut ok_ms: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.status == 200)
+        .map(|s| s.latency_ms)
+        .collect();
+    ok_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    MixResult {
+        plans_per_sec: ok_ms.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&ok_ms, 0.50),
+        p99_ms: percentile(&ok_ms, 0.99),
+        shed_rate: shed as f64 / total.max(1) as f64,
+        degraded_rate: degraded as f64 / total.max(1) as f64,
+        total,
+        report,
+    }
+}
+
+fn main() {
+    let profile = match std::env::args().skip_while(|a| a != "--profile").nth(1) {
+        Some(p) if p == "smoke" => SMOKE,
+        Some(p) if p == "full" => FULL,
+        Some(p) => {
+            eprintln!("unknown profile `{p}` (expected smoke|full)");
+            std::process::exit(2);
+        }
+        None => FULL,
+    };
+    println!(
+        "powerlens-serve concurrent load: {} clients x {} requests per mix",
+        profile.clients, profile.requests_per_client
+    );
+    println!();
+
+    // cold/warm run against a sanely provisioned daemon; the burst mix
+    // starves it on purpose to exercise shed + degraded admission.
+    let provisioned = || ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        batch: 4,
+        images: 8,
+        tasks: 2,
+        ..ServeConfig::default()
+    };
+    let starved = || ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        batch: 4,
+        images: 8,
+        tasks: 2,
+        ..ServeConfig::default()
+    };
+
+    let mixes: [(&str, ServeConfig, usize); 3] = [
+        ("cold_heavy", provisioned(), 20),
+        ("warm_heavy", provisioned(), 80),
+        ("degraded_burst", starved(), 20),
+    ];
+
+    for (mix, cfg, warm_pct) in mixes {
+        let res = run_mix(mix, cfg, profile, warm_pct);
+        println!(
+            "{mix:<15} {:>7.1} plans/s  p50 {:>7.2} ms  p99 {:>7.2} ms  \
+             shed {:>5.1}%  degraded {:>5.1}%  ({} requests, daemon handled {}, rejected {})",
+            res.plans_per_sec,
+            res.p50_ms,
+            res.p99_ms,
+            100.0 * res.shed_rate,
+            100.0 * res.degraded_rate,
+            res.total,
+            res.report.requests,
+            res.report.rejected,
+        );
+        // Greppable summary line (consumed by scripts/bench.sh).
+        println!(
+            "serve_load {mix} plans_per_sec {:.1} p50_ms {:.3} p99_ms {:.3} \
+             shed_rate {:.4} degraded_rate {:.4}",
+            res.plans_per_sec, res.p50_ms, res.p99_ms, res.shed_rate, res.degraded_rate
+        );
+    }
+    println!();
+    println!("interpretation: warm_heavy should dominate cold_heavy on plans/sec (the");
+    println!("store answers from the memory tier); degraded_burst trades latency for");
+    println!("availability — shed + degraded stay nonzero instead of the queue hanging.");
+}

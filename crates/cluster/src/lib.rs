@@ -434,19 +434,318 @@ pub fn process_clusters(labels: &[Option<usize>], min_len: usize) -> PowerView {
     PowerView::new(blocks)
 }
 
+/// The expensive, sweep-invariant middle of Algorithm 1: depthwise
+/// features, smoothing, and the blended whitened distance matrix, computed
+/// once and reused across every (ε, minPts) evaluation.
+///
+/// The matrix depends only on the features and on the *shape* parameters
+/// (`alpha`, `lambda`, `smooth_radius`); the DBSCAN parameters (`epsilon`,
+/// `min_pts`) only threshold it. A hyperparameter sweep — `plan_oracle`
+/// scoring every scheme, or dataset labeling walking the scheme space —
+/// therefore builds one `DistanceCache` and calls [`DistanceCache::cluster`]
+/// per point, paying the O(n·d² + n²·d) distance cost once instead of once
+/// per point. [`cluster_graph`] is exactly `build` + `cluster`, so cached
+/// sweeps are result-identical to from-scratch calls (see the
+/// sweep-incrementality property test).
+#[derive(Debug, Clone)]
+pub struct DistanceCache {
+    num_layers: usize,
+    feature_dim: usize,
+    alpha: f64,
+    lambda: f64,
+    smooth_radius: usize,
+    dist: Matrix,
+    /// Quantized distance screen: `screen[i * n + j]` is the bucket of
+    /// `dist[(i, j)]` under [`quant_bucket`]. Region queries compare
+    /// buckets first — one byte per pair instead of eight, so a sweep's
+    /// repeated full-matrix scans stay cache-resident — and only fall back
+    /// to the exact `f64` on bucket ties, which keeps the screen
+    /// *bit-exact* with respect to `d <= epsilon`.
+    screen: Vec<u8>,
+}
+
+/// Bucket width divisor for the quantized screen. The blended distance is
+/// bounded by `alpha + (1 - alpha) = 1`, so 170 buckets per unit spreads
+/// real distances across ~170 of the 256 buckets with saturation headroom.
+const QUANT_SCALE: f64 = 170.0;
+
+/// Maps a distance to its screen bucket. Saturating `as` casts make this
+/// total: anything at or above 255/170 ≈ 1.5 — including `+inf` — lands in
+/// bucket 255, and NaN (only reachable through `from_parts_unchecked`) is
+/// sent there explicitly so it can never be claimed "definitely within ε"
+/// (`NaN <= eps` is false in the exact comparison).
+///
+/// Exactness of the three-way screen, for `b = quant_bucket(d)` and
+/// `eb = quant_bucket(eps)`:
+/// - `b < eb`: `d·c < b + 1 <= eb <= eps·c`, so `d < eps` — definitely in.
+/// - `b > eb` (so `eb < 255`): `eps·c < eb + 1 <= min(b, 255) <= d·c` (or
+///   `d` is non-finite), so `d > eps` — definitely out.
+/// - `b == eb`: undecided; compare the exact `f64`.
+fn quant_bucket(d: f64) -> u8 {
+    if d.is_finite() {
+        (d * QUANT_SCALE) as u8
+    } else {
+        255
+    }
+}
+
+fn build_screen(dist: &Matrix) -> Vec<u8> {
+    let n = dist.rows();
+    let mut screen = Vec::with_capacity(n * dist.cols());
+    for i in 0..n {
+        screen.extend((0..dist.cols()).map(|j| quant_bucket(dist[(i, j)])));
+    }
+    screen
+}
+
+/// Sweep-tuned [`dbscan`]: identical labels, restructured for the many
+/// re-thresholds a [`DistanceCache`] serves. Three changes over the
+/// reference:
+///
+/// - **Region queries screen on quantized buckets** ([`quant_bucket`]),
+///   touching one byte per pair instead of eight and falling back to the
+///   exact `f64` only on bucket ties — bit-exact, but the sweep's repeated
+///   full scans read a cache-resident byte array.
+/// - **Region queries reuse one scratch buffer** instead of allocating a
+///   fresh `Vec` per query.
+/// - **Adoption happens at discovery and each point enters the queue at
+///   most once**, instead of pushing whole neighbour lists (with
+///   duplicates) and labelling at pop time. Equivalent, because within one
+///   expansion every discovered point gets the same cluster id, and
+///   expansions run to completion before the next seed — so "first cluster
+///   to push" and "first cluster to discover" are the same cluster, and
+///   the set of expanded core points is unchanged.
+///
+/// DBSCAN's outcome depends only on the *membership* of each
+/// ε-neighbourhood (core status, core-core connectivity, and
+/// first-reaching-cluster adoption are all set-level properties, and
+/// clusters are discovered in ascending seed order either way), so both
+/// implementations agree exactly — pinned across an ε×minPts grid by the
+/// `distance_cache_sweep_equals_from_scratch` property test, which
+/// compares every cached re-threshold against plain [`dbscan`] +
+/// [`process_clusters`].
+fn dbscan_scan(dist: &Matrix, screen: &[u8], epsilon: f64, min_pts: usize) -> Vec<Option<usize>> {
+    let n = dist.rows();
+    let stride = dist.cols();
+    let eps_bucket = quant_bucket(epsilon);
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0;
+    let mut expansions: u64 = 0;
+    let mut queue: Vec<u32> = Vec::new();
+    let mut region: Vec<u32> = Vec::with_capacity(n);
+    // Each point is queried exactly once per run (either as an outer-loop
+    // seed or when popped from the queue), so a run reads every screen row
+    // once — the byte screen, not the f64 matrix, is the memory floor.
+    let query = |i: usize, region: &mut Vec<u32>| {
+        region.clear();
+        let row = &screen[i * stride..i * stride + n];
+        for (j, &b) in row.iter().enumerate() {
+            if b < eps_bucket || (b == eps_bucket && dist[(i, j)] <= epsilon) {
+                region.push(j as u32);
+            }
+        }
+    };
+    let absorb = |r: u32,
+                  cluster: usize,
+                  labels: &mut [Option<usize>],
+                  visited: &mut [bool],
+                  queue: &mut Vec<u32>| {
+        let r = r as usize;
+        if labels[r].is_none() {
+            labels[r] = Some(cluster);
+        }
+        if !visited[r] {
+            visited[r] = true;
+            queue.push(r as u32);
+        }
+    };
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        query(i, &mut region);
+        if region.len() < min_pts {
+            continue; // noise (may be adopted by a later cluster)
+        }
+        labels[i] = Some(cluster);
+        queue.clear();
+        for &r in &region {
+            absorb(r, cluster, &mut labels, &mut visited, &mut queue);
+        }
+        while let Some(q) = queue.pop() {
+            expansions += 1;
+            query(q as usize, &mut region);
+            if region.len() < min_pts {
+                continue; // border point: adopted, never expanded
+            }
+            for &r in &region {
+                absorb(r, cluster, &mut labels, &mut visited, &mut queue);
+            }
+        }
+        cluster += 1;
+    }
+    if obs::enabled() {
+        obs::counter("cluster.dbscan.iterations", expansions);
+        obs::counter("cluster.dbscan.clusters", cluster as u64);
+    }
+    labels
+}
+
+impl DistanceCache {
+    /// Extracts features from `graph` and precomputes the blended distance
+    /// matrix for the shape parameters in `params` (`epsilon` / `min_pts`
+    /// are ignored here — they belong to [`DistanceCache::cluster`]).
+    ///
+    /// Emits the `cluster.feature_extract_ms` phase histogram when
+    /// observability is on; [`power_distance_matrix`] emits
+    /// `cluster.distance_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors from the distance computation.
+    pub fn build(graph: &Graph, params: &ClusterParams) -> Result<Self, NumericError> {
+        let started = Instant::now();
+        let x = depthwise_features(graph);
+        if obs::enabled() {
+            obs::histogram(
+                "cluster.feature_extract_ms",
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        Self::from_features(&x, params)
+    }
+
+    /// Builds the cache from an already-extracted feature matrix (one row
+    /// per layer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric errors from the distance computation.
+    pub fn from_features(features: &Matrix, params: &ClusterParams) -> Result<Self, NumericError> {
+        let smoothed = smooth_features(features, params.smooth_radius);
+        let dist = power_distance_matrix(&smoothed, params.alpha, params.lambda)?;
+        let screen = build_screen(&dist);
+        Ok(DistanceCache {
+            num_layers: features.rows(),
+            feature_dim: features.cols(),
+            alpha: params.alpha,
+            lambda: params.lambda,
+            smooth_radius: params.smooth_radius,
+            dist,
+            screen,
+        })
+    }
+
+    /// `true` when the cache was built with the same shape parameters
+    /// (`alpha`, `lambda`, `smooth_radius`) — i.e. when its matrix is valid
+    /// for clustering under `params`.
+    pub fn matches(&self, params: &ClusterParams) -> bool {
+        self.alpha == params.alpha
+            && self.lambda == params.lambda
+            && self.smooth_radius == params.smooth_radius
+    }
+
+    /// The cheap tail of Algorithm 1 over the cached matrix: DBSCAN with
+    /// `params`' ε/minPts, then `processClusters`.
+    ///
+    /// Emits the `cluster.dbscan_ms` phase histogram when observability is
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `params`' shape parameters differ from the
+    /// ones the matrix was built with — a sweep varying `alpha`, `lambda`,
+    /// or `smooth_radius` must rebuild the cache. (Release builds return a
+    /// silently stale view; the `PL108` lint rule catches the structural
+    /// half of this.)
+    pub fn cluster(&self, params: &ClusterParams) -> PowerView {
+        debug_assert!(
+            self.matches(params),
+            "DistanceCache built for (alpha {}, lambda {}, smooth {}) asked to cluster \
+             with (alpha {}, lambda {}, smooth {})",
+            self.alpha,
+            self.lambda,
+            self.smooth_radius,
+            params.alpha,
+            params.lambda,
+            params.smooth_radius,
+        );
+        debug_assert_eq!(
+            self.dist.rows(),
+            self.num_layers,
+            "DistanceCache matrix rows must equal the layer count"
+        );
+        let started = Instant::now();
+        let labels = dbscan_scan(&self.dist, &self.screen, params.epsilon, params.min_pts);
+        let view = process_clusters(&labels, params.min_pts.max(2));
+        if obs::enabled() {
+            obs::histogram("cluster.dbscan_ms", started.elapsed().as_secs_f64() * 1e3);
+        }
+        view
+    }
+
+    /// Layer count (rows of the cached matrix).
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Dimensionality of the feature rows the matrix was computed from.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// The cached blended distance matrix.
+    pub fn distance(&self) -> &Matrix {
+        &self.dist
+    }
+
+    /// Shape parameters the matrix was built with:
+    /// `(alpha, lambda, smooth_radius)`.
+    pub fn shape_params(&self) -> (f64, f64, usize) {
+        (self.alpha, self.lambda, self.smooth_radius)
+    }
+
+    /// Assembles a cache **without validating** that `dist` matches the
+    /// recorded dimensions.
+    ///
+    /// Intended for deserializers and for the `powerlens-lint` test suite,
+    /// which needs to construct mismatched caches on purpose (`PL108`).
+    /// Code paths that accept caches from outside [`DistanceCache::build`]
+    /// should run `lint_distance_cache` over the result instead of
+    /// trusting it.
+    pub fn from_parts_unchecked(
+        num_layers: usize,
+        feature_dim: usize,
+        params: &ClusterParams,
+        dist: Matrix,
+    ) -> Self {
+        let screen = build_screen(&dist);
+        DistanceCache {
+            num_layers,
+            feature_dim,
+            alpha: params.alpha,
+            lambda: params.lambda,
+            smooth_radius: params.smooth_radius,
+            dist,
+            screen,
+        }
+    }
+}
+
 /// Runs the complete Algorithm 1 on a graph: features → scaling →
 /// Mahalanobis + spacing blend → DBSCAN → post-processing.
+///
+/// One-shot form of [`DistanceCache::build`] + [`DistanceCache::cluster`];
+/// sweeps over ε/minPts should hold the cache and call `cluster` per point.
 ///
 /// # Errors
 ///
 /// Propagates numeric errors from the distance computation.
 pub fn cluster_graph(graph: &Graph, params: &ClusterParams) -> Result<PowerView, NumericError> {
     let _span = obs::span("cluster_graph");
-    let x = depthwise_features(graph);
-    let smoothed = smooth_features(&x, params.smooth_radius);
-    let dist = power_distance_matrix(&smoothed, params.alpha, params.lambda)?;
-    let labels = dbscan(&dist, params.epsilon, params.min_pts);
-    Ok(process_clusters(&labels, params.min_pts.max(2)))
+    Ok(DistanceCache::build(graph, params)?.cluster(params))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use powerlens_cluster::{
     cluster_graph, dbscan, power_distance_matrix, power_distance_matrix_reference,
-    process_clusters, smooth_features, ClusterParams,
+    process_clusters, smooth_features, ClusterParams, DistanceCache,
 };
 use powerlens_dnn::random::{generate, RandomDnnConfig};
 use powerlens_features::depthwise_features;
@@ -120,6 +120,42 @@ proptest! {
                 prop_assert!(
                     (fast[(i, j)] - want).abs() < 1e-9 * want.abs().max(1.0),
                     "({}, {}): {} vs {}", i, j, fast[(i, j)], want
+                );
+            }
+        }
+    }
+
+    /// Sweep incrementality: a [`DistanceCache`] built once and re-clustered
+    /// across a full ε×minPts grid must return exactly the views a
+    /// from-scratch `cluster_graph` call produces at every grid point —
+    /// the contract that lets `plan_oracle` pay the distance matrix once.
+    /// Each point is also checked against plain `dbscan` +
+    /// `process_clusters` over the cached matrix, which pins the cache's
+    /// sweep-tuned DBSCAN (scratch-buffer region queries, visit-once
+    /// queue) to the allocating reference implementation.
+    #[test]
+    fn distance_cache_sweep_equals_from_scratch(seed in 0u64..3000) {
+        let g = random_graph(seed);
+        let shape = ClusterParams::default();
+        let cache = DistanceCache::build(&g, &shape).unwrap();
+        prop_assert_eq!(cache.num_layers(), g.num_layers());
+        for eps in [0.05, 0.10, 0.15, 0.25, 0.40] {
+            for min_pts in [2usize, 4, 6] {
+                let params = ClusterParams { epsilon: eps, min_pts, ..shape };
+                prop_assert!(cache.matches(&params));
+                let incremental = cache.cluster(&params);
+                let scratch = cluster_graph(&g, &params).unwrap();
+                prop_assert_eq!(
+                    incremental.clone(), scratch,
+                    "grid point (eps {}, minPts {})", eps, min_pts
+                );
+                let reference = process_clusters(
+                    &dbscan(cache.distance(), eps, min_pts),
+                    min_pts.max(2),
+                );
+                prop_assert_eq!(
+                    incremental, reference,
+                    "indexed vs matrix-scan DBSCAN at (eps {}, minPts {})", eps, min_pts
                 );
             }
         }

@@ -88,11 +88,21 @@ fn label_network(pl: &PowerLens<'_>, graph: &Graph) -> (TwoStageSample, Vec<Samp
     for b in outcome.view.blocks() {
         add_block(b.start, b.end);
     }
+    // One DistanceCache covers the scheme walk: every scheme in the default
+    // space shares the shape parameters, so only ε/minPts re-thresholding
+    // runs per scheme (heterogeneous spaces rebuild on mismatch).
+    let mut cache: Option<powerlens_cluster::DistanceCache> = None;
     for idx in 0..pl.config().schemes.len() {
-        if let Ok(view) = powerlens_cluster::cluster_graph(graph, &pl.config().schemes.get(idx)) {
-            for b in view.blocks() {
+        let params = pl.config().schemes.get(idx);
+        let c = match cache.take() {
+            Some(c) if c.matches(&params) => Ok(c),
+            _ => powerlens_cluster::DistanceCache::build(graph, &params),
+        };
+        if let Ok(c) = c {
+            for b in c.cluster(&params).blocks() {
                 add_block(b.start, b.end);
             }
+            cache = Some(c);
         }
     }
     (hyper_sample, block_samples)

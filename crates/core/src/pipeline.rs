@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use powerlens_cluster::{cluster_graph, PowerView};
+use powerlens_cluster::{cluster_graph, DistanceCache, PowerView};
 use powerlens_dnn::Graph;
 use powerlens_features::GlobalFeatures;
 use powerlens_governors::oracle;
@@ -120,6 +120,10 @@ pub struct PowerLens<'p> {
     platform: &'p Platform,
     config: PowerLensConfig,
     models: Option<TrainedModels>,
+    /// Opaque memo slot for content-addressing layers (see
+    /// [`PowerLens::context_memo`]). Cloning carries the cached value along
+    /// with the configuration it was derived from.
+    key_memo: std::sync::OnceLock<u64>,
 }
 
 impl<'p> PowerLens<'p> {
@@ -130,6 +134,7 @@ impl<'p> PowerLens<'p> {
             platform,
             config,
             models: None,
+            key_memo: std::sync::OnceLock::new(),
         }
     }
 
@@ -143,7 +148,22 @@ impl<'p> PowerLens<'p> {
             platform,
             config,
             models: Some(models),
+            key_memo: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Latches `compute()` on first call and returns the cached value on
+    /// every later one.
+    ///
+    /// The slot exists for content-addressing layers (the plan store's
+    /// context hash covers the config, the serialized models, and the
+    /// platform signature — far too expensive to recompute per cache
+    /// lookup). Latching is sound because every input of such a hash is
+    /// immutable after construction: `PowerLens` exposes no `&mut self`
+    /// API, and the platform reference is shared. Any future mutating
+    /// method must reset this slot.
+    pub fn context_memo(&self, compute: impl FnOnce() -> u64) -> u64 {
+        *self.key_memo.get_or_init(compute)
     }
 
     /// The platform being planned for.
@@ -337,6 +357,9 @@ impl<'p> PowerLens<'p> {
             })
         };
         timings.decision = t.elapsed();
+        if obs::enabled() {
+            obs::histogram("plan.decide_ms", timings.decision.as_secs_f64() * 1e3);
+        }
 
         if obs::enabled() {
             obs::counter("plan.networks_planned", 1);
@@ -376,12 +399,25 @@ impl<'p> PowerLens<'p> {
         let mut best: Option<(f64, usize, PowerView, InstrumentationPlan)> = None;
         let mut clustering_time = Duration::default();
         let mut decision_time = Duration::default();
+        // The distance matrix depends only on the shape parameters (alpha,
+        // lambda, smooth_radius); the default scheme space varies only
+        // ε/minPts, so one DistanceCache serves the whole sweep. A scheme
+        // space with heterogeneous shape parameters transparently rebuilds
+        // on each mismatch.
+        let mut cache: Option<DistanceCache> = None;
         for idx in 0..self.config.schemes.len() {
             obs::counter("plan.schemes_scored", 1);
+            let params = self.config.schemes.get(idx);
             let t = Instant::now();
             let view = {
                 let _s = obs::span("clustering");
-                self.coarsen_view(graph, cluster_graph(graph, &self.config.schemes.get(idx))?)
+                let c = match cache.take() {
+                    Some(c) if c.matches(&params) => c,
+                    _ => DistanceCache::build(graph, &params)?,
+                };
+                let v = c.cluster(&params);
+                cache = Some(c);
+                self.coarsen_view(graph, v)
             };
             clustering_time += t.elapsed();
 
@@ -391,6 +427,9 @@ impl<'p> PowerLens<'p> {
                 self.plan_from_view(&view, |lo, hi| self.oracle_block_level(graph, lo, hi))
             };
             decision_time += t.elapsed();
+            if obs::enabled() {
+                obs::histogram("plan.decide_ms", t.elapsed().as_secs_f64() * 1e3);
+            }
 
             let eval = evaluate_plan(
                 self.platform,

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::{Layer, LayerId, OpKind, TensorShape};
 
@@ -23,12 +24,29 @@ use crate::{Layer, LayerId, OpKind, TensorShape};
 /// assert_eq!(g.num_layers(), 2);
 /// assert_eq!(g.output_shape(), TensorShape::chw(8, 32, 32));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     name: String,
     input_shape: TensorShape,
     layers: Vec<Layer>,
     skip_edges: Vec<(LayerId, LayerId)>,
+    /// Lazily computed [`Graph::fingerprint`]. Sound to latch because the
+    /// structural fields are immutable after construction (the only ways to
+    /// build a `Graph` are [`GraphBuilder::finish`] and
+    /// [`Graph::from_parts`], and there is no `&mut self` API). `Clone`
+    /// carries the memo along; equality ignores it.
+    fp_memo: OnceLock<u64>,
+}
+
+/// Structural equality only — the fingerprint memo is a cache, so a graph
+/// that has been fingerprinted compares equal to one that has not.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.input_shape == other.input_shape
+            && self.layers == other.layers
+            && self.skip_edges == other.skip_edges
+    }
 }
 
 impl Graph {
@@ -50,6 +68,7 @@ impl Graph {
             input_shape,
             layers,
             skip_edges,
+            fp_memo: OnceLock::new(),
         }
     }
 
@@ -115,7 +134,15 @@ impl Graph {
     /// * **Name-blind** — the cache is content-addressed: renaming a model
     ///   or its layers does not change what gets planned, so it does not
     ///   change the fingerprint. Any op, hyperparameter or shape edit does.
+    ///
+    /// Computed once per graph and memoized — the plan store hashes the
+    /// fingerprint on every cache lookup, and re-walking hundreds of layers
+    /// per lookup was the PR6 `store/plan_warm` regression.
     pub fn fingerprint(&self) -> u64 {
+        *self.fp_memo.get_or_init(|| self.fingerprint_uncached())
+    }
+
+    fn fingerprint_uncached(&self) -> u64 {
         let mut h = Fnv1a::new();
         hash_shape(&mut h, self.input_shape);
         h.write_u64(self.layers.len() as u64);
@@ -359,6 +386,7 @@ impl GraphBuilder {
             input_shape: self.input_shape,
             layers: self.layers,
             skip_edges: self.skip_edges,
+            fp_memo: OnceLock::new(),
         }
     }
 }

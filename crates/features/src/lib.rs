@@ -69,20 +69,25 @@ fn log1p(x: f64) -> f64 {
     x.max(0.0).ln_1p()
 }
 
-/// Extracts the depthwise feature vector of one layer.
-pub fn layer_features(layer: &Layer) -> Vec<f64> {
+/// Writes the depthwise feature vector of one layer into `out` — the
+/// allocation-free core of [`depthwise_features`], which extracts whole
+/// graphs into one flat arena instead of one `Vec` per layer.
+///
+/// # Panics
+///
+/// Panics if `out.len() != DEPTHWISE_DIM`.
+pub fn layer_features_into(layer: &Layer, out: &mut [f64]) {
+    assert_eq!(out.len(), DEPTHWISE_DIM, "feature slot width");
     let (h, w) = layer.input_shape.spatial();
-    let mut v = vec![
-        log1p(layer.flops()),
-        log1p(layer.params()),
-        log1p(layer.memory_bytes()),
-        layer.arithmetic_intensity(),
-        layer.op.type_code() as f64,
-        log1p(layer.input_shape.channels() as f64),
-        log1p(layer.output_shape.channels() as f64),
-        log1p((h * w) as f64),
-        log1p(layer.output_shape.numel() as f64),
-    ];
+    out[0] = log1p(layer.flops());
+    out[1] = log1p(layer.params());
+    out[2] = log1p(layer.memory_bytes());
+    out[3] = layer.arithmetic_intensity();
+    out[4] = layer.op.type_code() as f64;
+    out[5] = log1p(layer.input_shape.channels() as f64);
+    out[6] = log1p(layer.output_shape.channels() as f64);
+    out[7] = log1p((h * w) as f64);
+    out[8] = log1p(layer.output_shape.numel() as f64);
     // Operator-specific deep features (zeros when not applicable).
     let (kernel, stride, groups_ratio) = match layer.op {
         OpKind::Conv2d {
@@ -104,8 +109,17 @@ pub fn layer_features(layer: &Layer) -> Vec<f64> {
         OpKind::Attention { heads, embed_dim } => (heads as f64, log1p(embed_dim as f64)),
         _ => (0.0, 0.0),
     };
-    v.extend_from_slice(&[kernel, stride, groups_ratio, heads, embed]);
-    debug_assert_eq!(v.len(), DEPTHWISE_DIM);
+    out[9] = kernel;
+    out[10] = stride;
+    out[11] = groups_ratio;
+    out[12] = heads;
+    out[13] = embed;
+}
+
+/// Extracts the depthwise feature vector of one layer.
+pub fn layer_features(layer: &Layer) -> Vec<f64> {
+    let mut v = vec![0.0; DEPTHWISE_DIM];
+    layer_features_into(layer, &mut v);
     v
 }
 
@@ -122,15 +136,41 @@ pub const PARALLEL_LAYER_THRESHOLD: usize = 256;
 /// parallel via [`powerlens_par`]; each row depends only on its own layer and
 /// rows are assembled in layer order, so the result is identical to the
 /// sequential path.
+///
+/// Rows are written straight into one flat `num_layers x DEPTHWISE_DIM`
+/// arena ([`layer_features_into`]) — sequentially in place, or one
+/// contiguous sub-arena per worker — so extraction performs O(workers)
+/// allocations, not one `Vec` per layer.
 pub fn depthwise_features(graph: &Graph) -> Matrix {
     let layers = graph.layers();
-    let threads = if layers.len() >= PARALLEL_LAYER_THRESHOLD {
-        0 // all available cores
-    } else {
-        1
-    };
-    let rows = par::map_slice(layers, threads, |_, l| layer_features(l));
-    Matrix::from_rows(&rows).expect("graphs have at least one layer")
+    let n = layers.len();
+    if n < PARALLEL_LAYER_THRESHOLD {
+        let mut data = vec![0.0; n * DEPTHWISE_DIM];
+        for (l, slot) in layers.iter().zip(data.chunks_exact_mut(DEPTHWISE_DIM)) {
+            layer_features_into(l, slot);
+        }
+        return Matrix::from_vec(n, DEPTHWISE_DIM, data).expect("graphs have at least one layer");
+    }
+    // Parallel path: each worker fills one contiguous chunk-sized arena;
+    // chunks concatenate back in layer order, identical to the sequential
+    // fill.
+    let (workers, chunk) = par::plan(n, 0);
+    let chunks: Vec<Vec<f64>> = par::map_slice(
+        &layers.chunks(chunk).collect::<Vec<_>>(),
+        workers,
+        |_, slice| {
+            let mut data = vec![0.0; slice.len() * DEPTHWISE_DIM];
+            for (l, slot) in slice.iter().zip(data.chunks_exact_mut(DEPTHWISE_DIM)) {
+                layer_features_into(l, slot);
+            }
+            data
+        },
+    );
+    let mut data = Vec::with_capacity(n * DEPTHWISE_DIM);
+    for c in chunks {
+        data.extend_from_slice(&c);
+    }
+    Matrix::from_vec(n, DEPTHWISE_DIM, data).expect("graphs have at least one layer")
 }
 
 /// Global features of a network or power block: macro structure plus

@@ -48,7 +48,7 @@ mod rules;
 mod store_rules;
 mod view_rules;
 
-use powerlens_cluster::PowerView;
+use powerlens_cluster::{DistanceCache, PowerView};
 use powerlens_dnn::Graph;
 use powerlens_faults::FaultPlan;
 use powerlens_obs as obs;
@@ -110,6 +110,26 @@ pub fn lint_view(view: &PowerView, graph: Option<&Graph>, config: &LintConfig) -
     let subject = graph.map_or_else(|| "power-view".to_string(), |g| g.name().to_string());
     let mut report = LintReport::new(subject);
     view_rules::check(view, graph, config, &mut report);
+    report
+}
+
+/// Runs the distance-cache shape rule (`PL108`, view pack) over a
+/// [`DistanceCache`]; pass the source graph to also check that the cache
+/// covers its layers.
+///
+/// Caches built by `DistanceCache::build` satisfy the rule by construction
+/// (debug builds also assert it on every re-threshold); this entry point is
+/// the release-mode gate for caches assembled from outside sources —
+/// deserialized, transferred, or built with `from_parts_unchecked`.
+pub fn lint_distance_cache(
+    cache: &DistanceCache,
+    graph: Option<&Graph>,
+    config: &LintConfig,
+) -> LintReport {
+    let _span = obs::span("lint.distance_cache");
+    let subject = graph.map_or_else(|| "distance-cache".to_string(), |g| g.name().to_string());
+    let mut report = LintReport::new(subject);
+    view_rules::check_distance_cache(cache, graph, config, &mut report);
     report
 }
 

@@ -143,6 +143,13 @@ rules! {
         "views with more blocks than the configured maximum incur frequent \
          transitions",
         "Table 1 (real models cluster into a handful of blocks)";
+    DISTANCE_CACHE_SHAPE = "PL108", "distance-cache-shape", Error, View,
+        "a distance cache's matrix must be square over its recorded layer \
+         count, its feature dimension must match the depthwise extractor, \
+         and (when the source graph is known) its layer count must match \
+         the graph",
+        "§2.1.2-2.1.3 (the distance matrix is pairwise over per-layer \
+         depthwise feature rows)";
 
     // ---- plan pack ------------------------------------------------------
     PLAN_EMPTY = "PL201", "plan-empty", Error, Plan,

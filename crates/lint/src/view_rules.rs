@@ -1,7 +1,9 @@
-//! View pack: partition rules over [`powerlens_cluster::PowerView`].
+//! View pack: partition rules over [`powerlens_cluster::PowerView`] and
+//! shape rules over [`powerlens_cluster::DistanceCache`].
 
-use powerlens_cluster::PowerView;
+use powerlens_cluster::{DistanceCache, PowerView};
 use powerlens_dnn::Graph;
+use powerlens_features::DEPTHWISE_DIM;
 
 use crate::diag::{LintReport, Location};
 use crate::rules;
@@ -114,6 +116,68 @@ pub fn check(
     }
 }
 
+/// Runs the distance-cache shape rule (`PL108`), appending findings to
+/// `report`. The graph comparison only runs when `graph` is provided.
+///
+/// [`DistanceCache::build`] cannot produce a mismatched cache; this guards
+/// caches assembled from outside sources (deserializers,
+/// `from_parts_unchecked`) before they are re-thresholded into power views.
+pub fn check_distance_cache(
+    cache: &DistanceCache,
+    graph: Option<&Graph>,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    if !config.enabled(rules::DISTANCE_CACHE_SHAPE.code) {
+        return;
+    }
+    let d = cache.distance();
+    if d.rows() != d.cols() {
+        report.push(
+            &rules::DISTANCE_CACHE_SHAPE,
+            Location::Model,
+            format!("distance matrix is {}x{}, not square", d.rows(), d.cols()),
+        );
+    }
+    if d.rows() != cache.num_layers() {
+        report.push(
+            &rules::DISTANCE_CACHE_SHAPE,
+            Location::Model,
+            format!(
+                "distance matrix has {} rows but the cache records {} layers",
+                d.rows(),
+                cache.num_layers()
+            ),
+        );
+    }
+    if cache.feature_dim() != DEPTHWISE_DIM {
+        report.push(
+            &rules::DISTANCE_CACHE_SHAPE,
+            Location::Model,
+            format!(
+                "cache records feature dimension {} but the depthwise \
+                 extractor produces {}",
+                cache.feature_dim(),
+                DEPTHWISE_DIM
+            ),
+        );
+    }
+    if let Some(g) = graph {
+        if cache.num_layers() != g.num_layers() {
+            report.push(
+                &rules::DISTANCE_CACHE_SHAPE,
+                Location::Model,
+                format!(
+                    "cache covers {} layers but graph `{}` has {}",
+                    cache.num_layers(),
+                    g.name(),
+                    g.num_layers()
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +194,43 @@ mod tests {
         spec.iter()
             .map(|&(start, end)| PowerBlock { start, end })
             .collect()
+    }
+
+    #[test]
+    fn built_distance_caches_lint_clean() {
+        let config = LintConfig::default();
+        for (name, build) in zoo::all_models() {
+            let g = build();
+            let cache = DistanceCache::build(&g, &ClusterParams::default()).unwrap();
+            let mut r = LintReport::new(name);
+            check_distance_cache(&cache, Some(&g), &config, &mut r);
+            assert!(!r.has_errors(), "{name}: {:?}", r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn mismatched_cache_fires_pl108_per_defect() {
+        let g = zoo::alexnet();
+        let params = ClusterParams::default();
+        let good = DistanceCache::build(&g, &params).unwrap();
+        // Wrong layer count (vs both the matrix and the graph) and wrong
+        // feature dimension: three distinct findings.
+        let bad = DistanceCache::from_parts_unchecked(
+            g.num_layers() + 1,
+            DEPTHWISE_DIM + 3,
+            &params,
+            good.distance().clone(),
+        );
+        let mut r = LintReport::new("t");
+        check_distance_cache(&bad, Some(&g), &LintConfig::default(), &mut r);
+        assert!(r.fired("PL108"));
+        assert_eq!(r.num_errors(), 3, "{:?}", r.diagnostics);
+        // Suppression works like every other rule.
+        let mut off = LintConfig::default();
+        off.disabled.push("PL108".to_string());
+        let mut quiet = LintReport::new("t");
+        check_distance_cache(&bad, Some(&g), &off, &mut quiet);
+        assert!(quiet.diagnostics.is_empty());
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Seeded-fault coverage: every error-severity rule in the catalog must fire
 //! on a deliberately corrupted artifact, and every zoo model must lint clean.
 
-use powerlens_cluster::{cluster_graph, ClusterParams, PowerBlock, PowerView};
+use powerlens_cluster::{cluster_graph, ClusterParams, DistanceCache, PowerBlock, PowerView};
 use powerlens_dnn::{zoo, Graph, OpKind, TensorShape};
 use powerlens_faults::{FaultPlan, MAX_RETRY_BUDGET};
 use powerlens_lint::{
-    all_rules, lint_cached_plan, lint_fault_plan, lint_graph, lint_plan, lint_view,
-    platform_signature, render, to_sarif, CachedPlanContext, Format, LintConfig, LintReport, Pack,
-    PlanContext, Severity,
+    all_rules, lint_cached_plan, lint_distance_cache, lint_fault_plan, lint_graph, lint_plan,
+    lint_view, platform_signature, render, to_sarif, CachedPlanContext, Format, LintConfig,
+    LintReport, Pack, PlanContext, Severity,
 };
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 
@@ -121,6 +121,20 @@ fn seed_fault(code: &str) -> LintReport {
             None,
             &config,
         ),
+        "PL108" => {
+            // A genuine cache re-labelled with a wrong layer count and a
+            // wrong feature dimension: the matrix no longer describes what
+            // the cache claims to cover.
+            let params = ClusterParams::default();
+            let good = DistanceCache::build(&base, &params).unwrap();
+            let bad = DistanceCache::from_parts_unchecked(
+                base.num_layers() + 5,
+                good.feature_dim() + 1,
+                &params,
+                good.distance().clone(),
+            );
+            lint_distance_cache(&bad, Some(&base), &config)
+        }
         // ---- plan faults ----
         "PL201" => lint_plan(
             &PlanContext {

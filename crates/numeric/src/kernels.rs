@@ -6,16 +6,31 @@
 //! * **contiguous inner loops** — every inner loop walks two slices in
 //!   step, so the compiler can vectorize and the hardware prefetcher sees
 //!   unit stride;
-//! * **deterministic accumulation order** — for each output element the
-//!   reduction index `k` is always consumed in ascending order, regardless
-//!   of blocking, so results are bit-identical run to run (and identical to
-//!   the per-sample loops they replaced);
+//! * **explicit lane structure** — the hot loops are written as
+//!   fixed-width [`LANES`]-wide chunks with unrolled accumulators and a
+//!   scalar remainder, the shape a `std::simd` or arch-intrinsic backend
+//!   drops straight into (see [`Kernel`]);
 //! * **no zero-skip branches** — dense data makes the branch nearly always
 //!   false, and mispredictions cost more than the multiply they save.
+//!
+//! # Accumulation order and bit-identity
+//!
+//! The matrix kernels ([`gemm`], [`gemm_nt_bias`], [`gemm_tn_acc`]) lane-chunk
+//! the *output* (`j`) dimension only: every output element still consumes its
+//! reduction index `k` in plain ascending, left-associated order, so their
+//! results are bit-identical to the naive loops regardless of backend — the
+//! `blocked ≡ naive` pins stay exact, and batched MLP passes stay bit-identical
+//! to per-sample ones. The *reduction* kernels ([`dot`], [`squared_distance`],
+//! and [`gemm_nt`]/[`matvec`] which are built on `dot`) split the sum across
+//! [`LANES`] independent accumulators; that re-association changes the
+//! rounding, so their equivalence tests are tolerance-pinned instead
+//! (`crates/numeric/tests/kernel_tolerance.rs`).
 //!
 //! All kernels panic (via `debug_assert!` on the hot path, argument asserts
 //! at the `Matrix` layer) rather than silently reading out of bounds; the
 //! slice indexing itself is bounds-checked in release builds.
+
+use std::sync::OnceLock;
 
 /// Cache-blocking depth for the `k` dimension of [`gemm`]. A 128-row panel
 /// of `B` (128 x n doubles) stays resident in L1/L2 while the panel is
@@ -23,10 +38,195 @@
 /// into a cache-friendly one for matrices larger than the cache.
 pub const KC: usize = 128;
 
+/// Fixed lane width of the chunked kernels: four `f64`s, one 256-bit
+/// vector register on AVX2-class hardware (two 128-bit ops on NEON).
+pub const LANES: usize = 4;
+
+/// Reduction-kernel backend, selected once per process.
+///
+/// Only the kernels whose result *depends* on association order dispatch on
+/// this ([`dot`], [`squared_distance`] and everything built on them); the
+/// matrix kernels produce identical bits under either backend, so they always
+/// run their lane-chunked form. A `std::simd` or arch-intrinsic backend slots
+/// in as a new variant plus one match arm per dispatching kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Serial ascending-index reference: one accumulator, one FP dependency
+    /// chain. Kept as the ground truth the lane kernels are pinned against.
+    Scalar,
+    /// Portable lane form: [`LANES`] independent accumulators over
+    /// fixed-width chunks, scalar tail, pairwise final reduction.
+    Lanes,
+}
+
+impl Kernel {
+    /// Stable lowercase name (`scalar` / `lanes`), as accepted by the
+    /// `POWERLENS_KERNEL` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Lanes => "lanes",
+        }
+    }
+}
+
+static ACTIVE_KERNEL: OnceLock<Kernel> = OnceLock::new();
+
+/// The process-wide reduction backend: `Lanes` unless the environment
+/// variable `POWERLENS_KERNEL=scalar` asks for the serial reference
+/// (useful when bisecting a numeric difference down to re-association).
+///
+/// Resolved once on first use and latched for the lifetime of the process,
+/// so a sweep never mixes backends mid-run.
+pub fn active_kernel() -> Kernel {
+    *ACTIVE_KERNEL.get_or_init(|| match std::env::var("POWERLENS_KERNEL") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => Kernel::Scalar,
+        _ => Kernel::Lanes,
+    })
+}
+
+/// Splits equal-length slices into their lane-aligned heads and scalar
+/// tails. The head length is the largest multiple of [`LANES`].
+#[inline]
+fn lane_split<'a>(a: &'a [f64], b: &'a [f64]) -> (&'a [f64], &'a [f64], &'a [f64], &'a [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let main = a.len() - a.len() % LANES;
+    let (ah, at) = a.split_at(main);
+    let (bh, bt) = b.split_at(main);
+    (ah, at, bh, bt)
+}
+
+/// Dot product of two equal-length slices, dispatched on [`active_kernel`].
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    match active_kernel() {
+        Kernel::Scalar => dot_scalar(a, b),
+        Kernel::Lanes => dot_lanes(a, b),
+    }
+}
+
+/// Serial ascending-index dot product — the scalar reference backend.
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Lane dot product: [`LANES`] independent accumulators (breaking the
+/// serial FP dependency chain so the loop vectorizes), scalar tail,
+/// pairwise final reduction.
+#[inline]
+pub fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (ah, at, bh, bt) = lane_split(a, b);
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in ah.chunks_exact(LANES).zip(bh.chunks_exact(LANES)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let tail: f64 = at.iter().zip(bt).map(|(x, y)| x * y).sum();
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail
+}
+
+/// Squared Euclidean distance `Σ (a[i]-b[i])²`, dispatched on
+/// [`active_kernel`] — the inner loop of the whitened pairwise-distance
+/// matrix in `powerlens-cluster`.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    match active_kernel() {
+        Kernel::Scalar => squared_distance_scalar(a, b),
+        Kernel::Lanes => squared_distance_lanes(a, b),
+    }
+}
+
+/// Serial ascending-index squared distance — the scalar reference backend.
+#[inline]
+pub fn squared_distance_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lane squared distance: same accumulator structure as [`dot_lanes`].
+#[inline]
+pub fn squared_distance_lanes(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (ah, at, bh, bt) = lane_split(a, b);
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in ah.chunks_exact(LANES).zip(bh.chunks_exact(LANES)) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let tail: f64 = at.iter().zip(bt).map(|(x, y)| (x - y) * (x - y)).sum();
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail
+}
+
+/// `out[j] += a * x[j]` over a whole row, lane-chunked. Each output element
+/// is read and written exactly once, so the per-element arithmetic — and
+/// therefore the bits — match the plain scalar loop.
+#[inline]
+pub fn axpy(out: &mut [f64], a: f64, x: &[f64]) {
+    debug_assert_eq!(out.len(), x.len());
+    let main = out.len() - out.len() % LANES;
+    let (oh, ot) = out.split_at_mut(main);
+    let (xh, xt) = x.split_at(main);
+    for (o, v) in oh.chunks_exact_mut(LANES).zip(xh.chunks_exact(LANES)) {
+        o[0] += a * v[0];
+        o[1] += a * v[1];
+        o[2] += a * v[2];
+        o[3] += a * v[3];
+    }
+    for (o, &v) in ot.iter_mut().zip(xt) {
+        *o += a * v;
+    }
+}
+
+/// Fused four-step row update `out[j] = (((out[j] + a0·b0[j]) + a1·b1[j])
+/// + a2·b2[j]) + a3·b3[j]`, lane-chunked over `j`.
+///
+/// The four `k` contributions stay left-associated in ascending order per
+/// element, so chunking `j` changes nothing about the bits — this is the
+/// register-blocked core of [`gemm`] and [`gemm_tn_acc`].
+#[inline]
+fn update_row_k4(out: &mut [f64], coeff: [f64; LANES], rows: [&[f64]; LANES]) {
+    let n = out.len();
+    let main = n - n % LANES;
+    let (oh, ot) = out.split_at_mut(main);
+    let [b0, b1, b2, b3] = rows;
+    let (b0h, b0t) = b0.split_at(main);
+    let (b1h, b1t) = b1.split_at(main);
+    let (b2h, b2t) = b2.split_at(main);
+    let (b3h, b3t) = b3.split_at(main);
+    let [a0, a1, a2, a3] = coeff;
+    for ((((o, v0), v1), v2), v3) in oh
+        .chunks_exact_mut(LANES)
+        .zip(b0h.chunks_exact(LANES))
+        .zip(b1h.chunks_exact(LANES))
+        .zip(b2h.chunks_exact(LANES))
+        .zip(b3h.chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            o[l] = (((o[l] + a0 * v0[l]) + a1 * v1[l]) + a2 * v2[l]) + a3 * v3[l];
+        }
+    }
+    for ((((o, &v0), &v1), &v2), &v3) in ot.iter_mut().zip(b0t).zip(b1t).zip(b2t).zip(b3t) {
+        *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+    }
+}
+
 /// `out = A · B` where `A` is `m x k`, `B` is `k x n`, all row-major.
 ///
-/// Blocked over `k` in panels of [`KC`]; within each output element the
-/// `k` index ascends, so the result is independent of the blocking factor.
+/// Blocked over `k` in panels of [`KC`] and register-blocked four-wide
+/// within each panel; within each output element the `k` index ascends
+/// left-associated, so the result is independent of the blocking factor
+/// and of the lane chunking over `j`.
 ///
 /// # Panics
 ///
@@ -43,36 +243,20 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64])
             let out_row = &mut out[i * n..(i + 1) * n];
             // Register-block k four-wide: each output element is loaded and
             // stored once per four multiply-adds instead of once per one.
-            // The updates stay left-associated, so the per-element sum
-            // order is still plain ascending k.
             let mut kx = kk;
             while kx + 4 <= k_end {
-                let (a0, a1, a2, a3) = (a_row[kx], a_row[kx + 1], a_row[kx + 2], a_row[kx + 3]);
+                let coeff = [a_row[kx], a_row[kx + 1], a_row[kx + 2], a_row[kx + 3]];
                 let (b0, rest) = b[kx * n..(kx + 4) * n].split_at(n);
                 let (b1, rest) = rest.split_at(n);
                 let (b2, b3) = rest.split_at(n);
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
-                }
+                update_row_k4(out_row, coeff, [b0, b1, b2, b3]);
                 kx += 4;
             }
             for (kx, &aik) in a_row.iter().enumerate().take(k_end).skip(kx) {
-                let b_row = &b[kx * n..(kx + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
+                axpy(out_row, aik, &b[kx * n..(kx + 1) * n]);
             }
         }
     }
-}
-
-/// Dot product of two equal-length slices (ascending index order).
-#[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 /// `out = A · Bᵀ` where `A` is `m x k` and `B` is `n x k` (so `Bᵀ` is
@@ -81,7 +265,8 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Because both operands are walked along rows, every inner product runs
 /// over two contiguous slices — the natural kernel when the right-hand
 /// side is already stored transposed (e.g. dense-layer weights, stored
-/// `out_dim x in_dim`).
+/// `out_dim x in_dim`). Built on [`dot`], so it inherits the lane
+/// backend's re-associated accumulation (tolerance-pinned, not exact).
 ///
 /// # Panics
 ///
@@ -106,8 +291,8 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f6
 /// serial dot product is a floating-point dependency chain the compiler
 /// cannot vectorize, while the ikj form updates a whole output row per `k`
 /// step. The result is still bit-identical to
-/// `bias[j] + dot(a_row, b_row)` — the `k` index ascends either way, and
-/// IEEE-754 addition is commutative, so adding the bias after the
+/// `bias[j] + dot_scalar(a_row, b_row)` — the `k` index ascends either
+/// way, and IEEE-754 addition is commutative, so adding the bias after the
 /// accumulation instead of before produces the same bits.
 ///
 /// # Panics
@@ -146,7 +331,8 @@ pub fn gemm_nt_bias(
 /// pass.
 ///
 /// The reduction index `k` (the batch dimension) is the outer loop, so the
-/// accumulation order per output element equals a sample-by-sample loop.
+/// accumulation order per output element equals a sample-by-sample loop —
+/// the lane chunking over `n` does not touch it.
 ///
 /// # Panics
 ///
@@ -163,17 +349,13 @@ pub fn gemm_tn_acc(k: usize, m: usize, n: usize, a: &[f64], b: &[f64], out: &mut
         let (b1, rest) = rest.split_at(n);
         let (b2, b3) = rest.split_at(n);
         for i in 0..m {
-            let (g0, g1, g2, g3) = (
+            let coeff = [
                 a[s * m + i],
                 a[(s + 1) * m + i],
                 a[(s + 2) * m + i],
                 a[(s + 3) * m + i],
-            );
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-            {
-                *o = (((*o + g0 * v0) + g1 * v1) + g2 * v2) + g3 * v3;
-            }
+            ];
+            update_row_k4(&mut out[i * n..(i + 1) * n], coeff, [b0, b1, b2, b3]);
         }
         s += 4;
     }
@@ -181,15 +363,14 @@ pub fn gemm_tn_acc(k: usize, m: usize, n: usize, a: &[f64], b: &[f64], out: &mut
         let a_row = &a[s * m..(s + 1) * m];
         let b_row = &b[s * n..(s + 1) * n];
         for (i, &g) in a_row.iter().enumerate() {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += g * bv;
-            }
+            axpy(&mut out[i * n..(i + 1) * n], g, b_row);
         }
     }
 }
 
 /// `out = A · x` where `A` is `m x k` row-major and `x` has length `k`.
+///
+/// One [`dot`] per row, so it dispatches with the reduction backend.
 ///
 /// # Panics
 ///
@@ -225,7 +406,8 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_beyond_block_size() {
-        // k spans multiple KC panels to exercise the blocking.
+        // k spans multiple KC panels and n is not a multiple of LANES, so
+        // both the k blocking and the j-lane remainder are exercised.
         let (m, k, n) = (3, 2 * KC + 7, 5);
         let a = seq(m * k, 0.01);
         let b = seq(k * n, 0.02);
@@ -250,7 +432,11 @@ mod tests {
         }
         let mut got = vec![0.0; m * n];
         gemm_nt(m, k, n, &a, &b, &mut got);
-        assert_eq!(got, naive(m, k, n, &a, &bt));
+        // gemm_nt runs the dispatched (possibly lane re-associated) dot,
+        // so the pin is a tolerance, not bit equality.
+        for (x, y) in got.iter().zip(&naive(m, k, n, &a, &bt)) {
+            assert!((x - y).abs() < 1e-12 * y.abs().max(1.0), "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -265,7 +451,11 @@ mod tests {
         gemm_nt_bias(m, k, n, &a, &b, &bias, &mut with_bias);
         for i in 0..m {
             for j in 0..n {
-                assert_eq!(with_bias[i * n + j], bias[j] + plain[i * n + j]);
+                let (got, want) = (with_bias[i * n + j], bias[j] + plain[i * n + j]);
+                assert!(
+                    (got - want).abs() < 1e-12 * want.abs().max(1.0),
+                    "{got} vs {want}"
+                );
             }
         }
     }
@@ -300,6 +490,14 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn kernel_env_name_round_trips() {
+        assert_eq!(Kernel::Scalar.name(), "scalar");
+        assert_eq!(Kernel::Lanes.name(), "lanes");
+        // Whatever the environment selected, the latch must be stable.
+        assert_eq!(active_kernel(), active_kernel());
     }
 
     #[test]

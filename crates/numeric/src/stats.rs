@@ -129,6 +129,10 @@ pub fn mahalanobis(x: &[f64], y: &[f64], p: &Matrix) -> Result<f64> {
 
 /// Euclidean distance between two equal-length vectors.
 ///
+/// Runs the lane-chunked [`crate::kernels::squared_distance`] kernel, so
+/// the accumulation order follows the active reduction backend
+/// ([`crate::kernels::active_kernel`]).
+///
 /// # Panics
 ///
 /// Panics if the lengths differ.
@@ -141,11 +145,7 @@ pub fn mahalanobis(x: &[f64], y: &[f64], p: &Matrix) -> Result<f64> {
 /// ```
 pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "euclidean: length mismatch");
-    x.iter()
-        .zip(y)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt()
+    crate::kernels::squared_distance(x, y).sqrt()
 }
 
 /// Whitening transform factored from a positive semi-definite covariance
@@ -249,10 +249,11 @@ impl Whitener {
             });
         }
         let mut out = vec![0.0; self.w.cols()];
+        // One lane-chunked axpy per input coordinate: ascending `r` per
+        // output element, the same order as the gemm behind `whiten`, so
+        // vector and matrix whitening stay bit-identical.
         for (r, &xv) in x.iter().enumerate() {
-            for (o, &wv) in out.iter_mut().zip(self.w.row(r)) {
-                *o += xv * wv;
-            }
+            crate::kernels::axpy(&mut out, xv, self.w.row(r));
         }
         Ok(out)
     }

@@ -105,12 +105,20 @@ pub fn models_hash(pl: &PowerLens<'_>) -> u64 {
 
 /// Hash of the full planning context (everything except the graph): config,
 /// model version, and platform signature.
+///
+/// Memoized per planner instance via [`PowerLens::context_memo`]: the walk
+/// re-serializes the trained models to JSON and visits every scheme, which
+/// dominated warm `lookup_or_plan` calls (the PR6 `store/plan_warm`
+/// `speedup_normalized` 0.41 regression) despite the inputs being immutable
+/// for the planner's lifetime.
 pub fn context_hash(pl: &PowerLens<'_>) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write_u64(config_hash(pl.config()));
-    h.write_u64(models_hash(pl));
-    h.write_bytes(platform_signature(pl.platform()).as_bytes());
-    h.finish()
+    pl.context_memo(|| {
+        let mut h = Fnv1a::new();
+        h.write_u64(config_hash(pl.config()));
+        h.write_u64(models_hash(pl));
+        h.write_bytes(platform_signature(pl.platform()).as_bytes());
+        h.finish()
+    })
 }
 
 /// The content address for planning `graph` with `pl`.

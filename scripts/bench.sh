@@ -3,8 +3,8 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR6.json)
-#   -b BASELINE  prior summary to diff against (default: BENCH_PR5.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR7.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR6.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
 # The JSON shape is {"<bench name>": {"median_ns": N[, "ratio_vs_ref": R]
@@ -31,14 +31,17 @@
 # "faults_overhead" entry reports what carrying an inert fault plan costs
 # relative to a clean engine run (budget: <= 1.05x), and an "ee_retention"
 # entry records the faultsim robustness report (energy efficiency retained
-# under the default fault sweep, per controller). The perf trajectory
-# across PRs compares these files.
+# under the default fault sweep, per controller). A "serve_load" entry
+# records the concurrent-load harness (smoke profile): plans/sec, p50/p99
+# latency, and shed/degraded rates per traffic mix against a live
+# powerlens-serve daemon. The perf trajectory across PRs compares these
+# files.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR6.json"
-baseline="BENCH_PR5.json"
+out="BENCH_PR7.json"
+baseline="BENCH_PR6.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -50,7 +53,8 @@ shift $((OPTIND - 1))
 
 raw=$(mktemp)
 ret=$(mktemp)
-trap 'rm -f "$raw" "$ret"' EXIT
+srv=$(mktemp)
+trap 'rm -f "$raw" "$ret" "$srv"' EXIT
 
 if [ "$#" -gt 0 ]; then
     for b in "$@"; do
@@ -69,11 +73,18 @@ cargo build -q --release -p powerlens-cli
 ./target/release/powerlens-cli faultsim alexnet --batch 8 --images 16 \
     | tee /dev/stderr | grep '^ee_retention ' > "$ret" || true
 
+# Concurrent-load harness: drives a live powerlens-serve daemon and prints
+# greppable "serve_load <mix> plans_per_sec <v> ..." lines per traffic mix.
+echo "==> serve_load concurrent-load harness (smoke profile)"
+cargo build -q --release -p powerlens-bench --bin serve_load
+./target/release/serve_load --profile smoke \
+    | tee /dev/stderr | grep '^serve_load ' > "$srv" || true
+
 # Criterion-shim lines look like:
 #   name/case    time: [1.234 µs 1.456 µs 1.789 µs]  (20 samples x 7 iters)
 # Field layout after splitting on '[' / ']': "v1 u1 v2 u2 v3 u3" — the
 # median is the second value/unit pair.
-awk -v out="$out" -v baseline="$baseline" -v retfile="$ret" '
+awk -v out="$out" -v baseline="$baseline" -v retfile="$ret" -v servefile="$srv" '
 function to_ns(v, u) {
     if (u == "s")  return v * 1e9
     if (u == "ms") return v * 1e6
@@ -185,6 +196,29 @@ END {
         printf ", \"floor\": \"degraded >= 0.9 * bim\"}\n" > out
         printf "ee retention under faults:"
         for (j = 1; j <= nret; j++) printf " %s %s", rname[j], rval[j]
+        printf "\n"
+    }
+    # Concurrent serving throughput: plans/sec, latency percentiles, and
+    # shed/degraded rates per traffic mix from the serve_load harness.
+    nsrv = 0
+    while ((getline line < servefile) > 0) {
+        n = split(line, sf, /[ \t]+/)
+        if (n >= 4 && sf[1] == "serve_load") {
+            smix[++nsrv] = sf[2]
+            entry = ""
+            for (k = 3; k + 1 <= n; k += 2)
+                entry = entry (entry == "" ? "" : ", ") \
+                    "\"" sf[k] "\": " sf[k + 1]
+            sobj[nsrv] = entry
+        }
+    }
+    if (nsrv > 0) {
+        printf ",\n  \"serve_load\": {" > out
+        for (j = 1; j <= nsrv; j++)
+            printf "%s\"%s\": {%s}", (j > 1 ? ", " : ""), smix[j], sobj[j] > out
+        printf "}\n" > out
+        printf "serve_load mixes recorded:"
+        for (j = 1; j <= nsrv; j++) printf " %s", smix[j]
         printf "\n"
     }
     printf "}\n" > out

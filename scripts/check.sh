@@ -23,6 +23,11 @@ run cargo clippy --workspace --all-targets -- -D warnings
 if [ "$fast" -eq 0 ]; then
     run cargo test -q --workspace
 fi
+# Lane-kernel gate: every SIMD-shaped reduction kernel must stay inside its
+# pinned tolerance of (or bit-identical to) the scalar reference, across
+# every remainder width. Runs even with --fast — kernel dispatch is the
+# numerical foundation everything above sits on.
+run cargo test -q -p powerlens-numeric --test kernel_tolerance
 # Static-analysis gate: every zoo model must lint clean (error severity
 # fails the command; rule catalog in docs/LINTS.md).
 run cargo build -q --release -p powerlens-cli
