@@ -7,9 +7,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use powerlens_cluster::{cluster_graph, ClusterParams};
 use powerlens_dnn::zoo;
 use powerlens_governors::oracle;
-use powerlens_lint::{lint_graph, lint_plan, lint_view, LintConfig, PlanContext};
+use powerlens_lint::{
+    lint_dataflow, lint_graph, lint_pipeline, lint_plan, lint_view, DataflowContext, LintConfig,
+    PlanContext,
+};
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 use powerlens_sim::{Engine, StaticController};
+use powerlens_store::{lint_cache_key, LintCache};
 use std::hint::black_box;
 
 /// The three packs in isolation, on the largest zoo model.
@@ -47,6 +51,48 @@ fn bench_packs(c: &mut Criterion) {
             ));
             r
         })
+    });
+    group.bench_function("dataflow_pack_resnet152", |b| {
+        b.iter(|| {
+            let mut ctx = DataflowContext::new(black_box(&g));
+            ctx.platform = Some(&agx);
+            ctx.view = Some(&view);
+            ctx.plan = Some(&plan);
+            ctx.batch = 8;
+            lint_dataflow(&ctx, &config)
+        })
+    });
+    group.finish();
+}
+
+/// The lint cache's payoff: a full un-cached lint run (all four packs on
+/// the largest zoo model) vs a warm memory-tier lookup of the same
+/// reports. `scripts/bench.sh` reports the ratio as `lint_cache_speedup`
+/// (floor: >= 10x).
+fn bench_cache(c: &mut Criterion) {
+    let config = LintConfig::default();
+    let agx = Platform::agx();
+    let g = zoo::resnet152();
+    let view = cluster_graph(&g, &ClusterParams::default()).unwrap();
+    let points = view
+        .blocks()
+        .iter()
+        .map(|b| InstrumentationPoint {
+            layer: b.start,
+            gpu_level: 7,
+        })
+        .collect();
+    let plan = InstrumentationPlan::new(points, 0);
+    let full_lint = || lint_pipeline(&g, &view, &plan, &agx, 8, None, &config);
+
+    let mut group = c.benchmark_group("lint_cache");
+    group.sample_size(10);
+    group.bench_function("cold_resnet152", |b| b.iter(full_lint));
+    let cache = LintCache::mem_only();
+    let key = lint_cache_key(&g, &agx, 8);
+    cache.put(key, &[full_lint()]);
+    group.bench_function("warm_resnet152", |b| {
+        b.iter(|| cache.get(black_box(key)).unwrap())
     });
     group.finish();
 }
@@ -90,5 +136,5 @@ fn bench_references(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_packs, bench_references);
+criterion_group!(benches, bench_packs, bench_cache, bench_references);
 criterion_main!(benches);

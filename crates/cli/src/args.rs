@@ -17,6 +17,7 @@ pub const USAGE: &str = "usage:
   powerlens-cli faultsim <model> [--platform P] [--batch N] [--images N]
                          [--faults SPEC] [--fault-seed N]
   powerlens-cli lint     <model>|--all [--platform P] [--format human|json|sarif]
+                         [--baseline FILE] [--cache MODE] [--cache-dir DIR]
   powerlens-cli stats    [report.json]
   powerlens-cli serve    [--addr A] [--port N] [--threads N] [--queue-depth N]
                          [--shards N] [--platform P] [--batch N] [--images N]
@@ -39,7 +40,12 @@ content-addressed plan cache with parallel workers.
 planning subcommands accept --cache {off,mem,disk} [--cache-dir DIR]: reuse
 plan outcomes keyed by graph+config+models+platform; `mem` caches within the
 process, `disk` also persists one JSON entry per key under DIR (default:
-results/plan-cache).
+results/plan-cache). `lint --cache` reuses lint reports the same way, keyed
+by graph+rules-version+platform+batch, under DIR/lint.
+
+lint exit codes: 0 = clean, 1 = error-severity findings, 2 = bad arguments,
+3 = findings not present in the --baseline SARIF file (the ratchet gate:
+old findings are grandfathered, new ones fail; see docs/LINTS.md).
 
 every subcommand also accepts --trace {off,log,json}: profile the run with
 the observability layer; `log` streams events to stderr, `json` writes
@@ -69,6 +75,8 @@ pub struct Options {
     pub out: String,
     /// Lint report format (`--format {human,json,sarif}`).
     pub format: String,
+    /// SARIF baseline for the lint ratchet (`--baseline FILE`).
+    pub baseline: Option<String>,
     /// Observability mode (`--trace {off,log,json}`).
     pub trace: TraceMode,
     /// Plan-cache mode (`--cache {off,mem,disk}`).
@@ -102,6 +110,7 @@ impl Default for Options {
             nets: 600,
             out: "powerlens_models.json".into(),
             format: "human".into(),
+            baseline: None,
             trace: TraceMode::Off,
             cache: "off".into(),
             cache_dir: "results/plan-cache".into(),
@@ -234,6 +243,7 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
                 }
             }
             "--cache-dir" => opts.cache_dir = take_value("--cache-dir", &mut it)?,
+            "--baseline" => opts.baseline = Some(take_value("--baseline", &mut it)?),
             "--faults" => opts.faults = Some(take_value("--faults", &mut it)?),
             "--fault-seed" => {
                 let v = take_value("--fault-seed", &mut it)?;

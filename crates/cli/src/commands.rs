@@ -18,11 +18,34 @@ use powerlens_obs::TraceMode;
 use powerlens_platform::Platform;
 use powerlens_serve::{ops, ServeConfig, Server};
 use powerlens_sim::{run_taskflow, Degraded, Engine, TaskFlowReport, TaskSpec};
-use powerlens_store::{CacheMode, PlanStore};
+use powerlens_store::{CacheMode, LintCache, PlanStore};
 
 use crate::args::{Command, Options};
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// Typed failure for the `lint --baseline` ratchet, so `main` can answer
+/// with its own exit code (3) — distinct from error-severity findings (1)
+/// and argument errors (2). CI distinguishes "the code got worse" from
+/// "the code was already bad".
+#[derive(Debug)]
+pub struct BaselineViolation {
+    /// Findings whose fingerprints are absent from the baseline.
+    pub new_findings: usize,
+}
+
+impl std::fmt::Display for BaselineViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lint found {} finding(s) not present in the baseline \
+             (regenerate it with `lint --all --format sarif` to ratchet)",
+            self.new_findings
+        )
+    }
+}
+
+impl Error for BaselineViolation {}
 
 /// Dispatches a parsed command.
 ///
@@ -529,10 +552,16 @@ fn faultsim(model: &str, opts: &Options) -> CliResult {
     Ok(())
 }
 
-/// Lints one model (or the whole zoo) end to end: graph pack, then the view
-/// produced by clustering, then an oracle-derived instrumentation plan with
-/// the `PL209` cross-check enabled. Exits non-zero when any error-severity
-/// finding fires — this is the gate `scripts/check.sh` runs in CI.
+/// Lints one model (or the whole zoo) end to end: graph pack, the view
+/// produced by clustering, an oracle-derived instrumentation plan with the
+/// `PL209` cross-check enabled, and the `PL5xx` dataflow pack.
+///
+/// Exit behaviour (documented in the usage text): error-severity findings
+/// fail with code 1. With `--baseline FILE`, findings of *any* severity
+/// whose fingerprints are absent from the SARIF baseline additionally fail
+/// with code 3 — the ratchet gate `scripts/check.sh` runs in CI. With
+/// `--cache mem|disk`, reports for unchanged graphs are served from the
+/// [`LintCache`] (the disk tier lives under `<cache-dir>/lint`).
 fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let format = powerlens_lint::Format::parse(&opts.format)
@@ -541,10 +570,23 @@ fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
         Some(name) => vec![model_for(name)?],
         None => zoo::all_models().iter().map(|(_, build)| build()).collect(),
     };
+    let cache = match opts.cache.as_str() {
+        "mem" => Some(LintCache::mem_only()),
+        "disk" => Some(LintCache::with_disk(
+            &Path::new(&opts.cache_dir).join("lint"),
+        )?),
+        _ => None,
+    };
 
     let mut reports = Vec::new();
     for g in &targets {
-        reports.push(ops::lint_model(&platform, g, opts.batch)?);
+        match &cache {
+            Some(c) => reports.extend(ops::lint_model_cached(&platform, g, opts.batch, c)?),
+            None => reports.push(ops::lint_model(&platform, g, opts.batch)?),
+        }
+    }
+    if let Some(c) = &cache {
+        eprintln!("lint cache: hits={} misses={}", c.hits(), c.misses());
     }
 
     print!("{}", powerlens_lint::render(&reports, format));
@@ -556,6 +598,25 @@ fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
             reports.len()
         )
         .into());
+    }
+    if let Some(path) = opts.baseline.as_deref() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = powerlens_lint::baseline_fingerprints(&text)
+            .map_err(|e| format!("baseline {path}: {e}"))?;
+        let fresh = powerlens_lint::new_findings(&reports, &baseline);
+        if !fresh.is_empty() {
+            for f in &fresh {
+                eprintln!("new vs baseline: {}: {}", f.subject, f.line);
+            }
+            return Err(Box::new(BaselineViolation {
+                new_findings: fresh.len(),
+            }));
+        }
+        println!(
+            "baseline: no new findings ({} grandfathered fingerprint(s))",
+            baseline.len()
+        );
     }
     Ok(())
 }
@@ -725,6 +786,7 @@ mod tests {
                 .to_string_lossy()
                 .into_owned(),
             format: "human".into(),
+            baseline: None,
             trace: TraceMode::Off,
             cache: "off".into(),
             cache_dir: std::env::temp_dir()
@@ -878,6 +940,93 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown lint format"));
+    }
+
+    #[test]
+    fn lint_baseline_grandfathers_old_findings_and_fails_on_new() {
+        // googlenet's dead branch4.pool side chains guarantee findings on
+        // any platform, so the ratchet has something to grandfather.
+        let o = opts();
+        let platform = ops::platform_by_name(&o.platform).unwrap();
+        let g = zoo::by_name("googlenet").unwrap();
+        let reports = vec![ops::lint_model(&platform, &g, o.batch).unwrap()];
+        assert!(!reports[0].diagnostics.is_empty());
+
+        let dir = std::env::temp_dir();
+        let full = dir.join(format!(
+            "powerlens_cli_baseline_full_{}.sarif",
+            std::process::id()
+        ));
+        std::fs::write(
+            &full,
+            serde_json::to_string(&powerlens_lint::to_sarif(&reports)).unwrap(),
+        )
+        .unwrap();
+        let empty = dir.join(format!(
+            "powerlens_cli_baseline_empty_{}.sarif",
+            std::process::id()
+        ));
+        std::fs::write(&empty, "{\"runs\": []}").unwrap();
+
+        // A baseline covering every current finding: the ratchet passes.
+        let mut o = opts();
+        o.baseline = Some(full.to_string_lossy().into_owned());
+        run(Command::Lint {
+            model: Some("googlenet".into()),
+            opts: o,
+        })
+        .unwrap();
+
+        // An empty baseline: every finding is new, the typed error fires.
+        let mut o = opts();
+        o.baseline = Some(empty.to_string_lossy().into_owned());
+        let err = run(Command::Lint {
+            model: Some("googlenet".into()),
+            opts: o,
+        })
+        .unwrap_err();
+        let violation = err
+            .downcast_ref::<BaselineViolation>()
+            .expect("must be the typed ratchet error, not a plain string");
+        assert!(violation.new_findings > 0);
+
+        // A missing baseline file is an ordinary (exit 1) error.
+        let mut o = opts();
+        o.baseline = Some("/nonexistent/baseline.sarif".into());
+        let err = run(Command::Lint {
+            model: Some("googlenet".into()),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.downcast_ref::<BaselineViolation>().is_none());
+
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&empty).ok();
+    }
+
+    #[test]
+    fn lint_disk_cache_serves_the_second_invocation() {
+        let dir =
+            std::env::temp_dir().join(format!("powerlens_cli_lint_cache_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut o = opts();
+        o.cache = "disk".into();
+        o.cache_dir = dir.to_string_lossy().into_owned();
+        for _ in 0..2 {
+            run(Command::Lint {
+                model: Some("alexnet".into()),
+                opts: o.clone(),
+            })
+            .unwrap();
+        }
+        // The disk tier now holds the entry the second run was served from.
+        let entries: Vec<_> = std::fs::read_dir(dir.join("lint"))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .collect();
+        assert_eq!(entries.len(), 1, "one lint entry for one (graph, batch)");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

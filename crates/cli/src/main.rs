@@ -25,6 +25,9 @@ mod commands;
 
 use std::process::ExitCode;
 
+// Exit codes (documented in `args::USAGE`): 0 success, 1 command failure
+// (including error-severity lint findings), 2 argument errors, 3 lint
+// findings not present in the `--baseline` SARIF file.
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
@@ -32,7 +35,11 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                if e.downcast_ref::<commands::BaselineViolation>().is_some() {
+                    ExitCode::from(3)
+                } else {
+                    ExitCode::FAILURE
+                }
             }
         },
         Err(e) => {

@@ -275,8 +275,8 @@ impl<'p> PowerLens<'p> {
         InstrumentationPlan::new(points, self.platform.cpu_table().max_level())
     }
 
-    /// Debug-build gate: the lint view and plan packs run over every
-    /// planning outcome (with the exhaustive oracle as the `PL209`
+    /// Debug-build gate: the lint view, plan, and dataflow packs run over
+    /// every planning outcome (with the exhaustive oracle as the `PL209`
     /// cross-check), surface counts through the `lint.errors` /
     /// `lint.warnings` obs counters, and refuse to emit an outcome with
     /// error-severity findings. Compiled out of release builds (see
@@ -296,6 +296,18 @@ impl<'p> PowerLens<'p> {
                 view: Some(&outcome.view),
                 graph: Some(graph),
                 oracle: Some(&oracle),
+            },
+            &config,
+        ));
+        report.merge(powerlens_lint::lint_dataflow(
+            &powerlens_lint::DataflowContext {
+                graph,
+                platform: Some(self.platform),
+                view: Some(&outcome.view),
+                plan: Some(&outcome.plan),
+                batch: self.config.batch,
+                claim_images_per_joule: None,
+                sweep_limit: powerlens_lint::dataflow::DEFAULT_SWEEP_LIMIT,
             },
             &config,
         ));

@@ -79,6 +79,25 @@ impl TensorShape {
             TensorShape::Flat(_) => (1, 1),
         }
     }
+
+    /// `true` if a tensor of this shape can feed a layer that declares
+    /// `input` as its input shape: either the shapes are equal, or this is
+    /// a token sequence `Tokens(n, d)` read as `Flat(d)` by a head that
+    /// consumes a single token (e.g. the ViT class token).
+    ///
+    /// This is the single shape-compatibility relation the analyzer's
+    /// shape-chain (`PL005`) and dataflow reachability rules share. Inlined
+    /// because those callers test it O(layers²) times per graph.
+    #[inline]
+    pub fn feeds(&self, input: &TensorShape) -> bool {
+        if self == input {
+            return true;
+        }
+        matches!(
+            (*self, *input),
+            (TensorShape::Tokens { d, .. }, TensorShape::Flat(f)) if d == f
+        )
+    }
 }
 
 impl fmt::Display for TensorShape {
@@ -114,6 +133,18 @@ mod tests {
         assert_eq!(TensorShape::chw(64, 56, 28).spatial(), (56, 28));
         assert_eq!(TensorShape::tokens(197, 768).spatial(), (197, 1));
         assert_eq!(TensorShape::flat(10).spatial(), (1, 1));
+    }
+
+    #[test]
+    fn feeds_accepts_equal_and_class_token_reads() {
+        let tokens = TensorShape::tokens(197, 768);
+        assert!(tokens.feeds(&tokens));
+        assert!(tokens.feeds(&TensorShape::flat(768)), "class-token read");
+        assert!(!tokens.feeds(&TensorShape::flat(197 * 768)));
+        let chw = TensorShape::chw(64, 56, 56);
+        assert!(chw.feeds(&chw));
+        assert!(!chw.feeds(&TensorShape::flat(64 * 56 * 56)));
+        assert!(!TensorShape::flat(768).feeds(&tokens));
     }
 
     #[test]

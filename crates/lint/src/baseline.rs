@@ -1,0 +1,192 @@
+//! SARIF baseline ratcheting: diff a fresh lint run against a committed
+//! baseline and surface only *new* findings.
+//!
+//! The baseline is any SARIF 2.1.0 file this tool previously produced
+//! (`lint --all --format sarif`). Each result carries a stable
+//! `partialFingerprints` entry ([`crate::diag::fingerprint`] over rule code
+//! and fully-qualified logical location); results whose fingerprint is
+//! absent from the baseline are new. Fixing old findings never requires
+//! touching the code — re-generating the baseline "ratchets" it down.
+
+use std::collections::BTreeSet;
+
+use serde_json::Value;
+
+use crate::diag::{fingerprint, Diagnostic, Location};
+use crate::LintReport;
+
+/// The `partialFingerprints` key this tool writes. Versioned so a future
+/// fingerprint scheme can coexist with old baselines.
+pub const FINGERPRINT_KEY: &str = "powerlensFingerprint/v1";
+
+/// A finding not present in the baseline.
+#[derive(Debug, Clone)]
+pub struct NewFinding {
+    /// Subject (model) the finding is anchored to.
+    pub subject: String,
+    /// Rendered diagnostic line.
+    pub line: String,
+    /// The finding's stable fingerprint.
+    pub fingerprint: u64,
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn as_array(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Array(items) => Some(items),
+        _ => None,
+    }
+}
+
+/// Extracts the fingerprint of one SARIF `result` object. Prefers the
+/// stored [`FINGERPRINT_KEY`]; falls back to recomputing from `ruleId` plus
+/// the first logical location's `fullyQualifiedName`, so baselines produced
+/// by other SARIF writers (or hand-edited ones) still work.
+fn result_fingerprint(result: &Value) -> Option<u64> {
+    if let Some(fp) = field(result, "partialFingerprints")
+        .and_then(|m| field(m, FINGERPRINT_KEY))
+        .and_then(as_str)
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+    {
+        return Some(fp);
+    }
+    let code = field(result, "ruleId").and_then(as_str)?;
+    let fqn = field(result, "locations")
+        .and_then(as_array)
+        .and_then(|l| l.first())
+        .and_then(|l| field(l, "logicalLocations"))
+        .and_then(as_array)
+        .and_then(|l| l.first())
+        .and_then(|l| field(l, "fullyQualifiedName"))
+        .and_then(as_str)?;
+    let (subject, loc) = fqn.split_once('/')?;
+    let location = Location::parse(loc)?;
+    Some(fingerprint(code, subject, &location))
+}
+
+/// Parses a SARIF document and collects every result fingerprint.
+///
+/// Returns an error when the text is not JSON or has no `runs` array —
+/// a malformed baseline must fail loudly, not silently admit everything.
+pub fn baseline_fingerprints(sarif_text: &str) -> Result<BTreeSet<u64>, String> {
+    let doc: Value =
+        serde_json::from_str(sarif_text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let runs = field(&doc, "runs")
+        .and_then(as_array)
+        .ok_or_else(|| "baseline has no `runs` array; not a SARIF log".to_string())?;
+    let mut set = BTreeSet::new();
+    for run in runs {
+        if let Some(results) = field(run, "results").and_then(as_array) {
+            for result in results {
+                if let Some(fp) = result_fingerprint(result) {
+                    set.insert(fp);
+                }
+            }
+        }
+    }
+    Ok(set)
+}
+
+/// Findings in `reports` whose fingerprints are absent from `baseline`,
+/// in report order.
+pub fn new_findings(reports: &[LintReport], baseline: &BTreeSet<u64>) -> Vec<NewFinding> {
+    let mut out = Vec::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            let fp = d.fingerprint(&report.subject);
+            if !baseline.contains(&fp) {
+                out.push(NewFinding {
+                    subject: report.subject.clone(),
+                    line: describe(d),
+                    fingerprint: fp,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn describe(d: &Diagnostic) -> String {
+    d.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::to_sarif;
+    use crate::rules;
+
+    fn sarif_text(reports: &[LintReport]) -> String {
+        serde_json::to_string(&to_sarif(reports)).unwrap()
+    }
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new("resnet34");
+        r.push(
+            &rules::VIEW_NOT_CONTIGUOUS,
+            Location::Block(2),
+            "gap".into(),
+        );
+        r.push(
+            &rules::PLAN_NOOP_TRANSITION,
+            Location::PlanStep(1),
+            "noop".into(),
+        );
+        r
+    }
+
+    #[test]
+    fn roundtrip_sarif_baseline_admits_everything() {
+        let reports = vec![sample()];
+        let baseline = baseline_fingerprints(&sarif_text(&reports)).unwrap();
+        assert_eq!(baseline.len(), 2);
+        assert!(new_findings(&reports, &baseline).is_empty());
+    }
+
+    #[test]
+    fn new_finding_is_detected_against_old_baseline() {
+        let old = vec![sample()];
+        let baseline = baseline_fingerprints(&sarif_text(&old)).unwrap();
+
+        let mut grown = sample();
+        grown.push(
+            &rules::DF_LAYER_UNREACHABLE,
+            Location::Layer(7),
+            "cut".into(),
+        );
+        let fresh = new_findings(&[grown], &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert!(fresh[0].line.contains("PL501"));
+        assert_eq!(fresh[0].subject, "resnet34");
+    }
+
+    #[test]
+    fn fallback_recomputes_fingerprint_without_partial_fingerprints() {
+        let reports = vec![sample()];
+        let sarif = sarif_text(&reports);
+        // Strip the stored fingerprints; the ruleId + fullyQualifiedName
+        // fallback must reconstruct identical values.
+        let stripped = sarif.replace("powerlensFingerprint/v1", "someOtherKey/v9");
+        let baseline = baseline_fingerprints(&stripped).unwrap();
+        assert!(new_findings(&reports, &baseline).is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(baseline_fingerprints("not json").is_err());
+        assert!(baseline_fingerprints("{\"version\": \"2.1.0\"}").is_err());
+    }
+}

@@ -59,6 +59,29 @@ pub enum Location {
 }
 
 impl Location {
+    /// Parses the `Display` form back into a location (`"model"`,
+    /// `"layer 3"`, `"block 2"`, `"plan step 1"`, `"edge 4->9"`). This is
+    /// the inverse used when rehydrating cached reports and SARIF baselines.
+    pub fn parse(s: &str) -> Option<Location> {
+        if s == "model" {
+            return Some(Location::Model);
+        }
+        if let Some(i) = s.strip_prefix("layer ") {
+            return i.parse().ok().map(Location::Layer);
+        }
+        if let Some(i) = s.strip_prefix("block ") {
+            return i.parse().ok().map(Location::Block);
+        }
+        if let Some(i) = s.strip_prefix("plan step ") {
+            return i.parse().ok().map(Location::PlanStep);
+        }
+        if let Some(rest) = s.strip_prefix("edge ") {
+            let (a, b) = rest.split_once("->")?;
+            return Some(Location::Edge(a.parse().ok()?, b.parse().ok()?));
+        }
+        None
+    }
+
     /// SARIF `logicalLocation.kind` for this location.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -92,6 +115,30 @@ pub struct Diagnostic {
     pub location: Location,
     /// Human-readable description with concrete values.
     pub message: String,
+}
+
+/// Stable fingerprint of a finding: FNV-1a over the rule code and the
+/// fully-qualified logical location (`"{subject}/{location}"`). The same
+/// finding on the same subject always hashes identically across runs and
+/// builds, which is what SARIF baseline ratcheting diffs on. Messages are
+/// deliberately excluded — rewording a message must not un-baseline a
+/// finding.
+pub fn fingerprint(code: &str, subject: &str, location: &Location) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in code.bytes().chain(format!("{subject}/{location}").bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl Diagnostic {
+    /// This finding's stable [`fingerprint`] under the given subject.
+    pub fn fingerprint(&self, subject: &str) -> u64 {
+        fingerprint(self.rule.code, subject, &self.location)
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -165,6 +212,31 @@ impl LintReport {
         self.diagnostics.iter().any(|d| d.rule.code == code)
     }
 
+    /// Removes findings matched by any inline suppression pattern.
+    ///
+    /// Patterns, most to least specific:
+    /// `"PL503@resnet34/layer 7"` (one finding), `"PL503@resnet34"`
+    /// (a rule on one subject), `"PL503"` (a rule everywhere).
+    pub fn suppress(&mut self, patterns: &[String]) {
+        if patterns.is_empty() {
+            return;
+        }
+        let subject = self.subject.clone();
+        self.diagnostics.retain(|d| {
+            !patterns.iter().any(|p| {
+                let (code, scope) = match p.split_once('@') {
+                    Some((c, s)) => (c, Some(s)),
+                    None => (p.as_str(), None),
+                };
+                code == d.rule.code
+                    && match scope {
+                        None => true,
+                        Some(s) => s == subject || *s == format!("{subject}/{}", d.location),
+                    }
+            })
+        });
+    }
+
     /// Distinct rule codes that fired, in first-seen order.
     pub fn codes(&self) -> Vec<&'static str> {
         let mut out: Vec<&'static str> = Vec::new();
@@ -199,6 +271,68 @@ mod tests {
         assert!(r.fired("PL001"));
         assert!(!r.fired("PL104"));
         assert_eq!(r.codes().len(), 2);
+    }
+
+    #[test]
+    fn location_parse_roundtrips_every_variant() {
+        for loc in [
+            Location::Model,
+            Location::Layer(7),
+            Location::Block(0),
+            Location::PlanStep(12),
+            Location::Edge(4, 9),
+        ] {
+            assert_eq!(Location::parse(&loc.to_string()), Some(loc));
+        }
+        assert_eq!(Location::parse("nonsense"), None);
+        assert_eq!(Location::parse("layer x"), None);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_ignore_messages() {
+        let a = Diagnostic {
+            rule: &rules::GRAPH_EMPTY,
+            location: Location::Layer(3),
+            message: "one wording".into(),
+        };
+        let b = Diagnostic {
+            rule: &rules::GRAPH_EMPTY,
+            location: Location::Layer(3),
+            message: "another wording".into(),
+        };
+        assert_eq!(a.fingerprint("m"), b.fingerprint("m"));
+        assert_ne!(a.fingerprint("m"), a.fingerprint("other-model"));
+        let c = Diagnostic {
+            rule: &rules::GRAPH_EMPTY,
+            location: Location::Layer(4),
+            message: "one wording".into(),
+        };
+        assert_ne!(a.fingerprint("m"), c.fingerprint("m"));
+        // Reconstructible from SARIF fields alone (ruleId + fqn).
+        assert_eq!(
+            a.fingerprint("m"),
+            fingerprint("PL001", "m", &Location::Layer(3))
+        );
+    }
+
+    #[test]
+    fn suppress_matches_code_subject_and_location_scopes() {
+        let mut r = LintReport::new("resnet34");
+        r.push(&rules::GRAPH_EMPTY, Location::Layer(3), "x".into());
+        r.push(&rules::GRAPH_EMPTY, Location::Layer(4), "x".into());
+        r.push(&rules::ZERO_FLOP_LAYER, Location::Layer(3), "x".into());
+        let mut scoped = r.clone();
+        scoped.suppress(&["PL001@resnet34/layer 3".to_string()]);
+        assert_eq!(scoped.diagnostics.len(), 2);
+        let mut by_subject = r.clone();
+        by_subject.suppress(&["PL001@resnet34".to_string()]);
+        assert_eq!(by_subject.diagnostics.len(), 1);
+        let mut other_subject = r.clone();
+        other_subject.suppress(&["PL001@alexnet".to_string()]);
+        assert_eq!(other_subject.diagnostics.len(), 3);
+        r.suppress(&["PL001".to_string()]);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert!(r.fired("PL011"));
     }
 
     #[test]

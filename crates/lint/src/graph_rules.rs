@@ -28,8 +28,10 @@ pub fn check(graph: &Graph, config: &LintConfig, report: &mut LintReport) {
     // Shapes any later layer may legally consume: the graph input, every
     // earlier output, and — for branch heads that re-read a token stream as
     // a vector (ViT class-token extraction) — the flattened embedding of any
-    // earlier token output.
-    let mut known_shapes: Vec<TensorShape> = vec![graph.input_shape()];
+    // earlier token output. A set, so the per-layer check is O(1) instead
+    // of a scan over every earlier output.
+    let mut known_shapes = crate::dataflow::ShapeSet::default();
+    known_shapes.insert(graph.input_shape());
 
     for (idx, layer) in graph.layers().iter().enumerate() {
         let loc = Location::Layer(idx);
@@ -43,7 +45,7 @@ pub fn check(graph: &Graph, config: &LintConfig, report: &mut LintReport) {
         }
 
         if config.enabled(rules::SHAPE_CHAIN_BROKEN.code)
-            && !consumable(&known_shapes, layer.input_shape)
+            && !known_shapes.any_feeds(&layer.input_shape)
         {
             report.push(
                 &rules::SHAPE_CHAIN_BROKEN,
@@ -54,7 +56,7 @@ pub fn check(graph: &Graph, config: &LintConfig, report: &mut LintReport) {
                 ),
             );
         }
-        known_shapes.push(layer.output_shape);
+        known_shapes.insert(layer.output_shape);
 
         let shapes_ok = check_op(layer, idx, config, report);
 
@@ -87,17 +89,12 @@ pub fn check(graph: &Graph, config: &LintConfig, report: &mut LintReport) {
 
 /// `true` if `input` is one of the known upstream shapes, or the flattening
 /// of a known token stream (`Tokens(n, d)` may be re-read as `Flat(d)` when
-/// a head consumes a single token, e.g. the ViT class token).
-fn consumable(known: &[TensorShape], input: TensorShape) -> bool {
-    if known.contains(&input) {
-        return true;
-    }
-    match input {
-        TensorShape::Flat(d) => known
-            .iter()
-            .any(|s| matches!(*s, TensorShape::Tokens { d: kd, .. } if kd == d)),
-        _ => false,
-    }
+/// a head consumes a single token, e.g. the ViT class token). The
+/// compatibility relation itself lives in [`TensorShape::feeds`], shared
+/// with the dataflow engine's reachability analysis.
+#[cfg(test)]
+pub(crate) fn consumable(known: &[TensorShape], input: TensorShape) -> bool {
+    known.iter().any(|s| s.feeds(&input))
 }
 
 /// Per-operator rules: degenerate hyperparameters (`PL007`), shape

@@ -12,7 +12,7 @@
 //! output (human text, JSON, SARIF 2.1.0) — the offline-position analog of
 //! NeuralPower/DSO-style static model validation.
 //!
-//! Three rule packs:
+//! The rule packs:
 //!
 //! * **graph** ([`lint_graph`]): shape-inference consistency, dangling or
 //!   cyclic skip edges, degenerate operator hyperparameters, stale cost
@@ -21,7 +21,16 @@
 //!   minimum block length, block/layer count agreement;
 //! * **plan** ([`lint_plan`]): frequency levels exist on the target
 //!   [`Platform`], points precede their blocks in monotone order, no-op
-//!   transitions, oracle cross-checks.
+//!   transitions, oracle cross-checks;
+//! * **dataflow** ([`lint_dataflow`]): worklist fixpoint facts (reachability,
+//!   liveness, output-size intervals, energy envelopes) cross-checked
+//!   against the plan, the platform's frequency tables, and the view.
+//!
+//! CI-grade infrastructure on top of the packs: per-rule metadata
+//! (category, since-version, help URIs — [`RuleInfo`]), stable diagnostic
+//! fingerprints, inline suppressions ([`LintConfig::suppressions`]), SARIF
+//! baseline ratcheting ([`baseline_fingerprints`] / [`new_findings`]), and
+//! lint-report caching content-addressed through `powerlens-store`.
 //!
 //! The catalog lives in `docs/LINTS.md`; gates run in the `lint` CLI
 //! subcommand, in debug builds of `core::pipeline` / `sim::engine`, and in
@@ -39,6 +48,9 @@
 
 #![forbid(unsafe_code)]
 
+mod baseline;
+pub mod dataflow;
+mod dataflow_rules;
 mod diag;
 mod fault_rules;
 mod graph_rules;
@@ -48,17 +60,23 @@ mod rules;
 mod store_rules;
 mod view_rules;
 
+use std::collections::BTreeSet;
+
 use powerlens_cluster::{DistanceCache, PowerView};
 use powerlens_dnn::Graph;
 use powerlens_faults::FaultPlan;
 use powerlens_obs as obs;
 use powerlens_platform::{FreqLevel, InstrumentationPlan, Platform};
 
-pub use diag::{Diagnostic, LintReport, Location, Severity};
+pub use baseline::{baseline_fingerprints, new_findings, NewFinding, FINGERPRINT_KEY};
+pub use dataflow_rules::DataflowContext;
+pub use diag::{fingerprint, Diagnostic, LintReport, Location, Severity};
 pub use fault_rules::MAX_REASONABLE_SIGMA;
-pub use output::{render, to_json, to_sarif, Format};
+pub use output::{
+    dedupe_for_render, render, report_from_value, report_to_value, to_json, to_sarif, Format,
+};
 pub use plan_rules::PlanContext;
-pub use rules::{all_rules, rule_by_code, Pack, RuleInfo};
+pub use rules::{all_rules, rule_by_code, Pack, RuleInfo, RULES_VERSION};
 pub use store_rules::{platform_signature, CachedPlanContext};
 
 /// Tunables of the analyzer; rule *logic* is fixed, thresholds are not.
@@ -71,27 +89,49 @@ pub struct LintConfig {
     /// `PL209` fires when a block's level differs from the oracle's by more
     /// than this many frequency steps.
     pub oracle_tolerance: usize,
-    /// Rule codes to suppress entirely (e.g. `["PL011"]`).
-    pub disabled: Vec<String>,
+    /// `PL506` fires when boot-frequency energy before the first
+    /// instrumentation point exceeds this fraction of the best-case total.
+    pub boot_energy_fraction: f64,
+    /// `PL507` fires when a block's busy-utilization envelopes are disjoint
+    /// by more than this gap.
+    pub activity_margin: f64,
+    /// Rule codes to disable entirely (e.g. `{"PL011"}`). A set, so the
+    /// per-finding `enabled` check is O(log n) instead of a linear scan.
+    pub disabled: BTreeSet<String>,
+    /// Inline suppressions of individual findings: `"PL503"`,
+    /// `"PL503@resnet34"`, or `"PL503@resnet34/layer 7"`. Unlike `disabled`
+    /// (the rule never runs), a suppressed rule still runs and its findings
+    /// are dropped after the fact — scoped waivers, not dead switches.
+    pub suppressions: Vec<String>,
 }
 
 impl Default for LintConfig {
     /// Thresholds matching the pipeline defaults (`PowerLensConfig`):
-    /// min block length 2, at most 8 blocks, oracle tolerance 2 levels.
+    /// min block length 2, at most 8 blocks, oracle tolerance 2 levels,
+    /// 10% boot-energy budget, 0.25 activity-envelope margin.
     fn default() -> Self {
         LintConfig {
             min_block_len: 2,
             max_blocks: 8,
             oracle_tolerance: 2,
-            disabled: Vec::new(),
+            boot_energy_fraction: 0.10,
+            activity_margin: 0.25,
+            disabled: BTreeSet::new(),
+            suppressions: Vec::new(),
         }
     }
 }
 
 impl LintConfig {
-    /// `true` unless `code` is in the disabled list.
+    /// `true` unless `code` is in the disabled set.
     pub fn enabled(&self, code: &str) -> bool {
-        !self.disabled.iter().any(|c| c == code)
+        !self.disabled.contains(code)
+    }
+
+    /// Applies this config's inline suppressions to a finished report.
+    fn finish(&self, mut report: LintReport) -> LintReport {
+        report.suppress(&self.suppressions);
+        report
     }
 }
 
@@ -100,7 +140,7 @@ pub fn lint_graph(graph: &Graph, config: &LintConfig) -> LintReport {
     let _span = obs::span("lint.graph");
     let mut report = LintReport::new(graph.name());
     graph_rules::check(graph, config, &mut report);
-    report
+    config.finish(report)
 }
 
 /// Runs the **view pack** over a power view; pass the source graph to also
@@ -110,7 +150,7 @@ pub fn lint_view(view: &PowerView, graph: Option<&Graph>, config: &LintConfig) -
     let subject = graph.map_or_else(|| "power-view".to_string(), |g| g.name().to_string());
     let mut report = LintReport::new(subject);
     view_rules::check(view, graph, config, &mut report);
-    report
+    config.finish(report)
 }
 
 /// Runs the distance-cache shape rule (`PL108`, view pack) over a
@@ -130,7 +170,7 @@ pub fn lint_distance_cache(
     let subject = graph.map_or_else(|| "distance-cache".to_string(), |g| g.name().to_string());
     let mut report = LintReport::new(subject);
     view_rules::check_distance_cache(cache, graph, config, &mut report);
-    report
+    config.finish(report)
 }
 
 /// Runs the **plan pack** over a DVFS plan in its deployment context (target
@@ -142,7 +182,7 @@ pub fn lint_plan(ctx: &PlanContext<'_>, config: &LintConfig) -> LintReport {
         .map_or_else(|| "dvfs-plan".to_string(), |g| g.name().to_string());
     let mut report = LintReport::new(subject);
     plan_rules::check(ctx, config, &mut report);
-    report
+    config.finish(report)
 }
 
 /// Runs the **store pack** plus the plan pack over a plan deserialized from
@@ -165,7 +205,7 @@ pub fn lint_cached_plan(ctx: &CachedPlanContext<'_>, config: &LintConfig) -> Lin
         },
         config,
     ));
-    report
+    config.finish(report)
 }
 
 /// Runs the **faults pack** over a fault-injection plan. Pass the target
@@ -180,15 +220,24 @@ pub fn lint_fault_plan(
     let _span = obs::span("lint.faults");
     let mut report = LintReport::new("fault-plan");
     fault_rules::check(plan, platform, config, &mut report);
-    report
+    config.finish(report)
 }
 
-/// Runs all three packs over a full pipeline output and merges the findings.
+/// Runs the **dataflow pack**: fixpoint facts over the graph cross-checked
+/// against whatever companion artifacts the [`DataflowContext`] supplies.
+pub fn lint_dataflow(ctx: &DataflowContext<'_>, config: &LintConfig) -> LintReport {
+    let _span = obs::span("lint.dataflow");
+    config.finish(dataflow_rules::check(ctx, config))
+}
+
+/// Runs every artifact pack (graph, view, plan, dataflow) over a full
+/// pipeline output at the given batch size and merges the findings.
 pub fn lint_pipeline(
     graph: &Graph,
     view: &PowerView,
     plan: &InstrumentationPlan,
     platform: &Platform,
+    batch: usize,
     oracle: Option<&dyn Fn(usize, usize) -> FreqLevel>,
     config: &LintConfig,
 ) -> LintReport {
@@ -201,6 +250,18 @@ pub fn lint_pipeline(
             view: Some(view),
             graph: Some(graph),
             oracle,
+        },
+        config,
+    ));
+    report.merge(lint_dataflow(
+        &DataflowContext {
+            graph,
+            platform: Some(platform),
+            view: Some(view),
+            plan: Some(plan),
+            batch,
+            claim_images_per_joule: None,
+            sweep_limit: dataflow::DEFAULT_SWEEP_LIMIT,
         },
         config,
     ));
@@ -232,7 +293,7 @@ mod tests {
     #[test]
     fn disabled_rules_do_not_fire() {
         let mut c = LintConfig::default();
-        c.disabled.push("PL011".to_string());
+        c.disabled.insert("PL011".to_string());
         let g = zoo::resnet34();
         let r = lint_graph(&g, &c);
         assert!(!r.fired("PL011"));
@@ -325,8 +386,40 @@ mod tests {
     #[test]
     fn zoo_models_are_error_free() {
         for (name, build) in zoo::all_models() {
-            let r = lint_graph(&build(), &LintConfig::default());
+            let g = build();
+            let r = lint_graph(&g, &LintConfig::default());
             assert!(!r.has_errors(), "{name}: {:?}", r.diagnostics);
+            let df = lint_dataflow(&DataflowContext::new(&g), &LintConfig::default());
+            assert!(!df.has_errors(), "{name} dataflow: {:?}", df.diagnostics);
         }
+    }
+
+    #[test]
+    fn suppressions_drop_individual_findings() {
+        // GoogLeNet's nine shape-restoring branch pools are stable PL502
+        // anchors — plenty of findings to suppress selectively.
+        let g = zoo::googlenet();
+        let baseline = lint_dataflow(&DataflowContext::new(&g), &LintConfig::default());
+        let locs: Vec<String> = baseline
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule.code == "PL502")
+            .map(|d| d.location.to_string())
+            .collect();
+        assert!(locs.len() > 1, "need several PL502 anchors, got {locs:?}");
+
+        let mut c = LintConfig::default();
+        c.suppressions.push(format!("PL502@googlenet/{}", locs[0]));
+        let scoped = lint_dataflow(&DataflowContext::new(&g), &c);
+        assert!(!scoped
+            .diagnostics
+            .iter()
+            .any(|d| d.rule.code == "PL502" && d.location.to_string() == locs[0]));
+        // Other anchors of the same rule survive a scoped suppression.
+        assert!(scoped.fired("PL502"));
+
+        let mut all = LintConfig::default();
+        all.suppressions.push("PL502".to_string());
+        assert!(!lint_dataflow(&DataflowContext::new(&g), &all).fired("PL502"));
     }
 }

@@ -4,8 +4,9 @@ use std::fmt::Write as _;
 
 use serde::Value;
 
-use crate::diag::{LintReport, Severity};
-use crate::rules::{all_rules, RuleInfo};
+use crate::baseline::FINGERPRINT_KEY;
+use crate::diag::{Diagnostic, LintReport, Location, Severity};
+use crate::rules::{all_rules, rule_by_code, RuleInfo};
 
 /// Output format of the `lint` subcommand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,17 +31,36 @@ impl Format {
     }
 }
 
-/// Renders reports in the requested format.
+/// Renders reports in the requested format. Findings with identical
+/// `(code, location)` within one report are collapsed to the first before
+/// rendering — a rule that fires N times on the same anchor carries one
+/// actionable message, not N lines of noise. Reports themselves (and their
+/// counts) keep every finding.
 pub fn render(reports: &[LintReport], format: Format) -> String {
+    let deduped: Vec<LintReport> = reports.iter().map(dedupe_for_render).collect();
     match format {
-        Format::Human => render_human(reports),
+        Format::Human => render_human(&deduped),
         Format::Json => {
-            serde_json::to_string_pretty(&to_json(reports)).expect("value tree always serializes")
+            serde_json::to_string_pretty(&to_json(&deduped)).expect("value tree always serializes")
         }
         Format::Sarif => {
-            serde_json::to_string_pretty(&to_sarif(reports)).expect("value tree always serializes")
+            serde_json::to_string_pretty(&to_sarif(&deduped)).expect("value tree always serializes")
         }
     }
+}
+
+/// Collapses findings with identical `(code, location)` to the first one.
+pub fn dedupe_for_render(report: &LintReport) -> LintReport {
+    let mut seen: Vec<(&str, Location)> = Vec::new();
+    let mut out = LintReport::new(report.subject.clone());
+    for d in &report.diagnostics {
+        let key = (d.rule.code, d.location);
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.diagnostics.push(d.clone());
+        }
+    }
+    out
 }
 
 fn render_human(reports: &[LintReport]) -> String {
@@ -127,9 +147,18 @@ fn sarif_rule(r: &RuleInfo) -> Value {
                 s(format!("{} (paper: {})", r.invariant, r.paper_ref)),
             )]),
         ),
+        ("helpUri", s(r.help_uri())),
         (
             "defaultConfiguration",
             obj(vec![("level", s(r.severity.sarif_level()))]),
+        ),
+        (
+            "properties",
+            obj(vec![
+                ("category", s(r.category)),
+                ("since", n(r.since as usize)),
+                ("pack", s(r.pack.label())),
+            ]),
         ),
     ])
 }
@@ -149,6 +178,13 @@ pub fn to_sarif(reports: &[LintReport]) -> Value {
                 ("ruleIndex", n(rule_index(d.rule.code))),
                 ("level", s(d.rule.severity.sarif_level())),
                 ("message", obj(vec![("text", s(d.message.clone()))])),
+                (
+                    "partialFingerprints",
+                    obj(vec![(
+                        FINGERPRINT_KEY,
+                        s(format!("{:016x}", d.fingerprint(&r.subject))),
+                    )]),
+                ),
                 (
                     "locations",
                     Value::Array(vec![obj(vec![(
@@ -192,6 +228,66 @@ pub fn to_sarif(reports: &[LintReport]) -> Value {
             ])]),
         ),
     ])
+}
+
+/// Lossless value-tree form of one report, used by the content-addressed
+/// lint cache. Unlike [`to_json`] consumers, the cache must reconstruct the
+/// exact [`LintReport`] (including duplicate findings), so this pairs with
+/// [`report_from_value`].
+pub fn report_to_value(report: &LintReport) -> Value {
+    let diagnostics = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("code", s(d.rule.code)),
+                ("location", s(d.location.to_string())),
+                ("message", s(d.message.clone())),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("subject", s(report.subject.clone())),
+        ("diagnostics", Value::Array(diagnostics)),
+    ])
+}
+
+/// Inverse of [`report_to_value`]. Fails (rather than dropping findings)
+/// when a stored code or location no longer resolves — a stale cache entry
+/// must be discarded, not half-trusted.
+pub fn report_from_value(v: &Value) -> Result<LintReport, String> {
+    let get_str = |v: &Value, name: &str| -> Result<String, String> {
+        match v.field(name) {
+            Ok(Value::Str(x)) => Ok(x.clone()),
+            Ok(other) => Err(format!("`{name}` must be a string, got {}", other.kind())),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    let subject = get_str(v, "subject")?;
+    let items = match v.field("diagnostics") {
+        Ok(Value::Array(a)) => a,
+        Ok(other) => {
+            return Err(format!(
+                "`diagnostics` must be an array, got {}",
+                other.kind()
+            ))
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let mut report = LintReport::new(subject);
+    for item in items {
+        let code = get_str(item, "code")?;
+        let rule = rule_by_code(&code).ok_or_else(|| format!("unknown rule code `{code}`"))?;
+        let loc_text = get_str(item, "location")?;
+        let location = Location::parse(&loc_text)
+            .ok_or_else(|| format!("unparseable location `{loc_text}`"))?;
+        report.diagnostics.push(Diagnostic {
+            rule,
+            location,
+            message: get_str(item, "message")?,
+        });
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -275,5 +371,116 @@ mod tests {
         let loc = first.field("locations").unwrap();
         let txt = serde_json::to_string(loc).unwrap();
         assert!(txt.contains("resnet34/block 2"));
+    }
+
+    #[test]
+    fn sarif_rules_carry_metadata_and_fingerprints() {
+        let v = to_sarif(&sample());
+        let runs = match v.field("runs").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("runs must be an array"),
+        };
+        let driver = runs[0].field("tool").unwrap().field("driver").unwrap();
+        let rules_arr = match driver.field("rules").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("rules must be an array"),
+        };
+        for r in rules_arr {
+            let uri = match r.field("helpUri").unwrap() {
+                Value::Str(u) => u,
+                _ => panic!("helpUri must be a string"),
+            };
+            assert!(uri.contains("LINTS.md#pl"));
+            let props = r.field("properties").unwrap();
+            assert!(matches!(props.field("category").unwrap(), Value::Str(_)));
+            assert!(matches!(props.field("since").unwrap(), Value::Num(_)));
+        }
+        let results = match runs[0].field("results").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("results must be an array"),
+        };
+        let fp = results[0]
+            .field("partialFingerprints")
+            .unwrap()
+            .field(crate::baseline::FINGERPRINT_KEY)
+            .unwrap();
+        let hex = match fp {
+            Value::Str(h) => h,
+            _ => panic!("fingerprint must be a hex string"),
+        };
+        assert_eq!(hex.len(), 16);
+        assert!(u64::from_str_radix(hex, 16).is_ok());
+    }
+
+    #[test]
+    fn render_dedupes_identical_code_and_location() {
+        let mut r = LintReport::new("m");
+        for _ in 0..3 {
+            r.push(
+                &rules::GRAPH_EMPTY,
+                Location::Layer(1),
+                "same anchor".into(),
+            );
+        }
+        r.push(
+            &rules::GRAPH_EMPTY,
+            Location::Layer(2),
+            "other anchor".into(),
+        );
+        assert_eq!(r.num_errors(), 4, "the report itself keeps all findings");
+        let human = render(std::slice::from_ref(&r), Format::Human);
+        assert_eq!(human.matches("layer 1").count(), 1);
+        assert!(human.contains("layer 2"));
+        let sarif: Value =
+            serde_json::from_str(&render(std::slice::from_ref(&r), Format::Sarif)).unwrap();
+        let runs = match sarif.field("runs").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!(),
+        };
+        let results = match runs[0].field("results").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn report_value_roundtrip_is_lossless() {
+        let mut r = LintReport::new("resnet34");
+        r.push(
+            &rules::VIEW_NOT_CONTIGUOUS,
+            Location::Block(2),
+            "gap".into(),
+        );
+        r.push(
+            &rules::VIEW_NOT_CONTIGUOUS,
+            Location::Block(2),
+            "gap again".into(),
+        );
+        r.push(&rules::DF_LAYER_DEAD, Location::Layer(9), "dead".into());
+        let back = report_from_value(&report_to_value(&r)).unwrap();
+        assert_eq!(back.subject, r.subject);
+        assert_eq!(back.diagnostics.len(), 3, "duplicates survive the cache");
+        for (a, b) in r.diagnostics.iter().zip(&back.diagnostics) {
+            assert_eq!(a.rule.code, b.rule.code);
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.message, b.message);
+        }
+    }
+
+    #[test]
+    fn report_from_value_rejects_stale_codes() {
+        let v = obj(vec![
+            ("subject", s("m")),
+            (
+                "diagnostics",
+                Value::Array(vec![obj(vec![
+                    ("code", s("PL999")),
+                    ("location", s("model")),
+                    ("message", s("gone")),
+                ])]),
+            ),
+        ]);
+        assert!(report_from_value(&v).is_err());
     }
 }

@@ -227,7 +227,7 @@ mod tests {
         assert_eq!(r.num_errors(), 3, "{:?}", r.diagnostics);
         // Suppression works like every other rule.
         let mut off = LintConfig::default();
-        off.disabled.push("PL108".to_string());
+        off.disabled.insert("PL108".to_string());
         let mut quiet = LintReport::new("t");
         check_distance_cache(&bad, Some(&g), &off, &mut quiet);
         assert!(quiet.diagnostics.is_empty());

@@ -5,9 +5,9 @@ use powerlens_cluster::{cluster_graph, ClusterParams, DistanceCache, PowerBlock,
 use powerlens_dnn::{zoo, Graph, OpKind, TensorShape};
 use powerlens_faults::{FaultPlan, MAX_RETRY_BUDGET};
 use powerlens_lint::{
-    all_rules, lint_cached_plan, lint_distance_cache, lint_fault_plan, lint_graph, lint_plan,
-    lint_view, platform_signature, render, to_sarif, CachedPlanContext, Format, LintConfig,
-    LintReport, Pack, PlanContext, Severity,
+    all_rules, lint_cached_plan, lint_dataflow, lint_distance_cache, lint_fault_plan, lint_graph,
+    lint_plan, lint_view, platform_signature, render, to_sarif, CachedPlanContext, DataflowContext,
+    Format, LintConfig, LintReport, Pack, PlanContext, Severity,
 };
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 
@@ -254,6 +254,45 @@ fn seed_fault(code: &str) -> LintReport {
             Some(&agx),
             &config,
         ),
+        // ---- dataflow faults ----
+        "PL501" => {
+            // Sever a layer's input: nothing upstream produces this shape.
+            let mut layers = base.layers().to_vec();
+            layers[3].input_shape = TensorShape::chw(999, 1, 1);
+            let g = Graph::from_parts("severed", base.input_shape(), layers, vec![]);
+            lint_dataflow(&DataflowContext::new(&g), &config)
+        }
+        "PL503" => {
+            // Declared output size falls outside the derived interval.
+            let mut layers = base.layers().to_vec();
+            layers[2].output_shape = TensorShape::chw(1, 1, 7);
+            let g = Graph::from_parts("corrupt", base.input_shape(), layers, vec![]);
+            lint_dataflow(&DataflowContext::new(&g), &config)
+        }
+        "PL504" => {
+            // A plan switch point lands on an unreachable layer.
+            let mut layers = base.layers().to_vec();
+            layers[3].input_shape = TensorShape::chw(999, 1, 1);
+            let g = Graph::from_parts("severed", base.input_shape(), layers, vec![]);
+            let plan = InstrumentationPlan::new(vec![point(0, 1), point(3, 2)], 0);
+            let mut ctx = DataflowContext::new(&g);
+            ctx.plan = Some(&plan);
+            lint_dataflow(&ctx, &config)
+        }
+        "PL505" => {
+            // An energy-efficiency claim far above the static envelope.
+            let mut ctx = DataflowContext::new(&base);
+            ctx.platform = Some(&agx);
+            ctx.batch = 8;
+            ctx.claim_images_per_joule = Some(f64::MAX);
+            lint_dataflow(&ctx, &config)
+        }
+        "PL508" => {
+            // Zero sweep budget: the fixpoint cannot stabilize.
+            let mut ctx = DataflowContext::new(&base);
+            ctx.sweep_limit = 0;
+            lint_dataflow(&ctx, &config)
+        }
         other => panic!("no fault injector for {other}"),
     }
 }
@@ -284,6 +323,7 @@ fn catalog_spans_all_packs_with_enough_rules() {
     }
     assert!(rules.iter().filter(|r| r.pack == Pack::Store).count() >= 2);
     assert!(rules.iter().filter(|r| r.pack == Pack::Faults).count() >= 5);
+    assert!(rules.iter().filter(|r| r.pack == Pack::Dataflow).count() >= 8);
 }
 
 #[test]

@@ -273,12 +273,27 @@ impl Platform {
         gpu_level: FreqLevel,
         cpu_level: FreqLevel,
     ) -> LayerTiming {
-        let f_gpu = self.gpu.freq_hz(gpu_level);
-        let f_cpu = self.cpu.freq_hz(cpu_level);
         let eff = Self::kernel_efficiency(&layer.op);
         let flops = layer.flops() * batch as f64;
         // Activations scale with batch; weights stream once per kernel.
         let bytes = layer.activation_bytes() * batch as f64 + layer.weight_bytes();
+        self.timing_from(flops, bytes, eff, gpu_level, cpu_level)
+    }
+
+    /// [`layer_timing`](Self::layer_timing) with the layer-derived
+    /// quantities already extracted, so per-level sweeps
+    /// ([`layer_envelope`](Self::layer_envelope)) hoist them out of the
+    /// loop instead of re-walking the operator every iteration.
+    fn timing_from(
+        &self,
+        flops: f64,
+        bytes: f64,
+        eff: f64,
+        gpu_level: FreqLevel,
+        cpu_level: FreqLevel,
+    ) -> LayerTiming {
+        let f_gpu = self.gpu.freq_hz(gpu_level);
+        let f_cpu = self.cpu.freq_hz(cpu_level);
 
         let compute = if flops > 0.0 {
             self.kernel_overhead + flops / (self.flops_per_cycle * f_gpu * eff)
@@ -370,6 +385,138 @@ impl Platform {
         let t = self.layer_timing(layer, batch, gpu_level, cpu_level);
         self.layer_power(&t, gpu_level, cpu_level) * t.total
     }
+
+    /// Static envelope of `layer` over *every* GPU level at a fixed CPU
+    /// level: the tightest `[lo, hi]` bounds any DVFS plan on this platform
+    /// can achieve for energy, runtime, and busy utilization. This is the
+    /// abstract-domain seed of the lint crate's dataflow analysis — a plan
+    /// claiming numbers outside these bounds is statically impossible.
+    pub fn layer_envelope(
+        &self,
+        layer: &Layer,
+        batch: usize,
+        cpu_level: FreqLevel,
+    ) -> LayerEnvelope {
+        self.graph_envelopes(std::slice::from_ref(layer), batch, cpu_level)
+            .pop()
+            .expect("one layer in, one envelope out")
+    }
+
+    /// [`layer_envelope`](Self::layer_envelope) for a whole layer sequence
+    /// at once. The per-GPU-level coefficients (frequency reciprocal,
+    /// dynamic-power coefficient) are hoisted across all layers, and the
+    /// per-level energy is evaluated in an expanded division-free form, so
+    /// the layers x levels sweep is a short dependency-free arithmetic
+    /// kernel. Bounds are rounded *outward* by a relative [`ENVELOPE_SLOP`]
+    /// so they remain a sound over-approximation of the exact
+    /// [`layer_energy`](Self::layer_energy) / [`layer_timing`](Self::layer_timing)
+    /// values despite the re-associated arithmetic.
+    pub fn graph_envelopes(
+        &self,
+        layers: &[Layer],
+        batch: usize,
+        cpu_level: FreqLevel,
+    ) -> Vec<LayerEnvelope> {
+        let f_cpu = self.cpu.freq_hz(cpu_level);
+        let cpu_scale = self.cpu.freq_hz(self.cpu.max_level()) / f_cpu;
+        let launch = self.launch_base * (0.4 + 0.6 * cpu_scale);
+        let idle = self.idle_power(0, cpu_level);
+        let cpu_dyn = self.cpu_power.c_eff * self.cpu.voltage(cpu_level).powi(2) * f_cpu;
+        // Per-level invariants: 1/(flops_per_cycle * f_gpu) for the compute
+        // roofline, and the GPU dynamic-power coefficient c_eff * V^2 * f.
+        let levels: Vec<(f64, f64)> = (0..self.gpu_levels())
+            .map(|g| {
+                let f = self.gpu.freq_hz(g);
+                (
+                    1.0 / (self.flops_per_cycle * f),
+                    self.gpu_power.c_eff * self.gpu.voltage(g).powi(2) * f,
+                )
+            })
+            .collect();
+
+        layers
+            .iter()
+            .map(|layer| {
+                let eff = Self::kernel_efficiency(&layer.op);
+                let flops = layer.flops() * batch as f64;
+                let bytes = layer.activation_bytes() * batch as f64 + layer.weight_bytes();
+                let memory = bytes / self.mem_bw;
+                let flops_eff = flops / eff;
+                let (mut e_lo, mut e_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                let (mut r_lo, mut r_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &(inv_fpc_f, gpu_dyn) in &levels {
+                    let compute = if flops > 0.0 {
+                        self.kernel_overhead + flops_eff * inv_fpc_f
+                    } else {
+                        0.0
+                    };
+                    // The kernel-resident span: compute or memory stalls.
+                    let resident = compute.max(memory);
+                    let total = resident + launch;
+                    // layer_power * total with `total` distributed through:
+                    // every activity-fraction division by `total` cancels,
+                    // leaving the clamps as min/max against `total` itself.
+                    let e = if total > 0.0 {
+                        let gpu_act_t = (compute + self.stall_activity * (resident - compute))
+                            .max(self.clock_floor * total);
+                        let mem_act_t = memory.min(total);
+                        let cpu_act_t = (launch + 0.10 * total).min(total);
+                        idle * total
+                            + gpu_dyn * gpu_act_t
+                            + self.mem_max_w * mem_act_t
+                            + cpu_dyn * cpu_act_t
+                    } else {
+                        0.0
+                    };
+                    (e_lo, e_hi) = (e_lo.min(e), e_hi.max(e));
+                    (r_lo, r_hi) = (r_lo.min(resident), r_hi.max(resident));
+                }
+                // Runtime and busy utilization are monotone in the resident
+                // span (launch is level-independent), so their extremes are
+                // the extremes of `resident` pushed through the formulas.
+                let busy = |r: f64| {
+                    let t = r + launch;
+                    if t > 0.0 {
+                        r / t
+                    } else {
+                        0.0
+                    }
+                };
+                let out = |lo: f64, hi: f64| {
+                    (lo - lo.abs() * ENVELOPE_SLOP, hi + hi.abs() * ENVELOPE_SLOP)
+                };
+                LayerEnvelope {
+                    energy: out(e_lo, e_hi),
+                    runtime: out(r_lo + launch, r_hi + launch),
+                    busy_util: {
+                        let (lo, hi) = out(busy(r_lo), busy(r_hi));
+                        (lo.max(0.0), hi.min(1.0))
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// Relative outward rounding applied to [`Platform::graph_envelopes`]
+/// bounds. The fast kernel re-associates the exact per-level arithmetic,
+/// which drifts results by a few ULPs (~1e-15 relative); widening by 1e-9
+/// keeps the envelope a strict superset of every exact per-level value
+/// while staying 6+ orders of magnitude below any threshold the lint rules
+/// compare against.
+pub const ENVELOPE_SLOP: f64 = 1e-9;
+
+/// `[lo, hi]` bounds of one layer's behaviour across the whole GPU
+/// frequency table (see [`Platform::layer_envelope`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerEnvelope {
+    /// Energy bounds in joules.
+    pub energy: (f64, f64),
+    /// Runtime bounds in seconds.
+    pub runtime: (f64, f64),
+    /// Busy-utilization bounds (fraction of the layer's span the board is
+    /// doing compute or memory work, as opposed to launch overhead).
+    pub busy_util: (f64, f64),
 }
 
 #[cfg(test)]
@@ -546,5 +693,25 @@ mod tests {
     fn with_transition_cost_override() {
         let p = Platform::agx().with_dvfs_transition_cost(0.01);
         assert_eq!(p.dvfs_transition_cost(), 0.01);
+    }
+
+    #[test]
+    fn layer_envelope_bounds_every_level() {
+        let p = Platform::agx();
+        let cl = p.cpu_table().max_level();
+        for l in zoo::alexnet().layers() {
+            let env = p.layer_envelope(l, 8, cl);
+            assert!(env.energy.0 <= env.energy.1, "{}", l.name);
+            assert!(env.runtime.0 <= env.runtime.1);
+            assert!(env.busy_util.0 <= env.busy_util.1);
+            assert!((0.0..=1.0).contains(&env.busy_util.0));
+            assert!((0.0..=1.0).contains(&env.busy_util.1));
+            for g in 0..p.gpu_levels() {
+                let e = p.layer_energy(l, 8, g, cl);
+                let t = p.layer_timing(l, 8, g, cl).total;
+                assert!(env.energy.0 <= e && e <= env.energy.1);
+                assert!(env.runtime.0 <= t && t <= env.runtime.1);
+            }
+        }
     }
 }

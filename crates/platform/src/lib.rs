@@ -43,7 +43,7 @@ mod plan;
 mod power;
 mod sensor;
 
-pub use board::{LayerTiming, Platform};
+pub use board::{LayerEnvelope, LayerTiming, Platform, ENVELOPE_SLOP};
 pub use builder::PlatformBuilder;
 pub use dvfs::{Domain, DvfsActuator, SwitchOutcome};
 pub use freq::{FreqLevel, FrequencyTable};

@@ -18,6 +18,7 @@ use powerlens_governors::{oracle, Bim, FpgCg, FpgG};
 use powerlens_lint::LintReport;
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 use powerlens_sim::{run_taskflow, Controller, Degraded, Engine, TaskSpec};
+use powerlens_store::{lint_cache_key, LintCache};
 
 /// Resolves a platform name (`agx`, `tx2`, `cloud`).
 pub fn platform_by_name(name: &str) -> Option<Platform> {
@@ -126,8 +127,9 @@ pub fn compare_controllers(
 }
 
 /// Lints one model end to end: graph pack, the view produced by
-/// clustering, and an oracle-derived instrumentation plan with the `PL209`
-/// cross-check enabled — the logic behind `powerlens-cli lint`.
+/// clustering, an oracle-derived instrumentation plan with the `PL209`
+/// cross-check enabled, and the `PL5xx` dataflow pack — the logic behind
+/// `powerlens-cli lint`.
 ///
 /// # Errors
 ///
@@ -149,10 +151,40 @@ pub fn lint_model(platform: &Platform, graph: &Graph, batch: usize) -> Result<Li
         })
         .collect();
     let plan = InstrumentationPlan::new(points, platform.cpu_table().max_level());
-    let report =
-        powerlens_lint::lint_pipeline(graph, &view, &plan, platform, Some(&oracle_fn), &config);
+    let report = powerlens_lint::lint_pipeline(
+        graph,
+        &view,
+        &plan,
+        platform,
+        batch,
+        Some(&oracle_fn),
+        &config,
+    );
     powerlens_lint::record_to_obs(&report);
     Ok(report)
+}
+
+/// [`lint_model`] behind a [`LintCache`]: the reports for an unchanged
+/// (graph, rule catalog, platform, batch) quadruple are served without
+/// re-clustering or re-running the oracle. Shared by `powerlens-cli lint
+/// --cache` and the daemon's `/lint` endpoint.
+///
+/// # Errors
+///
+/// Same as [`lint_model`]; errors are never cached.
+pub fn lint_model_cached(
+    platform: &Platform,
+    graph: &Graph,
+    batch: usize,
+    cache: &LintCache,
+) -> Result<Vec<LintReport>, String> {
+    let key = lint_cache_key(graph, platform, batch);
+    if let Some(reports) = cache.get(key) {
+        return Ok(reports);
+    }
+    let reports = vec![lint_model(platform, graph, batch)?];
+    cache.put(key, &reports);
+    Ok(reports)
 }
 
 /// The bottom rung of the serving degradation ladder: a plan answering the
@@ -243,5 +275,22 @@ mod tests {
         let g = zoo::alexnet();
         let report = lint_model(&agx, &g, 4).unwrap();
         assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn cached_lint_serves_warm_lookups_with_identical_reports() {
+        let agx = Platform::agx();
+        let g = zoo::alexnet();
+        let cache = LintCache::mem_only();
+        let cold = lint_model_cached(&agx, &g, 4, &cache).unwrap();
+        let warm = lint_model_cached(&agx, &g, 4, &cache).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cold.len(), warm.len());
+        assert_eq!(cold[0].subject, warm[0].subject);
+        assert_eq!(cold[0].codes(), warm[0].codes());
+        // A different batch is a different content address.
+        let _ = lint_model_cached(&agx, &g, 8, &cache).unwrap();
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -15,7 +15,7 @@ use powerlens::{PlanOutcome, PowerLens, TrainedModels};
 use powerlens_dnn::Graph;
 use powerlens_obs as obs;
 use powerlens_platform::Platform;
-use powerlens_store::{CacheMode, PlanStore};
+use powerlens_store::{CacheMode, LintCache, PlanStore};
 use serde::Serialize;
 
 use crate::http::{read_request, write_response, Request};
@@ -103,6 +103,7 @@ pub struct Server {
     listener: TcpListener,
     cfg: ServeConfig,
     store: PlanStore,
+    lint_cache: Option<LintCache>,
     default_platform: Platform,
 }
 
@@ -144,11 +145,19 @@ impl Server {
             cfg.shards,
             cfg.cache_dir.as_deref(),
         )?;
+        // Lint reports memoize alongside plans: a `lint/` subdirectory keeps
+        // the two schemas from quarantining each other's files.
+        let lint_cache = match (cfg.cache, cfg.cache_dir.as_deref()) {
+            (CacheMode::Off, _) => None,
+            (CacheMode::Disk, Some(dir)) => Some(LintCache::with_disk(&dir.join("lint"))?),
+            _ => Some(LintCache::mem_only()),
+        };
         let listener = TcpListener::bind((cfg.addr.as_str(), cfg.port))?;
         Ok(Server {
             listener,
             cfg,
             store,
+            lint_cache,
             default_platform,
         })
     }
@@ -553,15 +562,20 @@ impl Server {
             Ok(g) => g,
             Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
         };
-        let report = match ops::lint_model(&platform, &graph, req.batch.unwrap_or(self.cfg.batch)) {
+        let batch = req.batch.unwrap_or(self.cfg.batch);
+        let reports = match &self.lint_cache {
+            Some(cache) => ops::lint_model_cached(&platform, &graph, batch, cache),
+            None => ops::lint_model(&platform, &graph, batch).map(|r| vec![r]),
+        };
+        let reports = match reports {
             Ok(r) => r,
             Err(e) => return json_response(stream, 500, &ErrorResponse { error: e }),
         };
         let resp = LintResponse {
             model: graph.name().to_string(),
-            errors: report.num_errors(),
-            warnings: report.num_warnings(),
-            report: powerlens_lint::to_json(&[report]),
+            errors: reports.iter().map(|r| r.num_errors()).sum(),
+            warnings: reports.iter().map(|r| r.num_warnings()).sum(),
+            report: powerlens_lint::to_json(&reports),
         };
         json_response(stream, 200, &resp)
     }

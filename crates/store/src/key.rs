@@ -34,35 +34,35 @@ impl fmt::Display for CacheKey {
 /// 64-bit FNV-1a, fed `u64` words byte-wise (little-endian) — the same
 /// construction as `Graph::fingerprint`, duplicated here because the hasher
 /// is an implementation detail of each crate's stable encoding, not API.
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
     const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(Self::OFFSET_BASIS)
     }
 
-    fn write_u64(&mut self, word: u64) {
+    pub(crate) fn write_u64(&mut self, word: u64) {
         for byte in word.to_le_bytes() {
             self.0 ^= u64::from(byte);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn write_f64(&mut self, value: f64) {
+    pub(crate) fn write_f64(&mut self, value: f64) {
         self.write_u64(value.to_bits());
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
         for &byte in bytes {
             self.0 ^= u64::from(byte);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -23,6 +23,11 @@
 //!   plus the plan pack against the *current* platform), then a real
 //!   planning run whose result back-fills both tiers. [`plan_batch`] maps
 //!   it over a whole model list with `powerlens_par` workers.
+//! * **[`LintCache`]** memoizes whole lint runs the same way: keyed by
+//!   graph fingerprint × rule-catalog version × platform signature × batch
+//!   ([`lint_cache_key`]), memory first with an optional JSON-on-disk tier,
+//!   so `powerlens lint`, `check.sh`, and the serve daemon's `/lint`
+//!   endpoint skip re-analysis of unchanged graphs.
 //!
 //! Cache activity is observable: the `store.hits` / `store.misses` /
 //! `store.evictions` counters and the `store.load_ms` histogram feed the
@@ -56,6 +61,7 @@
 mod disk;
 mod entry;
 mod key;
+mod lintcache;
 mod mem;
 mod service;
 
@@ -64,5 +70,6 @@ pub use entry::{StoredEntry, SCHEMA_VERSION};
 pub use key::{
     cache_key, cache_key_for, config_hash, context_hash, models_hash, tenant_hash, CacheKey,
 };
+pub use lintcache::{lint_cache_key, LintCache, LINT_SCHEMA_VERSION};
 pub use mem::MemTier;
 pub use service::{plan_batch, CacheMode, PlanStore, TenantStats};

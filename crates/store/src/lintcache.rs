@@ -1,0 +1,362 @@
+//! Content-addressed lint-report cache: memory first, JSON-on-disk second.
+//!
+//! A lint run is a pure function of the graph structure, the rule catalog,
+//! the platform, and the batch size — so its reports can be memoized the
+//! same way plans are. [`lint_cache_key`] folds [`Graph::fingerprint`], the
+//! lint crate's [`RULES_VERSION`], the platform signature, and the batch
+//! into one [`CacheKey`]; bumping the rule catalog invalidates every cached
+//! report automatically, with no manual flush.
+//!
+//! [`LintCache`] layers a mutex-guarded in-memory map over an optional disk
+//! directory (one `<key-hex>.json` per entry, atomic tmp+rename writes,
+//! quarantine-on-corruption — the same discipline as [`crate::DiskTier`]).
+//! Keep the lint directory separate from the plan directory: the two file
+//! populations share a naming scheme but not a schema, and a shared
+//! directory would let one cache quarantine the other's entries.
+//!
+//! Reports are persisted via `powerlens_lint::report_to_value`, whose
+//! inverse *fails* on unknown rule codes or unparseable locations — a stale
+//! entry from an older catalog is discarded, never half-trusted.
+//!
+//! [`Graph::fingerprint`]: powerlens_dnn::Graph::fingerprint
+//! [`RULES_VERSION`]: powerlens_lint::RULES_VERSION
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use powerlens_dnn::Graph;
+use powerlens_lint::{
+    platform_signature, report_from_value, report_to_value, LintReport, RULES_VERSION,
+};
+use powerlens_obs as obs;
+use powerlens_platform::Platform;
+use serde::Value;
+
+use crate::key::{CacheKey, Fnv1a};
+
+/// Envelope schema for on-disk lint entries. Bump on layout changes; old
+/// files then read as misses and are quarantined.
+pub const LINT_SCHEMA_VERSION: u32 = 1;
+
+/// The content address of one lint outcome: graph structure × rule catalog
+/// version × platform × batch. Any change to any component re-lints.
+pub fn lint_cache_key(graph: &Graph, platform: &Platform, batch: usize) -> CacheKey {
+    let mut h = Fnv1a::new();
+    h.write_u64(graph.fingerprint());
+    h.write_u64(u64::from(RULES_VERSION));
+    h.write_bytes(platform_signature(platform).as_bytes());
+    h.write_u64(batch as u64);
+    CacheKey(h.finish())
+}
+
+/// A two-tier (memory + optional disk) cache of full lint runs.
+#[derive(Debug)]
+pub struct LintCache {
+    mem: Mutex<HashMap<u64, Vec<LintReport>>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LintCache {
+    /// A memory-only cache: entries live as long as the process.
+    pub fn mem_only() -> Self {
+        LintCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir` (created if needed). Stale `.tmp` files from
+    /// crashed writers are swept on open — they were never published.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_disk(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "tmp") && path.is_file() {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(LintCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: Some(dir.to_path_buf()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory backing this cache, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Cache hits served so far (memory or disk).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a real lint run.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the cached reports for `key`, consulting memory then disk.
+    /// A disk hit back-fills the memory tier.
+    pub fn get(&self, key: CacheKey) -> Option<Vec<LintReport>> {
+        if let Some(reports) = self.mem.lock().unwrap().get(&key.0).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("lint.cache.hits", 1);
+            return Some(reports);
+        }
+        if let Some(reports) = self.load_disk(key) {
+            self.mem.lock().unwrap().insert(key.0, reports.clone());
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("lint.cache.hits", 1);
+            return Some(reports);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter("lint.cache.misses", 1);
+        None
+    }
+
+    /// Stores `reports` under `key` in both tiers. Disk-write failures are
+    /// swallowed: a cache that cannot persist degrades to memory-only
+    /// rather than failing the lint run that produced the reports.
+    pub fn put(&self, key: CacheKey, reports: &[LintReport]) {
+        self.mem.lock().unwrap().insert(key.0, reports.to_vec());
+        if self.dir.is_some() {
+            let _ = self.store_disk(key, reports);
+        }
+    }
+
+    /// The memoized front end: serves `key` from cache or runs `lint` and
+    /// back-fills both tiers with its result.
+    pub fn get_or_lint<F>(&self, key: CacheKey, lint: F) -> Vec<LintReport>
+    where
+        F: FnOnce() -> Vec<LintReport>,
+    {
+        if let Some(reports) = self.get(key) {
+            return reports;
+        }
+        let reports = lint();
+        self.put(key, &reports);
+        reports
+    }
+
+    fn path_for(&self, key: CacheKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key.hex())))
+    }
+
+    fn load_disk(&self, key: CacheKey) -> Option<Vec<LintReport>> {
+        let path = self.path_for(key)?;
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                quarantine(&path);
+                return None;
+            }
+        };
+        match decode_envelope(&text, key) {
+            Ok(reports) => Some(reports),
+            Err(_) => {
+                quarantine(&path);
+                None
+            }
+        }
+    }
+
+    fn store_disk(&self, key: CacheKey, reports: &[LintReport]) -> io::Result<()> {
+        let dir = self.dir.as_ref().expect("store_disk requires a dir");
+        let json = serde_json::to_string_pretty(&encode_envelope(key, reports))
+            .map_err(io::Error::other)?;
+        let tmp = dir.join(format!("{}.json.tmp", key.hex()));
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, dir.join(format!("{}.json", key.hex())))
+    }
+}
+
+fn encode_envelope(key: CacheKey, reports: &[LintReport]) -> Value {
+    Value::Object(vec![
+        (
+            "schema_version".to_string(),
+            Value::Num(f64::from(LINT_SCHEMA_VERSION)),
+        ),
+        ("key".to_string(), Value::Str(key.hex())),
+        (
+            "rules_version".to_string(),
+            Value::Num(f64::from(RULES_VERSION)),
+        ),
+        (
+            "reports".to_string(),
+            Value::Array(reports.iter().map(report_to_value).collect()),
+        ),
+    ])
+}
+
+fn decode_envelope(text: &str, key: CacheKey) -> Result<Vec<LintReport>, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let num = |name: &str| -> Result<u32, String> {
+        match doc.field(name) {
+            Ok(Value::Num(x)) => Ok(*x as u32),
+            Ok(other) => Err(format!("`{name}` must be a number, got {}", other.kind())),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    if num("schema_version")? != LINT_SCHEMA_VERSION {
+        return Err("schema version mismatch".to_string());
+    }
+    if num("rules_version")? != RULES_VERSION {
+        return Err("rule catalog changed since this entry was written".to_string());
+    }
+    match doc.field("key") {
+        Ok(Value::Str(s)) if *s == key.hex() => {}
+        _ => return Err("entry recorded under a different key".to_string()),
+    }
+    let items = match doc.field("reports") {
+        Ok(Value::Array(a)) => a,
+        Ok(other) => return Err(format!("`reports` must be an array, got {}", other.kind())),
+        Err(e) => return Err(e.to_string()),
+    };
+    items.iter().map(report_from_value).collect()
+}
+
+/// Moves a bad entry aside (best effort) so the next lookup misses cleanly
+/// instead of re-parsing known-bad bytes.
+fn quarantine(path: &Path) {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".quarantine");
+    if fs::rename(path, PathBuf::from(target)).is_ok() {
+        obs::counter("store.quarantined", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerlens_dnn::zoo;
+    use powerlens_lint::{lint_dataflow, lint_graph, DataflowContext, LintConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("powerlens_lintcache_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn lint_once(graph: &Graph) -> Vec<LintReport> {
+        let config = LintConfig::default();
+        vec![
+            lint_graph(graph, &config),
+            lint_dataflow(&DataflowContext::new(graph), &config),
+        ]
+    }
+
+    #[test]
+    fn key_separates_graphs_platforms_batches_not_reruns() {
+        let agx = Platform::agx();
+        let g = zoo::alexnet();
+        let k = lint_cache_key(&g, &agx, 1);
+        assert_eq!(k, lint_cache_key(&g, &agx, 1));
+        assert_ne!(k, lint_cache_key(&zoo::resnet34(), &agx, 1));
+        assert_ne!(k, lint_cache_key(&g, &Platform::tx2(), 1));
+        assert_ne!(k, lint_cache_key(&g, &agx, 8));
+    }
+
+    #[test]
+    fn mem_cache_serves_second_lookup_without_relinting() {
+        let cache = LintCache::mem_only();
+        let g = zoo::googlenet();
+        let key = lint_cache_key(&g, &Platform::agx(), 1);
+
+        let mut runs = 0;
+        let cold = cache.get_or_lint(key, || {
+            runs += 1;
+            lint_once(&g)
+        });
+        let warm = cache.get_or_lint(key, || {
+            runs += 1;
+            lint_once(&g)
+        });
+        assert_eq!(runs, 1, "second lookup must be served from memory");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cold.len(), warm.len());
+        // googlenet's dead branch4.pool chains survive the round trip.
+        assert!(warm.iter().any(|r| r.fired("PL502")));
+    }
+
+    #[test]
+    fn disk_entries_survive_a_reopen() {
+        let dir = temp_dir("reopen");
+        let g = zoo::alexnet();
+        let key = lint_cache_key(&g, &Platform::agx(), 1);
+        {
+            let cache = LintCache::with_disk(&dir).unwrap();
+            cache.put(key, &lint_once(&g));
+        }
+        let reopened = LintCache::with_disk(&dir).unwrap();
+        let reports = reopened.get(key).expect("entry must persist");
+        assert_eq!(reopened.hits(), 1);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].subject, "alexnet");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_miskeyed_entries_are_quarantined_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = LintCache::with_disk(&dir).unwrap();
+        let g = zoo::alexnet();
+        let key = lint_cache_key(&g, &Platform::agx(), 1);
+
+        fs::write(dir.join(format!("{}.json", key.hex())), "{ nope").unwrap();
+        assert!(cache.get(key).is_none());
+        assert!(dir.join(format!("{}.json.quarantine", key.hex())).exists());
+
+        // A valid envelope recorded under a different key must not serve.
+        let other = lint_cache_key(&g, &Platform::tx2(), 1);
+        let json = serde_json::to_string(&encode_envelope(other, &lint_once(&g))).unwrap();
+        fs::write(dir.join(format!("{}.json", key.hex())), json).unwrap();
+        assert!(cache.get(key).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_rules_version_invalidates_the_entry() {
+        let dir = temp_dir("stale");
+        let cache = LintCache::with_disk(&dir).unwrap();
+        let g = zoo::alexnet();
+        let key = lint_cache_key(&g, &Platform::agx(), 1);
+        cache.put(key, &lint_once(&g));
+
+        let path = dir.join(format!("{}.json", key.hex()));
+        let text = fs::read_to_string(&path).unwrap();
+        let aged = text.replace(
+            &format!("\"rules_version\": {RULES_VERSION}"),
+            "\"rules_version\": 0",
+        );
+        assert_ne!(text, aged, "fixture must actually rewrite the version");
+        fs::write(&path, aged).unwrap();
+
+        // Memory still holds it; a fresh cache reading only disk must miss.
+        let fresh = LintCache::with_disk(&dir).unwrap();
+        assert!(fresh.get(key).is_none());
+        assert_eq!(fresh.misses(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,8 +3,8 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR7.json)
-#   -b BASELINE  prior summary to diff against (default: BENCH_PR6.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR8.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR7.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
 # The JSON shape is {"<bench name>": {"median_ns": N[, "ratio_vs_ref": R]
@@ -24,8 +24,10 @@
 # from it means the machine moved, not the code.
 #
 # When the bench_lint suite ran, a trailing
-# "lint_overhead" entry reports each debug lint gate's cost as a fraction
-# of the pipeline stage it rides on (budget: <0.02). When the bench_store
+# "lint_overhead" entry reports each debug lint gate's cost (including the
+# PL5xx dataflow pack) as a fraction of the pipeline stage it rides on
+# (budget: <0.02), and a "lint_cache_speedup" entry reports warm cached
+# re-lints vs a cold full lint run (floor: >= 10x). When the bench_store
 # suite ran, a "store_speedup" entry reports warm-cache plan lookups vs
 # cold planning (floor: >= 20x). When the bench_faults suite ran, a
 # "faults_overhead" entry reports what carrying an inert fault plan costs
@@ -40,8 +42,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR7.json"
-baseline="BENCH_PR6.json"
+out="BENCH_PR8.json"
+baseline="BENCH_PR7.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -142,18 +144,31 @@ END {
         printf "}%s\n", (i < count ? "," : "") > out
     }
     # Debug lint-gate overhead: each gate (sim::engine lints the graph,
-    # core::pipeline lints the view + plan) as a fraction of the planning
-    # pipeline stage (clustering + per-block decisions). Budget: < 0.02.
+    # core::pipeline lints the view + plan + dataflow fixpoint) as a
+    # fraction of the planning pipeline stage (clustering + per-block
+    # decisions). Budget: < 0.02.
     g_gate = "lint_gate/graph_pack_resnet152"
     v_gate = "lint_gate/view_plan_packs_resnet152"
+    d_gate = "lint_gate/dataflow_pack_resnet152"
     pipe   = "lint_reference/cluster_and_decide_resnet152"
-    if ((g_gate in ns) && (v_gate in ns) && (pipe in ns)) {
-        printf ",\n  \"lint_overhead\": {\"engine_gate\": %.5f, \"pipeline_gate\": %.5f, \"total\": %.5f, \"budget\": 0.02}\n", \
-            ns[g_gate] / ns[pipe], ns[v_gate] / ns[pipe], \
-            (ns[g_gate] + ns[v_gate]) / ns[pipe] > out
-        printf "lint overhead vs pipeline: engine gate %.3f%%, pipeline gate %.3f%%, total %.3f%% (budget 2%%)\n", \
+    if ((g_gate in ns) && (v_gate in ns) && (d_gate in ns) && (pipe in ns)) {
+        printf ",\n  \"lint_overhead\": {\"engine_gate\": %.5f, \"pipeline_gate\": %.5f, \"dataflow_gate\": %.5f, \"total\": %.5f, \"budget\": 0.02}\n", \
+            ns[g_gate] / ns[pipe], ns[v_gate] / ns[pipe], ns[d_gate] / ns[pipe], \
+            (ns[g_gate] + ns[v_gate] + ns[d_gate]) / ns[pipe] > out
+        printf "lint overhead vs pipeline: engine gate %.3f%%, pipeline gate %.3f%%, dataflow gate %.3f%%, total %.3f%% (budget 2%%)\n", \
             100 * ns[g_gate] / ns[pipe], 100 * ns[v_gate] / ns[pipe], \
-            100 * (ns[g_gate] + ns[v_gate]) / ns[pipe]
+            100 * ns[d_gate] / ns[pipe], \
+            100 * (ns[g_gate] + ns[v_gate] + ns[d_gate]) / ns[pipe]
+    }
+    # Lint-cache payoff: a warm (memory-tier) report lookup vs a cold full
+    # lint run of every pack. Floor: >= 10x.
+    lcold = "lint_cache/cold_resnet152"
+    lwarm = "lint_cache/warm_resnet152"
+    if ((lcold in ns) && (lwarm in ns) && ns[lwarm] > 0) {
+        printf ",\n  \"lint_cache_speedup\": {\"warm_vs_cold\": %.1f, \"floor\": 10}\n", \
+            ns[lcold] / ns[lwarm] > out
+        printf "lint cache: warm re-lint %.1fx faster than cold (floor 10x)\n", \
+            ns[lcold] / ns[lwarm]
     }
     # Plan-store payoff: a warm (memory-tier) lookup vs a cold planning
     # run. Floor: >= 20x.

@@ -29,9 +29,23 @@ fi
 # numerical foundation everything above sits on.
 run cargo test -q -p powerlens-numeric --test kernel_tolerance
 # Static-analysis gate: every zoo model must lint clean (error severity
-# fails the command; rule catalog in docs/LINTS.md).
+# fails the command; rule catalog in docs/LINTS.md), and no finding may be
+# new relative to the committed SARIF baseline — the ratchet: fixing old
+# findings and regenerating the baseline only ever shrinks it.
 run cargo build -q --release -p powerlens-cli
-run ./target/release/powerlens-cli lint --all
+run ./target/release/powerlens-cli lint --all --baseline results/lint_baseline.sarif
+# Cached-lint warm path: the second run against the same disk cache must be
+# served from it (hits > 0 on stderr).
+lint_cache_dir=$(mktemp -d)
+./target/release/powerlens-cli lint alexnet --cache disk \
+    --cache-dir "$lint_cache_dir" > /dev/null 2>&1
+warm_stats=$(./target/release/powerlens-cli lint alexnet --cache disk \
+    --cache-dir "$lint_cache_dir" 2>&1 >/dev/null | grep '^lint cache:' || true)
+rm -rf "$lint_cache_dir"
+case "$warm_stats" in
+    *'hits=0'*|'') echo "lint cache smoke: warm run missed ($warm_stats)" >&2; exit 1 ;;
+    *) echo "lint cache smoke: $warm_stats" ;;
+esac
 # Plan-store smoke: the whole zoo through the in-memory cache.
 run ./target/release/powerlens-cli plan-batch --cache mem
 # Fault-injection smoke: the robustness report must complete under the
