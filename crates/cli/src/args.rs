@@ -15,7 +15,9 @@ pub const USAGE: &str = "usage:
   powerlens-cli train    [--platform P] [--nets N] [--out PATH]
   powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
   powerlens-cli faultsim <model> [--platform P] [--batch N] [--images N]
-                         [--faults SPEC] [--fault-seed N]
+                         [--faults SPEC] [--fault-seed N] [--hybrid]
+  powerlens-cli hybridsim <model> [--platform P] [--batch N] [--images N]
+                          [--faults SPEC] [--fault-seed N]
   powerlens-cli lint     <model>|--all [--platform P] [--format human|json|sarif]
                          [--baseline FILE] [--cache MODE] [--cache-dir DIR]
   powerlens-cli stats    [report.json]
@@ -31,8 +33,15 @@ once under the seeded fault plan, and the report prints energy-efficiency
 retention per controller. `compare` and `trace` also accept
 --faults SPEC [--fault-seed N]: SPEC is comma-separated key=value pairs
 (switch_fail, gpu_switch_fail, cpu_switch_fail, jitter, cap, drop, noise,
-perturb, perturb_sigma, retries, backoff, seed); plans are linted (PL4xx)
-before any fault is injected
+perturb, perturb_sigma, retries, backoff, phase, phase_at, seed); plans are
+linted (PL4xx) before any fault is injected
+
+hybridsim runs the online-adaptation report: the PowerLens plan, the hybrid
+governor (plan + telemetry drift detection + bounded re-planning) and BiM
+each run once clean and once under a seeded fault storm with a mid-trace
+workload phase change, and the report prints energy-efficiency recovery per
+controller plus the hybrid ladder's counters. `compare` and `faultsim` also
+accept --hybrid to add the hybrid governor row to their line-ups
 
 plan-batch plans every named model (default: the whole zoo) through the
 content-addressed plan cache with parallel workers.
@@ -98,6 +107,9 @@ pub struct Options {
     pub queue_depth: usize,
     /// Plan-cache shards for the `serve` daemon (`--shards N`).
     pub shards: usize,
+    /// Add the hybrid governor row to compare/faultsim line-ups
+    /// (`--hybrid`).
+    pub hybrid: bool,
 }
 
 impl Default for Options {
@@ -121,6 +133,7 @@ impl Default for Options {
             port: 8780,
             queue_depth: 64,
             shards: 8,
+            hybrid: false,
         }
     }
 }
@@ -150,6 +163,9 @@ pub enum Command {
     Trace { model: String, opts: Options },
     /// Robustness report: clean vs faulted runs across controllers.
     FaultSim { model: String, opts: Options },
+    /// Online-adaptation report: hybrid governor vs plan vs BiM under a
+    /// fault storm with a mid-trace phase change.
+    HybridSim { model: String, opts: Options },
     /// Static analysis of one model (or the whole zoo with `--all`).
     Lint {
         model: Option<String>,
@@ -272,6 +288,7 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
                     parse_usize("--queue-depth", &take_value("--queue-depth", &mut it)?)?
             }
             "--shards" => opts.shards = parse_usize("--shards", &take_value("--shards", &mut it)?)?,
+            "--hybrid" => opts.hybrid = true,
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -301,7 +318,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Inspect { model })
         }
-        "sweep" | "plan" | "compare" | "trace" | "faultsim" => {
+        "sweep" | "plan" | "compare" | "trace" | "faultsim" | "hybridsim" => {
             let model = it
                 .next()
                 .cloned()
@@ -312,6 +329,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 "plan" => Command::Plan { model, opts },
                 "trace" => Command::Trace { model, opts },
                 "faultsim" => Command::FaultSim { model, opts },
+                "hybridsim" => Command::HybridSim { model, opts },
                 _ => Command::Compare { model, opts },
             })
         }
@@ -542,6 +560,36 @@ mod tests {
         assert!(parse(&v(&["faultsim"])).is_err());
         let err = parse(&v(&["faultsim", "alexnet", "--fault-seed", "x"])).unwrap_err();
         assert!(err.0.contains("not an integer"));
+    }
+
+    #[test]
+    fn parses_hybridsim_and_the_hybrid_flag() {
+        match parse(&v(&["hybridsim", "alexnet", "--faults", "switch_fail=0.3"])).unwrap() {
+            Command::HybridSim { model, opts } => {
+                assert_eq!(model, "alexnet");
+                assert_eq!(opts.faults.as_deref(), Some("switch_fail=0.3"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // hybridsim without a spec uses the default storm.
+        match parse(&v(&["hybridsim", "resnet34"])).unwrap() {
+            Command::HybridSim { model, opts } => {
+                assert_eq!(model, "resnet34");
+                assert_eq!(opts.faults, None);
+                assert!(!opts.hybrid);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["hybridsim"])).is_err());
+        // --hybrid opts the row into compare and faultsim.
+        match parse(&v(&["compare", "alexnet", "--hybrid"])).unwrap() {
+            Command::Compare { opts, .. } => assert!(opts.hybrid),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["faultsim", "alexnet", "--hybrid"])).unwrap() {
+            Command::FaultSim { opts, .. } => assert!(opts.hybrid),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

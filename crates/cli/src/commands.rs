@@ -12,7 +12,7 @@ use powerlens::training::{train_models, TrainingConfig};
 use powerlens::{PlanController, PowerLens, PowerLensConfig, TrainedModels};
 use powerlens_dnn::{zoo, Graph};
 use powerlens_faults::FaultPlan;
-use powerlens_governors::Bim;
+use powerlens_governors::{Bim, HybridConfig, HybridGovernor};
 use powerlens_obs as obs;
 use powerlens_obs::TraceMode;
 use powerlens_platform::Platform;
@@ -62,6 +62,7 @@ pub fn run(cmd: Command) -> CliResult {
         | Command::Train { opts }
         | Command::Trace { opts, .. }
         | Command::FaultSim { opts, .. }
+        | Command::HybridSim { opts, .. }
         | Command::Lint { opts, .. }
         | Command::Serve { opts } => opts.trace,
     };
@@ -76,6 +77,7 @@ pub fn run(cmd: Command) -> CliResult {
         Command::Train { opts } => train(&opts),
         Command::Trace { model, opts } => trace_cmd(&model, &opts),
         Command::FaultSim { model, opts } => faultsim(&model, &opts),
+        Command::HybridSim { model, opts } => hybridsim(&model, &opts),
         Command::Lint { model, opts } => lint_cmd(model.as_deref(), &opts),
         Command::Stats { path } => return stats(path.as_deref()),
         Command::Serve { opts } => serve_cmd(&opts),
@@ -365,7 +367,7 @@ fn compare(model: &str, opts: &Options) -> CliResult {
         "{:<22} {:>11} {:>9} {:>11} {:>9}",
         "method", "energy (J)", "time (s)", "EE (img/J)", "switches"
     );
-    let rows = ops::compare_controllers(
+    let (rows, hybrid_stats) = ops::compare_controllers_hybrid(
         &platform,
         &g,
         &outcome.plan,
@@ -373,6 +375,7 @@ fn compare(model: &str, opts: &Options) -> CliResult {
         opts.images,
         COMPARE_TASKS,
         fault_plan.as_ref(),
+        opts.hybrid,
     );
     let mut base = None;
     for r in rows {
@@ -389,6 +392,12 @@ fn compare(model: &str, opts: &Options) -> CliResult {
         println!(
             "{:<22} {:>11.1} {:>9.2} {:>11.4} {:>9}{}",
             r.method, r.energy_j, r.time_s, r.energy_efficiency, r.switches, note
+        );
+    }
+    if let Some(s) = hybrid_stats {
+        println!(
+            "hybrid ladder: drift={} nudges={} replans={} throttled={}",
+            s.drift_detected, s.nudges, s.replans, s.replan_throttled
         );
     }
     Ok(())
@@ -463,6 +472,7 @@ fn faultsim(model: &str, opts: &Options) -> CliResult {
     // degraded row additionally reports how often the fallback tripped.
     type Row = (&'static str, TaskFlowReport, TaskFlowReport, Option<usize>);
     let plan_for_row = outcome.plan;
+    let plan_for_row_hybrid = plan_for_row.clone();
     let mut rows: Vec<Row> = Vec::new();
     {
         let mut leg = PlanController::new(plan_for_row.clone());
@@ -480,6 +490,23 @@ fn faultsim(model: &str, opts: &Options) -> CliResult {
         let mut leg = Degraded::new(PlanController::new(plan_for_row), Bim::new(&platform));
         let f = run_taskflow(&faulted, &tasks, &mut leg);
         rows.push(("degraded", c, f, Some(leg.num_fallbacks())));
+    }
+    if opts.hybrid {
+        let mut leg = HybridGovernor::new(
+            &platform,
+            plan_for_row_hybrid.clone(),
+            opts.batch,
+            HybridConfig::default(),
+        );
+        let c = run_taskflow(&clean, &tasks, &mut leg);
+        let mut leg = HybridGovernor::new(
+            &platform,
+            plan_for_row_hybrid,
+            opts.batch,
+            HybridConfig::default(),
+        );
+        let f = run_taskflow(&faulted, &tasks, &mut leg);
+        rows.push(("hybrid", c, f, None));
     }
     {
         let mut leg = Bim::new(&platform);
@@ -547,6 +574,157 @@ fn faultsim(model: &str, opts: &Options) -> CliResult {
         println!(
             "robustness: WARNING degraded retention {degraded_r:.3} fell below \
              90% of the BiM floor {bim_floor:.3}"
+        );
+    }
+    Ok(())
+}
+
+/// Storm `hybridsim` injects when `--faults` is not given: the acceptance
+/// scenario from the robustness docs — a seeded 20% switch-failure storm
+/// with one retry per switch.
+const DEFAULT_HYBRIDSIM_SPEC: &str = "switch_fail=0.2,retries=1";
+
+/// Tasks per hybridsim leg (matches faultsim).
+const HYBRIDSIM_TASKS: usize = 8;
+
+/// Workload phase change hybridsim injects mid-trace when the spec does not
+/// carry its own `phase=`: +30% sustained power drift.
+const HYBRIDSIM_PHASE_DRIFT: f64 = 0.3;
+
+/// Online-adaptation report: the static PowerLens plan, the hybrid governor
+/// (plan + drift detection + bounded re-planning through the plan store),
+/// and BiM each run an 8-task flow once clean and once under a seeded fault
+/// storm with a mid-trace workload phase change. Reports per-controller
+/// energy-efficiency *recovery* — faulted EE normalized by the clean static
+/// plan's EE, one shared denominator so rows compare directly. The
+/// `ee_recovery <controller> <value>` lines are stable output consumed by
+/// `scripts/bench.sh` and `scripts/check.sh`.
+fn hybridsim(model: &str, opts: &Options) -> CliResult {
+    let platform = platform_for(opts);
+    let g = model_for(model)?;
+    let pl = planner(&platform, opts)?;
+    let store = store_for(opts)?;
+    let outcome = store.get_or_plan(&pl, &g)?;
+
+    let tasks: Vec<TaskSpec<'_>> = (0..HYBRIDSIM_TASKS)
+        .map(|_| TaskSpec {
+            graph: &g,
+            images: opts.images,
+        })
+        .collect();
+    let clean = Engine::new(&platform).with_batch(opts.batch);
+
+    // Clean static-plan leg first: its EE is the recovery denominator, and
+    // its midpoint anchors the phase change in simulated time.
+    let mut leg = PlanController::new(outcome.plan.clone());
+    let plan_clean = run_taskflow(&clean, &tasks, &mut leg);
+
+    let mut spec_opts = opts.clone();
+    if spec_opts.faults.is_none() {
+        spec_opts.faults = Some(DEFAULT_HYBRIDSIM_SPEC.to_string());
+    }
+    let mut fault_plan =
+        fault_plan_for(&spec_opts, &platform)?.expect("hybridsim always has a fault spec");
+    if fault_plan.phase_power_drift == 0.0 {
+        fault_plan.phase_power_drift = HYBRIDSIM_PHASE_DRIFT;
+        fault_plan.phase_at_s = plan_clean.total_time / 2.0;
+    }
+    let faulted = Engine::new(&platform)
+        .with_batch(opts.batch)
+        .with_faults(fault_plan.clone());
+
+    let mut leg = PlanController::new(outcome.plan.clone());
+    let plan_faulted = run_taskflow(&faulted, &tasks, &mut leg);
+
+    // The hybrid legs re-plan through the store under drift epochs; the
+    // planner is deterministic, so a granted re-plan restores the original
+    // operating points (dropping accumulated nudges) rather than inventing
+    // new ones.
+    let run_hybrid = |engine: &Engine<'_>| {
+        let mut hook_err = None;
+        let report;
+        let stats;
+        {
+            let mut leg = HybridGovernor::new(
+                &platform,
+                outcome.plan.clone(),
+                opts.batch,
+                HybridConfig::default(),
+            )
+            .with_replan_hook(Box::new(|graph, epoch| {
+                match store.lookup_or_plan_epoch(&pl, graph, None, epoch) {
+                    Ok((o, _)) => Some(o.plan),
+                    Err(e) => {
+                        hook_err = Some(e.to_string());
+                        None
+                    }
+                }
+            }));
+            report = run_taskflow(engine, &tasks, &mut leg);
+            stats = leg.stats();
+        }
+        if let Some(e) = hook_err {
+            eprintln!("warning: re-plan hook failed, ladder fell back to reset: {e}");
+        }
+        (report, stats)
+    };
+    let (hybrid_clean, _) = run_hybrid(&clean);
+    let (hybrid_faulted, stats) = run_hybrid(&faulted);
+
+    let mut leg = Bim::new(&platform);
+    let bim_clean = run_taskflow(&clean, &tasks, &mut leg);
+    let mut leg = Bim::new(&platform);
+    let bim_faulted = run_taskflow(&faulted, &tasks, &mut leg);
+
+    println!(
+        "{model} on {} ({HYBRIDSIM_TASKS} x {} images, batch {})",
+        platform.name(),
+        opts.images,
+        opts.batch
+    );
+    println!("faults: {fault_plan}");
+    println!(
+        "{:<22} {:>11} {:>11} {:>9} {:>9} {:>7} {:>9}",
+        "controller", "clean img/J", "fault img/J", "recovery", "switches", "failed", "injected"
+    );
+    let denom = plan_clean.energy_efficiency.max(f64::MIN_POSITIVE);
+    let rows = [
+        ("powerlens", &plan_clean, &plan_faulted),
+        ("hybrid", &hybrid_clean, &hybrid_faulted),
+        ("bim", &bim_clean, &bim_faulted),
+    ];
+    for (name, c, f) in rows {
+        println!(
+            "{:<22} {:>11.4} {:>11.4} {:>8.1}% {:>9} {:>7} {:>9}",
+            name,
+            c.energy_efficiency,
+            f.energy_efficiency,
+            f.energy_efficiency / denom * 100.0,
+            f.num_switches,
+            f.num_failed_switches,
+            f.faults_injected,
+        );
+    }
+    println!(
+        "hybrid ladder: drift={} nudges={} replans={} throttled={}",
+        stats.drift_detected, stats.nudges, stats.replans, stats.replan_throttled
+    );
+
+    // Greppable summary lines (consumed by scripts/bench.sh).
+    for (name, _, f) in rows {
+        println!("ee_recovery {name} {:.4}", f.energy_efficiency / denom);
+    }
+    let (plan_f, hybrid_f, bim_f) = (
+        plan_faulted.energy_efficiency,
+        hybrid_faulted.energy_efficiency,
+        bim_faulted.energy_efficiency,
+    );
+    if hybrid_f + 1e-9 >= plan_f && hybrid_f + 1e-9 >= 0.9 * bim_f {
+        println!("adaptation: hybrid holds the static-plan and BiM floors");
+    } else {
+        println!(
+            "adaptation: WARNING hybrid EE {hybrid_f:.4} under faults fell below \
+             the static plan ({plan_f:.4}) or 90% of BiM ({bim_f:.4})"
         );
     }
     Ok(())
@@ -800,6 +978,7 @@ mod tests {
             port: 0,
             queue_depth: 8,
             shards: 2,
+            hybrid: false,
         }
     }
 
@@ -866,6 +1045,40 @@ mod tests {
         o.faults = Some("switch_fail=0.5,retries=0".into());
         o.fault_seed = Some(7);
         run(Command::FaultSim {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn hybridsim_runs_with_default_and_custom_storms() {
+        run(Command::HybridSim {
+            model: "alexnet".into(),
+            opts: opts(),
+        })
+        .unwrap();
+        // A spec carrying its own phase change is honored as-is.
+        let mut o = opts();
+        o.faults = Some("switch_fail=0.3,retries=1,phase=0.2,phase_at=0.5".into());
+        o.fault_seed = Some(11);
+        run(Command::HybridSim {
+            model: "alexnet".into(),
+            opts: o,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn faultsim_and_compare_accept_the_hybrid_flag() {
+        let mut o = opts();
+        o.hybrid = true;
+        run(Command::FaultSim {
+            model: "alexnet".into(),
+            opts: o.clone(),
+        })
+        .unwrap();
+        run(Command::Compare {
             model: "alexnet".into(),
             opts: o,
         })

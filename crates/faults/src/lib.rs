@@ -99,6 +99,14 @@ pub struct FaultPlan {
     pub max_retries: usize,
     /// Extra stall charged per retry attempt (seconds).
     pub retry_backoff_s: f64,
+    /// Workload phase change: from [`FaultPlan::phase_at_s`] onward every
+    /// layer's *actual* power draw is scaled by `1 + phase_power_drift`
+    /// (e.g. `0.3` models a sustained 30% hotter phase; negative values
+    /// down to `-1` exclusive model a cooler one). Deterministic — no RNG
+    /// stream is involved, so replay is bit-exact by construction.
+    pub phase_power_drift: f64,
+    /// Simulated time (seconds) at which the phase change begins.
+    pub phase_at_s: f64,
     /// Seed all fault streams are forked from.
     pub seed: u64,
 }
@@ -116,6 +124,8 @@ impl Default for FaultPlan {
             power_perturb_sigma: 0.0,
             max_retries: 2,
             retry_backoff_s: 0.005,
+            phase_power_drift: 0.0,
+            phase_at_s: 0.0,
             seed: 42,
         }
     }
@@ -141,6 +151,13 @@ impl fmt::Display for FaultPlan {
         if let Some(cap) = self.gpu_level_cap {
             write!(f, " cap={cap}")?;
         }
+        if self.phase_power_drift != 0.0 {
+            write!(
+                f,
+                " phase={:+.3}@{:.3}s",
+                self.phase_power_drift, self.phase_at_s
+            )?;
+        }
         Ok(())
     }
 }
@@ -157,6 +174,7 @@ impl FaultPlan {
             && self.sensor_drop_p == 0.0
             && self.sensor_noise_sigma == 0.0
             && (self.power_perturb_p == 0.0 || self.power_perturb_sigma == 0.0)
+            && self.phase_power_drift == 0.0
     }
 
     /// Replaces the seed (builder style).
@@ -169,9 +187,9 @@ impl FaultPlan {
     ///
     /// Keys: `switch_fail` (sets both domains), `gpu_switch_fail`,
     /// `cpu_switch_fail`, `jitter`, `cap`, `drop`, `noise`, `perturb`,
-    /// `perturb_sigma`, `retries`, `backoff`, `seed`. Unknown keys and
-    /// malformed numbers are errors; *semantic* validity (ranges) is the
-    /// lint pack's job (`PL401`–`PL405`).
+    /// `perturb_sigma`, `retries`, `backoff`, `phase`, `phase_at`, `seed`.
+    /// Unknown keys and malformed numbers are errors; *semantic* validity
+    /// (ranges) is the lint pack's job (`PL401`–`PL406`).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -210,6 +228,8 @@ impl FaultPlan {
                 "perturb_sigma" => plan.power_perturb_sigma = num()?,
                 "retries" => plan.max_retries = int()? as usize,
                 "backoff" => plan.retry_backoff_s = num()?,
+                "phase" => plan.phase_power_drift = num()?,
+                "phase_at" => plan.phase_at_s = num()?,
                 "seed" => plan.seed = int()?,
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
@@ -371,6 +391,39 @@ impl PowerFaults {
     }
 }
 
+/// Workload phase-change state: a deterministic, time-triggered sustained
+/// shift of the *actual* power draw (no RNG stream — replay is bit-exact).
+#[derive(Debug, Clone)]
+pub struct PhaseFaults {
+    /// Relative power shift once the phase begins (`0.3` = 30% hotter).
+    pub drift: f64,
+    /// Simulated time the phase begins (seconds).
+    pub at_s: f64,
+    /// Whether the phase has begun (counts as one injected fault).
+    pub fired: bool,
+}
+
+impl PhaseFaults {
+    fn new(plan: &FaultPlan) -> Self {
+        PhaseFaults {
+            drift: plan.phase_power_drift,
+            at_s: plan.phase_at_s,
+            fired: false,
+        }
+    }
+
+    /// Multiplicative factor on one layer's true power draw at simulated
+    /// time `now`. Exactly `1.0` before the phase boundary or when the
+    /// drift is zero; the first activation counts one injected fault.
+    pub fn factor(&mut self, now: f64) -> f64 {
+        if self.drift == 0.0 || now < self.at_s {
+            return 1.0;
+        }
+        self.fired = true;
+        1.0 + self.drift
+    }
+}
+
 /// The runtime half of a [`FaultPlan`]: independent forked RNG streams per
 /// concern, plus injection counters for the robustness report.
 #[derive(Debug, Clone)]
@@ -383,6 +436,8 @@ pub struct FaultSession {
     pub sensor: SensorFaults,
     /// Power-model faults.
     pub power: PowerFaults,
+    /// Workload phase change.
+    pub phase: PhaseFaults,
 }
 
 impl FaultSession {
@@ -393,6 +448,7 @@ impl FaultSession {
             cpu: DomainFaults::new(plan, plan.cpu_switch_fail_p, "cpu"),
             sensor: SensorFaults::new(plan),
             power: PowerFaults::new(plan),
+            phase: PhaseFaults::new(plan),
         }
     }
 
@@ -404,6 +460,7 @@ impl FaultSession {
             + self.sensor.dropped
             + self.sensor.noised
             + self.power.injected
+            + usize::from(self.phase.fired)
     }
 }
 
@@ -516,6 +573,33 @@ mod tests {
         assert!(s.sensor.drops_sample());
         s.sensor.noise_factor();
         assert_eq!(s.injected_total(), 3);
+    }
+
+    #[test]
+    fn phase_keys_parse_and_render() {
+        let p = FaultPlan::parse("phase=0.3,phase_at=1.5").unwrap();
+        assert_eq!(p.phase_power_drift, 0.3);
+        assert_eq!(p.phase_at_s, 1.5);
+        assert!(!p.is_inert(), "a phase drift is a fault");
+        assert!(p.to_string().contains("phase=+0.300@1.500s"));
+        // phase_at alone is inert: there is no drift to apply.
+        assert!(FaultPlan::parse("phase_at=2.0").unwrap().is_inert());
+    }
+
+    #[test]
+    fn phase_factor_is_deterministic_and_time_gated() {
+        let plan = FaultPlan::parse("phase=0.25,phase_at=1.0").unwrap();
+        let mut s = FaultSession::new(&plan);
+        assert_eq!(s.phase.factor(0.0), 1.0);
+        assert_eq!(s.phase.factor(0.999), 1.0);
+        assert_eq!(s.injected_total(), 0, "inactive phase injects nothing");
+        assert_eq!(s.phase.factor(1.0), 1.25, "boundary is inclusive");
+        assert_eq!(s.phase.factor(5.0), 1.25, "sustained, not transient");
+        assert_eq!(s.injected_total(), 1, "activation counts once");
+        // Zero drift never fires regardless of time.
+        let mut inert = FaultSession::new(&FaultPlan::default());
+        assert_eq!(inert.phase.factor(100.0), 1.0);
+        assert_eq!(inert.injected_total(), 0);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   graph or layer range. This is the labelling oracle of the paper's
 //!   dataset generator ("each block ... is deployed at all frequencies to
 //!   select ... the optimal energy efficiency").
+//! * [`HybridGovernor`] — the online adaptive hybrid: replays the cached
+//!   PowerLens plan while a windowed drift detector (EWMA of observed vs
+//!   predicted power, platform busy-utilization envelopes) watches the
+//!   telemetry stream, escalating plan → nudge → bounded-rate re-plan (the
+//!   `sim::Degraded` wrapper supplies the final BiM rung).
 //!
 //! # Example
 //!
@@ -34,7 +39,9 @@
 
 mod bim;
 mod fpg;
+mod hybrid;
 pub mod oracle;
 
 pub use bim::Bim;
 pub use fpg::{FpgCg, FpgG};
+pub use hybrid::{HybridConfig, HybridGovernor, HybridStats, ReplanHook};

@@ -92,6 +92,33 @@ pub fn check(
         }
     }
 
+    if config.enabled(rules::FAULT_PHASE_INVALID.code) {
+        // drift == -1 zeroes power for the rest of the run and anything
+        // below it makes energy negative; both break every EE metric
+        // downstream.
+        if !plan.phase_power_drift.is_finite() || plan.phase_power_drift <= -1.0 {
+            report.push(
+                &rules::FAULT_PHASE_INVALID,
+                Location::Model,
+                format!(
+                    "phase power drift {} must be finite and above -1 \
+                     (power stays positive)",
+                    plan.phase_power_drift
+                ),
+            );
+        }
+        if !plan.phase_at_s.is_finite() || plan.phase_at_s < 0.0 {
+            report.push(
+                &rules::FAULT_PHASE_INVALID,
+                Location::Model,
+                format!(
+                    "phase start time {} s must be finite and non-negative",
+                    plan.phase_at_s
+                ),
+            );
+        }
+    }
+
     if let (Some(cap), Some(p)) = (plan.gpu_level_cap, platform) {
         if cap >= p.gpu_levels() - 1 && config.enabled(rules::FAULT_CAP_ABOVE_TABLE.code) {
             report.push(
@@ -165,6 +192,26 @@ mod tests {
         let plan = FaultPlan::parse("noise=0.8").unwrap();
         let r = lint(&plan, None);
         assert!(r.fired("PL404") && !r.has_errors());
+    }
+
+    #[test]
+    fn degenerate_phase_changes_are_errors() {
+        let sensible = FaultPlan::parse("phase=0.3,phase_at=1.5").unwrap();
+        assert!(!lint(&sensible, None).fired("PL406"));
+        // Power-killing drift and a negative start are two findings.
+        let plan = FaultPlan {
+            phase_power_drift: -1.0,
+            phase_at_s: -0.5,
+            ..FaultPlan::default()
+        };
+        let r = lint(&plan, None);
+        assert!(r.fired("PL406") && r.has_errors());
+        assert_eq!(r.num_errors(), 2);
+        let nan = FaultPlan {
+            phase_power_drift: f64::NAN,
+            ..FaultPlan::default()
+        };
+        assert!(lint(&nan, None).fired("PL406"));
     }
 
     #[test]

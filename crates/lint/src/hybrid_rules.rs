@@ -1,0 +1,281 @@
+//! Hybrid pack: sanity rules over an online hybrid-governor deployment.
+//!
+//! The hybrid governor couples a cached DVFS plan to a live drift detector
+//! and a bounded re-plan budget — three knobs (nudge span, token bucket,
+//! detector thresholds) whose degenerate settings don't crash, they just
+//! quietly disable the adaptation ladder or thrash the planner. These rules
+//! gate the configuration *before* a run, the same way the faults pack
+//! gates a `FaultPlan`.
+//!
+//! The pack deliberately takes plain fields rather than the governor type
+//! itself: `powerlens-governors` depends on this crate for its own gating,
+//! so the context mirrors `HybridConfig` field-for-field instead of
+//! importing it.
+
+use powerlens_platform::{InstrumentationPlan, Platform};
+
+use crate::diag::{LintReport, Location};
+use crate::rules;
+use crate::LintConfig;
+
+/// Everything the hybrid pack needs: the plan being adapted, optionally the
+/// platform whose frequency table bounds the nudge span, and the detector /
+/// budget tunables (mirroring `HybridConfig` in `powerlens-governors`).
+#[derive(Debug)]
+pub struct HybridContext<'a> {
+    /// The cached plan the governor starts from.
+    pub plan: &'a InstrumentationPlan,
+    /// Target platform; without one the table-dependent half of `PL601`
+    /// is skipped (the bound-sanity half still runs).
+    pub platform: Option<&'a Platform>,
+    /// Maximum levels a block may be nudged away from its planned level.
+    pub max_nudge: usize,
+    /// Re-plan token bucket refill rate (tokens per simulated second).
+    pub replan_rate: f64,
+    /// Re-plan token bucket capacity.
+    pub replan_burst: f64,
+    /// EWMA smoothing factor of the drift detector.
+    pub ewma_alpha: f64,
+    /// Relative power deviation that triggers a nudge.
+    pub nudge_threshold: f64,
+    /// Relative power deviation that triggers a re-plan.
+    pub replan_threshold: f64,
+    /// Slack added around busy-utilization envelopes before they count as
+    /// violated.
+    pub envelope_margin: f64,
+}
+
+/// Runs every hybrid rule over `ctx`, appending findings to `report`.
+pub fn check(ctx: &HybridContext<'_>, config: &LintConfig, report: &mut LintReport) {
+    if config.enabled(rules::HYBRID_NUDGE_SPAN_INVALID.code) {
+        if let Some(platform) = ctx.platform {
+            let levels = platform.gpu_levels();
+            if levels == 0 {
+                report.push(
+                    &rules::HYBRID_NUDGE_SPAN_INVALID,
+                    Location::Model,
+                    format!(
+                        "{} exposes no GPU frequency levels; nothing is nudgeable",
+                        platform.name()
+                    ),
+                );
+            } else {
+                // The governor clamps nudged levels into [0, levels), so the
+                // reachable span is valid iff the *planned* level is — a plan
+                // point off the table breaks both replay and adaptation.
+                for p in ctx.plan.points() {
+                    if p.gpu_level >= levels {
+                        report.push(
+                            &rules::HYBRID_NUDGE_SPAN_INVALID,
+                            Location::Layer(p.layer),
+                            format!(
+                                "planned GPU level {} is outside {}'s table of {} \
+                                 levels; every nudge from it is undefined",
+                                p.gpu_level,
+                                platform.name(),
+                                levels
+                            ),
+                        );
+                    }
+                }
+                if ctx.max_nudge >= levels {
+                    report.push(
+                        &rules::HYBRID_NUDGE_SPAN_INVALID,
+                        Location::Model,
+                        format!(
+                            "nudge bound {} spans the whole {}-level table; the \
+                             'bounded' rung of the ladder degenerates into free \
+                             re-levelling",
+                            ctx.max_nudge, levels
+                        ),
+                    );
+                }
+            }
+        } else if ctx.max_nudge == 0 {
+            report.push(
+                &rules::HYBRID_NUDGE_SPAN_INVALID,
+                Location::Model,
+                "nudge bound 0 leaves no reachable level besides the plan's own; \
+                 the nudge rung of the ladder is dead"
+                    .to_string(),
+            );
+        }
+    }
+
+    if config.enabled(rules::HYBRID_REPLAN_RATE_INVALID.code) {
+        for (what, v) in [
+            ("re-plan token rate", ctx.replan_rate),
+            ("re-plan token burst", ctx.replan_burst),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                report.push(
+                    &rules::HYBRID_REPLAN_RATE_INVALID,
+                    Location::Model,
+                    format!("{what} {v} must be positive and finite"),
+                );
+            }
+        }
+    }
+
+    if config.enabled(rules::HYBRID_DETECTOR_DEGENERATE.code) {
+        if !ctx.ewma_alpha.is_finite()
+            || !(0.0..=1.0).contains(&ctx.ewma_alpha)
+            || ctx.ewma_alpha == 0.0
+        {
+            report.push(
+                &rules::HYBRID_DETECTOR_DEGENERATE,
+                Location::Model,
+                format!(
+                    "EWMA alpha {} must lie in (0, 1]; outside it the detector \
+                     either never updates or oscillates",
+                    ctx.ewma_alpha
+                ),
+            );
+        }
+        for (what, v) in [
+            ("nudge threshold", ctx.nudge_threshold),
+            ("re-plan threshold", ctx.replan_threshold),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                report.push(
+                    &rules::HYBRID_DETECTOR_DEGENERATE,
+                    Location::Model,
+                    format!("{what} {v} must be positive and finite"),
+                );
+            }
+        }
+        if ctx.nudge_threshold.is_finite()
+            && ctx.replan_threshold.is_finite()
+            && ctx.nudge_threshold >= ctx.replan_threshold
+        {
+            report.push(
+                &rules::HYBRID_DETECTOR_DEGENERATE,
+                Location::Model,
+                format!(
+                    "nudge threshold {} is at or above the re-plan threshold {}; \
+                     the ladder escalates straight past its cheapest rung",
+                    ctx.nudge_threshold, ctx.replan_threshold
+                ),
+            );
+        }
+        if !ctx.envelope_margin.is_finite() || ctx.envelope_margin < 0.0 {
+            report.push(
+                &rules::HYBRID_DETECTOR_DEGENERATE,
+                Location::Model,
+                format!(
+                    "envelope margin {} must be finite and non-negative",
+                    ctx.envelope_margin
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_hybrid;
+    use powerlens_platform::InstrumentationPoint;
+
+    fn plan_for(_platform: &Platform) -> InstrumentationPlan {
+        let points = vec![
+            InstrumentationPoint {
+                layer: 0,
+                gpu_level: 13,
+            },
+            InstrumentationPoint {
+                layer: 5,
+                gpu_level: 4,
+            },
+        ];
+        InstrumentationPlan::new(points, 0)
+    }
+
+    fn default_ctx<'a>(
+        plan: &'a InstrumentationPlan,
+        platform: Option<&'a Platform>,
+    ) -> HybridContext<'a> {
+        HybridContext {
+            plan,
+            platform,
+            max_nudge: 3,
+            replan_rate: 0.2,
+            replan_burst: 1.0,
+            ewma_alpha: 0.5,
+            nudge_threshold: 0.10,
+            replan_threshold: 0.25,
+            envelope_margin: 0.25,
+        }
+    }
+
+    #[test]
+    fn default_config_over_a_real_plan_is_clean() {
+        let agx = Platform::agx();
+        let plan = plan_for(&agx);
+        let r = lint_hybrid(&default_ctx(&plan, Some(&agx)), &LintConfig::default());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn whole_table_nudge_span_and_zero_bound_are_flagged() {
+        let agx = Platform::agx();
+        let plan = plan_for(&agx);
+        let wide = HybridContext {
+            max_nudge: agx.gpu_levels(),
+            ..default_ctx(&plan, Some(&agx))
+        };
+        let r = lint_hybrid(&wide, &LintConfig::default());
+        assert!(r.fired("PL601") && r.has_errors());
+
+        // Without a platform the table half is skipped, but a zero bound
+        // (dead nudge rung) is still caught.
+        let dead = HybridContext {
+            max_nudge: 0,
+            ..default_ctx(&plan, None)
+        };
+        assert!(lint_hybrid(&dead, &LintConfig::default()).fired("PL601"));
+    }
+
+    #[test]
+    fn degenerate_token_bucket_is_an_error() {
+        let agx = Platform::agx();
+        let plan = plan_for(&agx);
+        let ctx = HybridContext {
+            replan_rate: 0.0,
+            replan_burst: f64::INFINITY,
+            ..default_ctx(&plan, Some(&agx))
+        };
+        let r = lint_hybrid(&ctx, &LintConfig::default());
+        assert!(r.fired("PL602") && r.has_errors());
+        assert_eq!(r.num_errors(), 2, "rate and burst are separate findings");
+    }
+
+    #[test]
+    fn inverted_thresholds_and_bad_alpha_warn_but_do_not_error() {
+        let agx = Platform::agx();
+        let plan = plan_for(&agx);
+        let ctx = HybridContext {
+            ewma_alpha: 0.0,
+            nudge_threshold: 0.4,
+            replan_threshold: 0.25,
+            envelope_margin: -0.1,
+            ..default_ctx(&plan, Some(&agx))
+        };
+        let r = lint_hybrid(&ctx, &LintConfig::default());
+        assert!(r.fired("PL603") && !r.has_errors());
+        assert_eq!(r.diagnostics.len(), 3, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn disabled_codes_do_not_fire() {
+        let agx = Platform::agx();
+        let plan = plan_for(&agx);
+        let ctx = HybridContext {
+            replan_rate: -1.0,
+            ..default_ctx(&plan, Some(&agx))
+        };
+        let mut config = LintConfig::default();
+        config.disabled.insert("PL602".to_string());
+        assert!(!lint_hybrid(&ctx, &config).fired("PL602"));
+    }
+}

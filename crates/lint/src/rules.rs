@@ -3,14 +3,15 @@
 //!
 //! Codes are permanent once shipped: `PL0xx` graph rules, `PL1xx` view rules,
 //! `PL2xx` plan rules, `PL3xx` store rules, `PL4xx` fault-plan rules, `PL5xx`
-//! dataflow rules. New rules append; retired rules leave a hole.
+//! dataflow rules, `PL6xx` hybrid-governor rules. New rules append; retired
+//! rules leave a hole.
 
 use crate::diag::Severity;
 
 /// Version of the rule registry. Bumped whenever a rule is added, removed,
 /// or its logic changes in a way that can alter findings — cached lint
 /// reports are keyed by this, so a bump invalidates every warm report.
-pub const RULES_VERSION: u32 = 2;
+pub const RULES_VERSION: u32 = 3;
 
 /// Which artifact a rule inspects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +28,9 @@ pub enum Pack {
     Faults,
     /// Cross-artifact dataflow facts (`lint::dataflow`).
     Dataflow,
+    /// Hybrid-governor configurations (`powerlens_governors::HybridConfig`
+    /// plus the plan/platform pair it steers, passed as plain fields).
+    Hybrid,
 }
 
 impl Pack {
@@ -39,6 +43,7 @@ impl Pack {
             Pack::Store => "store",
             Pack::Faults => "faults",
             Pack::Dataflow => "dataflow",
+            Pack::Hybrid => "hybrid",
         }
     }
 }
@@ -249,6 +254,11 @@ rules! {
         "a GPU level cap at or above the platform's table top clamps \
          nothing; the fault plan does not do what it appears to",
         "§3.1 (AGX exposes 14 GPU levels, TX2 exposes 13)";
+    FAULT_PHASE_INVALID = "PL406", "fault-phase-invalid", Error, Faults,
+        "robustness", 3,
+        "a workload phase change must be finite, keep power positive \
+         (drift > -1), and start at a finite non-negative simulated time",
+        "§2.2 (power draw stays positive through workload phases)";
 
     // ---- dataflow pack --------------------------------------------------
     DF_LAYER_UNREACHABLE = "PL501", "dataflow-layer-unreachable", Error, Dataflow,
@@ -294,6 +304,26 @@ rules! {
         "the fixpoint analysis must converge within its sweep budget; on \
          divergence every fact (and every rule built on one) is untrustworthy",
         "— (analyzer self-check)";
+
+    // ---- hybrid pack ----------------------------------------------------
+    HYBRID_NUDGE_SPAN_INVALID = "PL601", "hybrid-nudge-span-invalid", Error, Hybrid,
+        "adaptation", 3,
+        "every level a nudged block can reach (plan level ± max_nudge, \
+         clamped) must exist in the platform's frequency table, and the \
+         nudge bound itself must leave at least one reachable level",
+        "§3.1 (frequency levels are only meaningful per platform table)";
+    HYBRID_REPLAN_RATE_INVALID = "PL602", "hybrid-replan-rate-invalid", Error, Hybrid,
+        "adaptation", 3,
+        "the re-plan token bucket must be positive and finite in both rate \
+         and burst; a zero or infinite bucket either never re-plans or \
+         thrashes the planner unboundedly",
+        "§3.3 (bounded transition budgets keep adaptation affordable)";
+    HYBRID_DETECTOR_DEGENERATE = "PL603", "hybrid-detector-degenerate", Warning, Hybrid,
+        "adaptation", 3,
+        "detector tunables should be sane: EWMA alpha in (0, 1], nudge \
+         threshold below the re-plan threshold, both positive and finite, \
+         and a non-negative envelope margin",
+        "§2.2 (drift detection presumes a responsive, ordered escalation)";
 }
 
 /// Looks up a rule by its stable code.
@@ -320,6 +350,7 @@ mod tests {
                 Pack::Store => "PL3",
                 Pack::Faults => "PL4",
                 Pack::Dataflow => "PL5",
+                Pack::Hybrid => "PL6",
             };
             assert!(r.code.starts_with(prefix), "{} in wrong band", r.code);
             assert!(!r.invariant.is_empty() && !r.paper_ref.is_empty());
@@ -335,6 +366,7 @@ mod tests {
             Pack::Store,
             Pack::Faults,
             Pack::Dataflow,
+            Pack::Hybrid,
         ] {
             assert!(all_rules()
                 .iter()
@@ -358,16 +390,25 @@ mod tests {
                 "{uri} must anchor on the code"
             );
         }
-        // The dataflow pack is the version-2 addition.
+        // The dataflow pack is the version-2 addition; version 3 added the
+        // hybrid pack plus the PL406 phase rule in the faults pack.
         assert!(all_rules()
             .iter()
             .all(|r| (r.since == 2) == (r.pack == Pack::Dataflow)));
+        assert!(all_rules()
+            .iter()
+            .filter(|r| r.since == 3)
+            .all(|r| r.pack == Pack::Hybrid || r.code == "PL406"));
+        assert!(all_rules()
+            .iter()
+            .all(|r| r.pack != Pack::Hybrid || r.since == 3));
     }
 
     #[test]
     fn lookup_by_code() {
         assert_eq!(rule_by_code("PL103").unwrap().name, "view-not-contiguous");
         assert_eq!(rule_by_code("PL501").unwrap().pack, Pack::Dataflow);
+        assert_eq!(rule_by_code("PL601").unwrap().pack, Pack::Hybrid);
         assert!(rule_by_code("PL999").is_none());
     }
 }

@@ -94,6 +94,15 @@ impl Telemetry {
     /// windows that land entirely inside a gap report `None`, which is the
     /// staleness signal reactive governors and the `Degraded` fallback key
     /// off.
+    ///
+    /// Dropped-sample accounting is **per call**, not per second: each call
+    /// with a positive duration counts exactly one dropped sample and adds
+    /// its duration to [`Telemetry::dropped_time`]. Back-to-back calls
+    /// therefore accumulate — two adjacent gaps of 0.5 s count two dropped
+    /// samples over one merged 1 s silent span, and `window_stats` treats
+    /// that span exactly like a single 1 s gap. Calls with a zero or
+    /// negative duration are ignored entirely: they advance nothing and
+    /// corrupt no counter (mirroring [`Telemetry::record`]).
     pub fn record_gap(&mut self, duration: f64) {
         if duration <= 0.0 {
             return;
@@ -319,6 +328,59 @@ mod tests {
         t.record_gap(0.0);
         assert_eq!(t.dropped_samples(), 0);
         assert_eq!(t.now(), 0.0);
+    }
+
+    // ---- regression pins for gap accounting (PR 9 audit) -----------------
+    // `record_gap(0.0)` mid-stream and back-to-back gaps must not corrupt
+    // the dropped-sample count, the clock, or trailing-window stats.
+
+    #[test]
+    fn zero_and_negative_gaps_mid_stream_change_nothing() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 10.0, 0.5, 0.5, 0.5, 0);
+        t.record_gap(0.5);
+        let snapshot = t.clone();
+        t.record_gap(0.0);
+        t.record_gap(-1.0);
+        assert_eq!(t, snapshot, "no counter, clock, or stats movement");
+        assert_eq!(t.dropped_samples(), 1);
+        assert!((t.dropped_time() - 0.5).abs() < 1e-15);
+        assert!((t.now() - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn back_to_back_gaps_count_per_call_and_merge_in_time() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 10.0, 0.5, 0.5, 0.5, 0); // [0, 1)
+        t.record_gap(0.5); // [1.0, 1.5): dropped
+        t.record_gap(0.5); // [1.5, 2.0): dropped
+        assert_eq!(t.dropped_samples(), 2, "one dropped sample per call");
+        assert!((t.dropped_time() - 1.0).abs() < 1e-15);
+        assert!((t.now() - 2.0).abs() < 1e-15);
+        // The merged silent span behaves exactly like one 1 s gap: a window
+        // entirely inside it is stale, a wider one reaches observed history.
+        assert!(t.window_stats(1.0).is_none(), "merged gap span is stale");
+        let w = t.window_stats(1.5).unwrap();
+        assert_eq!(w.power_w, 10.0);
+        // Samples recorded after the merged gaps keep absolute timestamps.
+        t.record(1.0, 30.0, 1.0, 1.0, 1.0, 1); // [2, 3)
+        assert_eq!(t.samples()[1].t_start, 2.0);
+        assert!((t.total_energy() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_spanning_interleaved_gaps_normalizes_by_observed_time() {
+        let mut t = Telemetry::new();
+        t.record(1.0, 10.0, 0.2, 0.2, 0.2, 0); // [0, 1)
+        t.record_gap(1.0); // [1, 2)
+        t.record(1.0, 30.0, 0.8, 0.8, 0.8, 1); // [2, 3)
+        t.record_gap(1.0); // [3, 4)
+                           // Trailing 3 s window [1, 4): only [2, 3) was observed, so stats
+                           // average over that sample alone — gaps never dilute the mean.
+        let w = t.window_stats(3.0).unwrap();
+        assert_eq!(w.power_w, 30.0);
+        assert_eq!(w.gpu_util, 0.8);
+        assert_eq!(t.dropped_samples(), 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use powerlens::{
 use powerlens_cluster::{cluster_graph, ClusterParams, PowerBlock, PowerView};
 use powerlens_dnn::{zoo, Graph};
 use powerlens_faults::FaultPlan;
-use powerlens_governors::{oracle, Bim, FpgCg, FpgG};
+use powerlens_governors::{oracle, Bim, FpgCg, FpgG, HybridConfig, HybridGovernor, HybridStats};
 use powerlens_lint::LintReport;
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 use powerlens_sim::{run_taskflow, Controller, Degraded, Engine, TaskSpec};
@@ -92,6 +92,27 @@ pub fn compare_controllers(
     tasks: usize,
     faults: Option<&FaultPlan>,
 ) -> Vec<CompareRow> {
+    compare_controllers_hybrid(platform, graph, plan, batch, images, tasks, faults, false).0
+}
+
+/// [`compare_controllers`] plus an opt-in [`HybridGovernor`] row.
+///
+/// With `hybrid`, a hybrid row (default [`HybridConfig`], no re-plan hook)
+/// joins the line-up after the PowerLens row, and the returned
+/// [`HybridStats`] describe what its ladder did — `None` when `hybrid` is
+/// false. Row order stays PowerLens, then hybrid (when requested), then the
+/// baselines, then `degraded` (when faulted).
+#[allow(clippy::too_many_arguments)]
+pub fn compare_controllers_hybrid(
+    platform: &Platform,
+    graph: &Graph,
+    plan: &InstrumentationPlan,
+    batch: usize,
+    images: usize,
+    tasks: usize,
+    faults: Option<&FaultPlan>,
+    hybrid: bool,
+) -> (Vec<CompareRow>, Option<HybridStats>) {
     let mut engine = Engine::new(platform).with_batch(batch);
     if let Some(f) = faults {
         engine = engine.with_faults(f.clone());
@@ -101,17 +122,22 @@ pub fn compare_controllers(
         .collect();
 
     let mut plan_ctl = PlanController::new(plan.clone());
+    let mut hybrid_ctl =
+        HybridGovernor::new(platform, plan.clone(), batch, HybridConfig::default());
     let mut degraded = Degraded::new(PlanController::new(plan.clone()), Bim::new(platform));
     let mut bim = Bim::new(platform);
     let mut fpg_g = FpgG::new(platform);
     let mut fpg_cg = FpgCg::new(platform);
-    let mut controllers: Vec<&mut dyn Controller> =
-        vec![&mut plan_ctl, &mut fpg_cg, &mut fpg_g, &mut bim];
+    let mut controllers: Vec<&mut dyn Controller> = vec![&mut plan_ctl];
+    if hybrid {
+        controllers.push(&mut hybrid_ctl);
+    }
+    controllers.extend([&mut fpg_cg as &mut dyn Controller, &mut fpg_g, &mut bim]);
     if faults.is_some() {
         controllers.push(&mut degraded);
     }
 
-    controllers
+    let rows = controllers
         .into_iter()
         .map(|ctl| {
             let r = run_taskflow(&engine, &specs, ctl);
@@ -123,7 +149,16 @@ pub fn compare_controllers(
                 switches: r.num_switches,
             }
         })
-        .collect()
+        .collect();
+    let stats = hybrid.then(|| {
+        let s = hybrid_ctl.stats();
+        // Surface the run's ladder counters as gauges too: the counters
+        // accumulate across runs, the gauges snapshot the latest one.
+        powerlens_obs::gauge("hybrid.last_run.drift_detected", s.drift_detected as f64);
+        powerlens_obs::gauge("hybrid.last_run.replans", s.replans as f64);
+        s
+    });
+    (rows, stats)
 }
 
 /// Lints one model end to end: graph pack, the view produced by
@@ -267,6 +302,32 @@ mod tests {
         let fp = FaultPlan::parse("switch_fail=0.2").unwrap();
         let rows = compare_controllers(&agx, &g, &outcome.plan, 4, 8, 2, Some(&fp));
         assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn hybrid_row_is_opt_in_and_slots_in_after_powerlens() {
+        let agx = Platform::agx();
+        let g = zoo::alexnet();
+        let pl = make_planner(&agx, 4, None);
+        let outcome = pl.plan_oracle(&g).unwrap();
+        let (rows, stats) =
+            compare_controllers_hybrid(&agx, &g, &outcome.plan, 4, 8, 2, None, true);
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].method.starts_with("powerlens("));
+        assert!(rows[1].method.starts_with("hybrid("), "{}", rows[1].method);
+        let stats = stats.expect("hybrid stats reported when requested");
+        assert_eq!(stats.drift_detected, 0, "clean run must not drift");
+        // Clean run: the hybrid row replays the plan bit-for-bit.
+        assert_eq!(rows[0].energy_j.to_bits(), rows[1].energy_j.to_bits());
+        assert_eq!(rows[0].time_s.to_bits(), rows[1].time_s.to_bits());
+
+        // Faulted + hybrid: degraded joins too (6 rows), stats still come
+        // back.
+        let fp = FaultPlan::parse("switch_fail=0.2,seed=7").unwrap();
+        let (rows, stats) =
+            compare_controllers_hybrid(&agx, &g, &outcome.plan, 4, 8, 2, Some(&fp), true);
+        assert_eq!(rows.len(), 6);
+        assert!(stats.is_some());
     }
 
     #[test]

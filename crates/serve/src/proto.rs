@@ -62,6 +62,9 @@ pub struct CompareRequest {
     pub tasks: Option<usize>,
     /// Tenant namespace for the planning cache.
     pub tenant: Option<String>,
+    /// Include the hybrid governor row (`true`); baselines only when
+    /// absent/false.
+    pub hybrid: Option<bool>,
 }
 
 impl Deserialize for CompareRequest {
@@ -73,6 +76,7 @@ impl Deserialize for CompareRequest {
             images: opt(v, "images")?,
             tasks: opt(v, "tasks")?,
             tenant: opt(v, "tenant")?,
+            hybrid: opt(v, "hybrid")?,
         })
     }
 }

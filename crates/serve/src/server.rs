@@ -510,7 +510,7 @@ impl Server {
             Ok(r) => r,
             Err(e) => return json_response(stream, 500, &ErrorResponse { error: e }),
         };
-        let rows = ops::compare_controllers(
+        let (rows, _hybrid_stats) = ops::compare_controllers_hybrid(
             &platform,
             &graph,
             &outcome.plan,
@@ -518,6 +518,7 @@ impl Server {
             req.images.unwrap_or(self.cfg.images),
             req.tasks.unwrap_or(self.cfg.tasks),
             None,
+            req.hybrid.unwrap_or(false),
         );
         let resp = CompareResponse {
             model: graph.name().to_string(),
@@ -581,7 +582,9 @@ impl Server {
     }
 
     /// Renders `/metrics` as `name value` lines: live serve gauges, every
-    /// obs counter/gauge/histogram mean, and per-tenant store stats.
+    /// obs counter/gauge/histogram mean, the hybrid-ladder counters (always
+    /// present, zero before the first hybrid run), derived hit rates, and
+    /// per-tenant store stats (bounded by the store's tenant-table cap).
     fn render_metrics(&self, shared: &Shared) -> String {
         let mut out = String::with_capacity(1024);
         let _ = writeln!(
@@ -591,8 +594,27 @@ impl Server {
         );
         let _ = writeln!(out, "serve.queue_cap {}", self.cfg.queue_depth);
         let snap = obs::snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n.as_str() == name)
+                .map_or(0, |(_, v)| *v)
+        };
         for (name, v) in &snap.counters {
             let _ = writeln!(out, "{name} {v}");
+        }
+        // The hybrid ladder's counters must be scrapeable from the first
+        // request on — dashboards alert on absence — so render zeros for
+        // any that have not incremented yet.
+        for name in [
+            "hybrid.drift_detected",
+            "hybrid.nudges",
+            "hybrid.replans",
+            "hybrid.replan_throttled",
+        ] {
+            if !snap.counters.iter().any(|(n, _)| n == name) {
+                let _ = writeln!(out, "{name} 0");
+            }
         }
         for (name, v) in &snap.gauges {
             let _ = writeln!(out, "{name} {v}");
@@ -601,11 +623,31 @@ impl Server {
             let _ = writeln!(out, "{name}.count {}", h.count);
             let _ = writeln!(out, "{name}.mean {}", h.mean());
         }
+        // Derived rates guard against zero denominators: a store that has
+        // seen lookups but no completions (or none at all) reports 0, never
+        // NaN — `/metrics` consumers parse every line as a finite float.
+        let (hits, misses) = (counter("store.hits"), counter("store.misses"));
+        let _ = writeln!(out, "store.hit_rate {}", rate(hits, hits + misses));
         for (tenant, stats) in self.store.tenant_stats() {
             let _ = writeln!(out, "store.tenant.{tenant}.hits {}", stats.hits);
             let _ = writeln!(out, "store.tenant.{tenant}.misses {}", stats.misses);
+            let _ = writeln!(
+                out,
+                "store.tenant.{tenant}.hit_rate {}",
+                rate(stats.hits, stats.hits + stats.misses)
+            );
         }
         out
+    }
+}
+
+/// `numerator / denominator` as a finite metrics value: 0 when the
+/// denominator is 0 (no traffic yet is a rate of zero, not NaN).
+fn rate(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
     }
 }
 

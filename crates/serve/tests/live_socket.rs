@@ -100,6 +100,17 @@ fn serves_concurrent_mixed_traffic_with_cache_reuse_and_clean_shutdown() {
         "warm request ({warm:?}) should beat the cold one ({cold:?})"
     );
 
+    // A tenant that looked up once and never came back: exactly the
+    // zero-completion shape whose hit rate used to render as NaN.
+    let (status, _) = request(
+        &addr,
+        "POST",
+        "/plan",
+        r#"{"model": "alexnet", "tenant": "one-shot-probe"}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+
     let (_, after) = request(&addr, "GET", "/metrics", "").unwrap();
     let hits_after = metric(&after, "store.hits").unwrap_or(0.0);
     assert!(
@@ -108,6 +119,56 @@ fn serves_concurrent_mixed_traffic_with_cache_reuse_and_clean_shutdown() {
     );
     assert!(metric(&after, "serve.requests").unwrap_or(0.0) >= 1.0);
     assert!(metric(&after, "store.tenant.warmth-probe.hits") >= Some(1.0));
+
+    // Derived hit rates are present, guarded, and finite: the global rate
+    // sits in [0, 1], the warm tenant's reflects its 1 miss + 1 hit, and
+    // the one-shot tenant (a lookup but no second visit) reads exactly 0
+    // rather than dividing by zero.
+    let global_rate = metric(&after, "store.hit_rate").expect("store.hit_rate row");
+    assert!((0.0..=1.0).contains(&global_rate), "{global_rate}");
+    let warm_rate =
+        metric(&after, "store.tenant.warmth-probe.hit_rate").expect("tenant hit_rate row");
+    assert!(warm_rate.is_finite() && warm_rate > 0.0, "{warm_rate}");
+    let one_shot = metric(&after, "store.tenant.one-shot-probe.hit_rate")
+        .expect("one-shot tenant hit_rate row");
+    assert_eq!(one_shot, 0.0, "miss-only tenant rate must be 0, not NaN");
+
+    // The hybrid ladder counters are scrapeable before any hybrid run.
+    for name in [
+        "hybrid.drift_detected",
+        "hybrid.nudges",
+        "hybrid.replans",
+        "hybrid.replan_throttled",
+    ] {
+        let v = metric(&after, name).unwrap_or_else(|| panic!("missing {name} row"));
+        assert!(v >= 0.0);
+    }
+    // Every /metrics line is `name <finite float>` — no NaN leaks anywhere.
+    for line in after.lines() {
+        let (name, value) = line.split_once(' ').expect("name value");
+        let parsed: f64 = value.parse().unwrap_or_else(|_| panic!("{name}: {value}"));
+        assert!(parsed.is_finite(), "{name} rendered non-finite: {value}");
+    }
+
+    // Opting into the hybrid row grows the compare line-up by one.
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/compare",
+        r#"{"model": "alexnet", "hybrid": true}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let Value::Array(rows) = field(&v, "rows") else {
+        panic!("rows must be an array")
+    };
+    assert_eq!(rows.len(), 5, "powerlens + hybrid + three baselines");
+    let methods: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{:?}", field(r, "method")))
+        .collect();
+    assert!(methods.iter().any(|m| m.contains("hybrid(")), "{methods:?}");
 
     let (status, _) = request(&addr, "POST", "/shutdown", "").unwrap();
     assert_eq!(status, 200);

@@ -143,8 +143,11 @@ impl<P: Controller, F: Controller> Controller for Degraded<P, F> {
         gpu_level: FreqLevel,
         cpu_level: FreqLevel,
     ) -> FreqRequest {
+        // `>=`: a run exactly one window old whose entire history was
+        // dropped is already a full stale window of silence. `>` missed
+        // that boundary (PR 9 audit) — the trip fired one sample late.
         if !self.fallen_back
-            && telemetry.now() > self.stale_window
+            && telemetry.now() >= self.stale_window
             && telemetry.window_stats(self.stale_window).is_none()
         {
             self.trip();
@@ -245,6 +248,32 @@ mod tests {
     }
 
     #[test]
+    fn gap_at_exactly_the_stale_window_boundary_trips() {
+        // A history that is exactly one stale_window of dropped samples is
+        // a full window of silence and must trip immediately, not one
+        // sample later (the `>` vs `>=` off-by-one pinned by PR 9).
+        let mut d = Degraded::new(StaticController::new(5, 3), StaticController::new(0, 0))
+            .with_stale_window(0.5);
+        let g = zoo::alexnet();
+        let mut t = Telemetry::new();
+        t.record_gap(0.5);
+        assert!((t.now() - 0.5).abs() < 1e-15);
+        d.before_layer(&g, 0, &t, 5, 3);
+        assert!(d.fell_back(), "exact-boundary all-dropped window is stale");
+    }
+
+    #[test]
+    fn run_younger_than_the_window_never_trips_on_staleness() {
+        let mut d = Degraded::new(StaticController::new(5, 3), StaticController::new(0, 0))
+            .with_stale_window(0.5);
+        let g = zoo::alexnet();
+        let mut t = Telemetry::new();
+        t.record_gap(0.25);
+        d.before_layer(&g, 0, &t, 5, 3);
+        assert!(!d.fell_back(), "not yet a full window of silence");
+    }
+
+    #[test]
     fn task_start_rearms_the_primary() {
         let mut d = Degraded::new(StaticController::new(5, 3), StaticController::new(0, 0));
         for _ in 0..DEFAULT_FAILURE_THRESHOLD {
@@ -254,6 +283,39 @@ mod tests {
         d.on_task_start(&zoo::alexnet());
         assert!(!d.fell_back());
         assert_eq!(d.num_fallbacks(), 1, "trip count persists across tasks");
+    }
+
+    #[test]
+    fn partial_failure_streak_does_not_leak_across_tasks() {
+        // Two failures in task N (below threshold) plus one in task N+1
+        // must not add up to a trip: the streak re-arms at the boundary.
+        let mut d = Degraded::new(StaticController::new(5, 3), StaticController::new(0, 0));
+        d.on_switch_outcome(Domain::Gpu, 5, &failed_outcome());
+        d.on_switch_outcome(Domain::Gpu, 5, &failed_outcome());
+        d.on_task_start(&zoo::alexnet());
+        d.on_switch_outcome(Domain::Gpu, 5, &failed_outcome());
+        d.on_switch_outcome(Domain::Gpu, 5, &failed_outcome());
+        assert!(!d.fell_back(), "streak must reset at the task boundary");
+        d.on_switch_outcome(Domain::Gpu, 5, &failed_outcome());
+        assert!(d.fell_back(), "a full in-task streak still trips");
+    }
+
+    #[test]
+    fn staleness_trip_rearms_and_does_not_retrip_on_fresh_samples() {
+        let mut d = Degraded::new(StaticController::new(9, 3), StaticController::new(1, 1))
+            .with_stale_window(0.5);
+        let g = zoo::alexnet();
+        let mut t = Telemetry::new();
+        t.record_gap(1.0);
+        assert_eq!(d.before_layer(&g, 0, &t, 0, 0).gpu, Some(1));
+        assert!(d.fell_back());
+        // Task N+1: sensor recovered. The primary must drive again — the
+        // task-N trip cannot leak forward.
+        d.on_task_start(&g);
+        t.record(0.5, 10.0, 0.5, 0.5, 0.1, 9);
+        assert_eq!(d.before_layer(&g, 0, &t, 0, 0).gpu, Some(9));
+        assert!(!d.fell_back());
+        assert_eq!(d.num_fallbacks(), 1);
     }
 
     #[test]

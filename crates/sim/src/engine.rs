@@ -261,6 +261,9 @@ impl<'p> Engine<'p> {
                     // Transient interference perturbs the physical power draw
                     // itself, not just the sensor reading.
                     power *= f.power.factor();
+                    // A workload phase change shifts the draw for the rest
+                    // of the run once the simulated clock crosses its start.
+                    power *= f.phase.factor(state.telemetry.now());
                 }
                 let mut t = timing.total;
                 if let Some((rng, sigma)) = state.rng.as_mut() {
@@ -448,6 +451,35 @@ mod tests {
         let r3 = e3.run(&g, &mut c, 10);
         assert_eq!(r1.total_time, r2.total_time);
         assert_ne!(r1.total_time, r3.total_time);
+    }
+
+    #[test]
+    fn phase_drift_scales_power_after_the_boundary_and_replays_bit_exact() {
+        let p = agx();
+        let g = zoo::alexnet();
+        let mut c = StaticController::new(5, 3);
+        let clean = Engine::new(&p).with_batch(4).run(&g, &mut c, 8);
+        let fp = FaultPlan {
+            phase_power_drift: 0.5,
+            phase_at_s: clean.total_time / 2.0,
+            ..FaultPlan::default()
+        };
+        let run = |fp: &FaultPlan| {
+            let mut c = StaticController::new(5, 3);
+            Engine::new(&p)
+                .with_batch(4)
+                .with_faults(fp.clone())
+                .run(&g, &mut c, 8)
+        };
+        let (r1, r2) = (run(&fp), run(&fp));
+        assert_eq!(r1.total_energy.to_bits(), r2.total_energy.to_bits());
+        assert_eq!(r1.total_time.to_bits(), r2.total_time.to_bits());
+        // Only the tail of the run draws 1.5x, so total energy sits
+        // strictly between the clean total and a uniformly scaled one.
+        assert!(r1.total_energy > clean.total_energy);
+        assert!(r1.total_energy < 1.5 * clean.total_energy);
+        assert_eq!(r1.total_time.to_bits(), clean.total_time.to_bits());
+        assert_eq!(r1.faults_injected, 1, "activation counts one fault");
     }
 
     #[test]

@@ -162,6 +162,31 @@ pub fn cache_key_for(pl: &PowerLens<'_>, graph: &Graph, tenant: Option<&str>) ->
     }
 }
 
+/// The content address for planning `graph` with `pl` inside a tenant
+/// namespace at a hybrid-governor drift epoch.
+///
+/// Epoch `0` reproduces [`cache_key_for`] exactly — the original offline
+/// plan and the epoch-zero lookup share one entry. A positive epoch folds
+/// the epoch word into the address, so every re-plan the hybrid ladder
+/// triggers gets its own cache slot instead of clobbering (or being served
+/// by) the entry whose drift it is reacting to.
+pub fn cache_key_epoch(
+    pl: &PowerLens<'_>,
+    graph: &Graph,
+    tenant: Option<&str>,
+    epoch: u64,
+) -> CacheKey {
+    let base = cache_key_for(pl, graph, tenant);
+    if epoch == 0 {
+        return base;
+    }
+    let mut h = Fnv1a::new();
+    h.write_u64(base.0);
+    h.write_bytes(b"drift-epoch");
+    h.write_u64(epoch);
+    CacheKey(h.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +218,27 @@ mod tests {
         assert_ne!(empty, legacy, "explicit empty tenant is its own namespace");
         // Deterministic across calls.
         assert_eq!(a, cache_key_for(&pl, &g, Some("acme")));
+    }
+
+    #[test]
+    fn epoch_zero_preserves_the_tenant_key_and_epochs_separate() {
+        let platform = Platform::agx();
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        let g = zoo::alexnet();
+        for tenant in [None, Some("acme")] {
+            let base = cache_key_for(&pl, &g, tenant);
+            assert_eq!(cache_key_epoch(&pl, &g, tenant, 0), base);
+            let e1 = cache_key_epoch(&pl, &g, tenant, 1);
+            let e2 = cache_key_epoch(&pl, &g, tenant, 2);
+            assert_ne!(e1, base);
+            assert_ne!(e1, e2);
+            assert_eq!(e1, cache_key_epoch(&pl, &g, tenant, 1));
+        }
+        // Epochs namespace within a tenant, not across tenants.
+        assert_ne!(
+            cache_key_epoch(&pl, &g, Some("acme"), 1),
+            cache_key_epoch(&pl, &g, None, 1)
+        );
     }
 
     #[test]

@@ -68,8 +68,9 @@ mod service;
 pub use disk::DiskTier;
 pub use entry::{StoredEntry, SCHEMA_VERSION};
 pub use key::{
-    cache_key, cache_key_for, config_hash, context_hash, models_hash, tenant_hash, CacheKey,
+    cache_key, cache_key_epoch, cache_key_for, config_hash, context_hash, models_hash, tenant_hash,
+    CacheKey,
 };
 pub use lintcache::{lint_cache_key, LintCache, LINT_SCHEMA_VERSION};
 pub use mem::MemTier;
-pub use service::{plan_batch, CacheMode, PlanStore, TenantStats};
+pub use service::{plan_batch, CacheMode, PlanStore, TenantStats, MAX_TENANT_ROWS};

@@ -16,8 +16,14 @@ use powerlens_par as par;
 
 use crate::disk::DiskTier;
 use crate::entry::{StoredEntry, SCHEMA_VERSION};
-use crate::key::{cache_key_for, CacheKey};
+use crate::key::{cache_key_epoch, cache_key_for, CacheKey};
 use crate::mem::MemTier;
+
+/// Upper bound on distinct tenants the per-tenant accounting table keeps.
+/// Beyond it the least-recently-active tenant's row is evicted, so a churn
+/// of one-shot tenants (or an eviction-driven scan) cannot grow the table —
+/// or the daemon's `/metrics` payload — without bound.
+pub const MAX_TENANT_ROWS: usize = 64;
 
 /// Which tiers a [`PlanStore`] consults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,14 +73,50 @@ pub struct PlanStore {
     mode: CacheMode,
     mem: MemTier,
     disk: Option<DiskTier>,
-    tenants: Mutex<HashMap<String, TenantStats>>,
+    tenants: Mutex<TenantTable>,
+}
+
+/// The bounded per-tenant accounting table: stats plus a logical recency
+/// stamp per tenant, evicting the least-recently-active row past
+/// [`MAX_TENANT_ROWS`].
+#[derive(Debug, Default)]
+struct TenantTable {
+    rows: HashMap<String, (TenantStats, u64)>,
+    clock: u64,
+}
+
+impl TenantTable {
+    /// Bumps the tenant's stats and recency; inserting a new tenant past the
+    /// cap first evicts the stalest existing row.
+    fn touch(&mut self, tenant: &str, hit: bool) {
+        self.clock += 1;
+        if !self.rows.contains_key(tenant) && self.rows.len() >= MAX_TENANT_ROWS {
+            if let Some(stalest) = self
+                .rows
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(name, _)| name.clone())
+            {
+                self.rows.remove(&stalest);
+            }
+        }
+        let (stats, stamp) = self.rows.entry(tenant.to_string()).or_default();
+        *stamp = self.clock;
+        if hit {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+    }
 }
 
 /// Per-tenant cache accounting, tracked by [`PlanStore`] for lookups made
 /// through a tenant namespace (see [`PlanStore::lookup_or_plan`]).
 ///
 /// `hits + misses` always equals the number of namespaced lookups that
-/// tenant has issued — [`PlanStore::get_cached`] misses count too.
+/// tenant has issued — [`PlanStore::get_cached`] misses count too — unless
+/// the tenant was evicted from the bounded table ([`MAX_TENANT_ROWS`]) and
+/// re-admitted, in which case its counts restart from zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Lookups served from a cache tier.
@@ -129,7 +171,7 @@ impl PlanStore {
             mode,
             mem,
             disk,
-            tenants: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(TenantTable::default()),
         })
     }
 
@@ -178,10 +220,32 @@ impl PlanStore {
         graph: &Graph,
         tenant: Option<&str>,
     ) -> Result<(PlanOutcome, bool), PowerLensError> {
+        self.lookup_or_plan_epoch(pl, graph, tenant, 0)
+    }
+
+    /// Returns the plan for `graph` at a hybrid-governor drift epoch.
+    ///
+    /// Epoch `0` is exactly [`PlanStore::lookup_or_plan`] — same key, same
+    /// entry. A positive epoch (one per re-plan the hybrid ladder grants)
+    /// addresses its own cache slot via [`crate::cache_key_epoch`], so the
+    /// fresh plan a drifted run asks for can never be served by — nor
+    /// clobber — the stale entry whose drift triggered it. Tier order and
+    /// accounting are identical to the epoch-zero path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner errors on a miss.
+    pub fn lookup_or_plan_epoch(
+        &self,
+        pl: &PowerLens<'_>,
+        graph: &Graph,
+        tenant: Option<&str>,
+        epoch: u64,
+    ) -> Result<(PlanOutcome, bool), PowerLensError> {
         if self.mode == CacheMode::Off {
             return plan_uncached(pl, graph).map(|o| (o, false));
         }
-        let key = cache_key_for(pl, graph, tenant);
+        let key = cache_key_epoch(pl, graph, tenant, epoch);
         if let Some(hit) = self.mem.get(key.0) {
             self.count(tenant, true);
             return Ok((hit, true));
@@ -242,23 +306,22 @@ impl PlanStore {
     fn count(&self, tenant: Option<&str>, hit: bool) {
         obs::counter(if hit { "store.hits" } else { "store.misses" }, 1);
         if let Some(t) = tenant {
-            let mut map = self.tenants.lock().expect("tenant stats poisoned");
-            let stats = map.entry(t.to_string()).or_default();
-            if hit {
-                stats.hits += 1;
-            } else {
-                stats.misses += 1;
-            }
+            let mut table = self.tenants.lock().expect("tenant stats poisoned");
+            table.touch(t, hit);
         }
     }
 
     /// Per-tenant hit/miss accounting, sorted by tenant name (served by the
     /// daemon's `/metrics` endpoint). Tenants appear after their first
-    /// namespaced lookup.
+    /// namespaced lookup; at most [`MAX_TENANT_ROWS`] rows are retained,
+    /// least-recently-active evicted first.
     pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
-        let map = self.tenants.lock().expect("tenant stats poisoned");
-        let mut out: Vec<(String, TenantStats)> =
-            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let table = self.tenants.lock().expect("tenant stats poisoned");
+        let mut out: Vec<(String, TenantStats)> = table
+            .rows
+            .iter()
+            .map(|(k, (v, _))| (k.clone(), *v))
+            .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -449,6 +512,71 @@ mod tests {
         let g = zoo::alexnet();
         store.get_or_plan(&pl, &g).unwrap();
         assert_eq!(store.resident(), 0);
+    }
+
+    #[test]
+    fn epoch_zero_lookup_shares_the_tenant_entry_and_epochs_get_their_own() {
+        let platform = Platform::agx();
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        let store = PlanStore::new(CacheMode::Mem, 16, None).unwrap();
+        let g = zoo::alexnet();
+
+        let (base, hit) = store.lookup_or_plan(&pl, &g, Some("acme")).unwrap();
+        assert!(!hit);
+        // Epoch 0 is the same slot: warm hit, no new resident entry.
+        let (same, hit) = store
+            .lookup_or_plan_epoch(&pl, &g, Some("acme"), 0)
+            .unwrap();
+        assert!(hit);
+        assert_eq!(base, same);
+        assert_eq!(store.resident(), 1);
+
+        // Each positive epoch misses once into its own slot.
+        let (e1, hit) = store
+            .lookup_or_plan_epoch(&pl, &g, Some("acme"), 1)
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = store
+            .lookup_or_plan_epoch(&pl, &g, Some("acme"), 1)
+            .unwrap();
+        assert!(hit, "same epoch re-hits");
+        let (e2, hit) = store
+            .lookup_or_plan_epoch(&pl, &g, Some("acme"), 2)
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(store.resident(), 3);
+        // Deterministic planner: distinct slots, identical artifacts.
+        assert_eq!(e1.plan, base.plan);
+        assert_eq!(e2.plan, base.plan);
+    }
+
+    #[test]
+    fn tenant_table_evicts_the_least_recently_active_row() {
+        let platform = Platform::agx();
+        let pl = PowerLens::untrained(&platform, PowerLensConfig::default());
+        let store = PlanStore::new(CacheMode::Mem, 256, None).unwrap();
+        let g = zoo::alexnet();
+
+        for i in 0..MAX_TENANT_ROWS {
+            store
+                .lookup_or_plan(&pl, &g, Some(&format!("t{i:03}")))
+                .unwrap();
+        }
+        assert_eq!(store.tenant_stats().len(), MAX_TENANT_ROWS);
+
+        // Keep t000 fresh, then admit a new tenant: the stalest row (t001)
+        // must go, not the oldest-inserted one.
+        store.lookup_or_plan(&pl, &g, Some("t000")).unwrap();
+        store.lookup_or_plan(&pl, &g, Some("zzz-new")).unwrap();
+        let stats = store.tenant_stats();
+        assert_eq!(stats.len(), MAX_TENANT_ROWS, "table stays bounded");
+        let names: Vec<&str> = stats.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"t000"), "recently-touched row survives");
+        assert!(names.contains(&"zzz-new"));
+        assert!(!names.contains(&"t001"), "stalest row evicted");
+        // The survivor kept its accumulated counts.
+        let t000 = &stats.iter().find(|(n, _)| n == "t000").unwrap().1;
+        assert_eq!(t000.hits + t000.misses, 2);
     }
 
     #[test]

@@ -53,6 +53,18 @@ run ./target/release/powerlens-cli plan-batch --cache mem
 # stay bit-identical to clean runs (the differential suite).
 run ./target/release/powerlens-cli faultsim alexnet --batch 4 --images 8
 run cargo test -q -p powerlens-sim --test faults_differential
+# Hybrid-governor smoke: the online-adaptation report must complete under
+# the default storm and hold both floors (the report's closing line), and
+# the zero-drift differential gate must hold — a hybrid run on a clean
+# engine stays bit-identical to plan replay across the whole zoo.
+hybrid_out=$(./target/release/powerlens-cli hybridsim alexnet --batch 4 --images 8) \
+    || { echo "hybridsim smoke: command failed" >&2; exit 1; }
+echo "$hybrid_out"
+case "$hybrid_out" in
+    *'adaptation: hybrid holds'*) ;;
+    *) echo "hybridsim smoke: hybrid did not hold the EE floors" >&2; exit 1 ;;
+esac
+run cargo test -q -p powerlens-governors --test hybrid_differential
 # Serving smoke: a live daemon on an ephemeral port must answer an HTTP
 # plan, expose /metrics, and shut down cleanly on request.
 echo "==> serve smoke (ephemeral port)"
