@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks: the external-manifest importer. Ingest sits
+//! on the request path of `serve` (`POST /plan` with an inline manifest),
+//! so the budget is relative to the work that follows it: importing a
+//! manifest must cost at most 2% of cold-planning the same graph.
+//! `scripts/bench.sh` compares `ingest/import_resnet152` against
+//! `ingest/plan_resnet152` and writes the ratio as `ingest_overhead`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerlens::{PowerLens, PowerLensConfig};
+use powerlens_dnn::zoo;
+use powerlens_platform::Platform;
+use std::hint::black_box;
+
+fn bench_ingest(c: &mut Criterion) {
+    let g = zoo::by_name("resnet152").unwrap();
+    let manifest = powerlens_ingest::export(&g);
+
+    let mut group = c.benchmark_group("ingest");
+    group.bench_function("import_resnet152", |b| {
+        b.iter(|| powerlens_ingest::import_str(black_box(&manifest)).unwrap())
+    });
+    group.bench_function("export_resnet152", |b| {
+        b.iter(|| powerlens_ingest::export(black_box(&g)))
+    });
+    // The denominator of the ingest_overhead ratio: a cold plan of the
+    // graph the manifest lowers to. Expensive, so few samples.
+    group.sample_size(10);
+    group.bench_function("plan_resnet152", |b| {
+        let agx = Platform::agx();
+        let pl = PowerLens::untrained(&agx, PowerLensConfig::default());
+        b.iter(|| black_box(&pl).plan_oracle(black_box(&g)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

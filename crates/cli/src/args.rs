@@ -7,25 +7,35 @@ use std::fmt;
 pub const USAGE: &str = "usage:
   powerlens-cli zoo
   powerlens-cli inspect  <model>
+  powerlens-cli import   <manifest.json> [--format human|json|sarif]
   powerlens-cli sweep    <model> [--platform P] [--batch N] [--images N]
-  powerlens-cli plan     <model> [--platform P] [--batch N] [--images N] [--models PATH]
+  powerlens-cli plan     <model>|--model PATH [--platform P] [--batch N] [--images N]
+                         [--models PATH]
   powerlens-cli plan-batch [model...] [--platform P] [--batch N] [--models PATH]
-                           [--threads N]
-  powerlens-cli compare  <model> [--platform P] [--batch N] [--images N] [--models PATH]
+                           [--threads N] [--model PATH]
+  powerlens-cli compare  <model>|--model PATH [--platform P] [--batch N] [--images N]
+                         [--models PATH]
   powerlens-cli train    [--platform P] [--nets N] [--out PATH]
   powerlens-cli trace    <model> [--platform P] [--batch N] [--images N] [--out PATH]
   powerlens-cli faultsim <model> [--platform P] [--batch N] [--images N]
                          [--faults SPEC] [--fault-seed N] [--hybrid]
   powerlens-cli hybridsim <model> [--platform P] [--batch N] [--images N]
                           [--faults SPEC] [--fault-seed N]
-  powerlens-cli lint     <model>|--all [--platform P] [--format human|json|sarif]
-                         [--baseline FILE] [--cache MODE] [--cache-dir DIR]
+  powerlens-cli lint     <model>|--all|--model PATH [--platform P]
+                         [--format human|json|sarif] [--baseline FILE]
+                         [--cache MODE] [--cache-dir DIR]
   powerlens-cli stats    [report.json]
   powerlens-cli serve    [--addr A] [--port N] [--threads N] [--queue-depth N]
                          [--shards N] [--platform P] [--batch N] [--images N]
                          [--cache MODE] [--cache-dir DIR] [--models PATH]
 
 platforms: agx (default), tx2, cloud
+
+import reads an ONNX-like JSON model manifest (schema in docs/INGEST.md),
+runs the ingest lint pack (PL7xx) over it, and prints the lowered layer
+table. Model-taking subcommands also accept --model PATH to run on an
+imported manifest instead of a zoo model; a manifest that fails the ingest
+gate never reaches the planner.
 
 faultsim runs a robustness report: each controller (PowerLens plan, its
 degraded wrapper falling back to BiM, and BiM itself) runs once clean and
@@ -78,6 +88,9 @@ pub struct Options {
     pub images: usize,
     /// Path to trained models (optional).
     pub models: Option<String>,
+    /// Path to an external model manifest (`--model PATH`): the subcommand
+    /// runs on the imported graph instead of a zoo model.
+    pub model: Option<String>,
     /// Dataset networks for training.
     pub nets: usize,
     /// Output path for training.
@@ -119,6 +132,7 @@ impl Default for Options {
             batch: 8,
             images: 48,
             models: None,
+            model: None,
             nets: 600,
             out: "powerlens_models.json".into(),
             format: "human".into(),
@@ -145,6 +159,8 @@ pub enum Command {
     Zoo,
     /// Print a model's layer table.
     Inspect { model: String },
+    /// Import an external model manifest through the ingest lint gate.
+    Import { path: String, opts: Options },
     /// Frequency sweep.
     Sweep { model: String, opts: Options },
     /// Power view + instrumentation plan.
@@ -227,6 +243,7 @@ fn parse_options<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Options
             "--images" => opts.images = parse_usize("--images", &take_value("--images", &mut it)?)?,
             "--nets" => opts.nets = parse_usize("--nets", &take_value("--nets", &mut it)?)?,
             "--models" => opts.models = Some(take_value("--models", &mut it)?),
+            "--model" => opts.model = Some(take_value("--model", &mut it)?),
             "--out" => opts.out = take_value("--out", &mut it)?,
             "--format" => {
                 let v = take_value("--format", &mut it)?;
@@ -318,12 +335,40 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Inspect { model })
         }
-        "sweep" | "plan" | "compare" | "trace" | "faultsim" | "hybridsim" => {
-            let model = it
+        "import" => {
+            let path = it
                 .next()
                 .cloned()
-                .ok_or_else(|| ParseError(format!("{sub} requires a model name")))?;
-            let opts = parse_options(it)?;
+                .ok_or_else(|| ParseError("import requires a manifest path".into()))?;
+            if path.starts_with("--") {
+                return Err(ParseError(
+                    "import requires a manifest path before its options".into(),
+                ));
+            }
+            Ok(Command::Import {
+                path,
+                opts: parse_options(it)?,
+            })
+        }
+        "sweep" | "plan" | "compare" | "trace" | "faultsim" | "hybridsim" => {
+            // The positional name may be omitted when --model PATH supplies
+            // an imported manifest instead.
+            let rest: Vec<&String> = it.collect();
+            let (model, flags) = match rest.first() {
+                Some(first) if !first.starts_with("--") => ((*first).clone(), &rest[1..]),
+                _ => (String::new(), &rest[..]),
+            };
+            let opts = parse_options(flags.iter().copied())?;
+            if model.is_empty() && opts.model.is_none() {
+                return Err(ParseError(format!(
+                    "{sub} requires a model name or --model PATH"
+                )));
+            }
+            if !model.is_empty() && opts.model.is_some() {
+                return Err(ParseError(format!(
+                    "{sub} takes either a model name or --model PATH, not both"
+                )));
+            }
             Ok(match sub.as_str() {
                 "sweep" => Command::Sweep { model, opts },
                 "plan" => Command::Plan { model, opts },
@@ -353,19 +398,27 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let first = it
                 .next()
                 .ok_or_else(|| ParseError("lint requires a model name or --all".into()))?;
-            let model = if first == "--all" {
-                None
+            let (model, opts) = if first == "--all" {
+                (None, parse_options(it)?)
             } else if first.starts_with("--") {
-                return Err(ParseError(
-                    "lint requires a model name or --all before its options".into(),
-                ));
+                // Flags only: valid when --model PATH names the subject.
+                let rest: Vec<&String> = std::iter::once(first).chain(it).collect();
+                let opts = parse_options(rest.into_iter())?;
+                if opts.model.is_none() {
+                    return Err(ParseError(
+                        "lint requires a model name, --all or --model PATH".into(),
+                    ));
+                }
+                (None, opts)
             } else {
-                Some(first.clone())
+                (Some(first.clone()), parse_options(it)?)
             };
-            Ok(Command::Lint {
-                model,
-                opts: parse_options(it)?,
-            })
+            if model.is_some() && opts.model.is_some() {
+                return Err(ParseError(
+                    "lint takes either a model name or --model PATH, not both".into(),
+                ));
+            }
+            Ok(Command::Lint { model, opts })
         }
         "stats" => {
             let path = it.next().cloned();
@@ -590,6 +643,59 @@ mod tests {
             Command::FaultSim { opts, .. } => assert!(opts.hybrid),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_import() {
+        match parse(&v(&["import", "m.json", "--format", "json"])).unwrap() {
+            Command::Import { path, opts } => {
+                assert_eq!(path, "m.json");
+                assert_eq!(opts.format, "json");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["import"])).is_err());
+        assert!(parse(&v(&["import", "--format", "json"])).is_err());
+    }
+
+    #[test]
+    fn parses_the_model_manifest_flag() {
+        // --model stands in for the positional model name.
+        match parse(&v(&["plan", "--model", "m.json", "--batch", "2"])).unwrap() {
+            Command::Plan { model, opts } => {
+                assert_eq!(model, "");
+                assert_eq!(opts.model.as_deref(), Some("m.json"));
+                assert_eq!(opts.batch, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["compare", "--model", "m.json"])).unwrap() {
+            Command::Compare { model, opts } => {
+                assert_eq!(model, "");
+                assert_eq!(opts.model.as_deref(), Some("m.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["lint", "--model", "m.json"])).unwrap() {
+            Command::Lint { model, opts } => {
+                assert_eq!(model, None);
+                assert_eq!(opts.model.as_deref(), Some("m.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&v(&["plan-batch", "--model", "m.json"])).unwrap() {
+            Command::PlanBatch { models, opts } => {
+                assert!(models.is_empty());
+                assert_eq!(opts.model.as_deref(), Some("m.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Both a name and --model is ambiguous.
+        assert!(parse(&v(&["plan", "alexnet", "--model", "m.json"])).is_err());
+        assert!(parse(&v(&["lint", "alexnet", "--model", "m.json"])).is_err());
+        // Neither is still an error.
+        assert!(parse(&v(&["plan"])).is_err());
+        assert!(parse(&v(&["plan", "--batch", "2"])).is_err());
     }
 
     #[test]

@@ -55,7 +55,8 @@ impl Error for BaselineViolation {}
 pub fn run(cmd: Command) -> CliResult {
     let trace = match &cmd {
         Command::Zoo | Command::Inspect { .. } | Command::Stats { .. } => TraceMode::Off,
-        Command::Sweep { opts, .. }
+        Command::Import { opts, .. }
+        | Command::Sweep { opts, .. }
         | Command::Plan { opts, .. }
         | Command::PlanBatch { opts, .. }
         | Command::Compare { opts, .. }
@@ -70,6 +71,7 @@ pub fn run(cmd: Command) -> CliResult {
     let result = match cmd {
         Command::Zoo => zoo_cmd(),
         Command::Inspect { model } => inspect(&model),
+        Command::Import { path, opts } => import_cmd(&path, &opts),
         Command::Sweep { model, opts } => sweep(&model, &opts),
         Command::Plan { model, opts } => plan(&model, &opts),
         Command::PlanBatch { models, opts } => plan_batch_cmd(&models, &opts),
@@ -107,6 +109,34 @@ fn platform_for(opts: &Options) -> Platform {
 
 fn model_for(name: &str) -> Result<Graph, Box<dyn Error>> {
     Ok(ops::graph_by_name(name)?)
+}
+
+/// Imports an external manifest through the ingest lint gate (`PL7xx`):
+/// warnings print to stderr, error findings abort before the graph reaches
+/// the planner.
+fn import_gated(path: &str) -> Result<Graph, Box<dyn Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+    let (result, report) =
+        powerlens_ingest::import_and_lint(path, &text, &powerlens_lint::LintConfig::default());
+    for d in &report.diagnostics {
+        if d.rule.severity != powerlens_lint::Severity::Error {
+            eprintln!("warning[{}]: {}", d.rule.code, d.message);
+        }
+    }
+    match result {
+        Ok(import) => Ok(import.graph),
+        Err(e) => Err(format!("cannot import {path}: {e}").into()),
+    }
+}
+
+/// Resolves the graph a subcommand runs on: `--model PATH` imports an
+/// external manifest, otherwise `name` is a zoo model.
+fn graph_for(name: &str, opts: &Options) -> Result<Graph, Box<dyn Error>> {
+    match &opts.model {
+        Some(path) => import_gated(path),
+        None => model_for(name),
+    }
 }
 
 fn trained_models_for(opts: &Options) -> Result<Option<TrainedModels>, Box<dyn Error>> {
@@ -213,9 +243,48 @@ fn inspect(model: &str) -> CliResult {
     Ok(())
 }
 
+/// Imports a manifest, prints the full `PL7xx` report in the `--format` of
+/// choice, and — when the gate passes — the lowered layer table plus the
+/// content fingerprint the plan cache will key on.
+fn import_cmd(path: &str, opts: &Options) -> CliResult {
+    let format = powerlens_lint::Format::parse(&opts.format)
+        .ok_or_else(|| format!("unknown lint format {:?}", opts.format))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+    let (result, report) =
+        powerlens_ingest::import_and_lint(path, &text, &powerlens_lint::LintConfig::default());
+    print!(
+        "{}",
+        powerlens_lint::render(std::slice::from_ref(&report), format)
+    );
+    let import = result.map_err(|e| format!("cannot import {path}: {e}"))?;
+    let g = &import.graph;
+    println!("{g}");
+    let s = g.stats();
+    println!(
+        "total: {:.2} GFLOPs, {:.1} M params, {:.1} MB traffic/sample, mean AI {:.1} FLOP/B",
+        s.total_flops / 1e9,
+        s.total_params / 1e6,
+        s.total_memory_bytes / 1e6,
+        s.mean_arithmetic_intensity
+    );
+    println!(
+        "imported {:?} from {path}: {} layer(s), fingerprint {:016x}",
+        g.name(),
+        g.num_layers(),
+        g.fingerprint()
+    );
+    Ok(())
+}
+
 fn sweep(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let g = model_for(model)?;
+    let g = graph_for(model, opts)?;
+    let model = if model.is_empty() {
+        g.name().to_string()
+    } else {
+        model.to_string()
+    };
     let engine = Engine::new(&platform).with_batch(opts.batch);
     let reports = engine.sweep_gpu_levels(&g, opts.images);
     println!(
@@ -250,7 +319,12 @@ fn sweep(model: &str, opts: &Options) -> CliResult {
 
 fn plan(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let g = model_for(model)?;
+    let g = graph_for(model, opts)?;
+    let model = if model.is_empty() {
+        g.name().to_string()
+    } else {
+        model.to_string()
+    };
     let pl = planner(&platform, opts)?;
     let outcome = plan_cached(&pl, &g, opts)?;
     println!(
@@ -288,20 +362,26 @@ fn plan(model: &str, opts: &Options) -> CliResult {
 /// planned once and served from cache afterwards.
 fn plan_batch_cmd(models: &[String], opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let (names, graphs): (Vec<String>, Vec<Graph>) = if models.is_empty() {
-        zoo::all_models()
-            .iter()
-            .map(|(name, build)| ((*name).to_string(), build()))
-            .unzip()
-    } else {
-        let mut names = Vec::with_capacity(models.len());
-        let mut graphs = Vec::with_capacity(models.len());
-        for name in models {
-            names.push(name.clone());
-            graphs.push(model_for(name)?);
-        }
-        (names, graphs)
-    };
+    let (mut names, mut graphs): (Vec<String>, Vec<Graph>) =
+        if models.is_empty() && opts.model.is_none() {
+            zoo::all_models()
+                .iter()
+                .map(|(name, build)| ((*name).to_string(), build()))
+                .unzip()
+        } else {
+            let mut names = Vec::with_capacity(models.len());
+            let mut graphs = Vec::with_capacity(models.len());
+            for name in models {
+                names.push(name.clone());
+                graphs.push(model_for(name)?);
+            }
+            (names, graphs)
+        };
+    if let Some(path) = &opts.model {
+        let g = import_gated(path)?;
+        names.push(g.name().to_string());
+        graphs.push(g);
+    }
 
     let pl = planner(&platform, opts)?;
     let store = store_for(opts)?;
@@ -349,7 +429,12 @@ const COMPARE_TASKS: usize = 10;
 
 fn compare(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let g = model_for(model)?;
+    let g = graph_for(model, opts)?;
+    let model = if model.is_empty() {
+        g.name().to_string()
+    } else {
+        model.to_string()
+    };
     let pl = planner(&platform, opts)?;
     let outcome = plan_cached(&pl, &g, opts)?;
     let fault_plan = fault_plan_for(opts, &platform)?;
@@ -405,7 +490,12 @@ fn compare(model: &str, opts: &Options) -> CliResult {
 
 fn trace_cmd(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let g = model_for(model)?;
+    let g = graph_for(model, opts)?;
+    let model = if model.is_empty() {
+        g.name().to_string()
+    } else {
+        model.to_string()
+    };
     let pl = planner(&platform, opts)?;
     let outcome = plan_cached(&pl, &g, opts)?;
     let mut engine = Engine::new(&platform).with_batch(opts.batch);
@@ -446,7 +536,12 @@ const FAULTSIM_TASKS: usize = 8;
 /// `scripts/bench.sh`.
 fn faultsim(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let g = model_for(model)?;
+    let g = graph_for(model, opts)?;
+    let model = if model.is_empty() {
+        g.name().to_string()
+    } else {
+        model.to_string()
+    };
     let pl = planner(&platform, opts)?;
     let outcome = plan_cached(&pl, &g, opts)?;
 
@@ -601,7 +696,12 @@ const HYBRIDSIM_PHASE_DRIFT: f64 = 0.3;
 /// `scripts/bench.sh` and `scripts/check.sh`.
 fn hybridsim(model: &str, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
-    let g = model_for(model)?;
+    let g = graph_for(model, opts)?;
+    let model = if model.is_empty() {
+        g.name().to_string()
+    } else {
+        model.to_string()
+    };
     let pl = planner(&platform, opts)?;
     let store = store_for(opts)?;
     let outcome = store.get_or_plan(&pl, &g)?;
@@ -744,9 +844,10 @@ fn lint_cmd(model: Option<&str>, opts: &Options) -> CliResult {
     let platform = platform_for(opts);
     let format = powerlens_lint::Format::parse(&opts.format)
         .ok_or_else(|| format!("unknown lint format {:?}", opts.format))?;
-    let targets: Vec<Graph> = match model {
-        Some(name) => vec![model_for(name)?],
-        None => zoo::all_models().iter().map(|(_, build)| build()).collect(),
+    let targets: Vec<Graph> = match (model, &opts.model) {
+        (Some(name), _) => vec![model_for(name)?],
+        (None, Some(path)) => vec![import_gated(path)?],
+        (None, None) => zoo::all_models().iter().map(|(_, build)| build()).collect(),
     };
     let cache = match opts.cache.as_str() {
         "mem" => Some(LintCache::mem_only()),
@@ -958,6 +1059,7 @@ mod tests {
             batch: 4,
             images: 8,
             models: None,
+            model: None,
             nets: 4,
             out: std::env::temp_dir()
                 .join("powerlens_cli_test.json")
@@ -1319,5 +1421,93 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("cannot load models"));
+    }
+
+    /// Exports a zoo model to a temp manifest and returns the path.
+    fn exported_manifest(model: &str, tag: &str) -> std::path::PathBuf {
+        let g = zoo::by_name(model).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "powerlens_cli_manifest_{tag}_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, powerlens_ingest::export(&g)).unwrap();
+        path
+    }
+
+    #[test]
+    fn import_round_trips_an_exported_zoo_model() {
+        let path = exported_manifest("alexnet", "import");
+        run(Command::Import {
+            path: path.to_string_lossy().into_owned(),
+            opts: opts(),
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn import_rejects_a_malformed_manifest() {
+        let path = std::env::temp_dir().join(format!(
+            "powerlens_cli_manifest_bad_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, "{\"schema_version\":1,").unwrap();
+        let err = run(Command::Import {
+            path: path.to_string_lossy().into_owned(),
+            opts: opts(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot import"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plan_compare_and_lint_accept_a_manifest_via_the_model_flag() {
+        let path = exported_manifest("alexnet", "flag");
+        let mut o = opts();
+        o.model = Some(path.to_string_lossy().into_owned());
+        run(Command::Plan {
+            model: String::new(),
+            opts: o.clone(),
+        })
+        .unwrap();
+        run(Command::Compare {
+            model: String::new(),
+            opts: o.clone(),
+        })
+        .unwrap();
+        run(Command::Lint {
+            model: None,
+            opts: o,
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plan_batch_appends_the_imported_manifest() {
+        let path = exported_manifest("mobilenet_v3", "batch");
+        let mut o = opts();
+        o.model = Some(path.to_string_lossy().into_owned());
+        // Mixes a zoo name with an imported manifest in one batch; any
+        // failed plan (including the imported one) turns into an Err.
+        run(Command::PlanBatch {
+            models: vec!["alexnet".into()],
+            opts: o,
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_manifest_path_is_reported() {
+        let mut o = opts();
+        o.model = Some("/nonexistent/model.json".into());
+        let err = run(Command::Plan {
+            model: String::new(),
+            opts: o,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot read manifest"));
     }
 }

@@ -3,6 +3,25 @@ use std::sync::OnceLock;
 
 use crate::{Layer, LayerId, OpKind, TensorShape};
 
+/// Structural validation failure when assembling a [`Graph`] outside the
+/// shape-threading [`GraphBuilder`] happy path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The layer list is empty — every `Graph` API (output shape, stats,
+    /// clustering) assumes at least one layer.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => f.write_str("graph has no layers"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A DNN as an ordered operator sequence plus skip edges.
 ///
 /// Execution order is the layer order; skip edges record residual and
@@ -50,14 +69,36 @@ impl PartialEq for Graph {
 }
 
 impl Graph {
-    /// Builds a graph **without validating** layer ids, shape threading, or
-    /// skip edges.
+    /// Builds a graph from pre-assembled parts, rejecting empty layer lists
+    /// (every downstream API — output shape, stats, clustering — assumes at
+    /// least one layer, and deferring the check to first use turned it into
+    /// a panic deep inside the planner).
     ///
-    /// Intended for deserializers and for the `powerlens-lint` test suite,
-    /// which needs to construct malformed graphs on purpose. Code paths that
-    /// accept graphs from outside [`GraphBuilder`] should run the lint graph
-    /// pack over the result instead of trusting it.
+    /// Layer ids, shape threading and skip edges are *not* validated beyond
+    /// that; code paths that accept graphs from outside [`GraphBuilder`]
+    /// should run the lint graph pack over the result instead of trusting
+    /// it.
     pub fn from_parts(
+        name: impl Into<String>,
+        input_shape: TensorShape,
+        layers: Vec<Layer>,
+        skip_edges: Vec<(LayerId, LayerId)>,
+    ) -> Result<Self, GraphError> {
+        if layers.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        Ok(Self::from_parts_unchecked(
+            name,
+            input_shape,
+            layers,
+            skip_edges,
+        ))
+    }
+
+    /// [`Graph::from_parts`] without the non-empty check — for the
+    /// `powerlens-lint` test suite, which constructs malformed graphs on
+    /// purpose to exercise the diagnostics.
+    pub fn from_parts_unchecked(
         name: impl Into<String>,
         input_shape: TensorShape,
         layers: Vec<Layer>,
@@ -121,7 +162,8 @@ impl Graph {
 
     /// Content fingerprint: a stable 64-bit hash of the graph's *structure*
     /// — input shape, ordered operator sequence (kind + hyperparameters +
-    /// activation shapes) and the skip-edge set.
+    /// activation shapes), the skip-edge set, and (when any layer carries
+    /// one) the per-layer sparsity annotations.
     ///
     /// Properties the plan cache relies on:
     ///
@@ -164,6 +206,16 @@ impl Graph {
             edges = edges.wrapping_add(eh.finish());
         }
         h.write_u64(edges);
+        // Sparsity section — appended only when some layer is actually
+        // sparse, so every dense graph keeps its legacy fingerprint (on-disk
+        // plan caches written before sparsity existed stay valid) while
+        // sparsity annotations still key distinct cache entries.
+        if self.layers.iter().any(|l| l.sparsity() != 0.0) {
+            h.write_u64(u64::from_le_bytes(*b"sparsity"));
+            for l in &self.layers {
+                h.write_u64(l.sparsity().to_bits());
+            }
+        }
         h.finish()
     }
 
@@ -371,23 +423,36 @@ impl GraphBuilder {
         self.current_shape = shape;
     }
 
+    /// Appends an operator with an explicit sparsity annotation; `None` when
+    /// `op` cannot consume the current shape (the non-panicking entry point
+    /// the `powerlens-ingest` importer lowers through).
+    pub fn try_push_sparse(
+        &mut self,
+        name: impl Into<String>,
+        op: OpKind,
+        sparsity: f64,
+    ) -> Option<LayerId> {
+        let id = self.layers.len();
+        let layer = Layer::try_new(id, name, op, self.current_shape)?.with_sparsity(sparsity);
+        self.current_shape = layer.output_shape;
+        self.layers.push(layer);
+        Some(id)
+    }
+
     /// Finalizes the graph.
     ///
     /// # Panics
     ///
     /// Panics if no layers were pushed.
     pub fn finish(self) -> Graph {
-        assert!(
-            !self.layers.is_empty(),
-            "graph must have at least one layer"
-        );
-        Graph {
-            name: self.name,
-            input_shape: self.input_shape,
-            layers: self.layers,
-            skip_edges: self.skip_edges,
-            fp_memo: OnceLock::new(),
-        }
+        self.try_finish()
+            .expect("graph must have at least one layer")
+    }
+
+    /// Non-panicking variant of [`GraphBuilder::finish`]: an error instead
+    /// of a panic when no layers were pushed.
+    pub fn try_finish(self) -> Result<Graph, GraphError> {
+        Graph::from_parts(self.name, self.input_shape, self.layers, self.skip_edges)
     }
 }
 
@@ -488,7 +553,8 @@ mod tests {
             a.input_shape(),
             a.layers().to_vec(),
             a.skip_edges().to_vec(),
-        );
+        )
+        .unwrap();
         assert_eq!(renamed.fingerprint(), a.fingerprint());
     }
 
@@ -538,9 +604,10 @@ mod tests {
     fn fingerprint_ignores_skip_edge_order() {
         let g = tiny_graph();
         let mut edges = vec![(0usize, 3usize), (1, 3)];
-        let fwd = Graph::from_parts("e", g.input_shape(), g.layers().to_vec(), edges.clone());
+        let fwd =
+            Graph::from_parts("e", g.input_shape(), g.layers().to_vec(), edges.clone()).unwrap();
         edges.reverse();
-        let rev = Graph::from_parts("e", g.input_shape(), g.layers().to_vec(), edges);
+        let rev = Graph::from_parts("e", g.input_shape(), g.layers().to_vec(), edges).unwrap();
         assert_eq!(fwd.fingerprint(), rev.fingerprint());
         assert_ne!(fwd.fingerprint(), g.fingerprint());
     }
@@ -558,6 +625,47 @@ mod tests {
             gb.push("x", b);
             assert_ne!(ga.finish().fingerprint(), gb.finish().fingerprint());
         }
+    }
+
+    #[test]
+    fn empty_graphs_are_rejected_with_an_error() {
+        let err = Graph::from_parts("empty", TensorShape::chw(3, 8, 8), vec![], vec![]);
+        assert_eq!(err.unwrap_err(), GraphError::Empty);
+        let b = GraphBuilder::new("empty", TensorShape::chw(3, 8, 8));
+        assert_eq!(b.try_finish().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn sparsity_annotations_change_the_fingerprint() {
+        let dense = tiny_graph();
+        let sparse = Graph::from_parts(
+            dense.name(),
+            dense.input_shape(),
+            dense
+                .layers()
+                .iter()
+                .cloned()
+                .map(|l| l.with_sparsity(0.5))
+                .collect(),
+            dense.skip_edges().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(sparse.fingerprint(), dense.fingerprint());
+        // An explicit all-dense annotation is the no-annotation fingerprint:
+        // the sparsity section only exists when some layer is sparse.
+        let explicit_dense = Graph::from_parts(
+            dense.name(),
+            dense.input_shape(),
+            dense
+                .layers()
+                .iter()
+                .cloned()
+                .map(|l| l.with_sparsity(0.0))
+                .collect(),
+            dense.skip_edges().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(explicit_dense.fingerprint(), dense.fingerprint());
     }
 
     #[test]

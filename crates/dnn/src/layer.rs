@@ -26,6 +26,7 @@ pub struct Layer {
     flops: f64,
     params: f64,
     memory_bytes: f64,
+    sparsity: f64,
 }
 
 impl Layer {
@@ -35,23 +36,59 @@ impl Layer {
     ///
     /// Panics if `op` cannot consume `input_shape` (see
     /// [`OpKind::output_shape`]).
+    #[track_caller]
     pub fn new(id: LayerId, name: impl Into<String>, op: OpKind, input_shape: TensorShape) -> Self {
-        let output_shape = op.output_shape(input_shape);
+        Self::try_new(id, name, op, input_shape)
+            .unwrap_or_else(|| panic!("operator {op:?} cannot consume shape {input_shape}"))
+    }
+
+    /// Non-panicking variant of [`Layer::new`]: `None` when `op` cannot
+    /// consume `input_shape`. Costs are computed against the resolved output
+    /// shape, so this path never hits the shape-inference panic — it is the
+    /// constructor the `powerlens-ingest` importer uses for untrusted
+    /// manifests.
+    pub fn try_new(
+        id: LayerId,
+        name: impl Into<String>,
+        op: OpKind,
+        input_shape: TensorShape,
+    ) -> Option<Self> {
+        let output_shape = op.try_output_shape(input_shape)?;
         let params = op.params()
             + match op {
                 OpKind::BatchNorm | OpKind::LayerNorm => 2.0 * input_shape.channels() as f64,
                 _ => 0.0,
             };
-        Layer {
+        Some(Layer {
             id,
             name: name.into(),
             op,
             input_shape,
             output_shape,
-            flops: op.flops(input_shape),
+            flops: op.flops_with(input_shape, output_shape),
             params,
-            memory_bytes: op.memory_bytes(input_shape),
-        }
+            memory_bytes: op.memory_bytes_with(input_shape, output_shape),
+            sparsity: 0.0,
+        })
+    }
+
+    /// Sets the layer's activation/weight sparsity fraction, clamped to
+    /// `[0, 1]` (non-finite values clamp to dense). Returns `self` for
+    /// builder-style chaining.
+    pub fn with_sparsity(mut self, sparsity: f64) -> Self {
+        self.sparsity = if sparsity.is_finite() {
+            sparsity.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Fraction of multiply-accumulates skippable as zero, in `[0, 1]`.
+    /// `0.0` (the default) means dense; the power model scales effective
+    /// compute by the surviving density `1 - sparsity`.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
     }
 
     /// Floating-point operations for one sample.
@@ -148,6 +185,31 @@ mod tests {
             TensorShape::chw(64, 56, 56),
         );
         assert!(l.arithmetic_intensity() < 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_incompatible_shapes() {
+        let op = OpKind::Conv2d {
+            in_ch: 3,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        assert!(Layer::try_new(0, "conv", op, TensorShape::tokens(4, 4)).is_none());
+        let l = Layer::try_new(0, "conv", op, TensorShape::chw(3, 8, 8)).unwrap();
+        assert_eq!(l, Layer::new(0, "conv", op, TensorShape::chw(3, 8, 8)));
+    }
+
+    #[test]
+    fn sparsity_defaults_dense_and_clamps() {
+        let l = Layer::new(0, "bn", OpKind::BatchNorm, TensorShape::chw(8, 4, 4));
+        assert_eq!(l.sparsity(), 0.0);
+        assert_eq!(l.clone().with_sparsity(0.7).sparsity(), 0.7);
+        assert_eq!(l.clone().with_sparsity(4.0).sparsity(), 1.0);
+        assert_eq!(l.clone().with_sparsity(-2.0).sparsity(), 0.0);
+        assert_eq!(l.clone().with_sparsity(f64::NAN).sparsity(), 0.0);
     }
 
     #[test]

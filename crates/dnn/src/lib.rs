@@ -35,7 +35,7 @@ pub mod random;
 mod shape;
 pub mod zoo;
 
-pub use graph::{Graph, GraphBuilder, GraphStats};
+pub use graph::{Graph, GraphBuilder, GraphError, GraphStats};
 pub use layer::{Layer, LayerId};
 pub use op::{ActKind, OpKind, PoolKind};
 pub use shape::TensorShape;

@@ -127,16 +127,33 @@ pub enum OpKind {
         /// Extra tokens prepended (class token).
         extra_tokens: usize,
     },
+    /// Token-id table lookup producing a token sequence (transformer/SLM
+    /// stem): consumes a flat vector of `n` token ids and gathers `n` rows
+    /// of the `vocab x embed_dim` table.
+    Embedding {
+        /// Vocabulary size (table rows).
+        vocab: usize,
+        /// Embedding dimension (table columns).
+        embed_dim: usize,
+    },
 }
 
 impl OpKind {
     /// Output activation shape for the given input shape.
+    ///
+    /// This is the debug-assertion convenience for statically-known graph
+    /// constructions (the generator zoo, tests): it asserts that the shape
+    /// chain is coherent. Anything that consumes *external* input — the
+    /// `powerlens-ingest` importer, the lint packs — must go through
+    /// [`OpKind::try_output_shape`] instead so malformed graphs surface as
+    /// structured errors rather than aborts.
     ///
     /// # Panics
     ///
     /// Panics if the input shape category is incompatible with the operator
     /// (e.g. convolution over a token sequence). Graph builders are expected
     /// to chain shapes correctly; [`crate::Graph`] validation relies on this.
+    #[track_caller]
     pub fn output_shape(&self, input: TensorShape) -> TensorShape {
         self.try_output_shape(input)
             .unwrap_or_else(|| panic!("operator {self:?} cannot consume shape {input}"))
@@ -200,13 +217,26 @@ impl OpKind {
             ) if patch > 0 => {
                 TensorShape::tokens((h / patch) * (w / patch) + extra_tokens, embed_dim)
             }
+            (OpKind::Embedding { embed_dim, .. }, TensorShape::Flat(n)) if n > 0 => {
+                TensorShape::tokens(n, embed_dim)
+            }
             _ => return None,
         })
     }
 
     /// Floating-point operations for one sample of the given input shape.
+    ///
+    /// Panics like [`OpKind::output_shape`] when the input is incompatible;
+    /// fallible callers resolve the output shape first (via
+    /// [`OpKind::try_output_shape`]) and use the crate-private
+    /// `flops_with`.
     pub fn flops(&self, input: TensorShape) -> f64 {
-        let out = self.output_shape(input);
+        self.flops_with(input, self.output_shape(input))
+    }
+
+    /// [`OpKind::flops`] with the output shape already resolved (via
+    /// [`OpKind::try_output_shape`]) — never panics.
+    pub(crate) fn flops_with(&self, input: TensorShape, out: TensorShape) -> f64 {
         match *self {
             OpKind::Conv2d {
                 in_ch,
@@ -254,6 +284,8 @@ impl OpKind {
                 let (n, _) = out.spatial();
                 2.0 * (n * embed_dim) as f64 * (in_ch * patch * patch) as f64
             }
+            // Pure table gather: one copy per output element.
+            OpKind::Embedding { .. } => out.numel() as f64,
         }
     }
 
@@ -280,6 +312,7 @@ impl OpKind {
                 patch,
                 ..
             } => (embed_dim * in_ch * patch * patch + embed_dim) as f64,
+            OpKind::Embedding { vocab, embed_dim } => (vocab * embed_dim) as f64,
             // Norm layers carry a scale and shift per channel; the channel
             // count is shape-dependent, so graphs account for it as 0 here
             // and the per-layer accounting (which knows shapes) adds it.
@@ -294,8 +327,18 @@ impl OpKind {
 
     /// Off-chip memory traffic in bytes for one sample: input activations +
     /// weights + output activations. Residual adds read two inputs.
+    ///
+    /// Panics like [`OpKind::output_shape`] when the input is incompatible;
+    /// fallible callers resolve the output shape first (via
+    /// [`OpKind::try_output_shape`]) and use the crate-private
+    /// `memory_bytes_with`.
     pub fn memory_bytes(&self, input: TensorShape) -> f64 {
-        let out = self.output_shape(input);
+        self.memory_bytes_with(input, self.output_shape(input))
+    }
+
+    /// [`OpKind::memory_bytes`] with the output shape already resolved (via
+    /// [`OpKind::try_output_shape`]) — never panics.
+    pub(crate) fn memory_bytes_with(&self, input: TensorShape, out: TensorShape) -> f64 {
         let act_in = match *self {
             OpKind::Add => 2.0 * input.numel() as f64,
             OpKind::Attention { .. } => {
@@ -328,7 +371,10 @@ impl OpKind {
             OpKind::Add => 9,
             OpKind::Concat { .. } => 10,
             OpKind::Flatten => 11,
-            OpKind::PatchEmbed { .. } => 12,
+            // Both embed raw input into the token space; sharing a code keeps
+            // the feature dimensionality (and trained-model weight layouts)
+            // stable across the Embedding addition.
+            OpKind::PatchEmbed { .. } | OpKind::Embedding { .. } => 12,
         }
     }
 
@@ -390,6 +436,9 @@ impl OpKind {
                 0,
                 0,
             ],
+            OpKind::Embedding { vocab, embed_dim } => {
+                [11, vocab as u64, embed_dim as u64, 0, 0, 0, 0]
+            }
         }
     }
 
@@ -407,6 +456,7 @@ impl OpKind {
             OpKind::Concat { .. } => "concat",
             OpKind::Flatten => "flatten",
             OpKind::PatchEmbed { .. } => "patch_embed",
+            OpKind::Embedding { .. } => "embedding",
         }
     }
 }
@@ -553,6 +603,24 @@ mod tests {
             pe.output_shape(TensorShape::chw(3, 224, 224)),
             TensorShape::tokens(14 * 14 + 1, 768)
         );
+    }
+
+    #[test]
+    fn embedding_gathers_tokens() {
+        let emb = OpKind::Embedding {
+            vocab: 32000,
+            embed_dim: 512,
+        };
+        assert_eq!(
+            emb.output_shape(TensorShape::flat(128)),
+            TensorShape::tokens(128, 512)
+        );
+        assert_eq!(emb.params(), 32000.0 * 512.0);
+        assert_eq!(emb.flops(TensorShape::flat(128)), 128.0 * 512.0);
+        // Token ids only make sense as a flat id vector.
+        assert_eq!(emb.try_output_shape(TensorShape::chw(3, 8, 8)), None);
+        assert_eq!(emb.try_output_shape(TensorShape::flat(0)), None);
+        assert!(emb.type_code() < OpKind::NUM_TYPE_CODES);
     }
 
     #[test]

@@ -355,7 +355,7 @@ mod tests {
 
     #[test]
     fn empty_graph_is_trivially_converged() {
-        let g = Graph::from_parts("empty", TensorShape::chw(3, 224, 224), vec![], vec![]);
+        let g = Graph::from_parts_unchecked("empty", TensorShape::chw(3, 224, 224), vec![], vec![]);
         let f = analyze(&g);
         assert!(f.converged);
         assert_eq!(f.sweeps, 0);
@@ -408,7 +408,7 @@ mod tests {
         // Sever layer 3's input from everything the graph can produce.
         layers[3].input_shape = TensorShape::chw(999, 1, 1);
         let n = layers.len();
-        let g = Graph::from_parts("broken", g.input_shape(), layers, vec![]);
+        let g = Graph::from_parts_unchecked("broken", g.input_shape(), layers, vec![]);
         let f = analyze(&g);
         assert!(f.converged);
         assert!(f.unreachable().contains(&3));
@@ -440,7 +440,7 @@ mod tests {
         let l0 = conv(0, 3, 16, input);
         let dead = conv(1, 3, 7, input); // output 7x8x8 never consumed
         let l2 = conv(2, 16, 32, l0.output_shape);
-        let g = Graph::from_parts("deadbranch", input, vec![l0, dead, l2], vec![]);
+        let g = Graph::from_parts_unchecked("deadbranch", input, vec![l0, dead, l2], vec![]);
         let f = analyze(&g);
         assert!(f.converged);
         assert_eq!(f.dead(), vec![1]);
@@ -468,7 +468,8 @@ mod tests {
         let l0 = mk(0, 16, input);
         let l1 = mk(1, 7, l0.output_shape); // only consumed via the skip edge
         let l2 = mk(2, 32, l0.output_shape);
-        let g = Graph::from_parts("skipper", input, vec![l0, l1.clone(), l2], vec![(1, 2)]);
+        let g =
+            Graph::from_parts_unchecked("skipper", input, vec![l0, l1.clone(), l2], vec![(1, 2)]);
         assert!(!l1.output_shape.feeds(&g.layers()[2].input_shape));
         let f = analyze(&g);
         assert!(f.converged);

@@ -311,7 +311,7 @@ mod tests {
         let g = zoo::alexnet();
         let mut layers = g.layers().to_vec();
         layers[3].input_shape = TensorShape::chw(999, 1, 1);
-        Graph::from_parts("broken", g.input_shape(), layers, vec![])
+        Graph::from_parts_unchecked("broken", g.input_shape(), layers, vec![])
     }
 
     #[test]
@@ -360,7 +360,7 @@ mod tests {
         let l0 = conv(0, 3, 16, input);
         let dead = conv(1, 3, 7, input);
         let l2 = conv(2, 16, 32, l0.output_shape);
-        let g = Graph::from_parts("deadbranch", input, vec![l0, dead, l2], vec![]);
+        let g = Graph::from_parts_unchecked("deadbranch", input, vec![l0, dead, l2], vec![]);
         let r = check(&DataflowContext::new(&g), &LintConfig::default());
         assert!(r.fired("PL502"));
         assert_eq!(r.num_errors(), 0, "PL502 is a warning");
@@ -371,7 +371,7 @@ mod tests {
         let g = zoo::alexnet();
         let mut layers = g.layers().to_vec();
         layers[2].output_shape = TensorShape::chw(1, 1, 7);
-        let g = Graph::from_parts("corrupt", g.input_shape(), layers, vec![]);
+        let g = Graph::from_parts_unchecked("corrupt", g.input_shape(), layers, vec![]);
         let r = check(&DataflowContext::new(&g), &LintConfig::default());
         assert!(r.fired("PL503"));
         assert!(r
@@ -415,7 +415,7 @@ mod tests {
         let envelopes: Vec<LayerEnvelope> = g
             .layers()
             .iter()
-            .map(|l| agx.layer_envelope(l, batch, cpu))
+            .map(|l| agx.layer_envelope(l, batch, cpu).unwrap())
             .collect();
         let (e_lo, e_hi) = graph_energy_interval(&envelopes);
         assert!(e_lo > 0.0 && e_hi > e_lo);

@@ -354,7 +354,7 @@ mod tests {
 
     #[test]
     fn empty_graph_fires_pl001() {
-        let g = Graph::from_parts("empty", TensorShape::flat(8), vec![], vec![]);
+        let g = Graph::from_parts_unchecked("empty", TensorShape::flat(8), vec![], vec![]);
         let r = lint(&g);
         assert!(r.fired("PL001"));
         assert_eq!(r.diagnostics.len(), 1, "PL001 short-circuits");
@@ -365,7 +365,7 @@ mod tests {
         let mut g = small_graph();
         let mut layers = g.layers().to_vec();
         layers[1].id = 9;
-        g = Graph::from_parts("ids", g.input_shape(), layers, g.skip_edges().to_vec());
+        g = Graph::from_parts_unchecked("ids", g.input_shape(), layers, g.skip_edges().to_vec());
         assert!(lint(&g).fired("PL002"));
         assert!(!lint(&small_graph()).fired("PL002"));
     }
@@ -376,7 +376,7 @@ mod tests {
         let mut g = small_graph();
         let mut layers = g.layers().to_vec();
         layers[2].input_shape = TensorShape::tokens(4, 8);
-        g = Graph::from_parts("cat", g.input_shape(), layers, vec![]);
+        g = Graph::from_parts_unchecked("cat", g.input_shape(), layers, vec![]);
         assert!(lint(&g).fired("PL003"));
     }
 
@@ -386,7 +386,7 @@ mod tests {
         let mut g = small_graph();
         let mut layers = g.layers().to_vec();
         layers[2].op = conv(5, 8); // input map has 8 channels
-        g = Graph::from_parts("arity", g.input_shape(), layers, vec![]);
+        g = Graph::from_parts_unchecked("arity", g.input_shape(), layers, vec![]);
         assert!(lint(&g).fired("PL003"));
         assert!(!lint(&small_graph()).fired("PL003"));
     }
@@ -396,7 +396,7 @@ mod tests {
         let mut g = small_graph();
         let mut layers = g.layers().to_vec();
         layers[0].output_shape = TensorShape::chw(8, 5, 5);
-        g = Graph::from_parts("cache", g.input_shape(), layers, vec![]);
+        g = Graph::from_parts_unchecked("cache", g.input_shape(), layers, vec![]);
         let r = lint(&g);
         assert!(r.fired("PL004"));
         // Downstream, layer 1's input no longer matches any known shape.
@@ -410,7 +410,7 @@ mod tests {
         let mut layers = g.layers().to_vec();
         layers[3].input_shape = TensorShape::chw(99, 1, 1);
         layers[3].output_shape = TensorShape::chw(99, 1, 1); // keep PL004 quiet
-        g = Graph::from_parts("chain", g.input_shape(), layers, vec![]);
+        g = Graph::from_parts_unchecked("chain", g.input_shape(), layers, vec![]);
         let r = lint(&g);
         assert!(r.fired("PL005"));
         assert!(!r.fired("PL004"));
@@ -432,14 +432,14 @@ mod tests {
     #[test]
     fn dangling_and_backward_edges_fire_pl006() {
         let g = small_graph();
-        let dangling = Graph::from_parts(
+        let dangling = Graph::from_parts_unchecked(
             "dangling",
             g.input_shape(),
             g.layers().to_vec(),
             vec![(0, 17)],
         );
         assert!(lint(&dangling).fired("PL006"));
-        let backward = Graph::from_parts(
+        let backward = Graph::from_parts_unchecked(
             "backward",
             g.input_shape(),
             g.layers().to_vec(),
@@ -461,7 +461,7 @@ mod tests {
             padding: 1,
             groups: 1,
         };
-        g = Graph::from_parts("deg", g.input_shape(), layers, vec![]);
+        g = Graph::from_parts_unchecked("deg", g.input_shape(), layers, vec![]);
         let r = lint(&g);
         assert!(r.fired("PL007"));
         // PL007 pre-empts the shape rules for that layer.
@@ -486,7 +486,7 @@ mod tests {
     #[test]
     fn zero_element_activation_fires_pl008() {
         let l = Layer::new(0, "fc", OpKind::Flatten, TensorShape::chw(0, 4, 4));
-        let g = Graph::from_parts("zero", TensorShape::chw(0, 4, 4), vec![l], vec![]);
+        let g = Graph::from_parts_unchecked("zero", TensorShape::chw(0, 4, 4), vec![l], vec![]);
         assert!(lint(&g).fired("PL008"));
         assert!(!lint(&small_graph()).fired("PL008"));
     }
@@ -506,7 +506,7 @@ mod tests {
             padding: 2,
             groups: 1,
         };
-        g = Graph::from_parts("stale", g.input_shape(), layers, g.skip_edges().to_vec());
+        g = Graph::from_parts_unchecked("stale", g.input_shape(), layers, g.skip_edges().to_vec());
         let r = lint(&g);
         assert!(r.fired("PL009"));
         assert!(

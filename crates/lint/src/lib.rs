@@ -28,7 +28,11 @@
 //! * **hybrid** ([`lint_hybrid`]): online-adaptation deployments — nudge
 //!   spans vs. the platform table, re-plan token-bucket sanity, and
 //!   drift-detector tunables (`PL6xx`, plus `PL406` for phase faults in
-//!   the faults pack).
+//!   the faults pack);
+//! * **ingest** ([`lint_import`]): external model manifests flowing through
+//!   the `powerlens-ingest` importer — unsupported schema versions, unknown
+//!   operators, out-of-range sparsity, shape-inference failures, dangling
+//!   or cyclic skip edges (`PL7xx`).
 //!
 //! CI-grade infrastructure on top of the packs: per-rule metadata
 //! (category, since-version, help URIs — [`RuleInfo`]), stable diagnostic
@@ -59,6 +63,7 @@ mod diag;
 mod fault_rules;
 mod graph_rules;
 mod hybrid_rules;
+mod ingest_rules;
 mod output;
 mod plan_rules;
 mod rules;
@@ -78,6 +83,7 @@ pub use dataflow_rules::DataflowContext;
 pub use diag::{fingerprint, Diagnostic, LintReport, Location, Severity};
 pub use fault_rules::MAX_REASONABLE_SIGMA;
 pub use hybrid_rules::HybridContext;
+pub use ingest_rules::ImportIssue;
 pub use output::{
     dedupe_for_render, render, report_from_value, report_to_value, to_json, to_sarif, Format,
 };
@@ -244,6 +250,16 @@ pub fn lint_hybrid(ctx: &HybridContext<'_>, config: &LintConfig) -> LintReport {
 pub fn lint_dataflow(ctx: &DataflowContext<'_>, config: &LintConfig) -> LintReport {
     let _span = obs::span("lint.dataflow");
     config.finish(dataflow_rules::check(ctx, config))
+}
+
+/// Runs the **ingest pack** (`PL7xx`) over the issues an importer raised
+/// against an external model manifest. `subject` is the manifest's model
+/// name (or file path when the name is unparseable).
+pub fn lint_import(subject: &str, issues: &[ImportIssue], config: &LintConfig) -> LintReport {
+    let _span = obs::span("lint.ingest");
+    let mut report = LintReport::new(subject);
+    ingest_rules::check(issues, config, &mut report);
+    config.finish(report)
 }
 
 /// Runs every artifact pack (graph, view, plan, dataflow) over a full

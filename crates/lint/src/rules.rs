@@ -3,15 +3,15 @@
 //!
 //! Codes are permanent once shipped: `PL0xx` graph rules, `PL1xx` view rules,
 //! `PL2xx` plan rules, `PL3xx` store rules, `PL4xx` fault-plan rules, `PL5xx`
-//! dataflow rules, `PL6xx` hybrid-governor rules. New rules append; retired
-//! rules leave a hole.
+//! dataflow rules, `PL6xx` hybrid-governor rules, `PL7xx` ingest rules. New
+//! rules append; retired rules leave a hole.
 
 use crate::diag::Severity;
 
 /// Version of the rule registry. Bumped whenever a rule is added, removed,
 /// or its logic changes in a way that can alter findings — cached lint
 /// reports are keyed by this, so a bump invalidates every warm report.
-pub const RULES_VERSION: u32 = 3;
+pub const RULES_VERSION: u32 = 4;
 
 /// Which artifact a rule inspects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +31,9 @@ pub enum Pack {
     /// Hybrid-governor configurations (`powerlens_governors::HybridConfig`
     /// plus the plan/platform pair it steers, passed as plain fields).
     Hybrid,
+    /// External model manifests flowing through the `powerlens-ingest`
+    /// importer (issues surfaced as [`crate::ImportIssue`]s).
+    Ingest,
 }
 
 impl Pack {
@@ -44,6 +47,7 @@ impl Pack {
             Pack::Faults => "faults",
             Pack::Dataflow => "dataflow",
             Pack::Hybrid => "hybrid",
+            Pack::Ingest => "ingest",
         }
     }
 }
@@ -324,6 +328,41 @@ rules! {
          threshold below the re-plan threshold, both positive and finite, \
          and a non-negative envelope margin",
         "§2.2 (drift detection presumes a responsive, ordered escalation)";
+
+    // ---- ingest pack ----------------------------------------------------
+    INGEST_SCHEMA_VERSION = "PL701", "ingest-schema-version", Error, Ingest,
+        "schema", 4,
+        "an imported manifest's schema version must be one this build \
+         understands; newer or older manifests must be converted, not \
+         guessed at",
+        "§5 (external workloads enter through a versioned interface)";
+    INGEST_UNKNOWN_OP = "PL702", "ingest-unknown-op", Error, Ingest,
+        "schema", 4,
+        "every manifest node must name an operator this build's cost model \
+         covers; an unknown operator has no FLOPs/bytes accounting and \
+         cannot be planned",
+        "§2.1.2 (per-layer costs drive clustering and planning)";
+    INGEST_SPARSITY_RANGE = "PL703", "ingest-sparsity-range", Error, Ingest,
+        "sparsity", 4,
+        "a per-layer sparsity annotation must be a finite fraction in \
+         [0, 1] — it scales the layer's effective compute",
+        "§2.1.2 (activity factors are fractions of peak)";
+    INGEST_SHAPE_INFERENCE = "PL704", "ingest-shape-inference", Error, Ingest,
+        "shapes", 4,
+        "every manifest node must be able to consume the activation shape \
+         produced by its predecessor; shape inference over untrusted input \
+         must fail as a finding, never a panic",
+        "§2.1.2 (shape-derived features feed the predictors)";
+    INGEST_SKIP_EDGE = "PL705", "ingest-skip-edge", Error, Ingest,
+        "structure", 4,
+        "manifest skip edges must point forward to declared nodes (no \
+         dangling or cyclic edges)",
+        "§2.1.2 (residual counts come from well-formed edges)";
+    INGEST_INERT_SPARSITY = "PL706", "ingest-inert-sparsity", Warning, Ingest,
+        "sparsity", 4,
+        "a sparsity annotation on a zero-FLOP operator has no effect on \
+         the power model; the manifest does not do what it appears to",
+        "§2.1.2 (sparsity scales compute, and these ops have none)";
 }
 
 /// Looks up a rule by its stable code.
@@ -351,6 +390,7 @@ mod tests {
                 Pack::Faults => "PL4",
                 Pack::Dataflow => "PL5",
                 Pack::Hybrid => "PL6",
+                Pack::Ingest => "PL7",
             };
             assert!(r.code.starts_with(prefix), "{} in wrong band", r.code);
             assert!(!r.invariant.is_empty() && !r.paper_ref.is_empty());
@@ -367,6 +407,7 @@ mod tests {
             Pack::Faults,
             Pack::Dataflow,
             Pack::Hybrid,
+            Pack::Ingest,
         ] {
             assert!(all_rules()
                 .iter()
@@ -391,7 +432,8 @@ mod tests {
             );
         }
         // The dataflow pack is the version-2 addition; version 3 added the
-        // hybrid pack plus the PL406 phase rule in the faults pack.
+        // hybrid pack plus the PL406 phase rule in the faults pack; version
+        // 4 added the ingest pack.
         assert!(all_rules()
             .iter()
             .all(|r| (r.since == 2) == (r.pack == Pack::Dataflow)));
@@ -402,6 +444,9 @@ mod tests {
         assert!(all_rules()
             .iter()
             .all(|r| r.pack != Pack::Hybrid || r.since == 3));
+        assert!(all_rules()
+            .iter()
+            .all(|r| (r.since == 4) == (r.pack == Pack::Ingest)));
     }
 
     #[test]
@@ -409,6 +454,7 @@ mod tests {
         assert_eq!(rule_by_code("PL103").unwrap().name, "view-not-contiguous");
         assert_eq!(rule_by_code("PL501").unwrap().pack, Pack::Dataflow);
         assert_eq!(rule_by_code("PL601").unwrap().pack, Pack::Hybrid);
+        assert_eq!(rule_by_code("PL704").unwrap().pack, Pack::Ingest);
         assert!(rule_by_code("PL999").is_none());
     }
 }

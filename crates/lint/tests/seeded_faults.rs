@@ -6,8 +6,9 @@ use powerlens_dnn::{zoo, Graph, OpKind, TensorShape};
 use powerlens_faults::{FaultPlan, MAX_RETRY_BUDGET};
 use powerlens_lint::{
     all_rules, lint_cached_plan, lint_dataflow, lint_distance_cache, lint_fault_plan, lint_graph,
-    lint_hybrid, lint_plan, lint_view, platform_signature, render, to_sarif, CachedPlanContext,
-    DataflowContext, Format, HybridContext, LintConfig, LintReport, Pack, PlanContext, Severity,
+    lint_hybrid, lint_import, lint_plan, lint_view, platform_signature, render, to_sarif,
+    CachedPlanContext, DataflowContext, Format, HybridContext, ImportIssue, LintConfig, LintReport,
+    Pack, PlanContext, Severity,
 };
 use powerlens_platform::{InstrumentationPlan, InstrumentationPoint, Platform};
 
@@ -38,14 +39,14 @@ fn seed_fault(code: &str) -> LintReport {
     match code {
         // ---- graph faults ----
         "PL001" => lint_graph(
-            &Graph::from_parts("empty", TensorShape::flat(1), vec![], vec![]),
+            &Graph::from_parts_unchecked("empty", TensorShape::flat(1), vec![], vec![]),
             &config,
         ),
         "PL002" => {
             let mut layers = base.layers().to_vec();
             layers[3].id = 77;
             lint_graph(
-                &Graph::from_parts("ids", base.input_shape(), layers, vec![]),
+                &Graph::from_parts_unchecked("ids", base.input_shape(), layers, vec![]),
                 &config,
             )
         }
@@ -53,7 +54,7 @@ fn seed_fault(code: &str) -> LintReport {
             let mut layers = base.layers().to_vec();
             layers[0].input_shape = TensorShape::tokens(8, 8);
             lint_graph(
-                &Graph::from_parts("cat", base.input_shape(), layers, vec![]),
+                &Graph::from_parts_unchecked("cat", base.input_shape(), layers, vec![]),
                 &config,
             )
         }
@@ -61,7 +62,7 @@ fn seed_fault(code: &str) -> LintReport {
             let mut layers = base.layers().to_vec();
             layers[0].output_shape = TensorShape::chw(1, 1, 1);
             lint_graph(
-                &Graph::from_parts("cache", base.input_shape(), layers, vec![]),
+                &Graph::from_parts_unchecked("cache", base.input_shape(), layers, vec![]),
                 &config,
             )
         }
@@ -71,12 +72,12 @@ fn seed_fault(code: &str) -> LintReport {
             layers[last].input_shape = TensorShape::flat(123_456);
             layers[last].output_shape = TensorShape::flat(123_456);
             lint_graph(
-                &Graph::from_parts("chain", base.input_shape(), layers, vec![]),
+                &Graph::from_parts_unchecked("chain", base.input_shape(), layers, vec![]),
                 &config,
             )
         }
         "PL006" => lint_graph(
-            &Graph::from_parts(
+            &Graph::from_parts_unchecked(
                 "edges",
                 base.input_shape(),
                 base.layers().to_vec(),
@@ -95,7 +96,7 @@ fn seed_fault(code: &str) -> LintReport {
                 groups: 1,
             };
             lint_graph(
-                &Graph::from_parts("deg", base.input_shape(), layers, vec![]),
+                &Graph::from_parts_unchecked("deg", base.input_shape(), layers, vec![]),
                 &config,
             )
         }
@@ -292,26 +293,69 @@ fn seed_fault(code: &str) -> LintReport {
             },
             &config,
         ),
+        // ---- ingest faults ----
+        "PL701" => lint_import(
+            "manifest",
+            &[ImportIssue::UnsupportedSchemaVersion {
+                found: 9,
+                supported: 1,
+            }],
+            &config,
+        ),
+        "PL702" => lint_import(
+            "manifest",
+            &[ImportIssue::UnknownOp {
+                node: 3,
+                op: "winograd_conv".into(),
+            }],
+            &config,
+        ),
+        "PL703" => lint_import(
+            "manifest",
+            &[ImportIssue::SparsityOutOfRange {
+                node: 1,
+                value: 1.5,
+            }],
+            &config,
+        ),
+        "PL704" => lint_import(
+            "manifest",
+            &[ImportIssue::ShapeInference {
+                node: 2,
+                op: "conv2d".into(),
+                input: "flat 10".into(),
+            }],
+            &config,
+        ),
+        "PL705" => lint_import(
+            "manifest",
+            &[ImportIssue::SkipEdge {
+                from: 5,
+                to: 2,
+                detail: "edge must point forward (from < to)".into(),
+            }],
+            &config,
+        ),
         // ---- dataflow faults ----
         "PL501" => {
             // Sever a layer's input: nothing upstream produces this shape.
             let mut layers = base.layers().to_vec();
             layers[3].input_shape = TensorShape::chw(999, 1, 1);
-            let g = Graph::from_parts("severed", base.input_shape(), layers, vec![]);
+            let g = Graph::from_parts_unchecked("severed", base.input_shape(), layers, vec![]);
             lint_dataflow(&DataflowContext::new(&g), &config)
         }
         "PL503" => {
             // Declared output size falls outside the derived interval.
             let mut layers = base.layers().to_vec();
             layers[2].output_shape = TensorShape::chw(1, 1, 7);
-            let g = Graph::from_parts("corrupt", base.input_shape(), layers, vec![]);
+            let g = Graph::from_parts_unchecked("corrupt", base.input_shape(), layers, vec![]);
             lint_dataflow(&DataflowContext::new(&g), &config)
         }
         "PL504" => {
             // A plan switch point lands on an unreachable layer.
             let mut layers = base.layers().to_vec();
             layers[3].input_shape = TensorShape::chw(999, 1, 1);
-            let g = Graph::from_parts("severed", base.input_shape(), layers, vec![]);
+            let g = Graph::from_parts_unchecked("severed", base.input_shape(), layers, vec![]);
             let plan = InstrumentationPlan::new(vec![point(0, 1), point(3, 2)], 0);
             let mut ctx = DataflowContext::new(&g);
             ctx.plan = Some(&plan);
@@ -363,6 +407,7 @@ fn catalog_spans_all_packs_with_enough_rules() {
     assert!(rules.iter().filter(|r| r.pack == Pack::Faults).count() >= 6);
     assert!(rules.iter().filter(|r| r.pack == Pack::Dataflow).count() >= 8);
     assert!(rules.iter().filter(|r| r.pack == Pack::Hybrid).count() >= 3);
+    assert!(rules.iter().filter(|r| r.pack == Pack::Ingest).count() >= 6);
 }
 
 #[test]

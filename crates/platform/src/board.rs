@@ -74,6 +74,12 @@ pub struct Platform {
     /// End-to-end latency of a userspace DVFS command until the new
     /// frequency is fully in effect (seconds).
     dvfs_settle: f64,
+    /// Tensor-core-style throughput multiplier applied on top of the
+    /// baseline [`Platform::kernel_efficiency`] for attention-class
+    /// operators (dense GEMM pipelines that mixed-precision matrix units
+    /// accelerate). `1.0` — the value for every built-in board — is exactly
+    /// the pre-tensor-core model, bit for bit.
+    tensor_core_boost: f64,
 }
 
 impl Platform {
@@ -98,6 +104,7 @@ impl Platform {
             clock_floor: 0.08,
             dvfs_transition: 0.0005,
             dvfs_settle: 0.050,
+            tensor_core_boost: 1.0,
         }
     }
 
@@ -121,6 +128,7 @@ impl Platform {
             clock_floor: 0.06,
             dvfs_transition: 0.0005,
             dvfs_settle: 0.050,
+            tensor_core_boost: 1.0,
         }
     }
 
@@ -155,6 +163,7 @@ impl Platform {
             clock_floor: 0.08,
             dvfs_transition: 0.0005,
             dvfs_settle: 0.025,
+            tensor_core_boost: 1.0,
         }
     }
 
@@ -177,6 +186,7 @@ impl Platform {
         clock_floor: f64,
         dvfs_transition: f64,
         dvfs_settle: f64,
+        tensor_core_boost: f64,
     ) -> Self {
         Platform {
             name,
@@ -195,6 +205,7 @@ impl Platform {
             clock_floor,
             dvfs_transition,
             dvfs_settle,
+            tensor_core_boost,
         }
     }
 
@@ -256,7 +267,22 @@ impl Platform {
             OpKind::BatchNorm | OpKind::LayerNorm => 0.15,
             OpKind::Activation(_) => 0.20,
             OpKind::Add => 0.20,
-            OpKind::Concat { .. } | OpKind::Flatten => 0.10,
+            // Table gathers hit scattered rows; throughput is latency-bound
+            // like the other data-movement ops.
+            OpKind::Concat { .. } | OpKind::Flatten | OpKind::Embedding { .. } => 0.10,
+        }
+    }
+
+    /// [`Platform::kernel_efficiency`] adjusted for this board's hardware:
+    /// attention-class operators (the dense GEMM pipelines that tensor-core
+    /// style matrix units accelerate) get the board's throughput multiplier.
+    /// With the default multiplier of `1.0` this is bit-identical to the
+    /// baseline table.
+    pub fn op_efficiency(&self, op: &OpKind) -> f64 {
+        let eff = Self::kernel_efficiency(op);
+        match *op {
+            OpKind::Attention { .. } => eff * self.tensor_core_boost,
+            _ => eff,
         }
     }
 
@@ -273,8 +299,13 @@ impl Platform {
         gpu_level: FreqLevel,
         cpu_level: FreqLevel,
     ) -> LayerTiming {
-        let eff = Self::kernel_efficiency(&layer.op);
-        let flops = layer.flops() * batch as f64;
+        let eff = self.op_efficiency(&layer.op);
+        // Sparsity-scaled activity: zero operands skip their
+        // multiply-accumulates, so only the surviving density of the FLOP
+        // volume exercises the pipelines. Dense layers (sparsity 0) multiply
+        // by exactly 1.0 — bit-identical to the sparsity-blind model.
+        let density = (1.0 - layer.sparsity()).clamp(0.0, 1.0);
+        let flops = layer.flops() * batch as f64 * density;
         // Activations scale with batch; weights stream once per kernel.
         let bytes = layer.activation_bytes() * batch as f64 + layer.weight_bytes();
         self.timing_from(flops, bytes, eff, gpu_level, cpu_level)
@@ -391,15 +422,18 @@ impl Platform {
     /// can achieve for energy, runtime, and busy utilization. This is the
     /// abstract-domain seed of the lint crate's dataflow analysis — a plan
     /// claiming numbers outside these bounds is statically impossible.
+    /// Returns `None` only if the envelope sweep produced nothing for the
+    /// layer — impossible for well-formed layers, but imported graphs reach
+    /// this through the lint dataflow pass, which must report a finding
+    /// rather than abort.
     pub fn layer_envelope(
         &self,
         layer: &Layer,
         batch: usize,
         cpu_level: FreqLevel,
-    ) -> LayerEnvelope {
+    ) -> Option<LayerEnvelope> {
         self.graph_envelopes(std::slice::from_ref(layer), batch, cpu_level)
             .pop()
-            .expect("one layer in, one envelope out")
     }
 
     /// [`layer_envelope`](Self::layer_envelope) for a whole layer sequence
@@ -437,8 +471,11 @@ impl Platform {
         layers
             .iter()
             .map(|layer| {
-                let eff = Self::kernel_efficiency(&layer.op);
-                let flops = layer.flops() * batch as f64;
+                let eff = self.op_efficiency(&layer.op);
+                // Same sparsity density as `layer_timing` — the envelope must
+                // bound exactly the quantities the simulator produces.
+                let density = (1.0 - layer.sparsity()).clamp(0.0, 1.0);
+                let flops = layer.flops() * batch as f64 * density;
                 let bytes = layer.activation_bytes() * batch as f64 + layer.weight_bytes();
                 let memory = bytes / self.mem_bw;
                 let flops_eff = flops / eff;
@@ -696,11 +733,70 @@ mod tests {
     }
 
     #[test]
+    fn sparsity_shrinks_compute_time_and_energy() {
+        let p = Platform::agx();
+        let cmax = p.cpu_table().max_level();
+        let gmax = p.gpu_table().max_level();
+        let dense = conv_layer();
+        let sparse = dense.clone().with_sparsity(0.9);
+        let t_dense = p.layer_timing(&dense, 8, gmax, cmax);
+        let t_sparse = p.layer_timing(&sparse, 8, gmax, cmax);
+        assert!(t_sparse.compute < t_dense.compute * 0.2);
+        assert_eq!(t_sparse.memory, t_dense.memory);
+        assert!(
+            p.layer_energy(&sparse, 8, gmax, cmax) < p.layer_energy(&dense, 8, gmax, cmax),
+            "skipped MACs must save energy"
+        );
+        // The envelope applies the same density, so it still bounds the
+        // exact per-level values.
+        let env = p.layer_envelope(&sparse, 8, cmax).unwrap();
+        for g in 0..p.gpu_levels() {
+            let e = p.layer_energy(&sparse, 8, g, cmax);
+            assert!(env.energy.0 <= e && e <= env.energy.1);
+        }
+    }
+
+    #[test]
+    fn zero_sparsity_is_bit_identical_to_dense_model() {
+        let p = Platform::agx();
+        let cmax = p.cpu_table().max_level();
+        let dense = conv_layer();
+        let annotated = dense.clone().with_sparsity(0.0);
+        for g in 0..p.gpu_levels() {
+            assert_eq!(
+                p.layer_timing(&dense, 8, g, cmax),
+                p.layer_timing(&annotated, 8, g, cmax)
+            );
+            assert_eq!(
+                p.layer_energy(&dense, 8, g, cmax).to_bits(),
+                p.layer_energy(&annotated, 8, g, cmax).to_bits()
+            );
+        }
+        assert_eq!(
+            p.layer_envelope(&dense, 8, cmax),
+            p.layer_envelope(&annotated, 8, cmax)
+        );
+    }
+
+    #[test]
+    fn default_op_efficiency_matches_kernel_efficiency() {
+        let p = Platform::agx();
+        let att = OpKind::Attention {
+            embed_dim: 256,
+            heads: 4,
+        };
+        assert_eq!(
+            p.op_efficiency(&att).to_bits(),
+            Platform::kernel_efficiency(&att).to_bits()
+        );
+    }
+
+    #[test]
     fn layer_envelope_bounds_every_level() {
         let p = Platform::agx();
         let cl = p.cpu_table().max_level();
         for l in zoo::alexnet().layers() {
-            let env = p.layer_envelope(l, 8, cl);
+            let env = p.layer_envelope(l, 8, cl).unwrap();
             assert!(env.energy.0 <= env.energy.1, "{}", l.name);
             assert!(env.runtime.0 <= env.runtime.1);
             assert!(env.busy_util.0 <= env.busy_util.1);

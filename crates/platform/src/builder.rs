@@ -40,6 +40,7 @@ pub struct PlatformBuilder {
     clock_floor: f64,
     dvfs_transition: f64,
     dvfs_settle: f64,
+    tensor_core_boost: f64,
 }
 
 impl PlatformBuilder {
@@ -62,6 +63,7 @@ impl PlatformBuilder {
             clock_floor: 0.06,
             dvfs_transition: 0.0005,
             dvfs_settle: 0.050,
+            tensor_core_boost: 1.0,
         }
     }
 
@@ -129,6 +131,14 @@ impl PlatformBuilder {
         self
     }
 
+    /// Tensor-core-style throughput multiplier for attention-class
+    /// operators (`>= 1.0` on boards with matrix units; `1.0` — the
+    /// default — reproduces the baseline efficiency table bit for bit).
+    pub fn tensor_core_boost(mut self, multiplier: f64) -> Self {
+        self.tensor_core_boost = multiplier;
+        self
+    }
+
     /// Finalizes the platform.
     pub fn build(self) -> Platform {
         Platform::from_parts(
@@ -148,6 +158,7 @@ impl PlatformBuilder {
             self.clock_floor,
             self.dvfs_transition,
             self.dvfs_settle,
+            self.tensor_core_boost,
         )
     }
 }
@@ -186,6 +197,35 @@ mod tests {
         let t = p.layer_timing(l, 1, 3, 1);
         assert!(t.total > 0.0 && t.total.is_finite());
         assert!(p.layer_power(&t, 3, 1) > p.idle_power(3, 1));
+    }
+
+    #[test]
+    fn tensor_core_boost_speeds_up_attention_only() {
+        let gpu = FrequencyTable::new(vec![300e6, 600e6, 900e6, 1200e6], 0.65, 1.0);
+        let cpu = FrequencyTable::new(vec![1.0e9, 2.0e9], 0.6, 1.0);
+        let boosted = PlatformBuilder::new("tc", gpu, cpu)
+            .tensor_core_boost(4.0)
+            .build();
+        let att = powerlens_dnn::OpKind::Attention {
+            embed_dim: 256,
+            heads: 4,
+        };
+        let conv = powerlens_dnn::OpKind::Conv2d {
+            in_ch: 8,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        assert_eq!(
+            boosted.op_efficiency(&att),
+            4.0 * Platform::kernel_efficiency(&att)
+        );
+        assert_eq!(
+            boosted.op_efficiency(&conv),
+            Platform::kernel_efficiency(&conv)
+        );
     }
 
     #[test]

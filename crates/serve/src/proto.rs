@@ -19,13 +19,19 @@ fn opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
     }
 }
 
-/// `POST /plan` — plan one model (`model`) or a batch (`models`).
+/// `POST /plan` — plan one model (`model`), a batch (`models`), or an
+/// inline external manifest (`manifest`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlanRequest {
-    /// Zoo model name; mutually exclusive with `models`.
+    /// Zoo model name; mutually exclusive with `models` and `manifest`.
     pub model: Option<String>,
     /// Batch of zoo model names, planned concurrently on the worker pool.
     pub models: Option<Vec<String>>,
+    /// Inline `powerlens-ingest` manifest object, imported through the
+    /// PL7xx lint gate; mutually exclusive with `model` and `models`. The
+    /// plan cache keys on the imported graph's content fingerprint, so two
+    /// tenants posting the same manifest still get tenant-isolated entries.
+    pub manifest: Option<Value>,
     /// Platform name (`agx`, `tx2`, `cloud`); daemon default when absent.
     pub platform: Option<String>,
     /// Inference batch size; daemon default when absent.
@@ -39,6 +45,7 @@ impl Deserialize for PlanRequest {
         Ok(PlanRequest {
             model: opt(v, "model")?,
             models: opt(v, "models")?,
+            manifest: opt(v, "manifest")?,
             platform: opt(v, "platform")?,
             batch: opt(v, "batch")?,
             tenant: opt(v, "tenant")?,
@@ -215,6 +222,15 @@ mod tests {
         assert_eq!(r.model.as_deref(), Some("alexnet"));
         assert_eq!(r.tenant.as_deref(), Some("acme"));
         assert_eq!(r.batch, None);
+        assert_eq!(r.manifest, None);
+    }
+
+    #[test]
+    fn plan_request_carries_an_inline_manifest() {
+        let r: PlanRequest =
+            serde_json::from_str(r#"{"manifest": {"schema_version": 1, "nodes": []}}"#).unwrap();
+        let m = r.manifest.expect("manifest parsed");
+        assert!(m.field("schema_version").is_ok());
     }
 
     #[test]

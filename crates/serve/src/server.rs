@@ -405,35 +405,55 @@ impl Server {
         let pl = ops::make_planner(&platform, batch, self.cfg.models.clone());
         let pressured = self.under_pressure(shared);
 
-        let names: Vec<String> = match (&req.model, &req.models) {
-            (Some(_), Some(_)) => {
+        let graphs: Vec<Graph> = if let Some(manifest) = &req.manifest {
+            if req.model.is_some() || req.models.is_some() {
                 return json_response(
                     stream,
                     400,
                     &ErrorResponse {
-                        error: "specify either `model` or `models`, not both".to_string(),
+                        error: "specify either an inline `manifest` or model names, not both"
+                            .to_string(),
                     },
-                )
+                );
             }
-            (Some(m), None) => vec![m.clone()],
-            (None, Some(ms)) if !ms.is_empty() => ms.clone(),
-            _ => {
-                return json_response(
-                    stream,
-                    400,
-                    &ErrorResponse {
-                        error: "request needs a `model` or a non-empty `models` array".to_string(),
-                    },
-                )
-            }
-        };
-        let mut graphs = Vec::with_capacity(names.len());
-        for name in &names {
-            match ops::graph_by_name(name) {
-                Ok(g) => graphs.push(g),
+            match import_manifest(manifest) {
+                Ok(g) => vec![g],
                 Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
             }
-        }
+        } else {
+            let names: Vec<String> = match (&req.model, &req.models) {
+                (Some(_), Some(_)) => {
+                    return json_response(
+                        stream,
+                        400,
+                        &ErrorResponse {
+                            error: "specify either `model` or `models`, not both".to_string(),
+                        },
+                    )
+                }
+                (Some(m), None) => vec![m.clone()],
+                (None, Some(ms)) if !ms.is_empty() => ms.clone(),
+                _ => {
+                    return json_response(
+                        stream,
+                        400,
+                        &ErrorResponse {
+                            error: "request needs a `model`, a non-empty `models` array, \
+                                    or an inline `manifest`"
+                                .to_string(),
+                        },
+                    )
+                }
+            };
+            let mut graphs = Vec::with_capacity(names.len());
+            for name in &names {
+                match ops::graph_by_name(name) {
+                    Ok(g) => graphs.push(g),
+                    Err(e) => return json_response(stream, 400, &ErrorResponse { error: e }),
+                }
+            }
+            graphs
+        };
 
         // Batch requests fan out over the same worker budget the daemon
         // itself was given; a single model plans inline.
@@ -638,6 +658,30 @@ impl Server {
             );
         }
         out
+    }
+}
+
+/// Lowers an inline manifest through the PL7xx lint gate. Error findings
+/// become the 400 message with their rule codes so API clients can fix the
+/// manifest without consulting daemon logs; warnings do not block.
+fn import_manifest(manifest: &serde::Value) -> Result<Graph, String> {
+    let config = powerlens_lint::LintConfig::default();
+    match powerlens_ingest::import_value(manifest) {
+        Ok(import) => Ok(import.graph),
+        Err(e) => {
+            let report = powerlens_lint::lint_import("inline manifest", e.issues(), &config);
+            let findings: Vec<String> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule.severity == powerlens_lint::Severity::Error)
+                .map(|d| format!("{}: {}", d.rule.code, d.message))
+                .collect();
+            if findings.is_empty() {
+                Err(format!("cannot import manifest: {e}"))
+            } else {
+                Err(format!("cannot import manifest: {}", findings.join("; ")))
+            }
+        }
     }
 }
 

@@ -182,6 +182,51 @@ fn serves_concurrent_mixed_traffic_with_cache_reuse_and_clean_shutdown() {
 }
 
 #[test]
+fn inline_manifests_plan_through_the_ingest_gate() {
+    let (addr, handle) = spawn_daemon(ServeConfig {
+        workers: 2,
+        batch: 4,
+        ..ServeConfig::default()
+    });
+
+    // A zoo graph posted as an inline manifest plans end to end, and the
+    // identical manifest again is a cache hit: the store keys on the
+    // imported graph's content fingerprint, not on a name lookup.
+    let exported = powerlens_ingest::export(&powerlens_dnn::zoo::by_name("alexnet").unwrap());
+    let body = format!(r#"{{"manifest": {exported}, "tenant": "ingest-probe"}}"#);
+    let (status, cold_body) = request(&addr, "POST", "/plan", &body).unwrap();
+    assert_eq!(status, 200, "{cold_body}");
+    let cold: Value = serde_json::from_str(&cold_body).unwrap();
+    assert_eq!(field(&cold, "model"), &Value::Str("alexnet".into()));
+    assert_eq!(field(&cold, "cached"), &Value::Bool(false));
+    assert!(matches!(field(&cold, "points"), Value::Array(a) if !a.is_empty()));
+
+    let (status, warm_body) = request(&addr, "POST", "/plan", &body).unwrap();
+    assert_eq!(status, 200);
+    let warm: Value = serde_json::from_str(&warm_body).unwrap();
+    assert_eq!(field(&warm, "cached"), &Value::Bool(true));
+    assert_eq!(field(&warm, "points"), field(&cold, "points"));
+
+    // A manifest with an unknown op is refused with its PL code in the
+    // error body, and naming a model besides the manifest is ambiguous.
+    let bad = r#"{"manifest": {"schema_version": 1, "name": "junk",
+        "input": {"kind": "chw", "dims": [3, 32, 32]},
+        "nodes": [{"op": "warp_drive", "attrs": {}}]}}"#;
+    let (status, body) = request(&addr, "POST", "/plan", bad).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("PL702"), "{body}");
+
+    let both = format!(r#"{{"model": "alexnet", "manifest": {exported}}}"#);
+    let (status, body) = request(&addr, "POST", "/plan", &both).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not both"), "{body}");
+
+    let (status, _) = request(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+}
+
+#[test]
 fn overload_degrades_or_sheds_instead_of_hanging() {
     // One worker and a 2-deep queue: a burst of 8 slow planning requests
     // (distinct tenants force real cache misses) must overflow admission.

@@ -3,8 +3,8 @@
 # bench name -> median ns (plus baseline delta when a baseline file exists).
 #
 # Usage: scripts/bench.sh [-o OUTPUT] [-b BASELINE] [BENCH...]
-#   -o OUTPUT    output JSON path            (default: BENCH_PR9.json)
-#   -b BASELINE  prior summary to diff against (default: BENCH_PR8.json)
+#   -o OUTPUT    output JSON path            (default: BENCH_PR10.json)
+#   -b BASELINE  prior summary to diff against (default: BENCH_PR9.json)
 #   BENCH...     bench targets to run         (default: all [[bench]] targets)
 #
 # The JSON shape is {"<bench name>": {"median_ns": N[, "ratio_vs_ref": R]
@@ -40,7 +40,11 @@
 # the awk block for why the budget is absolute), and an "ee_recovery"
 # entry records the
 # hybridsim online-adaptation report (faulted EE over the clean static
-# plan's EE, per controller). A "serve_load" entry
+# plan's EE, per controller). When the bench_ingest suite ran, an
+# "ingest_overhead" entry reports what importing a zoo-sized manifest
+# costs as a fraction of cold-planning the same graph (budget: <= 0.02 —
+# ingest sits on the serve request path, so it must stay invisible next
+# to the planning work that follows it). A "serve_load" entry
 # records the concurrent-load harness (smoke profile): plans/sec, p50/p99
 # latency, and shed/degraded rates per traffic mix against a live
 # powerlens-serve daemon. The perf trajectory across PRs compares these
@@ -49,8 +53,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR9.json"
-baseline="BENCH_PR8.json"
+out="BENCH_PR10.json"
+baseline="BENCH_PR9.json"
 while getopts "o:b:" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
@@ -232,6 +236,21 @@ END {
         printf "}\n" > out
         printf "hybrid detector: %.1f ns/step on a %.1f ns simulated engine step (budget 10 ns)\n", \
             (ns[hon] - ns[hplan]) / hsteps, ns[hplan] / hsteps
+    }
+    # Manifest-import overhead: lowering a zoo-sized manifest (resnet152,
+    # the deepest zoo graph) vs cold-planning the graph it produces.
+    # Budget: <= 0.02.
+    iimp  = "ingest/import_resnet152"
+    iexp  = "ingest/export_resnet152"
+    iplan = "ingest/plan_resnet152"
+    if ((iimp in ns) && (iplan in ns) && ns[iplan] > 0) {
+        printf ",\n  \"ingest_overhead\": {\"import_vs_plan\": %.5f, \"budget\": 0.02", \
+            ns[iimp] / ns[iplan] > out
+        if (iexp in ns)
+            printf ", \"export_vs_plan\": %.5f", ns[iexp] / ns[iplan] > out
+        printf "}\n" > out
+        printf "ingest: importing resnet152 costs %.2f%% of planning it (budget 2%%)\n", \
+            100 * ns[iimp] / ns[iplan]
     }
     # Energy-efficiency recovery under the default hybridsim storm, from
     # the online-adaptation report. Floors: hybrid >= powerlens (static

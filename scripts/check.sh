@@ -48,6 +48,14 @@ case "$warm_stats" in
 esac
 # Plan-store smoke: the whole zoo through the in-memory cache.
 run ./target/release/powerlens-cli plan-batch --cache mem
+# Ingest gate: every example manifest must pass the PL7xx import gate,
+# lint clean, and plan end-to-end — the external-model path from JSON on
+# disk to a DVFS plan.
+for manifest in examples/models/*.json; do
+    run ./target/release/powerlens-cli import "$manifest" > /dev/null
+    run ./target/release/powerlens-cli lint --model "$manifest"
+    run ./target/release/powerlens-cli plan --model "$manifest" > /dev/null
+done
 # Fault-injection smoke: the robustness report must complete under the
 # default 20% switch-failure sweep, and zero-probability fault plans must
 # stay bit-identical to clean runs (the differential suite).

@@ -253,8 +253,29 @@ impl<'s> Parser<'s> {
 
     fn parse_number(&mut self) -> Result<Value> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let neg = self.peek() == Some(b'-');
+        if neg {
             self.pos += 1;
+        }
+        // Fast path: a plain integer short enough to stay exact in an i64
+        // accumulator skips the general f64 parser. Most real documents
+        // (shapes, counts, indices) are almost entirely such integers.
+        let mut int: i64 = 0;
+        let int_start = self.pos;
+        while let Some(&b @ b'0'..=b'9') = self.bytes.get(self.pos) {
+            if self.pos - int_start >= 18 {
+                break;
+            }
+            int = int * 10 + i64::from(b - b'0');
+            self.pos += 1;
+        }
+        if self.pos > int_start
+            && !matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            )
+        {
+            return Ok(Value::Num(if neg { -(int as f64) } else { int as f64 }));
         }
         while matches!(
             self.peek(),
@@ -314,12 +335,20 @@ impl<'s> Parser<'s> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal run of unescaped bytes with one
+                    // UTF-8 validation. Breaking on the raw `"` and `\`
+                    // bytes is safe: both are ASCII, and ASCII byte values
+                    // never appear inside a multi-byte UTF-8 sequence.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
                 None => return Err(self.err("unterminated string")),
             }
